@@ -1,0 +1,67 @@
+// Design-choice ablation (DESIGN.md §2, §6 of the paper): light-part
+// deduplication strategies.
+//
+//   stamp-array : epoch-stamped dense vector (the §6 idiom, O(1) clear)
+//   sort-local  : append all witnesses, sort, aggregate
+// plus the full-join + hash-set dedup a DBMS would use, for reference. The
+// paper picks "the best of the two strategies depending on the number of
+// elements ... and the domain size"; this bench shows the trade-off.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/mm_join.h"
+#include "join/hash_join.h"
+
+using namespace jpmm;
+using benchutil::CachedPreset;
+
+namespace {
+
+void BM_Dedup(benchmark::State& state, DatasetPreset preset, DedupImpl impl) {
+  const auto& ds = CachedPreset(preset);
+  for (auto _ : state) {
+    MmJoinOptions opts;
+    opts.thresholds = {16, 16};
+    opts.dedup = impl;
+    auto res = MmJoinTwoPath(*ds.idx, *ds.idx, opts);
+    benchmark::DoNotOptimize(res.pairs.data());
+    state.counters["out"] = static_cast<double>(res.pairs.size());
+  }
+}
+
+void BM_HashSetDedup(benchmark::State& state, DatasetPreset preset) {
+  const auto& ds = CachedPreset(preset);
+  for (auto _ : state) {
+    auto res = HashJoinProject(*ds.idx, *ds.idx, DedupMode::kHashSet);
+    benchmark::DoNotOptimize(res.data());
+    state.counters["out"] = static_cast<double>(res.size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (DatasetPreset p : {DatasetPreset::kJokes, DatasetPreset::kWords}) {
+    const std::string stamp = std::string("Dedup/") + PresetName(p) +
+                              "/stamp-array";
+    benchmark::RegisterBenchmark(stamp.c_str(), BM_Dedup, p,
+                                 DedupImpl::kStampArray)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    const std::string sortl = std::string("Dedup/") + PresetName(p) +
+                              "/sort-local";
+    benchmark::RegisterBenchmark(sortl.c_str(), BM_Dedup, p,
+                                 DedupImpl::kSortLocal)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    const std::string hashs = std::string("Dedup/") + PresetName(p) +
+                              "/hash-set";
+    benchmark::RegisterBenchmark(hashs.c_str(), BM_HashSetDedup, p)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

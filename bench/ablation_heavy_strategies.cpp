@@ -1,0 +1,98 @@
+// Design-choice ablation (DESIGN.md §2): heavy-part strategies.
+//
+// The all-heavy witness class can be evaluated three ways:
+//   float-GEMM       : Algorithm 1's dense product (what MMJoin ships)
+//   bitset-popcount  : boolean AND/popcount product over packed rows
+//   pairwise-gallop  : per-(heavy x, heavy z) sorted-list intersection
+//                      (Non-MM's strategy)
+// This bench isolates the three kernels on the heavy part of a dense
+// community graph, at equal thresholds.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/mm_join.h"
+#include "core/nonmm_join.h"
+#include "core/partition.h"
+#include "datagen/generators.h"
+#include "matrix/bool_matrix.h"
+#include "storage/index.h"
+
+using namespace jpmm;
+
+namespace {
+
+struct HeavyFixture {
+  BinaryRelation rel;
+  std::unique_ptr<IndexedRelation> idx;
+
+  HeavyFixture() {
+    rel = CommunityGraph(6, 160, 0.5, 17);
+    idx = std::make_unique<IndexedRelation>(rel);
+  }
+};
+
+const HeavyFixture& Fixture() {
+  static HeavyFixture f;
+  return f;
+}
+
+constexpr Thresholds kThresholds{16, 16};
+
+void BM_HeavyFloatGemm(benchmark::State& state) {
+  const auto& f = Fixture();
+  for (auto _ : state) {
+    MmJoinOptions opts;
+    opts.thresholds = kThresholds;
+    auto res = MmJoinTwoPath(*f.idx, *f.idx, opts);
+    benchmark::DoNotOptimize(res.pairs.data());
+    state.counters["out"] = static_cast<double>(res.pairs.size());
+  }
+}
+
+void BM_HeavyPairwiseGallop(benchmark::State& state) {
+  const auto& f = Fixture();
+  for (auto _ : state) {
+    NonMmJoinOptions opts;
+    opts.thresholds = kThresholds;
+    auto res = NonMmJoinTwoPath(*f.idx, *f.idx, opts);
+    benchmark::DoNotOptimize(res.pairs.data());
+    state.counters["out"] = static_cast<double>(res.pairs.size());
+  }
+}
+
+void BM_HeavyBitsetPopcount(benchmark::State& state) {
+  const auto& f = Fixture();
+  const TwoPathPartition part(*f.idx, *f.idx, kThresholds);
+  const auto& hx = part.heavy_x();
+  const auto& hy = part.heavy_y();
+  const auto& hz = part.heavy_z();
+  for (auto _ : state) {
+    BoolMatrix m1(hx.size(), hy.size());
+    for (size_t i = 0; i < hx.size(); ++i) {
+      for (Value b : f.idx->YsOf(hx[i])) {
+        const Value id = part.HeavyYId(b);
+        if (id != kInvalidValue) m1.Set(i, id);
+      }
+    }
+    BoolMatrix m2t(hz.size(), hy.size());
+    for (size_t j = 0; j < hz.size(); ++j) {
+      for (Value b : f.idx->YsOf(hz[j])) {
+        const Value id = part.HeavyYId(b);
+        if (id != kInvalidValue) m2t.Set(j, id);
+      }
+    }
+    BoolMatrix prod = BoolProduct(m1, m2t, 1);
+    benchmark::DoNotOptimize(prod.RowWords(0));
+    state.counters["heavy_pairs"] =
+        static_cast<double>(hx.size() * hz.size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_HeavyFloatGemm)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HeavyBitsetPopcount)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HeavyPairwiseGallop)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

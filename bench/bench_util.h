@@ -1,0 +1,64 @@
+// Shared benchmark plumbing: preset caching, registration helpers.
+//
+// Every bench binary regenerates one table or figure of the paper; its
+// stdout rows (one benchmark per configuration) are the figure's series.
+// JPMM_SCALE rescales all datasets (default 1.0 = laptop scale).
+
+#ifndef JPMM_BENCH_BENCH_UTIL_H_
+#define JPMM_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "datagen/presets.h"
+#include "matrix/calibration.h"
+#include "storage/index.h"
+#include "storage/set_family.h"
+
+namespace jpmm::benchutil {
+
+/// One generated dataset with its index and set-family view.
+struct Dataset {
+  BinaryRelation rel;
+  std::unique_ptr<IndexedRelation> idx;
+  std::unique_ptr<SetFamily> fam;
+
+  explicit Dataset(BinaryRelation r) : rel(std::move(r)) {
+    idx = std::make_unique<IndexedRelation>(rel);
+    fam = std::make_unique<SetFamily>(*idx);
+  }
+};
+
+/// Returns a process-cached dataset for (preset, extra_scale * JPMM_SCALE).
+inline const Dataset& CachedPreset(DatasetPreset p, double extra_scale = 1.0) {
+  static std::map<std::pair<int, long>, std::unique_ptr<Dataset>> cache;
+  const double scale = ScaleFromEnv() * extra_scale;
+  const auto key = std::make_pair(static_cast<int>(p),
+                                  std::lround(scale * 1000.0));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_unique<Dataset>(MakePreset(p, scale)))
+             .first;
+  }
+  return *it->second;
+}
+
+/// Warm the matrix-multiplication calibration singleton so its one-time
+/// measurement cost never lands inside a timed region.
+inline void WarmCalibration() { MatMulCalibration::Default(); }
+
+/// Thread counts swept by the "parallel" figures. The container this repo
+/// ships in may expose a single hardware thread; the sweep still exercises
+/// the parallel code paths (EXPERIMENTS.md discusses the flat curves).
+inline const std::vector<int>& ThreadSweep() {
+  static const std::vector<int> kThreads = {1, 2, 4};
+  return kThreads;
+}
+
+}  // namespace jpmm::benchutil
+
+#endif  // JPMM_BENCH_BENCH_UTIL_H_

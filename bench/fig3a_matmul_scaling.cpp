@@ -1,0 +1,56 @@
+// Figure 3a — matrix multiplication running time vs dimension, single core.
+//
+// The paper plots Eigen+MKL square-product times for dimensions up to
+// 10000; the same sweep over jpmm's kernel shows the near-cubic growth the
+// §5 cost table extrapolates from. Dimensions are scaled down to keep the
+// single-core run short (JPMM_SCALE raises them).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/matmul.h"
+
+using namespace jpmm;
+
+namespace {
+
+Matrix RandomDense(size_t dim, uint64_t seed) {
+  Matrix m(dim, dim);
+  Rng rng(seed);
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      if (rng.NextBool(0.5)) m.Set(i, j, 1.0f);
+    }
+  }
+  return m;
+}
+
+void BM_SquareMatMul(benchmark::State& state) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  Matrix a = RandomDense(dim, 1);
+  Matrix b = RandomDense(dim, 2);
+  Matrix c;
+  for (auto _ : state) {
+    Multiply(a, b, &c, /*threads=*/1);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["dim"] = static_cast<double>(dim);
+  state.counters["gflops"] = benchmark::Counter(
+      2.0 * static_cast<double>(dim) * dim * dim * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SquareMatMul)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(768)
+    ->Arg(1024)
+    ->Arg(1536)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Figure 3b — matrix construction + multiplication vs core count.
+//
+// The paper shows near-linear speedup of Eigen's product at 20000^2 as
+// cores grow; here the same experiment runs against jpmm's kernel at a
+// laptop-scale dimension, reporting construction and multiplication
+// separately like the figure's stacked bars. (On a single-core container
+// the curve is flat — see EXPERIMENTS.md.)
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/matmul.h"
+
+using namespace jpmm;
+
+namespace {
+
+constexpr size_t kDim = 1024;
+
+void BM_ConstructAndMultiply(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  double construct_sec = 0.0, multiply_sec = 0.0;
+  for (auto _ : state) {
+    WallTimer tc;
+    Matrix a(kDim, kDim), b(kDim, kDim);
+    Rng rng(7);
+    for (size_t i = 0; i < kDim; ++i) {
+      for (size_t j = 0; j < kDim; ++j) {
+        if (rng.NextBool(0.5)) a.Set(i, j, 1.0f);
+        if (rng.NextBool(0.5)) b.Set(i, j, 1.0f);
+      }
+    }
+    construct_sec += tc.Seconds();
+    WallTimer tm;
+    Matrix c = Multiply(a, b, threads);
+    multiply_sec += tm.Seconds();
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["threads"] = threads;
+  state.counters["construct_s"] =
+      construct_sec / static_cast<double>(state.iterations());
+  state.counters["multiply_s"] =
+      multiply_sec / static_cast<double>(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_ConstructAndMultiply)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(5)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

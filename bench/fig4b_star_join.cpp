@@ -1,0 +1,59 @@
+// Figure 4b — three-relation star query, single core.
+//
+// Q*3(x, z, p) = R(x,y), R(z,y), R(p,y) over a sample of each dataset
+// (the paper samples so the result fits in memory; we scale the presets
+// down instead). Series: MMJoin (§3.2) vs the combinatorial Non-MM star.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/join_project.h"
+
+using namespace jpmm;
+using benchutil::CachedPreset;
+
+namespace {
+
+// Star outputs are k-dimensional: sample harder than the 2-path bench
+// (the paper does the same: "we take the largest sample of each relation so
+// that the result can fit in main memory"). Words gets the hardest cut —
+// its hub elements make the 3-star output near-cubic.
+double StarScale(DatasetPreset p) {
+  return p == DatasetPreset::kWords ? 0.05 : 0.2;
+}
+
+void BM_Star(benchmark::State& state, DatasetPreset preset, Strategy strategy) {
+  const auto& ds = CachedPreset(preset, StarScale(preset));
+  std::vector<const IndexedRelation*> rels = {ds.idx.get(), ds.idx.get(),
+                                              ds.idx.get()};
+  size_t out_size = 0;
+  for (auto _ : state) {
+    JoinProjectOptions opts;
+    opts.strategy = strategy;
+    auto res = JoinProject::Star(rels, opts);
+    out_size = res.tuples.size();
+    benchmark::DoNotOptimize(out_size);
+  }
+  state.counters["out"] = static_cast<double>(out_size);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::WarmCalibration();
+  for (DatasetPreset p : AllPresets()) {
+    const std::string mm = std::string("Fig4b/") + PresetName(p) + "/MMJoin";
+    benchmark::RegisterBenchmark(mm.c_str(), BM_Star, p, Strategy::kMmJoin)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    const std::string nonmm =
+        std::string("Fig4b/") + PresetName(p) + "/NonMMJoin";
+    benchmark::RegisterBenchmark(nonmm.c_str(), BM_Star, p,
+                                 Strategy::kNonMmJoin)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

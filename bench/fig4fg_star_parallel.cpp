@@ -1,0 +1,56 @@
+// Figures 4f/4g — star query, thread scaling (Jokes- and Words-like).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/join_project.h"
+
+using namespace jpmm;
+using benchutil::CachedPreset;
+
+namespace {
+
+// Per-preset sampling, matching fig4b (Words' hubs make the star output
+// near-cubic).
+double StarScale(DatasetPreset p) {
+  return p == DatasetPreset::kWords ? 0.05 : 0.2;
+}
+
+void BM_StarParallel(benchmark::State& state, DatasetPreset preset,
+                     Strategy strategy, int threads) {
+  const auto& ds = CachedPreset(preset, StarScale(preset));
+  std::vector<const IndexedRelation*> rels = {ds.idx.get(), ds.idx.get(),
+                                              ds.idx.get()};
+  size_t out_size = 0;
+  for (auto _ : state) {
+    JoinProjectOptions opts;
+    opts.strategy = strategy;
+    opts.threads = threads;
+    out_size = JoinProject::Star(rels, opts).tuples.size();
+    benchmark::DoNotOptimize(out_size);
+  }
+  state.counters["threads"] = threads;
+  state.counters["out"] = static_cast<double>(out_size);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::WarmCalibration();
+  for (DatasetPreset p : {DatasetPreset::kJokes, DatasetPreset::kWords}) {
+    const char* fig = p == DatasetPreset::kJokes ? "Fig4f" : "Fig4g";
+    for (Strategy s : {Strategy::kMmJoin, Strategy::kNonMmJoin}) {
+      for (int threads : benchutil::ThreadSweep()) {
+        const std::string name = std::string(fig) + "/" + PresetName(p) + "/" +
+                                 StrategyName(s) + "/threads:" +
+                                 std::to_string(threads);
+        benchmark::RegisterBenchmark(name.c_str(), BM_StarParallel, p, s, threads)
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

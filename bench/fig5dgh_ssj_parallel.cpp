@@ -1,0 +1,85 @@
+// Figures 5d/5g/5h — unordered SSJ at c = 2, thread scaling (DBLP-, Jokes-,
+// Image-like).
+//
+// Paper shape: MMJoin and SizeAware++ scale (matrix row partitioning is
+// coordination-free); SizeAware's light phase is inherently sequential so
+// its curve flattens.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "ssj/mm_ssj.h"
+#include "ssj/size_aware.h"
+#include "ssj/size_aware_pp.h"
+
+using namespace jpmm;
+using benchutil::CachedPreset;
+
+namespace {
+
+enum class SsjEngine { kMm, kSizeAwarePP, kSizeAware };
+
+const char* SsjEngineName(SsjEngine e) {
+  switch (e) {
+    case SsjEngine::kMm:
+      return "MMJoin";
+    case SsjEngine::kSizeAwarePP:
+      return "SizeAware++";
+    case SsjEngine::kSizeAware:
+      return "SizeAware";
+  }
+  return "?";
+}
+
+void BM_SsjParallel(benchmark::State& state, DatasetPreset preset,
+                    SsjEngine engine, int threads) {
+  const double extra = preset == DatasetPreset::kDblp ? 0.25 : 1.0;
+  const auto& ds = CachedPreset(preset, extra);
+  SsjOptions opts;
+  opts.c = 2;
+  opts.threads = threads;
+  size_t out_size = 0;
+  for (auto _ : state) {
+    switch (engine) {
+      case SsjEngine::kMm:
+        out_size = MmSsj(*ds.fam, opts).size();
+        break;
+      case SsjEngine::kSizeAwarePP:
+        out_size = SizeAwarePlusPlus(*ds.fam, opts).size();
+        break;
+      case SsjEngine::kSizeAware:
+        out_size = SizeAwareJoin(*ds.fam, opts).size();
+        break;
+    }
+    benchmark::DoNotOptimize(out_size);
+  }
+  state.counters["threads"] = threads;
+  state.counters["out"] = static_cast<double>(out_size);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::WarmCalibration();
+  const std::pair<DatasetPreset, const char*> figs[] = {
+      {DatasetPreset::kDblp, "Fig5d"},
+      {DatasetPreset::kJokes, "Fig5g"},
+      {DatasetPreset::kImage, "Fig5h"},
+  };
+  for (const auto& [preset, fig] : figs) {
+    for (SsjEngine e :
+         {SsjEngine::kMm, SsjEngine::kSizeAwarePP, SsjEngine::kSizeAware}) {
+      for (int threads : benchutil::ThreadSweep()) {
+        const std::string name = std::string(fig) + "/" + PresetName(preset) +
+                                 "/" + SsjEngineName(e) + "/threads:" +
+                                 std::to_string(threads);
+        benchmark::RegisterBenchmark(name.c_str(), BM_SsjParallel, preset, e, threads)
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figures 5e/5f — ordered SSJ vs overlap threshold c (DBLP-, Jokes-like).
+//
+// Ordered output = pairs sorted by overlap descending. MMJoin and
+// SizeAware++ get overlaps for free from witness counting; SizeAware pays
+// an extra intersection per output pair (§7.3).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "ssj/mm_ssj.h"
+#include "ssj/size_aware.h"
+#include "ssj/size_aware_pp.h"
+
+using namespace jpmm;
+using benchutil::CachedPreset;
+
+namespace {
+
+enum class SsjEngine { kMm, kSizeAwarePP, kSizeAware };
+
+const char* SsjEngineName(SsjEngine e) {
+  switch (e) {
+    case SsjEngine::kMm:
+      return "MMJoin";
+    case SsjEngine::kSizeAwarePP:
+      return "SizeAware++";
+    case SsjEngine::kSizeAware:
+      return "SizeAware";
+  }
+  return "?";
+}
+
+void BM_SsjOrdered(benchmark::State& state, DatasetPreset preset,
+                   SsjEngine engine, uint32_t c) {
+  const double extra = preset == DatasetPreset::kDblp ? 0.25 : 1.0;
+  const auto& ds = CachedPreset(preset, extra);
+  SsjOptions opts;
+  opts.c = c;
+  opts.ordered = true;
+  size_t out_size = 0;
+  for (auto _ : state) {
+    switch (engine) {
+      case SsjEngine::kMm:
+        out_size = MmSsj(*ds.fam, opts).size();
+        break;
+      case SsjEngine::kSizeAwarePP:
+        out_size = SizeAwarePlusPlus(*ds.fam, opts).size();
+        break;
+      case SsjEngine::kSizeAware:
+        out_size = SizeAwareJoin(*ds.fam, opts).size();
+        break;
+    }
+    benchmark::DoNotOptimize(out_size);
+  }
+  state.counters["c"] = c;
+  state.counters["out"] = static_cast<double>(out_size);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::WarmCalibration();
+  const std::pair<DatasetPreset, const char*> figs[] = {
+      {DatasetPreset::kDblp, "Fig5e"},
+      {DatasetPreset::kJokes, "Fig5f"},
+  };
+  for (const auto& [preset, fig] : figs) {
+    for (SsjEngine e :
+         {SsjEngine::kMm, SsjEngine::kSizeAwarePP, SsjEngine::kSizeAware}) {
+      for (uint32_t c : {2u, 3u, 4u, 5u, 6u}) {
+        const std::string name = std::string(fig) + "/" + PresetName(preset) +
+                                 "/" + SsjEngineName(e) + "/c:" +
+                                 std::to_string(c);
+        benchmark::RegisterBenchmark(name.c_str(), BM_SsjOrdered, preset, e, c)
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figures 6b/6c/6d — BSI average delay vs batch size (Jokes-, Words-,
+// Image-like) at B = 1000 queries/second.
+//
+// Each configuration times one batched evaluation, then reports the §3.3
+// service metrics (avg delay = fill/2 + t(C), machines = ceil(t(C)·B/C)).
+// Paper shape: on the dense families MMJoin reaches a target delay with
+// far fewer machines; on Words the optimizer falls back to the
+// combinatorial plan and the two curves track each other.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "bsi/bsi.h"
+#include "bsi/latency_sim.h"
+#include "bsi/workload.h"
+#include "common/timer.h"
+
+using namespace jpmm;
+using benchutil::CachedPreset;
+
+namespace {
+
+constexpr double kArrivalRate = 1000.0;  // B
+
+void BM_BsiDelay(benchmark::State& state, DatasetPreset preset, bool mm,
+                 size_t batch_size) {
+  // BSI stresses batch joins over large families: use a denser instance
+  // than the default presets (the paper's Jokes/Words/Image are 10^8-tuple
+  // datasets).
+  const auto& ds = CachedPreset(preset, 4.0);
+  auto batch =
+      SampleBsiWorkload(*ds.fam, *ds.fam, batch_size, 97 + batch_size);
+  double batch_seconds = 0.0;
+  for (auto _ : state) {
+    WallTimer t;
+    auto answers = mm ? BsiAnswerBatchMm(*ds.fam, *ds.fam, batch)
+                      : BsiAnswerBatchNonMm(*ds.fam, *ds.fam, batch);
+    batch_seconds = t.Seconds();
+    benchmark::DoNotOptimize(answers.data());
+  }
+  const auto est = EstimateBsiLatency(kArrivalRate, batch_size, batch_seconds);
+  state.counters["batch"] = static_cast<double>(batch_size);
+  state.counters["avg_delay_s"] = est.avg_delay_seconds;
+  state.counters["machines"] = est.machines;
+  state.counters["batch_s"] = est.batch_seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::WarmCalibration();
+  const std::pair<DatasetPreset, const char*> figs[] = {
+      {DatasetPreset::kJokes, "Fig6b"},
+      {DatasetPreset::kWords, "Fig6c"},
+      {DatasetPreset::kImage, "Fig6d"},
+  };
+  for (const auto& [preset, fig] : figs) {
+    for (bool mm : {true, false}) {
+      for (size_t batch : {500ul, 900ul, 1300ul, 1700ul}) {
+        const std::string name = std::string(fig) + "/" + PresetName(preset) +
+                                 (mm ? "/MMJoin" : "/NonMMJoin") + "/batch:" +
+                                 std::to_string(batch);
+        benchmark::RegisterBenchmark(name.c_str(), BM_BsiDelay, preset, mm, batch)
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figures 7a-7d — parallel SCJ: MM-SCJ vs PIEJoin, thread scaling, on the
+// four dense datasets (Jokes, Words, Protein, Image).
+//
+// Paper shape: MM-SCJ scales smoothly (row-partitioned matrix work);
+// PIEJoin's static partitioning is skew-sensitive and scales worse.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "scj/mm_scj.h"
+#include "scj/piejoin.h"
+
+using namespace jpmm;
+using benchutil::CachedPreset;
+
+namespace {
+
+void BM_ScjParallel(benchmark::State& state, DatasetPreset preset, bool mm,
+                    int threads) {
+  const auto& ds = CachedPreset(preset);
+  ScjOptions opts;
+  opts.threads = threads;
+  size_t out_size = 0;
+  for (auto _ : state) {
+    out_size = mm ? MmScj(*ds.fam, opts).size() : PieJoin(*ds.fam, opts).size();
+    benchmark::DoNotOptimize(out_size);
+  }
+  state.counters["threads"] = threads;
+  state.counters["out"] = static_cast<double>(out_size);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::WarmCalibration();
+  const std::pair<DatasetPreset, const char*> figs[] = {
+      {DatasetPreset::kJokes, "Fig7a"},
+      {DatasetPreset::kWords, "Fig7b"},
+      {DatasetPreset::kProtein, "Fig7c"},
+      {DatasetPreset::kImage, "Fig7d"},
+  };
+  for (const auto& [preset, fig] : figs) {
+    for (bool mm : {true, false}) {
+      for (int threads : benchutil::ThreadSweep()) {
+        const std::string name = std::string(fig) + "/" + PresetName(preset) +
+                                 (mm ? "/MMJoin" : "/PIEJoin") +
+                                 "/threads:" + std::to_string(threads);
+        benchmark::RegisterBenchmark(name.c_str(), BM_ScjParallel, preset, mm, threads)
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 8 — impact of the SizeAware++ optimizations on the Words-like
+// dataset (c = 2).
+//
+// Configurations accumulate like the paper's bars:
+//   NO-OP  : plain SizeAware (no optimization)
+//   Light  : + two-path join on the light sets
+//   Heavy  : + two-path join on the heavy sets
+//   Prefix : + prefix-tree materialization for the light expansion
+// Reported as a counter "pct_of_noop" — the figure's y-axis (100% = NO-OP).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "ssj/size_aware.h"
+#include "ssj/size_aware_pp.h"
+
+using namespace jpmm;
+using benchutil::CachedPreset;
+
+namespace {
+
+double g_noop_seconds = 0.0;
+
+SsjOptions ConfigFor(int level) {
+  SsjOptions opts;
+  opts.c = 2;
+  opts.use_mm_light = level >= 1;
+  opts.use_mm_heavy = level >= 2;
+  opts.use_prefix = level >= 3;
+  return opts;
+}
+
+void BM_Ablation(benchmark::State& state, int level) {
+  const auto& ds = CachedPreset(DatasetPreset::kWords);
+  const SsjOptions opts = ConfigFor(level);
+  double seconds = 0.0;
+  size_t out_size = 0;
+  for (auto _ : state) {
+    WallTimer t;
+    out_size = level == 0 ? SizeAwareJoin(*ds.fam, opts).size()
+                          : SizeAwarePlusPlus(*ds.fam, opts).size();
+    seconds = t.Seconds();
+    benchmark::DoNotOptimize(out_size);
+  }
+  if (level == 0) g_noop_seconds = seconds;
+  state.counters["out"] = static_cast<double>(out_size);
+  if (g_noop_seconds > 0.0) {
+    state.counters["pct_of_noop"] = 100.0 * seconds / g_noop_seconds;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::WarmCalibration();
+  const char* names[] = {"NO-OP", "Light", "Heavy", "Prefix"};
+  for (int level = 0; level < 4; ++level) {
+    benchmark::RegisterBenchmark((std::string("Fig8/Words/") + names[level]).c_str(),
+                                 BM_Ablation, level)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

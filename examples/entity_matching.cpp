@@ -1,0 +1,61 @@
+// Entity matching via set similarity join (§1, first application).
+//
+// Records are sets of tokens; two records match when they share at least c
+// tokens. Compares the three SSJ engines (SizeAware, SizeAware++, MMJoin)
+// and shows ordered enumeration — most similar pairs first.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/timer.h"
+#include "datagen/presets.h"
+#include "ssj/mm_ssj.h"
+#include "ssj/size_aware.h"
+#include "ssj/size_aware_pp.h"
+#include "storage/set_family.h"
+
+using namespace jpmm;
+
+int main() {
+  // Jokes-shaped token sets: dense, many shared tokens => many duplicates
+  // in the underlying join, the regime where MMJoin shines.
+  BinaryRelation records = MakePreset(DatasetPreset::kJokes, /*scale=*/0.5);
+  IndexedRelation idx(records);
+  SetFamily fam(idx);
+  std::printf("records: %s\n\n", fam.Stats().ToString().c_str());
+
+  SsjOptions opts;
+  opts.c = 3;
+
+  WallTimer t1;
+  SsjResult size_aware = SizeAwareJoin(fam, opts);
+  const double t_sa = t1.Seconds();
+
+  WallTimer t2;
+  SsjResult size_aware_pp = SizeAwarePlusPlus(fam, opts);
+  const double t_sapp = t2.Seconds();
+
+  WallTimer t3;
+  SsjResult mm = MmSsj(fam, opts);
+  const double t_mm = t3.Seconds();
+
+  std::printf("matches with >= %u shared tokens: %zu pairs\n", opts.c,
+              mm.size());
+  std::printf("  SizeAware   : %8.3f s\n", t_sa);
+  std::printf("  SizeAware++ : %8.3f s\n", t_sapp);
+  std::printf("  MMJoin      : %8.3f s\n", t_mm);
+  std::printf("results agree : %s\n\n",
+              (size_aware == size_aware_pp && size_aware == mm) ? "yes"
+                                                                : "NO");
+
+  // Ordered enumeration: the matrix product yields overlap counts for
+  // free, so "most similar first" is just a sort.
+  opts.ordered = true;
+  SsjResult ordered = MmSsj(fam, opts);
+  std::printf("top 5 most similar record pairs:\n");
+  for (size_t i = 0; i < std::min<size_t>(5, ordered.size()); ++i) {
+    std::printf("  records (%u, %u): %u shared tokens\n", ordered[i].a,
+                ordered[i].b, ordered[i].overlap);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Boolean set intersection evaluation strategies (§3.3).
+//
+// A batch of C queries (a, b) becomes the relation T(x, z) and the batched
+// query Qbatch(x, z) = R(x,y), S(z,y), T(x,z). Evaluation (per §7.5 /
+// the end of §3.3):
+//   per-query : one sorted-list intersection per request (the Example 5
+//               baseline, O(N) worst case each)
+//   batch+MM  : filter R, S to the constants of the batch, run Algorithm 1,
+//               intersect the projected output with T
+//   batch+WCOJ: same filter, combinatorial Non-MM join instead
+// Answers are returned as one byte per query (1 = sets intersect).
+
+#ifndef JPMM_BSI_BSI_H_
+#define JPMM_BSI_BSI_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bsi/workload.h"
+#include "storage/set_family.h"
+
+namespace jpmm {
+
+struct BsiOptions {
+  int threads = 1;
+};
+
+/// Per-query baseline: independent galloping intersections.
+std::vector<uint8_t> BsiAnswerPerQuery(const SetFamily& r, const SetFamily& s,
+                                       std::span<const BsiQuery> batch,
+                                       const BsiOptions& options = {});
+
+/// Batched evaluation through Algorithm 1 (MMJoin).
+std::vector<uint8_t> BsiAnswerBatchMm(const SetFamily& r, const SetFamily& s,
+                                      std::span<const BsiQuery> batch,
+                                      const BsiOptions& options = {});
+
+/// Batched evaluation through the combinatorial join (Non-MM).
+std::vector<uint8_t> BsiAnswerBatchNonMm(const SetFamily& r,
+                                         const SetFamily& s,
+                                         std::span<const BsiQuery> batch,
+                                         const BsiOptions& options = {});
+
+}  // namespace jpmm
+
+#endif  // JPMM_BSI_BSI_H_

@@ -1,0 +1,25 @@
+#include "bsi/latency_sim.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace jpmm {
+
+BsiLatencyEstimate EstimateBsiLatency(double arrival_rate_per_sec,
+                                      size_t batch_size,
+                                      double measured_batch_seconds) {
+  JPMM_CHECK(arrival_rate_per_sec > 0.0);
+  JPMM_CHECK(batch_size > 0);
+  JPMM_CHECK(measured_batch_seconds >= 0.0);
+  BsiLatencyEstimate e;
+  e.batch_seconds = measured_batch_seconds;
+  e.fill_seconds = static_cast<double>(batch_size) / arrival_rate_per_sec;
+  e.avg_delay_seconds = e.fill_seconds / 2.0 + measured_batch_seconds;
+  e.machines = std::max(
+      1.0, std::ceil(measured_batch_seconds * arrival_rate_per_sec /
+                     static_cast<double>(batch_size)));
+  return e;
+}
+
+}  // namespace jpmm

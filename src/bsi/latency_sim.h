@@ -1,0 +1,31 @@
+// Average-delay model for the online BSI service (§3.3, Fig 6b-d).
+//
+// Queries arrive at B per second; the service batches C of them, so a query
+// waits on average C / (2B) for its batch to fill and then t(C) for the
+// batch to be processed. Keeping up with the arrival stream needs
+// ceil(t(C) * B / C) parallel processing units (Prop. 2's machine count).
+// t(C) is measured, not modelled — callers time one batch evaluation and
+// feed the seconds in.
+
+#ifndef JPMM_BSI_LATENCY_SIM_H_
+#define JPMM_BSI_LATENCY_SIM_H_
+
+#include <cstddef>
+
+namespace jpmm {
+
+struct BsiLatencyEstimate {
+  double avg_delay_seconds = 0.0;  // C/(2B) + t(C)
+  double machines = 0.0;           // ceil(t(C) * B / C)
+  double batch_seconds = 0.0;      // t(C), echoed back
+  double fill_seconds = 0.0;       // C / B
+};
+
+/// Computes the §3.3 service metrics from a measured batch time.
+BsiLatencyEstimate EstimateBsiLatency(double arrival_rate_per_sec,
+                                      size_t batch_size,
+                                      double measured_batch_seconds);
+
+}  // namespace jpmm
+
+#endif  // JPMM_BSI_LATENCY_SIM_H_

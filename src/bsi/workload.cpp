@@ -1,0 +1,23 @@
+#include "bsi/workload.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace jpmm {
+
+std::vector<BsiQuery> SampleBsiWorkload(const SetFamily& r, const SetFamily& s,
+                                        size_t n, uint64_t seed) {
+  const std::vector<Value> ra = r.NonEmptySets();
+  const std::vector<Value> sb = s.NonEmptySets();
+  JPMM_CHECK_MSG(!ra.empty() && !sb.empty(), "empty set family");
+  Rng rng(seed);
+  std::vector<BsiQuery> queries;
+  queries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    queries.push_back(BsiQuery{ra[rng.NextBounded(ra.size())],
+                               sb[rng.NextBounded(sb.size())]});
+  }
+  return queries;
+}
+
+}  // namespace jpmm

@@ -1,0 +1,69 @@
+#include "common/bitset.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace jpmm {
+
+DynamicBitset::DynamicBitset(size_t bits)
+    : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+void DynamicBitset::Set(size_t i) {
+  JPMM_DCHECK(i < bits_);
+  words_[i >> 6] |= (uint64_t{1} << (i & 63));
+}
+
+void DynamicBitset::Clear(size_t i) {
+  JPMM_DCHECK(i < bits_);
+  words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+}
+
+bool DynamicBitset::Test(size_t i) const {
+  JPMM_DCHECK(i < bits_);
+  return (words_[i >> 6] >> (i & 63)) & 1;
+}
+
+void DynamicBitset::Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+size_t DynamicBitset::Count() const {
+  size_t c = 0;
+  for (uint64_t w : words_) c += static_cast<size_t>(std::popcount(w));
+  return c;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  const size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+size_t DynamicBitset::AndCount(const DynamicBitset& other) const {
+  const size_t n = std::min(words_.size(), other.words_.size());
+  size_t c = 0;
+  for (size_t i = 0; i < n; ++i) {
+    c += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return c;
+}
+
+void DynamicBitset::OrWith(const DynamicBitset& other) {
+  JPMM_CHECK(bits_ == other.bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void DynamicBitset::AppendSetBits(std::vector<uint32_t>* out) const {
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      out->push_back(static_cast<uint32_t>((wi << 6) + bit));
+      w &= w - 1;
+    }
+  }
+}
+
+}  // namespace jpmm

@@ -1,0 +1,59 @@
+// Dynamic bitset tuned for adjacency-row operations.
+//
+// Used by the boolean-matrix substrate (matrix/bool_matrix.h) and by the
+// combinatorial heavy-part verifier: intersection tests between heavy
+// adjacency rows reduce to word-wise AND with early exit.
+
+#ifndef JPMM_COMMON_BITSET_H_
+#define JPMM_COMMON_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jpmm {
+
+/// Fixed-width bitset sized at construction.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// All bits cleared.
+  explicit DynamicBitset(size_t bits);
+
+  size_t size() const { return bits_; }
+  size_t num_words() const { return words_.size(); }
+
+  void Set(size_t i);
+  void Clear(size_t i);
+  bool Test(size_t i) const;
+
+  /// Sets every bit to zero.
+  void Reset();
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// True iff this and other share at least one set bit (early exit).
+  bool Intersects(const DynamicBitset& other) const;
+
+  /// |this AND other|.
+  size_t AndCount(const DynamicBitset& other) const;
+
+  /// this |= other.
+  void OrWith(const DynamicBitset& other);
+
+  /// Appends the indexes of all set bits to out.
+  void AppendSetBits(std::vector<uint32_t>* out) const;
+
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t* mutable_words() { return words_.data(); }
+
+ private:
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace jpmm
+
+#endif  // JPMM_COMMON_BITSET_H_

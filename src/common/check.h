@@ -1,0 +1,36 @@
+// Lightweight runtime assertion macros.
+//
+// JPMM_CHECK is always on (cheap invariants on public API boundaries);
+// JPMM_DCHECK compiles away in release builds (hot-loop invariants).
+
+#ifndef JPMM_COMMON_CHECK_H_
+#define JPMM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define JPMM_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "JPMM_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define JPMM_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "JPMM_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define JPMM_DCHECK(cond) ((void)0)
+#else
+#define JPMM_DCHECK(cond) JPMM_CHECK(cond)
+#endif
+
+#endif  // JPMM_COMMON_CHECK_H_

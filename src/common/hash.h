@@ -1,0 +1,43 @@
+// Hashing utilities: a strong 64-bit mixer and hashers for pair keys.
+
+#ifndef JPMM_COMMON_HASH_H_
+#define JPMM_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace jpmm {
+
+/// Finalizer from splitmix64; good avalanche for sequential ids.
+inline uint64_t Mix64(uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return v ^ (v >> 31);
+}
+
+/// Hash functor for packed (x, z) output pairs.
+struct PairKeyHash {
+  size_t operator()(uint64_t key) const {
+    return static_cast<size_t>(Mix64(key));
+  }
+};
+
+/// Hash functor for OutPair.
+struct OutPairHash {
+  size_t operator()(const OutPair& p) const {
+    return static_cast<size_t>(Mix64(PackPair(p.x, p.z)));
+  }
+};
+
+/// Combines a hash into a running seed (boost-style).
+inline void HashCombine(size_t* seed, uint64_t v) {
+  *seed ^= static_cast<size_t>(Mix64(v)) + 0x9e3779b97f4a7c15ULL +
+           (*seed << 6) + (*seed >> 2);
+}
+
+}  // namespace jpmm
+
+#endif  // JPMM_COMMON_HASH_H_

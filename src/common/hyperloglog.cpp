@@ -1,0 +1,54 @@
+#include "common/hyperloglog.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace jpmm {
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  JPMM_CHECK(precision >= 4 && precision <= 16);
+  registers_.assign(size_t{1} << precision, 0);
+}
+
+void HyperLogLog::Add(uint64_t hash) {
+  const size_t idx = hash >> (64 - precision_);
+  // Rank of the first set bit in the remaining 64 - p bits (1-based).
+  const uint64_t rest = (hash << precision_) | (uint64_t{1} << (precision_ - 1));
+  const auto rank = static_cast<uint8_t>(std::countl_zero(rest) + 1);
+  registers_[idx] = std::max(registers_[idx], rank);
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  JPMM_CHECK(precision_ == other.precision_);
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+void HyperLogLog::Reset() {
+  std::fill(registers_.begin(), registers_.end(), 0);
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double sum = 0.0;
+  size_t zeros = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  const double alpha =
+      m == 16 ? 0.673 : m == 32 ? 0.697 : m == 64 ? 0.709
+                                        : 0.7213 / (1.0 + 1.079 / m);
+  double estimate = alpha * m * m / sum;
+  // Small-range correction: linear counting.
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+}  // namespace jpmm

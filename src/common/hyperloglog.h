@@ -1,0 +1,44 @@
+// HyperLogLog distinct-count sketch.
+//
+// §9 of the paper proposes replacing the coarse |OUT| bounds of §5 with
+// set-union sketches "such as KMV and HyperLogLog"; core/sketch_estimator.h
+// builds that estimator on this sketch. Standard HLL with the alpha_m bias
+// constant and linear-counting small-range correction.
+
+#ifndef JPMM_COMMON_HYPERLOGLOG_H_
+#define JPMM_COMMON_HYPERLOGLOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jpmm {
+
+/// HyperLogLog with 2^precision registers (precision in [4, 16]).
+class HyperLogLog {
+ public:
+  explicit HyperLogLog(int precision = 9);
+
+  /// Inserts a pre-hashed 64-bit value (use Mix64 for raw ids).
+  void Add(uint64_t hash);
+
+  /// Union with another sketch of equal precision.
+  void Merge(const HyperLogLog& other);
+
+  /// Estimated number of distinct insertions.
+  double Estimate() const;
+
+  /// Zeroes all registers.
+  void Reset();
+
+  int precision() const { return precision_; }
+  size_t num_registers() const { return registers_.size(); }
+
+ private:
+  int precision_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace jpmm
+
+#endif  // JPMM_COMMON_HYPERLOGLOG_H_

@@ -1,0 +1,62 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace jpmm {
+
+Rng::Rng(uint64_t seed) {
+  // Seed both lanes through the splitmix64 mixer so that nearby seeds give
+  // unrelated streams.
+  s0_ = Mix64(seed);
+  s1_ = Mix64(seed + 0x9e3779b97f4a7c15ULL);
+  if (s0_ == 0 && s1_ == 0) s0_ = 1;
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  JPMM_CHECK(bound > 0);
+  // Rejection-free multiply-shift; bias is < 2^-64 * bound, negligible here.
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+ZipfSampler::ZipfSampler(uint32_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  JPMM_CHECK(n > 0);
+  JPMM_CHECK(theta >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint32_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -theta);
+    cdf_[k] = total;
+  }
+  for (uint32_t k = 0; k < n; ++k) cdf_[k] /= total;
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+uint32_t ZipfSampler::Sample() {
+  const double u = rng_.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+}  // namespace jpmm

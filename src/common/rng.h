@@ -1,0 +1,60 @@
+// Deterministic random number generation for data generators and tests.
+//
+// Xorshift128+ engine (fast, reproducible across platforms) plus the Zipf
+// sampler the synthetic Table-2 presets use for skewed degree distributions.
+
+#ifndef JPMM_COMMON_RNG_H_
+#define JPMM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace jpmm {
+
+/// Xorshift128+ PRNG. Not cryptographic; deterministic given the seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Samples ranks 1..n with P(rank = k) proportional to k^{-theta}.
+///
+/// theta = 0 gives the uniform distribution; theta around 1 gives the heavy
+/// skew typical of word-frequency / co-authorship data. Uses an inverted-CDF
+/// table, so construction is O(n) and each sample is O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double theta, uint64_t seed);
+
+  /// Returns a rank in [0, n).
+  uint32_t Sample();
+
+  uint32_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint32_t n_;
+  double theta_;
+  Rng rng_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k), size n.
+};
+
+}  // namespace jpmm
+
+#endif  // JPMM_COMMON_RNG_H_

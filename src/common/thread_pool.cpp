@@ -1,0 +1,93 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace jpmm {
+
+ThreadPool::ThreadPool(int threads) {
+  JPMM_CHECK(threads >= 1);
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(int threads, size_t n,
+                 const std::function<void(size_t, size_t, int)>& fn) {
+  if (n == 0) return;
+  threads = std::max(1, threads);
+  const size_t workers = std::min<size_t>(static_cast<size_t>(threads), n);
+  if (workers == 1) {
+    fn(0, n, 0);
+    return;
+  }
+  // Contiguous chunks: coordination-free, matches the row-partitioned
+  // parallelism the paper relies on. One std::thread per chunk; chunk counts
+  // here are small (= thread count), so spawn cost is negligible next to the
+  // work inside.
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const size_t chunk = (n + workers - 1) / workers;
+  for (size_t w = 0; w < workers; ++w) {
+    const size_t begin = w * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&fn, begin, end, w] {
+      fn(begin, end, static_cast<int>(w));
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+int HardwareThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+}  // namespace jpmm

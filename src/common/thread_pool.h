@@ -1,0 +1,66 @@
+// Minimal thread pool with a blocking ParallelFor.
+//
+// The paper's framework obtains "coordination-free" parallelism by
+// partitioning matrix rows / x-values across workers (Section 6). Every
+// parallel algorithm in jpmm takes an explicit thread count and routes its
+// partitioned work through ParallelFor, so single-threaded runs execute the
+// exact same code path inline.
+
+#ifndef JPMM_COMMON_THREAD_POOL_H_
+#define JPMM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace jpmm {
+
+/// Fixed-size worker pool. Submit() enqueues a task; WaitIdle() blocks until
+/// every submitted task has finished.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is drained and all workers are idle.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers
+  std::condition_variable idle_cv_;   // signals WaitIdle
+  size_t in_flight_ = 0;              // queued + running tasks
+  bool stop_ = false;
+};
+
+/// Splits [0, n) into contiguous chunks and runs
+/// `fn(begin, end, worker_index)` on each, using `threads` workers.
+///
+/// threads <= 1 runs inline on the calling thread (no pool, no locks), so the
+/// sequential path is identical modulo partitioning. Blocks until done.
+void ParallelFor(int threads, size_t n,
+                 const std::function<void(size_t, size_t, int)>& fn);
+
+/// Hardware concurrency, at least 1.
+int HardwareThreads();
+
+}  // namespace jpmm
+
+#endif  // JPMM_COMMON_THREAD_POOL_H_

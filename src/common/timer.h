@@ -1,0 +1,33 @@
+// Wall-clock timer used by benchmarks and the cost-model calibration.
+
+#ifndef JPMM_COMMON_TIMER_H_
+#define JPMM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace jpmm {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace jpmm
+
+#endif  // JPMM_COMMON_TIMER_H_

@@ -1,0 +1,35 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jpmm {
+
+OutputEstimate EstimateTwoPathOutput(const IndexedRelation& r,
+                                     const IndexedRelation& s,
+                                     const TwoPathStats& stats) {
+  OutputEstimate e;
+  e.full_join_size = stats.full_join_size();
+
+  const double n = static_cast<double>(std::max(r.num_tuples(), s.num_tuples()));
+  const double j = static_cast<double>(e.full_join_size);
+  const double dom_x = static_cast<double>(stats.distinct_x());
+  const double dom_z = static_cast<double>(stats.distinct_z());
+
+  // Every x with a join partner produces >= 1 output pair; and
+  // |OUT| >= (J / N)^2 from J <= N * sqrt(|OUT|).
+  double lower = dom_x;
+  if (n > 0) lower = std::max(lower, (j / n) * (j / n));
+  // At most every (x, z) combination, and at most one output per join tuple.
+  double upper = std::min(dom_x * dom_z, j);
+  if (upper < lower) upper = lower;  // degenerate inputs
+
+  e.lower = static_cast<uint64_t>(lower);
+  e.upper = static_cast<uint64_t>(upper);
+  const double est = std::sqrt(std::max(1.0, lower) * std::max(1.0, upper));
+  e.estimate = static_cast<uint64_t>(
+      std::clamp(est, std::max(1.0, lower), std::max(1.0, upper)));
+  return e;
+}
+
+}  // namespace jpmm

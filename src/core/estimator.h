@@ -1,0 +1,32 @@
+// Output-size estimation for the 2-path query (§5, "Estimating output size").
+//
+// Bounds used by the paper:
+//   |dom(x)| <= |OUT| <= min( |dom(x)| * |dom(z)|, |OUT_join| )
+//   |OUT_join| <= |D| * sqrt(|OUT|)   =>   |OUT| >= (|OUT_join| / |D|)^2
+// The estimate is the geometric mean of the tightest lower and upper bound.
+
+#ifndef JPMM_CORE_ESTIMATOR_H_
+#define JPMM_CORE_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "storage/index.h"
+#include "storage/stats.h"
+
+namespace jpmm {
+
+struct OutputEstimate {
+  uint64_t lower = 0;
+  uint64_t upper = 0;
+  uint64_t estimate = 0;        // geometric mean, clamped to [lower, upper]
+  uint64_t full_join_size = 0;  // |OUT_join|
+};
+
+/// Estimates |pi_{x,z}(R JOIN S)| from precomputed statistics.
+OutputEstimate EstimateTwoPathOutput(const IndexedRelation& r,
+                                     const IndexedRelation& s,
+                                     const TwoPathStats& stats);
+
+}  // namespace jpmm
+
+#endif  // JPMM_CORE_ESTIMATOR_H_

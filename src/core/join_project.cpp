@@ -1,0 +1,182 @@
+#include "core/join_project.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stamp_set.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "storage/stats.h"
+
+namespace jpmm {
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kAuto:
+      return "auto";
+    case Strategy::kMmJoin:
+      return "mmjoin";
+    case Strategy::kNonMmJoin:
+      return "nonmm";
+    case Strategy::kWcojFull:
+      return "wcoj-full";
+  }
+  return "?";
+}
+
+JoinProjectOutput WcojFullJoinProject(const IndexedRelation& r,
+                                      const IndexedRelation& s,
+                                      bool count_witnesses, uint32_t min_count,
+                                      int threads) {
+  JoinProjectOutput out;
+  out.executed = Strategy::kWcojFull;
+  threads = std::max(1, threads);
+  const size_t num_z = s.num_x();
+
+  struct Worker {
+    StampCounter counter;
+    std::vector<Value> touched;
+    std::vector<OutPair> pairs;
+    std::vector<CountedPair> counted;
+  };
+  std::vector<Worker> workers(static_cast<size_t>(threads));
+
+  ParallelFor(threads, r.num_x(), [&](size_t a0, size_t a1, int w) {
+    Worker& ws = workers[static_cast<size_t>(w)];
+    if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
+    for (size_t a = a0; a < a1; ++a) {
+      const auto av = static_cast<Value>(a);
+      if (r.DegX(av) == 0) continue;
+      ws.counter.NewEpoch();
+      ws.touched.clear();
+      for (Value b : r.YsOf(av)) {
+        for (Value c : s.XsOf(b)) {
+          if (ws.counter.Add(c, 1) == 0) ws.touched.push_back(c);
+        }
+      }
+      for (Value c : ws.touched) {
+        const uint32_t cnt = ws.counter.Get(c);
+        if (cnt < min_count) continue;
+        if (count_witnesses) {
+          ws.counted.push_back(CountedPair{av, c, cnt});
+        } else {
+          ws.pairs.push_back(OutPair{av, c});
+        }
+      }
+    }
+  });
+  for (auto& ws : workers) {
+    out.pairs.insert(out.pairs.end(), ws.pairs.begin(), ws.pairs.end());
+    out.counted.insert(out.counted.end(), ws.counted.begin(),
+                       ws.counted.end());
+  }
+  return out;
+}
+
+JoinProjectOutput JoinProject::TwoPath(const IndexedRelation& r,
+                                       const IndexedRelation& s,
+                                       const JoinProjectOptions& opts) {
+  JPMM_CHECK(opts.min_count >= 1);
+  JPMM_CHECK_MSG(opts.min_count == 1 || opts.count_witnesses,
+                 "min_count > 1 requires count_witnesses");
+  WallTimer timer;
+
+  TwoPathStats stats(r, s);
+  OptimizerOptions oo = opts.optimizer;
+  oo.threads = opts.threads;
+  PlanChoice plan = ChooseTwoPathPlan(r, s, stats, oo);
+
+  Strategy strategy = opts.strategy;
+  if (strategy == Strategy::kAuto) {
+    strategy = plan.use_full_wcoj ? Strategy::kWcojFull : Strategy::kMmJoin;
+  }
+
+  Thresholds t = opts.thresholds;
+  const bool explicit_thresholds = t.delta1 != 0 || t.delta2 != 0;
+
+  JoinProjectOutput out;
+  switch (strategy) {
+    case Strategy::kWcojFull: {
+      out = WcojFullJoinProject(r, s, opts.count_witnesses, opts.min_count,
+                                opts.threads);
+      break;
+    }
+    case Strategy::kMmJoin: {
+      MmJoinOptions mo;
+      mo.thresholds = explicit_thresholds ? t : plan.thresholds;
+      mo.threads = opts.threads;
+      mo.count_witnesses = opts.count_witnesses;
+      mo.min_count = opts.min_count;
+      MmJoinResult res = MmJoinTwoPath(r, s, mo);
+      out.pairs = std::move(res.pairs);
+      out.counted = std::move(res.counted);
+      out.executed = Strategy::kMmJoin;
+      break;
+    }
+    case Strategy::kNonMmJoin: {
+      NonMmJoinOptions no;
+      no.thresholds =
+          explicit_thresholds ? t : ChooseNonMmThresholds(r, s, stats);
+      no.threads = opts.threads;
+      no.count_witnesses = opts.count_witnesses;
+      no.min_count = opts.min_count;
+      MmJoinResult res = NonMmJoinTwoPath(r, s, no);
+      out.pairs = std::move(res.pairs);
+      out.counted = std::move(res.counted);
+      out.executed = Strategy::kNonMmJoin;
+      break;
+    }
+    case Strategy::kAuto:
+      JPMM_CHECK_MSG(false, "unreachable");
+  }
+
+  if (opts.sorted) {
+    std::sort(out.pairs.begin(), out.pairs.end());
+    std::sort(out.counted.begin(), out.counted.end());
+  }
+  out.plan = plan;
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+JoinProjectOutput JoinProject::TwoPath(const BinaryRelation& r,
+                                       const BinaryRelation& s,
+                                       const JoinProjectOptions& opts) {
+  JPMM_CHECK_MSG(r.finalized() && s.finalized(),
+                 "call Finalize() before querying");
+  IndexedRelation ri(r);
+  if (&r == &s) return TwoPath(ri, ri, opts);
+  IndexedRelation si(s);
+  return TwoPath(ri, si, opts);
+}
+
+StarJoinResult JoinProject::Star(
+    const std::vector<const IndexedRelation*>& rels,
+    const JoinProjectOptions& opts) {
+  JPMM_CHECK(rels.size() >= 2);
+  StarJoinOptions so;
+  so.threads = opts.threads;
+  if (opts.thresholds.delta1 != 0 || opts.thresholds.delta2 != 0) {
+    so.thresholds = opts.thresholds;
+  } else {
+    so.thresholds = ChooseStarThresholds(rels);
+  }
+
+  switch (opts.strategy) {
+    case Strategy::kNonMmJoin:
+      return NonMmStarJoin(rels, so);
+    case Strategy::kWcojFull: {
+      StarJoinResult res;
+      WallTimer timer;
+      res.tuples = WcojStarJoin(rels, opts.threads);
+      res.light_seconds = timer.Seconds();
+      return res;
+    }
+    case Strategy::kAuto:
+    case Strategy::kMmJoin:
+      return MmStarJoin(rels, so);
+  }
+  return MmStarJoin(rels, so);
+}
+
+}  // namespace jpmm

@@ -1,0 +1,91 @@
+// JoinProject — the library's public facade.
+//
+// One call point for pi_{x,z}(R(x,y) JOIN S(z,y)) with strategy selection:
+//   kAuto        cost-based optimizer (Algorithm 3): WCOJ when the join is
+//                small, MMJoin with optimized thresholds otherwise
+//   kMmJoin      Algorithm 1 with optimizer-chosen thresholds
+//   kNonMmJoin   combinatorial output-sensitive join (Lemma 2)
+//   kWcojFull    full join + stamp dedup (Prop. 1 baseline)
+//
+// Example:
+//   BinaryRelation r = ...; r.Finalize();
+//   auto result = JoinProject::TwoPath(r, r, {.strategy = Strategy::kAuto});
+//   for (OutPair p : result.pairs) ...
+
+#ifndef JPMM_CORE_JOIN_PROJECT_H_
+#define JPMM_CORE_JOIN_PROJECT_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/mm_join.h"
+#include "core/nonmm_join.h"
+#include "core/optimizer.h"
+#include "core/star_join.h"
+#include "storage/relation.h"
+
+namespace jpmm {
+
+enum class Strategy {
+  kAuto,
+  kMmJoin,
+  kNonMmJoin,
+  kWcojFull,
+};
+
+const char* StrategyName(Strategy s);
+
+struct JoinProjectOptions {
+  Strategy strategy = Strategy::kAuto;
+  int threads = 1;
+  /// Produce witness counts (CountedPair). Required when min_count > 1.
+  bool count_witnesses = false;
+  /// Keep only pairs with >= min_count witnesses (SSJ overlap threshold).
+  uint32_t min_count = 1;
+  /// Explicit thresholds; {0,0} (default) lets the optimizer choose.
+  Thresholds thresholds{0, 0};
+  /// Sort the output by (x, z) before returning (oracle-friendly).
+  bool sorted = false;
+  OptimizerOptions optimizer;
+};
+
+struct JoinProjectOutput {
+  std::vector<OutPair> pairs;
+  std::vector<CountedPair> counted;
+  PlanChoice plan;
+  Strategy executed = Strategy::kMmJoin;
+  double seconds = 0.0;
+
+  size_t size() const { return pairs.empty() ? counted.size() : pairs.size(); }
+};
+
+/// Facade for the 2-path query.
+class JoinProject {
+ public:
+  /// pi_{x,z}(R(x,y) JOIN S(z,y)). Both relations must be finalized; pass
+  /// the same object twice for a self join.
+  static JoinProjectOutput TwoPath(const BinaryRelation& r,
+                                   const BinaryRelation& s,
+                                   const JoinProjectOptions& opts = {});
+
+  /// Pre-indexed variant (reuses caller-owned indexes).
+  static JoinProjectOutput TwoPath(const IndexedRelation& r,
+                                   const IndexedRelation& s,
+                                   const JoinProjectOptions& opts = {});
+
+  /// Star query Q*_k over k >= 2 relations. Uses MmStarJoin (kAuto/kMmJoin),
+  /// NonMmStarJoin, or plain WCOJ per opts.strategy. Count/min_count options
+  /// are not supported for stars.
+  static StarJoinResult Star(const std::vector<const IndexedRelation*>& rels,
+                             const JoinProjectOptions& opts = {});
+};
+
+/// Full-join + stamp-set dedup reference evaluation (Prop. 1).
+JoinProjectOutput WcojFullJoinProject(const IndexedRelation& r,
+                                      const IndexedRelation& s,
+                                      bool count_witnesses, uint32_t min_count,
+                                      int threads);
+
+}  // namespace jpmm
+
+#endif  // JPMM_CORE_JOIN_PROJECT_H_

@@ -1,0 +1,242 @@
+#include "core/mm_join.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+#include "common/stamp_set.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/two_path_internal.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/matmul.h"
+
+namespace jpmm {
+namespace {
+
+// Per-worker scratch + output buffers.
+struct WorkerState {
+  StampCounter counter;
+  std::vector<Value> touched;
+  std::vector<Value> witness_buf;           // kSortLocal scratch
+  std::vector<CountedPair> matrix_entries;  // kSortLocal scratch
+  std::vector<float> block;                 // matrix row-block buffer
+  std::vector<OutPair> pairs;
+  std::vector<CountedPair> counted;
+};
+
+class TwoPathRunner {
+ public:
+  TwoPathRunner(const internal::TwoPathContext& ctx, const MmJoinOptions& opts)
+      : ctx_(ctx), opts_(opts) {}
+
+  // Emits the output pairs of head value a. matrix_row, when non-null, holds
+  // the heavy-witness counts for columns [0, heavy_z.size()).
+  void EmitHead(Value a, const float* matrix_row, WorkerState* ws) const {
+    if (opts_.dedup == DedupImpl::kStampArray) {
+      EmitHeadStamp(a, matrix_row, ws);
+    } else {
+      EmitHeadSort(a, matrix_row, ws);
+    }
+  }
+
+ private:
+  void EmitHeadStamp(Value a, const float* matrix_row, WorkerState* ws) const {
+    ws->counter.NewEpoch();
+    ws->touched.clear();
+    ctx_.AccumulateLight(a, &ws->counter, &ws->touched);
+    if (matrix_row != nullptr) {
+      const auto& hz = ctx_.part.heavy_z();
+      for (size_t j = 0; j < hz.size(); ++j) {
+        const float v = matrix_row[j];
+        if (v > 0.5f) {
+          const auto cnt = static_cast<uint32_t>(v + 0.5f);
+          if (ws->counter.Add(hz[j], cnt) == 0) ws->touched.push_back(hz[j]);
+        }
+      }
+    }
+    for (Value c : ws->touched) {
+      const uint32_t cnt = ws->counter.Get(c);
+      if (cnt < opts_.min_count) continue;
+      if (opts_.count_witnesses) {
+        ws->counted.push_back(CountedPair{a, c, cnt});
+      } else {
+        ws->pairs.push_back(OutPair{a, c});
+      }
+    }
+  }
+
+  void EmitHeadSort(Value a, const float* matrix_row, WorkerState* ws) const {
+    ws->witness_buf.clear();
+    ctx_.AccumulateLightToVector(a, &ws->witness_buf);
+    std::sort(ws->witness_buf.begin(), ws->witness_buf.end());
+
+    ws->matrix_entries.clear();
+    if (matrix_row != nullptr) {
+      const auto& hz = ctx_.part.heavy_z();
+      for (size_t j = 0; j < hz.size(); ++j) {
+        const float v = matrix_row[j];
+        if (v > 0.5f) {
+          ws->matrix_entries.push_back(
+              CountedPair{a, hz[j], static_cast<uint32_t>(v + 0.5f)});
+        }
+      }
+    }
+
+    // Merge the sorted witness runs with the (already z-sorted) matrix
+    // entries, summing counts per z.
+    size_t i = 0;
+    size_t m = 0;
+    const size_t n = ws->witness_buf.size();
+    const size_t mn = ws->matrix_entries.size();
+    auto emit = [&](Value c, uint32_t cnt) {
+      if (cnt < opts_.min_count) return;
+      if (opts_.count_witnesses) {
+        ws->counted.push_back(CountedPair{a, c, cnt});
+      } else {
+        ws->pairs.push_back(OutPair{a, c});
+      }
+    };
+    while (i < n || m < mn) {
+      Value c;
+      if (i < n && (m >= mn || ws->witness_buf[i] <= ws->matrix_entries[m].z)) {
+        c = ws->witness_buf[i];
+      } else {
+        c = ws->matrix_entries[m].z;
+      }
+      uint32_t cnt = 0;
+      while (i < n && ws->witness_buf[i] == c) {
+        ++cnt;
+        ++i;
+      }
+      if (m < mn && ws->matrix_entries[m].z == c) {
+        cnt += ws->matrix_entries[m].count;
+        ++m;
+      }
+      emit(c, cnt);
+    }
+  }
+
+  const internal::TwoPathContext& ctx_;
+  const MmJoinOptions& opts_;
+};
+
+}  // namespace
+
+MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
+                           const MmJoinOptions& options) {
+  MmJoinOptions opts = options;
+  JPMM_CHECK(opts.min_count >= 1);
+  JPMM_CHECK_MSG(opts.min_count == 1 || opts.count_witnesses,
+                 "min_count > 1 requires count_witnesses");
+  JPMM_CHECK(opts.row_block >= 1);
+
+  Thresholds t = opts.thresholds;
+  t.delta1 = std::max<uint64_t>(1, t.delta1);
+  t.delta2 = std::max<uint64_t>(1, t.delta2);
+
+  // Build the context; double the thresholds until the dense operands fit
+  // the memory cap (fewer heavy values => smaller matrices).
+  std::unique_ptr<internal::TwoPathContext> ctx;
+  for (;;) {
+    ctx = std::make_unique<internal::TwoPathContext>(r, s, t);
+    const uint64_t hx = ctx->part.heavy_x().size();
+    const uint64_t hy = ctx->part.heavy_y().size();
+    const uint64_t hz = ctx->part.heavy_z().size();
+    const uint64_t bytes = 4 * (hx * hy + hy * hz);
+    if (hy == 0 || bytes <= opts.max_matrix_bytes) break;
+    t.delta1 *= 2;
+    t.delta2 *= 2;
+  }
+
+  MmJoinResult result;
+  result.adjusted_thresholds = t;
+  const auto& part = ctx->part;
+  const auto& hxs = part.heavy_x();
+  const auto& hys = part.heavy_y();
+  const auto& hzs = part.heavy_z();
+  result.heavy_rows = hxs.size();
+  result.heavy_inner = hys.size();
+  result.heavy_cols = hzs.size();
+  const bool use_matrix = !hxs.empty() && !hys.empty() && !hzs.empty();
+
+  const int threads = std::max(1, opts.threads);
+  std::vector<WorkerState> workers(static_cast<size_t>(threads));
+  const size_t num_z = s.num_x();
+  const TwoPathRunner runner(*ctx, opts);
+
+  // ---- Pass A: head values with no matrix row (light part only).
+  WallTimer light_timer;
+  ParallelFor(threads, r.num_x(), [&](size_t a0, size_t a1, int w) {
+    WorkerState& ws = workers[static_cast<size_t>(w)];
+    if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
+    for (size_t a = a0; a < a1; ++a) {
+      const auto av = static_cast<Value>(a);
+      if (r.DegX(av) == 0) continue;
+      if (use_matrix && part.HeavyXId(av) != kInvalidValue) continue;
+      runner.EmitHead(av, nullptr, &ws);
+    }
+  });
+  result.light_seconds = light_timer.Seconds();
+
+  // ---- Pass B: heavy rows, block by block.
+  if (use_matrix) {
+    WallTimer heavy_timer;
+    Matrix m1(hxs.size(), hys.size());
+    Matrix m2(hys.size(), hzs.size());
+    ParallelFor(threads, hxs.size(), [&](size_t i0, size_t i1, int) {
+      for (size_t i = i0; i < i1; ++i) {
+        auto row = m1.MutableRow(i);
+        for (Value b : r.YsOf(hxs[i])) {
+          const Value id = part.HeavyYId(b);
+          if (id != kInvalidValue) row[id] = 1.0f;
+        }
+      }
+    });
+    ParallelFor(threads, hys.size(), [&](size_t i0, size_t i1, int) {
+      for (size_t i = i0; i < i1; ++i) {
+        auto row = m2.MutableRow(i);
+        for (Value c : s.XsOf(hys[i])) {
+          const Value id = part.HeavyZId(c);
+          if (id != kInvalidValue) row[id] = 1.0f;
+        }
+      }
+    });
+
+    const size_t row_block = opts.row_block;
+    const size_t num_blocks = (hxs.size() + row_block - 1) / row_block;
+    ParallelFor(threads, num_blocks, [&](size_t b0, size_t b1, int w) {
+      WorkerState& ws = workers[static_cast<size_t>(w)];
+      if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
+      ws.block.resize(row_block * hzs.size());
+      for (size_t blk = b0; blk < b1; ++blk) {
+        const size_t r0 = blk * row_block;
+        const size_t r1 = std::min(hxs.size(), r0 + row_block);
+        MultiplyRowRange(m1, m2, r0, r1, ws.block);
+        for (size_t i = r0; i < r1; ++i) {
+          runner.EmitHead(hxs[i], ws.block.data() + (i - r0) * hzs.size(),
+                          &ws);
+        }
+      }
+    });
+    result.heavy_seconds = heavy_timer.Seconds();
+  }
+
+  // ---- Merge worker outputs (worker order => deterministic for a fixed
+  // thread count).
+  size_t total_pairs = 0, total_counted = 0;
+  for (const auto& ws : workers) {
+    total_pairs += ws.pairs.size();
+    total_counted += ws.counted.size();
+  }
+  result.pairs.reserve(total_pairs);
+  result.counted.reserve(total_counted);
+  for (auto& ws : workers) {
+    result.pairs.insert(result.pairs.end(), ws.pairs.begin(), ws.pairs.end());
+    result.counted.insert(result.counted.end(), ws.counted.begin(),
+                          ws.counted.end());
+  }
+  return result;
+}
+
+}  // namespace jpmm

@@ -1,0 +1,76 @@
+// Algorithm 1 — MMJoin: output-sensitive two-path join-project.
+//
+//   pi_{x,z}( R(x,y) JOIN S(z,y) )
+//
+// Light values (degree at or below the thresholds) are evaluated with
+// worst-case-optimal index expansion; heavy values are materialized as two
+// rectangular 0/1 matrices M1 (heavy-x by heavy-y) and M2 (heavy-y by
+// heavy-z) whose product counts the all-heavy witnesses of every output
+// pair. The product is computed in row blocks so memory stays bounded by
+// the operands plus one block, and row blocks parallelize with no
+// coordination (§6).
+//
+// The counting variant returns exact witness counts — the intersection
+// sizes SSJ thresholds on and ordered SSJ sorts by — because the witness
+// classes visited by the light part and the matrix product partition the
+// witness set (see two_path_internal.h).
+
+#ifndef JPMM_CORE_MM_JOIN_H_
+#define JPMM_CORE_MM_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/thresholds.h"
+#include "storage/index.h"
+
+namespace jpmm {
+
+/// Deduplication implementation for the light part (§6 discusses both).
+enum class DedupImpl {
+  kStampArray,  // epoch-stamped dense array, O(1) clear between x values
+  kSortLocal,   // append witnesses, sort, aggregate (wins on huge sparse z)
+};
+
+struct MmJoinOptions {
+  Thresholds thresholds;
+  int threads = 1;
+  /// Produce CountedPair witness counts instead of plain pairs.
+  bool count_witnesses = false;
+  /// Emit only pairs with >= min_count witnesses (requires counting when
+  /// min_count > 1). SSJ sets this to the overlap threshold c.
+  uint32_t min_count = 1;
+  /// Rows per matrix block (memory = row_block * |heavy_z| floats per worker).
+  size_t row_block = 128;
+  DedupImpl dedup = DedupImpl::kStampArray;
+  /// Hard cap on M1 + M2 bytes; thresholds are doubled until the matrices
+  /// fit (recorded in MmJoinResult::adjusted_thresholds).
+  uint64_t max_matrix_bytes = uint64_t{3} << 30;
+};
+
+struct MmJoinResult {
+  /// Filled when !count_witnesses. Order unspecified.
+  std::vector<OutPair> pairs;
+  /// Filled when count_witnesses. Order unspecified.
+  std::vector<CountedPair> counted;
+
+  // --- instrumentation ---
+  Thresholds adjusted_thresholds;  // after any memory-cap adjustment
+  uint64_t heavy_rows = 0;         // |heavy x|
+  uint64_t heavy_inner = 0;        // |heavy y|
+  uint64_t heavy_cols = 0;         // |heavy z|
+  double light_seconds = 0.0;
+  double heavy_seconds = 0.0;      // matrix build + multiply + scan
+
+  size_t size() const { return pairs.empty() ? counted.size() : pairs.size(); }
+};
+
+/// Runs Algorithm 1 with explicit thresholds. Use the cost-based optimizer
+/// (core/optimizer.h) or the JoinProject facade to choose thresholds.
+MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
+                           const MmJoinOptions& options);
+
+}  // namespace jpmm
+
+#endif  // JPMM_CORE_MM_JOIN_H_

@@ -1,0 +1,141 @@
+#include "core/nonmm_join.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stamp_set.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/two_path_internal.h"
+#include "join/intersection.h"
+
+namespace jpmm {
+
+MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
+                              const IndexedRelation& s,
+                              const NonMmJoinOptions& options) {
+  NonMmJoinOptions opts = options;
+  JPMM_CHECK(opts.min_count >= 1);
+  JPMM_CHECK_MSG(opts.min_count == 1 || opts.count_witnesses,
+                 "min_count > 1 requires count_witnesses");
+  Thresholds t = opts.thresholds;
+  t.delta1 = std::max<uint64_t>(1, t.delta1);
+  t.delta2 = std::max<uint64_t>(1, t.delta2);
+
+  const internal::TwoPathContext ctx(r, s, t);
+  const TwoPathPartition& part = ctx.part;
+  const auto& hxs = part.heavy_x();
+  const auto& hys = part.heavy_y();
+  const auto& hzs = part.heavy_z();
+
+  MmJoinResult result;
+  result.adjusted_thresholds = t;
+  result.heavy_rows = hxs.size();
+  result.heavy_inner = hys.size();
+  result.heavy_cols = hzs.size();
+  const bool use_heavy = !hxs.empty() && !hys.empty() && !hzs.empty();
+
+  // Heavy-y adjacency lists by heavy id: ascending because heavy-y ids are
+  // assigned in ascending b order and CSR neighbour lists are b-sorted.
+  std::vector<std::vector<Value>> r_heavy(hxs.size());
+  std::vector<std::vector<Value>> s_heavy(hzs.size());
+  if (use_heavy) {
+    for (size_t i = 0; i < hxs.size(); ++i) {
+      for (Value b : r.YsOf(hxs[i])) {
+        const Value id = part.HeavyYId(b);
+        if (id != kInvalidValue) r_heavy[i].push_back(id);
+      }
+    }
+    for (size_t j = 0; j < hzs.size(); ++j) {
+      for (Value b : s.YsOf(hzs[j])) {
+        const Value id = part.HeavyYId(b);
+        if (id != kInvalidValue) s_heavy[j].push_back(id);
+      }
+    }
+  }
+
+  const int threads = std::max(1, opts.threads);
+  const size_t num_z = s.num_x();
+
+  struct Worker {
+    StampCounter counter;
+    std::vector<Value> touched;
+    std::vector<OutPair> pairs;
+    std::vector<CountedPair> counted;
+  };
+  std::vector<Worker> workers(static_cast<size_t>(threads));
+
+  auto emit_head = [&](Value a, bool with_heavy, Worker* ws) {
+    ws->counter.NewEpoch();
+    ws->touched.clear();
+    ctx.AccumulateLight(a, &ws->counter, &ws->touched);
+    if (with_heavy) {
+      const auto& ha = r_heavy[part.HeavyXId(a)];
+      if (!ha.empty()) {
+        for (size_t j = 0; j < hzs.size(); ++j) {
+          const auto& hc = s_heavy[j];
+          if (hc.empty()) continue;
+          if (opts.count_witnesses) {
+            const auto cnt =
+                static_cast<uint32_t>(IntersectCount(ha, hc));
+            if (cnt > 0 && ws->counter.Add(hzs[j], cnt) == 0) {
+              ws->touched.push_back(hzs[j]);
+            }
+          } else if (ws->counter.Get(hzs[j]) == 0 &&
+                     IntersectsSorted(ha, hc)) {
+            ws->counter.Add(hzs[j], 1);
+            ws->touched.push_back(hzs[j]);
+          }
+        }
+      }
+    }
+    for (Value c : ws->touched) {
+      const uint32_t cnt = ws->counter.Get(c);
+      if (cnt < opts.min_count) continue;
+      if (opts.count_witnesses) {
+        ws->counted.push_back(CountedPair{a, c, cnt});
+      } else {
+        ws->pairs.push_back(OutPair{a, c});
+      }
+    }
+  };
+
+  WallTimer light_timer;
+  ParallelFor(threads, r.num_x(), [&](size_t a0, size_t a1, int w) {
+    Worker& ws = workers[static_cast<size_t>(w)];
+    if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
+    for (size_t a = a0; a < a1; ++a) {
+      const auto av = static_cast<Value>(a);
+      if (r.DegX(av) == 0) continue;
+      if (use_heavy && part.HeavyXId(av) != kInvalidValue) continue;
+      emit_head(av, false, &ws);
+    }
+  });
+  result.light_seconds = light_timer.Seconds();
+
+  if (use_heavy) {
+    WallTimer heavy_timer;
+    ParallelFor(threads, hxs.size(), [&](size_t i0, size_t i1, int w) {
+      Worker& ws = workers[static_cast<size_t>(w)];
+      if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
+      for (size_t i = i0; i < i1; ++i) emit_head(hxs[i], true, &ws);
+    });
+    result.heavy_seconds = heavy_timer.Seconds();
+  }
+
+  size_t total_pairs = 0, total_counted = 0;
+  for (const auto& ws : workers) {
+    total_pairs += ws.pairs.size();
+    total_counted += ws.counted.size();
+  }
+  result.pairs.reserve(total_pairs);
+  result.counted.reserve(total_counted);
+  for (auto& ws : workers) {
+    result.pairs.insert(result.pairs.end(), ws.pairs.begin(), ws.pairs.end());
+    result.counted.insert(result.counted.end(), ws.counted.begin(),
+                          ws.counted.end());
+  }
+  return result;
+}
+
+}  // namespace jpmm

@@ -1,0 +1,33 @@
+// Non-MMJoin: the combinatorial output-sensitive comparator (Lemma 2, [11]).
+//
+// Identical light-part processing to Algorithm 1, but the all-heavy witness
+// class is verified pairwise: for every (heavy x, heavy z) pair, a galloping
+// intersection of their heavy-y adjacency lists. This is the
+// O(|D| * |OUT|^{1/2}) algorithm the paper benchmarks as "Non-MMJoin"; the
+// only difference from MMJoin is the heavy strategy, so benchmark deltas
+// isolate exactly the matrix-multiplication contribution.
+
+#ifndef JPMM_CORE_NONMM_JOIN_H_
+#define JPMM_CORE_NONMM_JOIN_H_
+
+#include "core/mm_join.h"
+#include "storage/index.h"
+
+namespace jpmm {
+
+struct NonMmJoinOptions {
+  Thresholds thresholds;
+  int threads = 1;
+  bool count_witnesses = false;
+  uint32_t min_count = 1;
+};
+
+/// Runs the combinatorial join. Result fields mirror MmJoinTwoPath
+/// (heavy_seconds covers the pairwise-intersection phase).
+MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
+                              const IndexedRelation& s,
+                              const NonMmJoinOptions& options);
+
+}  // namespace jpmm
+
+#endif  // JPMM_CORE_NONMM_JOIN_H_

@@ -1,0 +1,138 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <sstream>
+
+#include "core/estimator.h"
+
+namespace jpmm {
+namespace {
+
+const SystemConstants& DefaultConstants() {
+  static std::once_flag flag;
+  static SystemConstants constants;
+  std::call_once(flag, [] { constants = SystemConstants::Measure(); });
+  return constants;
+}
+
+struct CostBreakdown {
+  double light = 0.0;
+  double heavy = 0.0;
+  double total() const { return light + heavy; }
+};
+
+CostBreakdown EvaluateCost(const TwoPathStats& stats, Thresholds t,
+                           const OptimizerOptions& opts,
+                           const MatMulCalibration& cal,
+                           const SystemConstants& consts, uint64_t num_z_dom) {
+  CostBreakdown cost;
+  const double light_ops = stats.SumYAtMost(t.delta1) +
+                           stats.SumXAtMost(t.delta2) +
+                           stats.SumZAtMost(t.delta2);
+  cost.light = consts.ti * light_ops + consts.tm * 2.0 *
+                                           static_cast<double>(num_z_dom) /
+                                           (1 << 10);
+  // The stamp arrays are allocated once per worker, not per x value; the
+  // amortized term above is tiny and only breaks ties toward smaller setups.
+
+  const uint64_t u = stats.distinct_x() - stats.CountXAtMost(t.delta2);
+  const uint64_t v = stats.distinct_y() - stats.CountYAtMost(t.delta1);
+  const uint64_t w = stats.distinct_z() - stats.CountZAtMost(t.delta2);
+  if (u > 0 && v > 0 && w > 0) {
+    const double build = consts.ts * (static_cast<double>(u) * v +
+                                      static_cast<double>(v) * w);
+    const double scan = consts.ts * static_cast<double>(u) * w;
+    cost.heavy = cal.EstimateSeconds(u, v, w, opts.threads) + build + scan;
+  }
+  return cost;
+}
+
+}  // namespace
+
+std::string PlanChoice::ToString() const {
+  std::ostringstream os;
+  if (use_full_wcoj) {
+    os << "plan=wcoj-full join=" << full_join_size;
+  } else {
+    os << "plan=mmjoin " << thresholds.ToString()
+       << " est_out=" << estimated_output << " join=" << full_join_size
+       << " est_light=" << est_light_seconds
+       << " est_heavy=" << est_heavy_seconds;
+  }
+  return os.str();
+}
+
+PlanChoice ChooseTwoPathPlan(const IndexedRelation& r,
+                             const IndexedRelation& s,
+                             const TwoPathStats& stats,
+                             const OptimizerOptions& opts) {
+  const MatMulCalibration& cal =
+      opts.calibration != nullptr ? *opts.calibration
+                                  : MatMulCalibration::Default();
+  const SystemConstants& consts =
+      opts.constants != nullptr ? *opts.constants : DefaultConstants();
+
+  PlanChoice plan;
+  const OutputEstimate est = EstimateTwoPathOutput(r, s, stats);
+  plan.estimated_output = est.estimate;
+  plan.full_join_size = est.full_join_size;
+
+  const uint64_t n = std::max(r.num_tuples(), s.num_tuples());
+  // Algorithm 3 line 2: duplication factor too small to pay for the
+  // decomposition — evaluate the join directly.
+  if (static_cast<double>(est.full_join_size) <=
+      opts.full_join_cutoff * static_cast<double>(n)) {
+    plan.use_full_wcoj = true;
+    plan.thresholds = Thresholds{n, n};  // everything light
+    return plan;
+  }
+
+  const double ratio = std::clamp(opts.grid_ratio, 0.01, 0.95);
+  double best_cost = -1.0;
+  CostBreakdown best_breakdown;
+  Thresholds best{1, 1};
+  double prev_cost = -1.0;
+  for (double d1 = static_cast<double>(n); d1 >= 1.0; d1 *= ratio) {
+    Thresholds t;
+    t.delta1 = static_cast<uint64_t>(d1);
+    // Algorithm 3 line 9: Delta2 = N * Delta1 / |OUT|.
+    const double d2 = static_cast<double>(n) * d1 /
+                      std::max<double>(1.0, static_cast<double>(est.estimate));
+    t.delta2 = static_cast<uint64_t>(
+        std::clamp(d2, 1.0, static_cast<double>(n)));
+    const CostBreakdown cost =
+        EvaluateCost(stats, t, opts, cal, consts, s.num_x());
+    if (best_cost < 0 || cost.total() < best_cost) {
+      best_cost = cost.total();
+      best_breakdown = cost;
+      best = t;
+    }
+    if (opts.stop_at_first_increase && prev_cost >= 0 &&
+        cost.total() > prev_cost) {
+      break;
+    }
+    prev_cost = cost.total();
+    if (t.delta1 == 1) break;
+  }
+
+  plan.thresholds = best;
+  plan.est_light_seconds = best_breakdown.light;
+  plan.est_heavy_seconds = best_breakdown.heavy;
+  return plan;
+}
+
+Thresholds ChooseNonMmThresholds(const IndexedRelation& r,
+                                 const IndexedRelation& s,
+                                 const TwoPathStats& stats) {
+  const OutputEstimate est = EstimateTwoPathOutput(r, s, stats);
+  const double n =
+      static_cast<double>(std::max(r.num_tuples(), s.num_tuples()));
+  const double delta =
+      n / std::sqrt(std::max(1.0, static_cast<double>(est.estimate)));
+  const auto d = static_cast<uint64_t>(std::clamp(delta, 1.0, n));
+  return Thresholds{d, d};
+}
+
+}  // namespace jpmm

@@ -1,0 +1,73 @@
+// Algorithm 3 — the cost-based optimizer choosing degree thresholds.
+//
+// The optimizer estimates, for candidate (Delta1, Delta2):
+//   t_light = TI * ( sum(y, D1) + sum(x, D2) + sum(z, D2) ) + Tm * stamp setup
+//   t_heavy = Mhat(u, v, w, cores) + Ts * (u*v + v*w)  [build] + Ts * u*w [scan]
+// with u/v/w = heavy x/y/z counts from count(w, delta) indexes, and Mhat from
+// the calibrated matrix-multiplication table (§5). Candidates follow line 9
+// of Algorithm 3: Delta2 = N * Delta1 / |OUT_est|, with Delta1 swept over a
+// geometric grid.
+//
+// Documented deviation (DESIGN.md §2.3): because one cost probe is O(log N),
+// the default sweeps the full grid and takes the argmin instead of stopping
+// at the first cost increase; the paper's stopping rule is available via
+// OptimizerOptions::stop_at_first_increase.
+
+#ifndef JPMM_CORE_OPTIMIZER_H_
+#define JPMM_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/thresholds.h"
+#include "matrix/calibration.h"
+#include "storage/index.h"
+#include "storage/stats.h"
+
+namespace jpmm {
+
+struct OptimizerOptions {
+  int threads = 1;
+  /// Geometric grid ratio for the Delta1 sweep (paper: 1 - epsilon with
+  /// epsilon = 0.95; we default to a finer 0.5 grid).
+  double grid_ratio = 0.5;
+  /// Stop the sweep at the first cost increase (the paper's rule).
+  bool stop_at_first_increase = false;
+  /// "If |OUT_join| <= cutoff * N, use a plain worst-case-optimal join"
+  /// (Algorithm 3 line 2 with cutoff 20).
+  double full_join_cutoff = 20.0;
+  /// nullptr => MatMulCalibration::Default().
+  const MatMulCalibration* calibration = nullptr;
+  /// Measured on first use when not supplied.
+  const SystemConstants* constants = nullptr;
+};
+
+/// The optimizer's decision for one 2-path instance.
+struct PlanChoice {
+  /// True: skip the decomposition, run plain WCOJ + dedup (output close to
+  /// the full join, Algorithm 3 line 2-3).
+  bool use_full_wcoj = false;
+  Thresholds thresholds;
+  uint64_t estimated_output = 0;
+  uint64_t full_join_size = 0;
+  double est_light_seconds = 0.0;
+  double est_heavy_seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Chooses the MMJoin plan for pi_{x,z}(R JOIN S).
+PlanChoice ChooseTwoPathPlan(const IndexedRelation& r,
+                             const IndexedRelation& s,
+                             const TwoPathStats& stats,
+                             const OptimizerOptions& opts = {});
+
+/// Thresholds for the combinatorial Non-MM join (Lemma 2): the balanced
+/// choice Delta1 = Delta2 = max(1, N / sqrt(|OUT_est|)).
+Thresholds ChooseNonMmThresholds(const IndexedRelation& r,
+                                 const IndexedRelation& s,
+                                 const TwoPathStats& stats);
+
+}  // namespace jpmm
+
+#endif  // JPMM_CORE_OPTIMIZER_H_

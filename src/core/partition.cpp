@@ -1,0 +1,112 @@
+#include "core/partition.h"
+
+namespace jpmm {
+
+TwoPathPartition::TwoPathPartition(const IndexedRelation& r,
+                                   const IndexedRelation& s, Thresholds t)
+    : r_(&r), s_(&s), t_(t) {
+  // Candidate heavy y: deg_S(b) > Delta1 and b present in R (otherwise no
+  // R+ tuple references it).
+  const Value ny = std::max(r.num_y(), s.num_y());
+  std::vector<uint8_t> y_candidate(ny, 0);
+  for (Value b = 0; b < ny; ++b) {
+    y_candidate[b] = (s.DegY(b) > t.delta1 && r.DegY(b) > 0) ? 1 : 0;
+  }
+
+  // Heavy x = heavy-degree x values adjacent to >= 1 candidate heavy y.
+  heavy_x_id_.assign(r.num_x(), kInvalidValue);
+  for (Value a = 0; a < r.num_x(); ++a) {
+    if (r.DegX(a) <= t.delta2) continue;
+    for (Value b : r.YsOf(a)) {
+      if (y_candidate[b]) {
+        heavy_x_id_[a] = static_cast<Value>(heavy_x_.size());
+        heavy_x_.push_back(a);
+        break;
+      }
+    }
+  }
+
+  // Heavy z = heavy-degree z values adjacent to >= 1 candidate heavy y.
+  heavy_z_id_.assign(s.num_x(), kInvalidValue);
+  for (Value c = 0; c < s.num_x(); ++c) {
+    if (s.DegX(c) <= t.delta2) continue;
+    for (Value b : s.YsOf(c)) {
+      if (b < ny && y_candidate[b]) {
+        heavy_z_id_[c] = static_cast<Value>(heavy_z_.size());
+        heavy_z_.push_back(c);
+        break;
+      }
+    }
+  }
+
+  // Keep a candidate y only if it touches >= 1 heavy x in R and >= 1 heavy z
+  // in S; all-zero matrix columns/rows would otherwise inflate the product.
+  heavy_y_id_.assign(ny, kInvalidValue);
+  for (Value b = 0; b < ny; ++b) {
+    if (!y_candidate[b]) continue;
+    bool has_heavy_x = false;
+    for (Value a : r.XsOf(b)) {
+      if (heavy_x_id_[a] != kInvalidValue) {
+        has_heavy_x = true;
+        break;
+      }
+    }
+    if (!has_heavy_x) continue;
+    bool has_heavy_z = false;
+    for (Value c : s.XsOf(b)) {
+      if (heavy_z_id_[c] != kInvalidValue) {
+        has_heavy_z = true;
+        break;
+      }
+    }
+    if (!has_heavy_z) continue;
+    heavy_y_id_[b] = static_cast<Value>(heavy_y_.size());
+    heavy_y_.push_back(b);
+  }
+}
+
+BinaryRelation TwoPathPartition::RMinus() const {
+  BinaryRelation out;
+  for (Value a = 0; a < r_->num_x(); ++a) {
+    for (Value b : r_->YsOf(a)) {
+      if (XLight(a) || YLight(b)) out.Add(a, b);
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+BinaryRelation TwoPathPartition::RPlus() const {
+  BinaryRelation out;
+  for (Value a = 0; a < r_->num_x(); ++a) {
+    for (Value b : r_->YsOf(a)) {
+      if (!XLight(a) && !YLight(b)) out.Add(a, b);
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+BinaryRelation TwoPathPartition::SMinus() const {
+  BinaryRelation out;
+  for (Value c = 0; c < s_->num_x(); ++c) {
+    for (Value b : s_->YsOf(c)) {
+      if (ZLight(c) || YLight(b)) out.Add(c, b);
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+BinaryRelation TwoPathPartition::SPlus() const {
+  BinaryRelation out;
+  for (Value c = 0; c < s_->num_x(); ++c) {
+    for (Value b : s_->YsOf(c)) {
+      if (!ZLight(c) && !YLight(b)) out.Add(c, b);
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace jpmm

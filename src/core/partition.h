@@ -1,0 +1,77 @@
+// Degree-based partitioning for the 2-path query (Algorithm 1, step 1-2).
+//
+//   R- = { (a,b) in R : deg_R(a) <= Delta2  or  deg_S(b) <= Delta1 }
+//   S- = { (c,b) in S : deg_S(c) <= Delta2  or  deg_S(b) <= Delta1 }
+//   R+ = R \ R-,  S+ = S \ S-
+//
+// Note the y-lightness test is against S in both relations, exactly as in
+// §3.1 (for the paper's self-join experiments the test is symmetric).
+// Heavy values get dense ids: rows (heavy x), inner dimension (heavy y) and
+// columns (heavy z) of the rectangular matrices M1, M2. Heavy ids are only
+// assigned to values that can actually produce a heavy output (e.g. a heavy
+// x with no heavy y neighbour gets no row), keeping the matrices tight.
+
+#ifndef JPMM_CORE_PARTITION_H_
+#define JPMM_CORE_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/thresholds.h"
+#include "storage/index.h"
+#include "storage/relation.h"
+
+namespace jpmm {
+
+/// Lightness oracles + heavy-value id maps for one (R, S, Thresholds) triple.
+class TwoPathPartition {
+ public:
+  TwoPathPartition(const IndexedRelation& r, const IndexedRelation& s,
+                   Thresholds t);
+
+  const Thresholds& thresholds() const { return t_; }
+
+  /// deg_R(a) <= Delta2.
+  bool XLight(Value a) const { return r_->DegX(a) <= t_.delta2; }
+  /// deg_S(c) <= Delta2.
+  bool ZLight(Value c) const { return s_->DegX(c) <= t_.delta2; }
+  /// deg_S(b) <= Delta1 — Algorithm 1's join-variable lightness test.
+  bool YLight(Value b) const { return s_->DegY(b) <= t_.delta1; }
+
+  /// Heavy x values that own a matrix row (ascending).
+  const std::vector<Value>& heavy_x() const { return heavy_x_; }
+  /// Heavy y values that own a matrix inner index (ascending).
+  const std::vector<Value>& heavy_y() const { return heavy_y_; }
+  /// Heavy z values that own a matrix column (ascending).
+  const std::vector<Value>& heavy_z() const { return heavy_z_; }
+
+  /// Row id of a, or kInvalidValue when a has no row.
+  Value HeavyXId(Value a) const {
+    return a < heavy_x_id_.size() ? heavy_x_id_[a] : kInvalidValue;
+  }
+  Value HeavyYId(Value b) const {
+    return b < heavy_y_id_.size() ? heavy_y_id_[b] : kInvalidValue;
+  }
+  Value HeavyZId(Value c) const {
+    return c < heavy_z_id_.size() ? heavy_z_id_[c] : kInvalidValue;
+  }
+
+  /// Materialized subrelations (diagnostics / partition-invariant tests; the
+  /// join itself never materializes them).
+  BinaryRelation RMinus() const;
+  BinaryRelation RPlus() const;
+  BinaryRelation SMinus() const;
+  BinaryRelation SPlus() const;
+
+ private:
+  const IndexedRelation* r_;
+  const IndexedRelation* s_;
+  Thresholds t_;
+  std::vector<Value> heavy_x_, heavy_y_, heavy_z_;
+  std::vector<Value> heavy_x_id_, heavy_y_id_, heavy_z_id_;
+};
+
+}  // namespace jpmm
+
+#endif  // JPMM_CORE_PARTITION_H_

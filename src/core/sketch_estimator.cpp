@@ -1,0 +1,58 @@
+#include "core/sketch_estimator.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/hyperloglog.h"
+
+namespace jpmm {
+
+uint64_t EstimateTwoPathOutputSketch(const IndexedRelation& r,
+                                     const IndexedRelation& s,
+                                     const SketchEstimatorOptions& options) {
+  // Precompute sketches for high-degree y values of S.
+  std::unordered_map<Value, HyperLogLog> presketch;
+  const Value ny = std::max(r.num_y(), s.num_y());
+  for (Value b = 0; b < ny; ++b) {
+    if (s.DegY(b) > options.presketch_degree && r.DegY(b) > 0) {
+      HyperLogLog hll(options.precision);
+      for (Value c : s.XsOf(b)) hll.Add(Mix64(c));
+      presketch.emplace(b, std::move(hll));
+    }
+  }
+
+  double total = 0.0;
+  HyperLogLog acc(options.precision);
+  for (Value a = 0; a < r.num_x(); ++a) {
+    const auto ys = r.YsOf(a);
+    if (ys.empty()) continue;
+    // Tiny unions are exact-ish and cheaper without the sketch: a single
+    // light y contributes exactly its degree.
+    if (ys.size() == 1) {
+      auto it = presketch.find(ys[0]);
+      if (it == presketch.end()) {
+        total += s.DegY(ys[0]);
+        continue;
+      }
+    }
+    acc.Reset();
+    bool nonempty = false;
+    for (Value b : ys) {
+      auto it = presketch.find(b);
+      if (it != presketch.end()) {
+        acc.Merge(it->second);
+        nonempty = true;
+      } else {
+        for (Value c : s.XsOf(b)) {
+          acc.Add(Mix64(c));
+          nonempty = true;
+        }
+      }
+    }
+    if (nonempty) total += acc.Estimate();
+  }
+  return static_cast<uint64_t>(std::llround(total));
+}
+
+}  // namespace jpmm

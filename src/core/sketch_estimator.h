@@ -1,0 +1,34 @@
+// Sketch-based output-size estimation — §9's proposed improvement over the
+// §5 bounds ("modifying estimators for set union and set intersection such
+// as KMV and HyperLogLog").
+//
+// |OUT| = sum over x of |union over b in R[x] of S_y[b]|: a sum of
+// set-union cardinalities, which HyperLogLog unions estimate directly.
+// High-degree y values get precomputed sketches (merged in O(2^p) per
+// occurrence); low-degree adjacency is hashed element-wise. Total cost is
+// near-linear in |D| — cheap enough to run inside the optimizer.
+
+#ifndef JPMM_CORE_SKETCH_ESTIMATOR_H_
+#define JPMM_CORE_SKETCH_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "storage/index.h"
+
+namespace jpmm {
+
+struct SketchEstimatorOptions {
+  /// HyperLogLog precision (2^p registers per sketch).
+  int precision = 9;
+  /// y values with deg_S above this get a precomputed sketch.
+  uint32_t presketch_degree = 64;
+};
+
+/// Estimates |pi_{x,z}(R JOIN S)| with HyperLogLog unions.
+uint64_t EstimateTwoPathOutputSketch(
+    const IndexedRelation& r, const IndexedRelation& s,
+    const SketchEstimatorOptions& options = {});
+
+}  // namespace jpmm
+
+#endif  // JPMM_CORE_SKETCH_ESTIMATOR_H_

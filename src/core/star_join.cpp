@@ -1,0 +1,466 @@
+#include "core/star_join.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "join/intersection.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/matmul.h"
+
+namespace jpmm {
+namespace {
+
+// Heavy combos are packed 32 bits per value into one 128-bit key (group
+// sizes beyond 4 — star arity beyond 8 — would need the general path; the
+// library checks that bound at entry).
+using PackedCombo = unsigned __int128;
+
+struct PackedComboHash {
+  size_t operator()(PackedCombo v) const {
+    return static_cast<size_t>(
+        Mix64(static_cast<uint64_t>(v) ^ Mix64(static_cast<uint64_t>(v >> 64))));
+  }
+};
+
+using RowMap = std::unordered_map<PackedCombo, Value, PackedComboHash>;
+
+PackedCombo PackComboKey(const std::vector<Value>& combo) {
+  PackedCombo key = 0;
+  for (Value v : combo) key = (key << 32) | v;
+  return key;
+}
+
+struct StarContext {
+  const std::vector<const IndexedRelation*>& rels;
+  Thresholds t;
+  Value ny = 0;                    // y domain bound (max across relations)
+  std::vector<uint8_t> heavy_cnt;  // #relations where deg_y(b) > delta1
+
+  StarContext(const std::vector<const IndexedRelation*>& rels_in,
+              Thresholds t_in)
+      : rels(rels_in), t(t_in) {
+    for (const auto* rel : rels) ny = std::max(ny, rel->num_y());
+    heavy_cnt.assign(ny, 0);
+    for (const auto* rel : rels) {
+      for (Value b = 0; b < rel->num_y(); ++b) {
+        if (rel->DegY(b) > t.delta1) ++heavy_cnt[b];
+      }
+    }
+  }
+
+  bool XiLight(size_t i, Value a) const {
+    return rels[i]->DegX(a) <= t.delta2;
+  }
+
+  // y light in every relation except (possibly) j.
+  bool LightAllExcept(size_t j, Value b) const {
+    if (heavy_cnt[b] == 0) return true;
+    return heavy_cnt[b] == 1 && rels[j]->DegY(b) > t.delta1;
+  }
+};
+
+// Steps (1) and (2): the combinatorial light part shared by MM and Non-MM.
+//
+// Two refinements over a literal reading of §3.2, both output-preserving:
+//   - Step 2-j enumerates the *full* per-y product wherever y is light in
+//     all relations but (possibly) j, so those y values need no step-1
+//     coverage at all; step 1-j therefore only expands y values heavy in
+//     >= 2 relations. On sparse inputs (no such y) step 1 disappears and
+//     the light part degenerates to a single WCOJ pass.
+//   - A y light in *every* relation satisfies step 2's condition for every
+//     j; it is claimed by j = 0 alone to avoid k identical enumerations.
+TupleBuffer LightSteps(const StarContext& ctx, int threads) {
+  const size_t k = ctx.rels.size();
+  TupleBuffer out(static_cast<uint32_t>(k));
+
+  bool any_shared_heavy = false;
+  for (Value b = 0; b < ctx.ny && !any_shared_heavy; ++b) {
+    any_shared_heavy = ctx.heavy_cnt[b] >= 2;
+  }
+
+  for (size_t j = 0; j < k; ++j) {
+    if (any_shared_heavy) {
+      // Step 1-j: substitute R-j (light xj tuples only), restricted to y
+      // values not already fully covered by step 2.
+      TupleBuffer part = StarJoinProjectWcoj(
+          ctx.rels,
+          [&ctx, j](size_t rel, Value a, Value) {
+            return rel != j || ctx.XiLight(j, a);
+          },
+          [&ctx](Value b) { return ctx.heavy_cnt[b] >= 2; }, threads);
+      out.Append(part);
+    }
+
+    // Step 2-j: substitute R<>j — only y values light in all other
+    // relations.
+    TupleBuffer part2 = StarJoinProjectWcoj(
+        ctx.rels, nullptr,
+        [&ctx, j](Value b) {
+          if (ctx.heavy_cnt[b] == 0) return j == 0;
+          return ctx.LightAllExcept(j, b);
+        },
+        threads);
+    out.Append(part2);
+  }
+  return out;
+}
+
+// Heavy-combo registration for one variable group over the shared columns.
+// Returns the number of (row, col) incidences; fills row_map / rows_flat /
+// entries. Aborts early (returns false) if the projected matrix exceeds
+// max_cells.
+bool RegisterGroup(const StarContext& ctx, const std::vector<size_t>& group,
+                   const std::vector<Value>& cols, uint64_t max_cells,
+                   RowMap* row_map, std::vector<Value>* rows_flat,
+                   std::vector<std::pair<Value, Value>>* entries) {
+  const size_t g = group.size();
+  std::vector<std::vector<Value>> lists(g);
+  std::vector<Value> combo(g);
+  for (size_t col = 0; col < cols.size(); ++col) {
+    const Value b = cols[col];
+    bool empty = false;
+    for (size_t i = 0; i < g; ++i) {
+      lists[i].clear();
+      for (Value a : ctx.rels[group[i]]->XsOf(b)) {
+        if (!ctx.XiLight(group[i], a)) lists[i].push_back(a);
+      }
+      if (lists[i].empty()) {
+        empty = true;
+        break;
+      }
+    }
+    if (empty) continue;
+
+    std::vector<size_t> pos(g, 0);
+    for (size_t i = 0; i < g; ++i) combo[i] = lists[i][0];
+    for (;;) {
+      auto [it, inserted] = row_map->try_emplace(
+          PackComboKey(combo), static_cast<Value>(row_map->size()));
+      if (inserted) {
+        rows_flat->insert(rows_flat->end(), combo.begin(), combo.end());
+        if (static_cast<uint64_t>(row_map->size()) * cols.size() > max_cells) {
+          return false;
+        }
+      }
+      entries->emplace_back(it->second, static_cast<Value>(col));
+
+      size_t dim = g;
+      bool done = false;
+      while (dim > 0) {
+        --dim;
+        if (++pos[dim] < lists[dim].size()) {
+          combo[dim] = lists[dim][pos[dim]];
+          break;
+        }
+        pos[dim] = 0;
+        combo[dim] = lists[dim][0];
+        if (dim == 0) {
+          done = true;
+          break;
+        }
+      }
+      if (done) break;
+    }
+  }
+  return true;
+}
+
+// Shared columns of the heavy step: y heavy in >= 2 relations and adjacent
+// to at least one heavy x value in every relation.
+std::vector<Value> HeavyColumns(const StarContext& ctx) {
+  std::vector<Value> cols;
+  const size_t k = ctx.rels.size();
+  for (Value b = 0; b < ctx.ny; ++b) {
+    if (ctx.heavy_cnt[b] < 2) continue;
+    bool ok = true;
+    for (size_t i = 0; i < k && ok; ++i) {
+      bool has_heavy = false;
+      for (Value a : ctx.rels[i]->XsOf(b)) {
+        if (!ctx.XiLight(i, a)) {
+          has_heavy = true;
+          break;
+        }
+      }
+      ok = has_heavy;
+    }
+    if (ok) cols.push_back(b);
+  }
+  return cols;
+}
+
+struct HeavyGroups {
+  std::vector<Value> cols;
+  RowMap map1, map2;
+  std::vector<Value> rows1_flat, rows2_flat;  // stride g1 / g2
+  std::vector<std::pair<Value, Value>> entries1, entries2;  // (row, col)
+  bool fits = false;
+};
+
+HeavyGroups BuildHeavyGroups(const StarContext& ctx, uint64_t max_cells) {
+  const size_t k = ctx.rels.size();
+  const size_t g1 = (k + 1) / 2;
+  std::vector<size_t> group1, group2;
+  for (size_t i = 0; i < g1; ++i) group1.push_back(i);
+  for (size_t i = g1; i < k; ++i) group2.push_back(i);
+
+  HeavyGroups hg;
+  hg.cols = HeavyColumns(ctx);
+  if (hg.cols.empty()) {
+    hg.fits = true;
+    return hg;
+  }
+  hg.fits = RegisterGroup(ctx, group1, hg.cols, max_cells, &hg.map1,
+                          &hg.rows1_flat, &hg.entries1) &&
+            RegisterGroup(ctx, group2, hg.cols, max_cells, &hg.map2,
+                          &hg.rows2_flat, &hg.entries2);
+  return hg;
+}
+
+}  // namespace
+
+TupleBuffer WcojStarJoin(const std::vector<const IndexedRelation*>& rels,
+                         int threads) {
+  return StarJoinProjectWcoj(rels, nullptr, nullptr, threads);
+}
+
+Thresholds ChooseStarThresholds(
+    const std::vector<const IndexedRelation*>& rels) {
+  JPMM_CHECK(rels.size() >= 2);
+  const size_t k = rels.size();
+  const size_t g1 = (k + 1) / 2;
+
+  Value ny = 0;
+  uint32_t max_xdeg = 1;
+  for (const auto* rel : rels) {
+    ny = std::max(ny, rel->num_y());
+    for (Value a = 0; a < rel->num_x(); ++a) {
+      max_xdeg = std::max(max_xdeg, rel->DegX(a));
+    }
+  }
+
+  double best_cost = -1.0;
+  Thresholds best{max_xdeg, max_xdeg};
+  for (uint64_t delta = 1; delta <= 2ull * max_xdeg; delta *= 2) {
+    // Global heavy-x counts per relation (rows1/rows2 upper bound).
+    double hx_prod1 = 1.0, hx_prod2 = 1.0;
+    for (size_t i = 0; i < k; ++i) {
+      uint64_t heavy = 0;
+      for (Value a = 0; a < rels[i]->num_x(); ++a) {
+        if (rels[i]->DegX(a) > delta) ++heavy;
+      }
+      if (i < g1) {
+        hx_prod1 *= std::max<double>(1.0, static_cast<double>(heavy));
+      } else {
+        hx_prod2 *= std::max<double>(1.0, static_cast<double>(heavy));
+      }
+    }
+
+    double light_cost = 0.0;   // exact step-1/2 enumeration volume
+    double e1 = 0.0, e2 = 0.0; // registration volumes (matrix build)
+    double cols = 0.0;
+    std::vector<double> d(k), hd(k);
+    for (Value b = 0; b < ny; ++b) {
+      int heavy_cnt = 0;
+      double prod_all = 1.0;
+      bool any_zero = false;
+      for (size_t i = 0; i < k; ++i) {
+        d[i] = rels[i]->DegY(b);
+        if (d[i] == 0.0) {
+          any_zero = true;
+          break;
+        }
+        prod_all *= d[i];
+        if (d[i] > static_cast<double>(delta)) ++heavy_cnt;
+        // Exact heavy-x count in this adjacency list.
+        uint64_t heavy = 0;
+        for (Value a : rels[i]->XsOf(b)) {
+          if (rels[i]->DegX(a) > delta) ++heavy;
+        }
+        hd[i] = static_cast<double>(heavy);
+      }
+      if (any_zero) continue;
+      if (heavy_cnt <= 1) {
+        light_cost += prod_all;  // step 2 enumerates the full product once
+      } else {
+        // Step 1-j at this b: one light list times the full others.
+        for (size_t j = 0; j < k; ++j) {
+          light_cost += (d[j] - hd[j]) * prod_all / d[j];
+        }
+        double heavy_prod1 = 1.0, heavy_prod2 = 1.0;
+        for (size_t i = 0; i < k; ++i) {
+          if (i < g1) {
+            heavy_prod1 *= hd[i];
+          } else {
+            heavy_prod2 *= hd[i];
+          }
+        }
+        e1 += heavy_prod1;
+        e2 += heavy_prod2;
+        if (heavy_prod1 > 0 && heavy_prod2 > 0) cols += 1.0;
+      }
+    }
+
+    const double rows1 = std::min(e1, hx_prod1);
+    const double rows2 = std::min(e2, hx_prod2);
+    // Relative operation weights: enumeration/registration ~1 per visited
+    // tuple, FMA-vectorized matrix flops ~0.01, product scan ~0.5.
+    const double cost = light_cost + e1 + e2 +
+                        0.01 * rows1 * std::max(1.0, cols) * rows2 +
+                        0.5 * rows1 * rows2;
+    if (best_cost < 0 || cost < best_cost) {
+      best_cost = cost;
+      best = Thresholds{delta, delta};
+    }
+  }
+  return best;
+}
+
+StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
+                          const StarJoinOptions& options) {
+  JPMM_CHECK(rels.size() >= 2);
+  JPMM_CHECK_MSG(rels.size() <= 8, "combo packing supports k <= 8");
+  const size_t k = rels.size();
+  const size_t g1 = (k + 1) / 2;
+  const size_t g2 = k - g1;
+  const int threads = std::max(1, options.threads);
+
+  Thresholds t = options.thresholds;
+  t.delta1 = std::max<uint64_t>(1, t.delta1);
+  t.delta2 = std::max<uint64_t>(1, t.delta2);
+  const uint64_t max_cells = options.max_matrix_bytes / 4 / 2;
+
+  StarJoinResult result;
+  result.tuples = TupleBuffer(static_cast<uint32_t>(k));
+
+  // Retry with doubled thresholds until the heavy matrices fit.
+  std::unique_ptr<StarContext> ctx;
+  HeavyGroups hg;
+  for (;;) {
+    ctx = std::make_unique<StarContext>(rels, t);
+    hg = BuildHeavyGroups(*ctx, max_cells);
+    if (hg.fits) break;
+    t.delta1 *= 2;
+    t.delta2 *= 2;
+  }
+  result.adjusted_thresholds = t;
+  result.v_rows = hg.map1.size();
+  result.w_rows = hg.map2.size();
+  result.heavy_y = hg.cols.size();
+
+  WallTimer light_timer;
+  TupleBuffer light = LightSteps(*ctx, threads);
+  result.tuples.Append(light);
+  result.light_seconds = light_timer.Seconds();
+
+  if (result.v_rows > 0 && result.w_rows > 0) {
+    WallTimer heavy_timer;
+    Matrix v(result.v_rows, hg.cols.size());
+    for (const auto& [row, col] : hg.entries1) v.Set(row, col, 1.0f);
+    // W is built directly transposed: columns(y) x rows2.
+    Matrix wt(hg.cols.size(), result.w_rows);
+    for (const auto& [row, col] : hg.entries2) wt.Set(col, row, 1.0f);
+
+    const size_t row_block = std::max<size_t>(1, options.row_block);
+    const size_t num_blocks = (result.v_rows + row_block - 1) / row_block;
+    std::vector<TupleBuffer> partial(static_cast<size_t>(threads),
+                                     TupleBuffer(static_cast<uint32_t>(k)));
+    ParallelFor(threads, num_blocks, [&](size_t b0, size_t b1, int w) {
+      std::vector<float> buf(row_block * result.w_rows);
+      std::vector<Value> tuple(k);
+      TupleBuffer& out = partial[static_cast<size_t>(w)];
+      for (size_t blk = b0; blk < b1; ++blk) {
+        const size_t r0 = blk * row_block;
+        const size_t r1 = std::min<size_t>(result.v_rows, r0 + row_block);
+        MultiplyRowRange(v, wt, r0, r1, buf);
+        for (size_t i = r0; i < r1; ++i) {
+          const float* prow = buf.data() + (i - r0) * result.w_rows;
+          const Value* left = hg.rows1_flat.data() + i * g1;
+          for (size_t j = 0; j < result.w_rows; ++j) {
+            if (prow[j] > 0.5f) {
+              std::copy(left, left + g1, tuple.begin());
+              const Value* right = hg.rows2_flat.data() + j * g2;
+              std::copy(right, right + g2, tuple.begin() + g1);
+              out.Add(tuple);
+            }
+          }
+        }
+      }
+    });
+    for (const auto& p : partial) result.tuples.Append(p);
+    result.heavy_seconds = heavy_timer.Seconds();
+  }
+
+  result.tuples.SortUnique();
+  return result;
+}
+
+StarJoinResult NonMmStarJoin(const std::vector<const IndexedRelation*>& rels,
+                             const StarJoinOptions& options) {
+  JPMM_CHECK(rels.size() >= 2);
+  JPMM_CHECK_MSG(rels.size() <= 8, "combo packing supports k <= 8");
+  const size_t k = rels.size();
+  const size_t g1 = (k + 1) / 2;
+  const size_t g2 = k - g1;
+  const int threads = std::max(1, options.threads);
+
+  Thresholds t = options.thresholds;
+  t.delta1 = std::max<uint64_t>(1, t.delta1);
+  t.delta2 = std::max<uint64_t>(1, t.delta2);
+
+  StarJoinResult result;
+  result.tuples = TupleBuffer(static_cast<uint32_t>(k));
+  StarContext ctx(rels, t);
+  // No dense matrices here, so no byte cap: pass "unlimited".
+  HeavyGroups hg =
+      BuildHeavyGroups(ctx, std::numeric_limits<uint64_t>::max());
+  result.adjusted_thresholds = t;
+  result.v_rows = hg.map1.size();
+  result.w_rows = hg.map2.size();
+  result.heavy_y = hg.cols.size();
+
+  WallTimer light_timer;
+  TupleBuffer light = LightSteps(ctx, threads);
+  result.tuples.Append(light);
+  result.light_seconds = light_timer.Seconds();
+
+  if (result.v_rows > 0 && result.w_rows > 0) {
+    WallTimer heavy_timer;
+    // Witness (column) lists per heavy combo, ascending because entries are
+    // produced in ascending column order.
+    std::vector<std::vector<Value>> wit1(result.v_rows), wit2(result.w_rows);
+    for (const auto& [row, col] : hg.entries1) wit1[row].push_back(col);
+    for (const auto& [row, col] : hg.entries2) wit2[row].push_back(col);
+
+    std::vector<TupleBuffer> partial(static_cast<size_t>(threads),
+                                     TupleBuffer(static_cast<uint32_t>(k)));
+    ParallelFor(threads, result.v_rows, [&](size_t i0, size_t i1, int w) {
+      std::vector<Value> tuple(k);
+      TupleBuffer& out = partial[static_cast<size_t>(w)];
+      for (size_t i = i0; i < i1; ++i) {
+        const Value* left = hg.rows1_flat.data() + i * g1;
+        for (size_t j = 0; j < result.w_rows; ++j) {
+          if (IntersectsSorted(wit1[i], wit2[j])) {
+            std::copy(left, left + g1, tuple.begin());
+            const Value* right = hg.rows2_flat.data() + j * g2;
+            std::copy(right, right + g2, tuple.begin() + g1);
+            out.Add(tuple);
+          }
+        }
+      }
+    });
+    for (const auto& p : partial) result.tuples.Append(p);
+    result.heavy_seconds = heavy_timer.Seconds();
+  }
+
+  result.tuples.SortUnique();
+  return result;
+}
+
+}  // namespace jpmm

@@ -1,0 +1,77 @@
+// Star join-project with matrix multiplication — Section 3.2.
+//
+//   Q*_k(x1..xk) = R1(x1,y), R2(x2,y), ..., Rk(xk,y)
+//
+// Partition per relation i:
+//   R-i : tuples whose xi is light (deg <= Delta2)
+//   R<>i: tuples whose y is light (deg <= Delta1) in every OTHER relation
+//   R+i : the rest
+// Steps:
+//   (1) for each j, WCOJ-join with R-j substituted, project     (light xi)
+//   (2) for each j, WCOJ-join with R<>j substituted, project    (light y)
+//   (3) group x1..xk into ceil(k/2) / floor(k/2), build rectangular 0/1
+//       matrices V (heavy ceil-group combos x heavy y) and W (heavy
+//       floor-group combos x heavy y), compute V * W^T, emit nonzeros.
+// A y value is "heavy" for step (3) iff it is heavy in at least two
+// relations — any witness not of that form is covered by step (2). Rows are
+// registered lazily (only observed heavy combos), which is equivalent to the
+// paper's dense (N/Delta2)^ceil(k/2) indexing but exponentially cheaper in
+// memory on real data.
+
+#ifndef JPMM_CORE_STAR_JOIN_H_
+#define JPMM_CORE_STAR_JOIN_H_
+
+#include <vector>
+
+#include "core/thresholds.h"
+#include "join/star_wcoj.h"
+#include "storage/index.h"
+
+namespace jpmm {
+
+struct StarJoinOptions {
+  Thresholds thresholds;
+  int threads = 1;
+  /// Cap on the dense V/W operand bytes; thresholds are doubled until the
+  /// matrices fit.
+  uint64_t max_matrix_bytes = uint64_t{3} << 30;
+  /// Rows per product block (memory = row_block * |W rows| floats / worker).
+  size_t row_block = 128;
+};
+
+struct StarJoinResult {
+  TupleBuffer tuples;  // sorted, duplicate-free
+  Thresholds adjusted_thresholds;
+  uint64_t v_rows = 0;  // heavy combos, first group
+  uint64_t w_rows = 0;  // heavy combos, second group
+  uint64_t heavy_y = 0; // shared inner dimension
+  double light_seconds = 0.0;
+  double heavy_seconds = 0.0;
+
+  StarJoinResult() : tuples(1) {}
+};
+
+/// MMJoin for the star query (steps 1-3 above).
+StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
+                          const StarJoinOptions& options);
+
+/// Combinatorial comparator: steps 1-2 as above, step 3 replaced by pairwise
+/// sorted-intersection of the heavy combos' witness lists (the Lemma-2
+/// strategy lifted to stars).
+StarJoinResult NonMmStarJoin(const std::vector<const IndexedRelation*>& rels,
+                             const StarJoinOptions& options);
+
+/// Baseline: plain WCOJ over all tuples + dedup (Prop. 1).
+TupleBuffer WcojStarJoin(const std::vector<const IndexedRelation*>& rels,
+                         int threads = 1);
+
+/// Cost-based threshold selection for the star decomposition: sweeps a
+/// geometric Delta grid (Delta1 = Delta2, cf. Example 4's coupling) and
+/// balances the exact light-step enumeration cost against bounds on the
+/// grouped-matrix build/multiply cost. O(k * |D| * log(maxdeg)).
+Thresholds ChooseStarThresholds(
+    const std::vector<const IndexedRelation*>& rels);
+
+}  // namespace jpmm
+
+#endif  // JPMM_CORE_STAR_JOIN_H_

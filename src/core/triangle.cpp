@@ -1,0 +1,125 @@
+#include "core/triangle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/matmul.h"
+
+namespace jpmm {
+
+uint64_t CountTrianglesNodeIterator(const IndexedRelation& graph) {
+  uint64_t count = 0;
+  for (Value v = 0; v < graph.num_x(); ++v) {
+    const auto adj = graph.YsOf(v);
+    for (size_t i = 0; i < adj.size(); ++i) {
+      if (adj[i] <= v) continue;  // count at the minimum-id vertex
+      for (size_t j = i + 1; j < adj.size(); ++j) {
+        if (adj[j] <= v) continue;
+        if (graph.Contains(adj[i], adj[j])) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
+                                     const TriangleCountOptions& options) {
+  TriangleCountResult result;
+  const uint64_t edges = graph.num_tuples();
+  uint64_t delta = options.delta != 0
+                       ? options.delta
+                       : std::max<uint64_t>(
+                             1, static_cast<uint64_t>(std::sqrt(
+                                    static_cast<double>(edges))));
+
+  // Heavy vertex set under the (possibly memory-degraded) threshold.
+  std::vector<Value> heavy;
+  std::vector<Value> heavy_id;
+  for (;;) {
+    heavy.clear();
+    heavy_id.assign(graph.num_x(), kInvalidValue);
+    for (Value v = 0; v < graph.num_x(); ++v) {
+      if (graph.DegX(v) > delta) {
+        heavy_id[v] = static_cast<Value>(heavy.size());
+        heavy.push_back(v);
+      }
+    }
+    const uint64_t bytes = 4ull * heavy.size() * heavy.size();
+    if (heavy.empty() || bytes <= options.max_matrix_bytes) break;
+    delta *= 2;
+  }
+  result.delta_used = delta;
+  result.heavy_vertices = heavy.size();
+  const int threads = std::max(1, options.threads);
+
+  // Light part: triangles containing >= 1 light vertex, counted at their
+  // minimum-id light vertex. A neighbour participates only if it is heavy
+  // or has a larger id (so no other light vertex claims the triangle
+  // first).
+  std::vector<uint64_t> light_partial(static_cast<size_t>(threads), 0);
+  ParallelFor(threads, graph.num_x(), [&](size_t v0, size_t v1, int w) {
+    uint64_t local = 0;
+    std::vector<Value> eligible;
+    for (size_t v = v0; v < v1; ++v) {
+      const auto vv = static_cast<Value>(v);
+      if (graph.DegX(vv) == 0 || graph.DegX(vv) > delta) continue;
+      eligible.clear();
+      for (Value u : graph.YsOf(vv)) {
+        if (u == vv) continue;  // ignore self loops
+        if (graph.DegX(u) > delta || u > vv) eligible.push_back(u);
+      }
+      for (size_t i = 0; i < eligible.size(); ++i) {
+        for (size_t j = i + 1; j < eligible.size(); ++j) {
+          if (graph.Contains(eligible[i], eligible[j])) ++local;
+        }
+      }
+    }
+    light_partial[static_cast<size_t>(w)] = local;
+  });
+  for (uint64_t c : light_partial) result.light_triangles += c;
+
+  // Heavy part: trace(A_H^3) / 6. A_H is symmetric, so
+  // trace(A^3) = sum_{i,j} (A^2)[i][j] * A[i][j], computed in row blocks.
+  if (heavy.size() >= 3) {
+    Matrix a(heavy.size(), heavy.size());
+    for (size_t i = 0; i < heavy.size(); ++i) {
+      auto row = a.MutableRow(i);
+      for (Value u : graph.YsOf(heavy[i])) {
+        if (u == heavy[i]) continue;
+        const Value id = heavy_id[u];
+        if (id != kInvalidValue) row[id] = 1.0f;
+      }
+    }
+    constexpr size_t kRowBlock = 128;
+    const size_t num_blocks = (heavy.size() + kRowBlock - 1) / kRowBlock;
+    std::vector<double> trace_partial(static_cast<size_t>(threads), 0.0);
+    ParallelFor(threads, num_blocks, [&](size_t b0, size_t b1, int w) {
+      std::vector<float> block(kRowBlock * heavy.size());
+      double local = 0.0;
+      for (size_t blk = b0; blk < b1; ++blk) {
+        const size_t r0 = blk * kRowBlock;
+        const size_t r1 = std::min(heavy.size(), r0 + kRowBlock);
+        MultiplyRowRange(a, a, r0, r1, block);
+        for (size_t i = r0; i < r1; ++i) {
+          const float* a2row = block.data() + (i - r0) * heavy.size();
+          const auto arow = a.Row(i);
+          for (size_t j = 0; j < heavy.size(); ++j) {
+            local += static_cast<double>(a2row[j]) * arow[j];
+          }
+        }
+      }
+      trace_partial[static_cast<size_t>(w)] = local;
+    });
+    double trace = 0.0;
+    for (double t : trace_partial) trace += t;
+    result.heavy_triangles = static_cast<uint64_t>(trace / 6.0 + 0.5);
+  }
+
+  result.triangles = result.light_triangles + result.heavy_triangles;
+  return result;
+}
+
+}  // namespace jpmm

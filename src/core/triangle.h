@@ -1,0 +1,47 @@
+// Triangle counting with matrix multiplication — the §9 future-work item.
+//
+// "AYZ algorithm is applicable to counting cycles in graph using matrix
+// multiplication": the classic Alon-Yuster-Zwick split. Vertices of degree
+// <= Delta are light; triangles touching a light vertex are enumerated
+// combinatorially (pairs within a light vertex's neighbourhood + one edge
+// probe), while the all-heavy residue is trace(A_H^3) / 6 over the heavy-
+// subgraph adjacency matrix — the same degree-partition + dense-product
+// pattern as Algorithm 1, applied to a cyclic query.
+
+#ifndef JPMM_CORE_TRIANGLE_H_
+#define JPMM_CORE_TRIANGLE_H_
+
+#include <cstdint>
+
+#include "storage/index.h"
+
+namespace jpmm {
+
+struct TriangleCountOptions {
+  /// Degree threshold; 0 = pick sqrt(|E|) (the AYZ balance point for
+  /// classical multiplication).
+  uint64_t delta = 0;
+  int threads = 1;
+  /// Cap on the heavy adjacency matrix bytes (threshold doubles until fit).
+  uint64_t max_matrix_bytes = uint64_t{2} << 30;
+};
+
+struct TriangleCountResult {
+  uint64_t triangles = 0;
+  uint64_t light_triangles = 0;  // found via light-vertex enumeration
+  uint64_t heavy_triangles = 0;  // found via trace(A_H^3)/6
+  uint64_t heavy_vertices = 0;
+  uint64_t delta_used = 0;
+};
+
+/// Counts triangles of an undirected graph given as a symmetric edge
+/// relation (both (u,v) and (v,u) present; self-loops ignored).
+TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
+                                     const TriangleCountOptions& options = {});
+
+/// Combinatorial comparator: node-iterator counting (no matrices).
+uint64_t CountTrianglesNodeIterator(const IndexedRelation& graph);
+
+}  // namespace jpmm
+
+#endif  // JPMM_CORE_TRIANGLE_H_

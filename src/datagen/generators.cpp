@@ -1,0 +1,119 @@
+#include "datagen/generators.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stamp_set.h"
+
+namespace jpmm {
+
+BinaryRelation MakeBipartite(const BipartiteSpec& spec) {
+  JPMM_CHECK(spec.num_sets > 0 && spec.dom_size > 0);
+  JPMM_CHECK(spec.min_set_size >= 1);
+  JPMM_CHECK(spec.max_set_size >= spec.min_set_size);
+  JPMM_CHECK(spec.max_set_size <= spec.dom_size);
+
+  const uint32_t size_ranks = spec.max_set_size - spec.min_set_size + 1;
+  ZipfSampler size_sampler(size_ranks, spec.size_skew, spec.seed ^ 0x5151);
+  ZipfSampler elem_sampler(spec.dom_size, spec.element_skew,
+                           spec.seed ^ 0xabcd);
+  Rng rng(spec.seed);
+
+  BinaryRelation rel;
+  StampSet in_set(spec.dom_size);
+  std::vector<Value> perm;  // lazily built for the dense path
+  // Materialized sets, kept only when subset structure is requested.
+  std::vector<std::vector<Value>> generated;
+  if (spec.subset_fraction > 0.0) generated.reserve(spec.num_sets);
+
+  for (uint32_t s = 0; s < spec.num_sets; ++s) {
+    if (spec.subset_fraction > 0.0 && s > 0 &&
+        rng.NextBool(spec.subset_fraction)) {
+      // Random subset of an earlier set (partial Fisher-Yates over a copy).
+      std::vector<Value> parent =
+          generated[rng.NextBounded(generated.size())];
+      const uint64_t take = 1 + rng.NextBounded(parent.size());
+      for (uint64_t t = 0; t < take; ++t) {
+        const uint64_t pick = t + rng.NextBounded(parent.size() - t);
+        std::swap(parent[t], parent[pick]);
+        rel.Add(s, parent[t]);
+      }
+      parent.resize(take);
+      generated.push_back(std::move(parent));
+      continue;
+    }
+    const uint32_t size = spec.min_set_size + size_sampler.Sample();
+    in_set.NewEpoch();
+    std::vector<Value> current;
+    current.reserve(size);
+    if (size > spec.dom_size / 3) {
+      // Dense set: rejection sampling would stall; take a partial
+      // Fisher-Yates shuffle instead (uniform elements — dense presets have
+      // low element skew anyway).
+      if (perm.empty()) {
+        perm.resize(spec.dom_size);
+        std::iota(perm.begin(), perm.end(), 0);
+      }
+      for (uint32_t i = 0; i < size; ++i) {
+        const uint64_t j =
+            i + rng.NextBounded(static_cast<uint64_t>(spec.dom_size) - i);
+        std::swap(perm[i], perm[j]);
+        current.push_back(perm[i]);
+      }
+    } else {
+      uint32_t attempts = 0;
+      const uint32_t max_attempts = 40 * size + 64;
+      while (current.size() < size && attempts < max_attempts) {
+        ++attempts;
+        const Value e = elem_sampler.Sample();
+        if (in_set.Insert(e)) current.push_back(e);
+      }
+      // Fallback: fill the remainder with the first unused elements (only
+      // reachable under extreme skew).
+      for (Value e = 0; current.size() < size && e < spec.dom_size; ++e) {
+        if (in_set.Insert(e)) current.push_back(e);
+      }
+    }
+    for (Value e : current) rel.Add(s, e);
+    if (spec.subset_fraction > 0.0) generated.push_back(std::move(current));
+  }
+  rel.Finalize();
+  return rel;
+}
+
+BinaryRelation CommunityGraph(uint32_t communities, uint32_t community_size,
+                              double p_in, uint64_t seed) {
+  JPMM_CHECK(communities > 0 && community_size > 0);
+  JPMM_CHECK(p_in >= 0.0 && p_in <= 1.0);
+  Rng rng(seed);
+  BinaryRelation rel;
+  for (uint32_t c = 0; c < communities; ++c) {
+    const Value base = c * community_size;
+    for (uint32_t i = 0; i < community_size; ++i) {
+      for (uint32_t j = 0; j < community_size; ++j) {
+        if (i == j) continue;
+        if (rng.NextBool(p_in)) rel.Add(base + i, base + j);
+      }
+    }
+  }
+  rel.Finalize();
+  return rel;
+}
+
+BinaryRelation UniformBipartite(uint32_t num_x, uint32_t num_y,
+                                uint64_t num_tuples, uint64_t seed) {
+  JPMM_CHECK(num_x > 0 && num_y > 0);
+  Rng rng(seed);
+  BinaryRelation rel;
+  for (uint64_t i = 0; i < num_tuples; ++i) {
+    rel.Add(static_cast<Value>(rng.NextBounded(num_x)),
+            static_cast<Value>(rng.NextBounded(num_y)));
+  }
+  rel.Finalize();  // removes collisions, so size may be < num_tuples
+  return rel;
+}
+
+}  // namespace jpmm

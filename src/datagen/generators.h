@@ -1,0 +1,56 @@
+// Synthetic relation generators.
+//
+// The paper evaluates on six public datasets (Table 2). Offline, we generate
+// bipartite set-element relations whose *shape* — set count, domain size,
+// set-size distribution, element skew, and hence duplication factor
+// |OUT_join| / |OUT| — matches each dataset's regime at laptop scale
+// (presets.h). These generators are the building blocks.
+
+#ifndef JPMM_DATAGEN_GENERATORS_H_
+#define JPMM_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "storage/relation.h"
+
+namespace jpmm {
+
+/// Parameters for a bipartite "family of sets" relation R(set, element).
+struct BipartiteSpec {
+  uint32_t num_sets = 1000;
+  uint32_t dom_size = 1000;   // element universe
+  uint32_t min_set_size = 1;
+  uint32_t max_set_size = 16;
+  /// Skew of the set-size distribution: 0 = uniform over
+  /// [min_set_size, max_set_size]; larger favours small sets (Zipf on the
+  /// size rank).
+  double size_skew = 1.0;
+  /// Skew of element popularity: 0 = uniform; ~1 = word-frequency-like
+  /// hubs. Hot elements appear in many sets, creating heavy y values.
+  double element_skew = 0.5;
+  /// Fraction of sets generated as random subsets of an earlier set. Real
+  /// dense families (jokes, protein neighbourhoods, image features) contain
+  /// many near-duplicates and containments; this knob reproduces that
+  /// structure, which SCJ workloads depend on.
+  double subset_fraction = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Generates R(set, element) under the given spec. Finalized, duplicate-free.
+BinaryRelation MakeBipartite(const BipartiteSpec& spec);
+
+/// Example 1's community graph: `communities` cliques of `community_size`
+/// users each; every intra-community edge is kept with probability p_in.
+/// The 2-path self join over it has |OUT_join| = Theta(N^{3/2}) but
+/// |OUT| = Theta(N).
+BinaryRelation CommunityGraph(uint32_t communities, uint32_t community_size,
+                              double p_in, uint64_t seed);
+
+/// Uniform random bipartite relation with (up to) `num_tuples` distinct
+/// tuples.
+BinaryRelation UniformBipartite(uint32_t num_x, uint32_t num_y,
+                                uint64_t num_tuples, uint64_t seed);
+
+}  // namespace jpmm
+
+#endif  // JPMM_DATAGEN_GENERATORS_H_

@@ -1,0 +1,136 @@
+#include "datagen/presets.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace jpmm {
+
+const std::vector<DatasetPreset>& AllPresets() {
+  static const std::vector<DatasetPreset> kAll = {
+      DatasetPreset::kDblp,   DatasetPreset::kRoadNet, DatasetPreset::kJokes,
+      DatasetPreset::kWords,  DatasetPreset::kProtein, DatasetPreset::kImage,
+  };
+  return kAll;
+}
+
+const char* PresetName(DatasetPreset p) {
+  switch (p) {
+    case DatasetPreset::kDblp:
+      return "DBLP";
+    case DatasetPreset::kRoadNet:
+      return "RoadNet";
+    case DatasetPreset::kJokes:
+      return "Jokes";
+    case DatasetPreset::kWords:
+      return "Words";
+    case DatasetPreset::kProtein:
+      return "Protein";
+    case DatasetPreset::kImage:
+      return "Image";
+  }
+  return "?";
+}
+
+BipartiteSpec PresetSpec(DatasetPreset p, double scale) {
+  JPMM_CHECK(scale > 0);
+  auto scaled = [scale](uint32_t base) {
+    return std::max<uint32_t>(
+        8, static_cast<uint32_t>(static_cast<double>(base) * scale));
+  };
+  BipartiteSpec s;
+  switch (p) {
+    case DatasetPreset::kDblp:
+      // Sparse bibliography: many small author sets, mild hub skew.
+      s.num_sets = scaled(60000);
+      s.dom_size = scaled(120000);
+      s.min_set_size = 1;
+      s.max_set_size = 200;
+      s.size_skew = 1.4;       // avg ~ 6-7 per Table 2
+      s.element_skew = 0.3;    // papers have few authors each
+      s.subset_fraction = 0.05;
+      s.seed = 1001;
+      break;
+    case DatasetPreset::kRoadNet:
+      // Road network: tiny near-uniform degrees.
+      s.num_sets = scaled(100000);
+      s.dom_size = scaled(100000);
+      s.min_set_size = 1;
+      s.max_set_size = 6;
+      s.size_skew = 1.8;       // avg ~ 1.5
+      s.element_skew = 0.2;
+      s.seed = 1002;
+      break;
+    case DatasetPreset::kJokes:
+      // Dense: each joke shares many words; avg set ~ 11% of dom.
+      s.num_sets = scaled(1000);
+      s.dom_size = scaled(800);
+      s.min_set_size = 20;
+      s.max_set_size = 240;
+      s.size_skew = 0.4;       // avg ~ 95
+      s.element_skew = 0.75;
+      s.subset_fraction = 0.3;  // many near-duplicate jokes
+      s.seed = 1003;
+      break;
+    case DatasetPreset::kWords:
+      // Mid-density with strong word-frequency skew; most sets small.
+      s.num_sets = scaled(6000);
+      s.dom_size = scaled(3000);
+      s.min_set_size = 1;
+      s.max_set_size = 300;
+      s.size_skew = 0.9;       // avg ~ 30
+      s.element_skew = 0.8;
+      s.subset_fraction = 0.15;
+      s.seed = 1004;
+      break;
+    case DatasetPreset::kProtein:
+      // Very dense interaction neighbourhoods: ~25% of dom per set.
+      s.num_sets = scaled(800);
+      s.dom_size = scaled(800);
+      s.min_set_size = 60;
+      s.max_set_size = 360;
+      s.size_skew = 0.2;       // avg ~ 200
+      s.element_skew = 0.45;
+      s.subset_fraction = 0.25;  // nested interaction neighbourhoods
+      s.seed = 1005;
+      break;
+    case DatasetPreset::kImage:
+      // Near-clique: uniform large feature sets, negligible skew.
+      s.num_sets = scaled(900);
+      s.dom_size = scaled(700);
+      s.min_set_size = 130;
+      s.max_set_size = 190;
+      s.size_skew = 0.0;       // avg ~ 160 (23% of dom)
+      s.element_skew = 0.15;
+      s.subset_fraction = 0.25;  // shared feature templates
+      s.seed = 1006;
+      break;
+  }
+  // At very small scales the (fixed) set sizes can exceed the scaled domain;
+  // shrink them proportionally so the density regime survives.
+  if (s.max_set_size > s.dom_size) {
+    const double shrink =
+        static_cast<double>(s.dom_size) / static_cast<double>(s.max_set_size);
+    s.max_set_size = s.dom_size;
+    s.min_set_size = std::max<uint32_t>(
+        1, static_cast<uint32_t>(s.min_set_size * shrink));
+  }
+  return s;
+}
+
+BinaryRelation MakePreset(DatasetPreset p, double scale, uint64_t seed) {
+  BipartiteSpec spec = PresetSpec(p, scale);
+  if (seed != 42) spec.seed ^= seed;
+  return MakeBipartite(spec);
+}
+
+double ScaleFromEnv() {
+  const char* env = std::getenv("JPMM_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  if (v <= 0.0) return 1.0;
+  return std::clamp(v, 0.05, 100.0);
+}
+
+}  // namespace jpmm

@@ -1,0 +1,58 @@
+// Laptop-scale stand-ins for the paper's six datasets (Table 2).
+//
+// Each preset reproduces the dataset's *regime* — sparse vs dense, set-size
+// distribution, element skew, duplication factor — scaled so the full
+// benchmark suite runs in minutes on one core. EXPERIMENTS.md prints the
+// generated characteristics (bench/table2_datasets) next to the paper's.
+//
+//   preset        paper dataset    regime
+//   kDblp         DBLP             sparse bipartite, small skewed sets
+//   kRoadNet      RoadNet-PA       very sparse, near-uniform tiny degrees
+//   kJokes        Jokes            dense, large sets (~11% of dom each)
+//   kWords        Words            mid-density, strong element skew
+//   kProtein      Protein          very dense (~25% of dom per set)
+//   kImage        Image            dense and near-clique (uniform large sets)
+
+#ifndef JPMM_DATAGEN_PRESETS_H_
+#define JPMM_DATAGEN_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/generators.h"
+#include "storage/relation.h"
+
+namespace jpmm {
+
+enum class DatasetPreset {
+  kDblp,
+  kRoadNet,
+  kJokes,
+  kWords,
+  kProtein,
+  kImage,
+};
+
+/// All six presets in Table-2 order.
+const std::vector<DatasetPreset>& AllPresets();
+
+/// Paper dataset the preset models ("DBLP", "RoadNet", ...).
+const char* PresetName(DatasetPreset p);
+
+/// The generator spec behind a preset at the given scale (scale multiplies
+/// set count and domain; set sizes stay fixed, so tuple count scales
+/// linearly and density regimes are preserved).
+BipartiteSpec PresetSpec(DatasetPreset p, double scale);
+
+/// Generates the preset. scale = 1 is the default benchmark size; the
+/// JPMM_SCALE environment variable (read by the benches) rescales all runs.
+BinaryRelation MakePreset(DatasetPreset p, double scale = 1.0,
+                          uint64_t seed = 42);
+
+/// Reads JPMM_SCALE from the environment (default 1.0, clamped to
+/// [0.05, 100]).
+double ScaleFromEnv();
+
+}  // namespace jpmm
+
+#endif  // JPMM_DATAGEN_PRESETS_H_

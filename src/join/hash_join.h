@@ -1,0 +1,43 @@
+// Full-join-then-deduplicate evaluation of the 2-path query.
+//
+// This is the strategy the paper's DBMS baselines execute (§7.2): compute
+// R(x,y) JOIN S(z,y) completely — |OUT_join| pairs, possibly orders of
+// magnitude more than the projected output — then eliminate duplicates. The
+// dedup flavour is what distinguishes the simulated engines.
+
+#ifndef JPMM_JOIN_HASH_JOIN_H_
+#define JPMM_JOIN_HASH_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/index.h"
+
+namespace jpmm {
+
+/// How the full join result is deduplicated.
+enum class DedupMode {
+  kSortUnique,        // materialize all pairs, sort, unique (filesort-style)
+  kHashSet,           // streaming dedup through a growing hash set
+  kPreallocatedHash,  // hash set reserved to the full-join size upfront
+};
+
+/// Enumerates the full join via the y-direction index (hash-join equivalent:
+/// R probes S's y index) and calls fn once per (x, z, y) triple.
+void EnumerateFullTwoPathJoin(
+    const IndexedRelation& r, const IndexedRelation& s,
+    const std::function<void(Value x, Value z, Value y)>& fn);
+
+/// |R JOIN S| before projection.
+uint64_t FullTwoPathJoinSize(const IndexedRelation& r,
+                             const IndexedRelation& s);
+
+/// pi_{x,z}(R JOIN S) through full-join materialization + dedup.
+std::vector<OutPair> HashJoinProject(const IndexedRelation& r,
+                                     const IndexedRelation& s, DedupMode mode);
+
+}  // namespace jpmm
+
+#endif  // JPMM_JOIN_HASH_JOIN_H_

@@ -1,0 +1,52 @@
+#include "join/sort_merge_join.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace jpmm {
+
+std::vector<OutPair> SortMergeJoinProject(const BinaryRelation& r,
+                                          const BinaryRelation& s) {
+  JPMM_CHECK(r.finalized() && s.finalized());
+  // Sort copies by (y, x): the explicit sort phase a sort-merge engine pays
+  // even when an index exists.
+  std::vector<Tuple> rs(r.tuples());
+  std::vector<Tuple> ss(s.tuples());
+  auto by_y = [](const Tuple& a, const Tuple& b) {
+    return a.y != b.y ? a.y < b.y : a.x < b.x;
+  };
+  std::sort(rs.begin(), rs.end(), by_y);
+  std::sort(ss.begin(), ss.end(), by_y);
+
+  std::vector<uint64_t> all;
+  size_t i = 0, j = 0;
+  while (i < rs.size() && j < ss.size()) {
+    if (rs[i].y < ss[j].y) {
+      ++i;
+    } else if (ss[j].y < rs[i].y) {
+      ++j;
+    } else {
+      const Value y = rs[i].y;
+      size_t i_end = i, j_end = j;
+      while (i_end < rs.size() && rs[i_end].y == y) ++i_end;
+      while (j_end < ss.size() && ss[j_end].y == y) ++j_end;
+      for (size_t ii = i; ii < i_end; ++ii) {
+        for (size_t jj = j; jj < j_end; ++jj) {
+          all.push_back(PackPair(rs[ii].x, ss[jj].x));
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  std::vector<OutPair> out;
+  out.reserve(all.size());
+  for (uint64_t key : all) out.push_back(UnpackPair(key));
+  return out;
+}
+
+}  // namespace jpmm

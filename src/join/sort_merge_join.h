@@ -1,0 +1,21 @@
+// Sort-merge evaluation of the 2-path join (MySQL-like baseline).
+
+#ifndef JPMM_JOIN_SORT_MERGE_JOIN_H_
+#define JPMM_JOIN_SORT_MERGE_JOIN_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "storage/relation.h"
+
+namespace jpmm {
+
+/// pi_{x,z}(R(x,y) JOIN S(z,y)) by sorting both inputs on y, merging the
+/// runs (emitting the cross product per matching y group), then sorting the
+/// materialized pair list to deduplicate.
+std::vector<OutPair> SortMergeJoinProject(const BinaryRelation& r,
+                                          const BinaryRelation& s);
+
+}  // namespace jpmm
+
+#endif  // JPMM_JOIN_SORT_MERGE_JOIN_H_

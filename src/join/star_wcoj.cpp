@@ -1,0 +1,192 @@
+#include "join/star_wcoj.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace jpmm {
+
+void TupleBuffer::Add(std::span<const Value> tuple) {
+  JPMM_DCHECK(tuple.size() == arity_);
+  flat_.insert(flat_.end(), tuple.begin(), tuple.end());
+}
+
+void TupleBuffer::SortUnique() {
+  const size_t n = size();
+  if (n <= 1) return;
+  const uint32_t k = arity_;
+  const Value* data = flat_.data();
+
+  // Fast paths: pack tuples into machine words (lexicographic order is
+  // preserved when values are packed high-to-low), sort, unpack. Tuple
+  // buffers routinely hold tens of millions of entries, so the indirected
+  // comparison sort below is reserved for arity > 4.
+  if (k == 1) {
+    std::sort(flat_.begin(), flat_.end());
+    flat_.erase(std::unique(flat_.begin(), flat_.end()), flat_.end());
+    return;
+  }
+  if (k == 2) {
+    std::vector<uint64_t> packed(n);
+    for (size_t i = 0; i < n; ++i) {
+      packed[i] = (static_cast<uint64_t>(data[2 * i]) << 32) | data[2 * i + 1];
+    }
+    std::sort(packed.begin(), packed.end());
+    packed.erase(std::unique(packed.begin(), packed.end()), packed.end());
+    flat_.resize(packed.size() * 2);
+    for (size_t i = 0; i < packed.size(); ++i) {
+      flat_[2 * i] = static_cast<Value>(packed[i] >> 32);
+      flat_[2 * i + 1] = static_cast<Value>(packed[i]);
+    }
+    return;
+  }
+  if (k <= 4) {
+    using U128 = unsigned __int128;
+    std::vector<U128> packed(n);
+    for (size_t i = 0; i < n; ++i) {
+      U128 key = 0;
+      for (uint32_t d = 0; d < k; ++d) {
+        key = (key << 32) | data[i * k + d];
+      }
+      packed[i] = key;
+    }
+    std::sort(packed.begin(), packed.end());
+    packed.erase(std::unique(packed.begin(), packed.end()), packed.end());
+    flat_.resize(packed.size() * k);
+    for (size_t i = 0; i < packed.size(); ++i) {
+      U128 key = packed[i];
+      for (uint32_t d = k; d > 0; --d) {
+        flat_[i * k + d - 1] = static_cast<Value>(key & 0xffffffffu);
+        key >>= 32;
+      }
+    }
+    return;
+  }
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return std::lexicographical_compare(data + a * k, data + (a + 1) * k,
+                                        data + b * k, data + (b + 1) * k);
+  });
+  std::vector<Value> sorted;
+  sorted.reserve(flat_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const Value* t = data + order[i] * k;
+    if (!sorted.empty() &&
+        std::equal(t, t + k, sorted.data() + sorted.size() - k)) {
+      continue;
+    }
+    sorted.insert(sorted.end(), t, t + k);
+  }
+  flat_ = std::move(sorted);
+}
+
+void TupleBuffer::Append(const TupleBuffer& other) {
+  JPMM_CHECK(arity_ == other.arity_);
+  flat_.insert(flat_.end(), other.flat_.begin(), other.flat_.end());
+}
+
+namespace {
+
+// Enumerates the per-y cartesian products for y in [y0, y1) into out.
+void EnumerateRange(const std::vector<const IndexedRelation*>& rels,
+                    const StarTupleFilter& filter,
+                    const std::function<bool(Value)>& y_filter, Value y0,
+                    Value y1, TupleBuffer* out) {
+  const auto k = static_cast<uint32_t>(rels.size());
+  std::vector<std::vector<Value>> lists(k);
+  std::vector<Value> tuple(k);
+  for (Value b = y0; b < y1; ++b) {
+    if (y_filter != nullptr && !y_filter(b)) continue;
+    bool empty = false;
+    for (uint32_t i = 0; i < k; ++i) {
+      lists[i].clear();
+      for (Value a : rels[i]->XsOf(b)) {
+        if (filter == nullptr || filter(i, a, b)) lists[i].push_back(a);
+      }
+      if (lists[i].empty()) {
+        empty = true;
+        break;
+      }
+    }
+    if (empty) continue;
+
+    // Odometer over the k lists: emits the cartesian product.
+    std::vector<size_t> pos(k, 0);
+    for (uint32_t i = 0; i < k; ++i) tuple[i] = lists[i][0];
+    for (;;) {
+      out->Add(tuple);
+      uint32_t dim = k;
+      bool done = false;
+      while (dim > 0) {
+        --dim;
+        if (++pos[dim] < lists[dim].size()) {
+          tuple[dim] = lists[dim][pos[dim]];
+          break;
+        }
+        pos[dim] = 0;
+        tuple[dim] = lists[dim][0];
+        if (dim == 0) {
+          done = true;
+          break;
+        }
+      }
+      if (done) break;
+    }
+  }
+}
+
+}  // namespace
+
+TupleBuffer StarJoinProjectWcoj(
+    const std::vector<const IndexedRelation*>& rels,
+    const StarTupleFilter& filter,
+    const std::function<bool(Value)>& y_filter, int threads) {
+  JPMM_CHECK(!rels.empty());
+  const auto k = static_cast<uint32_t>(rels.size());
+
+  Value ny = std::numeric_limits<Value>::max();
+  for (const auto* rel : rels) ny = std::min(ny, rel->num_y());
+  if (ny == std::numeric_limits<Value>::max()) ny = 0;
+
+  threads = std::max(1, threads);
+  if (threads == 1 || ny == 0) {
+    TupleBuffer out(k);
+    EnumerateRange(rels, filter, y_filter, 0, ny, &out);
+    out.SortUnique();
+    return out;
+  }
+
+  std::vector<TupleBuffer> partial(static_cast<size_t>(threads),
+                                   TupleBuffer(k));
+  ParallelFor(threads, ny, [&](size_t y0, size_t y1, int w) {
+    EnumerateRange(rels, filter, y_filter, static_cast<Value>(y0),
+                   static_cast<Value>(y1), &partial[static_cast<size_t>(w)]);
+  });
+  TupleBuffer out(k);
+  for (const auto& p : partial) out.Append(p);
+  out.SortUnique();
+  return out;
+}
+
+uint64_t FullStarJoinSize(const std::vector<const IndexedRelation*>& rels) {
+  JPMM_CHECK(!rels.empty());
+  Value ny = std::numeric_limits<Value>::max();
+  for (const auto* rel : rels) ny = std::min(ny, rel->num_y());
+  uint64_t total = 0;
+  for (Value b = 0; b < ny; ++b) {
+    uint64_t prod = 1;
+    for (const auto* rel : rels) {
+      prod *= rel->DegY(b);
+      if (prod == 0) break;
+    }
+    total += prod;
+  }
+  return total;
+}
+
+}  // namespace jpmm

@@ -1,0 +1,77 @@
+#include "matrix/bool_matrix.h"
+
+#include <bit>
+
+#include "common/thread_pool.h"
+
+namespace jpmm {
+
+BoolMatrix BoolMatrix::Transposed() const {
+  BoolMatrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const uint64_t* row = RowWords(i);
+    for (size_t wi = 0; wi < words_per_row_; ++wi) {
+      uint64_t w = row[wi];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        t.Set((wi << 6) + static_cast<size_t>(bit), i);
+        w &= w - 1;
+      }
+    }
+  }
+  return t;
+}
+
+bool BoolMatrix::RowsIntersect(size_t a, const BoolMatrix& other,
+                               size_t b) const {
+  JPMM_DCHECK(cols_ == other.cols_);
+  const uint64_t* ra = RowWords(a);
+  const uint64_t* rb = other.RowWords(b);
+  for (size_t i = 0; i < words_per_row_; ++i) {
+    if (ra[i] & rb[i]) return true;
+  }
+  return false;
+}
+
+uint32_t BoolMatrix::RowAndCount(size_t a, const BoolMatrix& other,
+                                 size_t b) const {
+  JPMM_DCHECK(cols_ == other.cols_);
+  const uint64_t* ra = RowWords(a);
+  const uint64_t* rb = other.RowWords(b);
+  uint32_t c = 0;
+  for (size_t i = 0; i < words_per_row_; ++i) {
+    c += static_cast<uint32_t>(std::popcount(ra[i] & rb[i]));
+  }
+  return c;
+}
+
+BoolMatrix BoolProduct(const BoolMatrix& a, const BoolMatrix& bt,
+                       int threads) {
+  JPMM_CHECK(a.cols() == bt.cols());
+  BoolMatrix c(a.rows(), bt.rows());
+  ParallelFor(threads, a.rows(), [&](size_t r0, size_t r1, int) {
+    for (size_t i = r0; i < r1; ++i) {
+      for (size_t j = 0; j < bt.rows(); ++j) {
+        if (a.RowsIntersect(i, bt, j)) c.Set(i, j);
+      }
+    }
+  });
+  return c;
+}
+
+std::vector<uint32_t> CountProduct(const BoolMatrix& a, const BoolMatrix& bt,
+                                   int threads) {
+  JPMM_CHECK(a.cols() == bt.cols());
+  std::vector<uint32_t> c(a.rows() * bt.rows(), 0);
+  ParallelFor(threads, a.rows(), [&](size_t r0, size_t r1, int) {
+    for (size_t i = r0; i < r1; ++i) {
+      uint32_t* crow = c.data() + i * bt.rows();
+      for (size_t j = 0; j < bt.rows(); ++j) {
+        crow[j] = a.RowAndCount(i, bt, j);
+      }
+    }
+  });
+  return c;
+}
+
+}  // namespace jpmm

@@ -1,0 +1,78 @@
+// Bit-packed boolean matrix with AND/popcount products.
+//
+// Alternative heavy-part representation: the boolean semiring product
+// (does any witness exist?) and the counting product (how many witnesses?)
+// computed 64 columns at a time. Used by the heavy-strategy ablation bench
+// and by the boolean-set-intersection fast path.
+
+#ifndef JPMM_MATRIX_BOOL_MATRIX_H_
+#define JPMM_MATRIX_BOOL_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace jpmm {
+
+/// rows x cols bit matrix, rows packed into 64-bit words.
+class BoolMatrix {
+ public:
+  BoolMatrix() = default;
+  BoolMatrix(size_t rows, size_t cols)
+      : rows_(rows),
+        cols_(cols),
+        words_per_row_((cols + 63) / 64),
+        data_(rows * words_per_row_, 0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t words_per_row() const { return words_per_row_; }
+
+  void Set(size_t i, size_t j) {
+    JPMM_DCHECK(i < rows_ && j < cols_);
+    data_[i * words_per_row_ + (j >> 6)] |= (uint64_t{1} << (j & 63));
+  }
+  bool Test(size_t i, size_t j) const {
+    JPMM_DCHECK(i < rows_ && j < cols_);
+    return (data_[i * words_per_row_ + (j >> 6)] >> (j & 63)) & 1;
+  }
+
+  const uint64_t* RowWords(size_t i) const {
+    JPMM_DCHECK(i < rows_);
+    return data_.data() + i * words_per_row_;
+  }
+
+  /// Returns the transpose (cols x rows).
+  BoolMatrix Transposed() const;
+
+  /// True iff rows a (of this) and b (of other) share a set bit.
+  /// Both matrices must have the same column count.
+  bool RowsIntersect(size_t a, const BoolMatrix& other, size_t b) const;
+
+  /// |row a AND row b of other|.
+  uint32_t RowAndCount(size_t a, const BoolMatrix& other, size_t b) const;
+
+  size_t SizeBytes() const { return data_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t words_per_row_ = 0;
+  std::vector<uint64_t> data_;
+};
+
+/// Boolean product over the OR/AND semiring: result[i][j] = 1 iff row i of a
+/// intersects row j of bt (bt is B transposed: both row sets range over the
+/// shared inner dimension). threads partitions a's rows.
+BoolMatrix BoolProduct(const BoolMatrix& a, const BoolMatrix& bt,
+                       int threads = 1);
+
+/// Counting product: result[i * bt.rows() + j] = |row_i(a) AND row_j(bt)|.
+std::vector<uint32_t> CountProduct(const BoolMatrix& a, const BoolMatrix& bt,
+                                   int threads = 1);
+
+}  // namespace jpmm
+
+#endif  // JPMM_MATRIX_BOOL_MATRIX_H_

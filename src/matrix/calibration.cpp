@@ -1,0 +1,166 @@
+#include "matrix/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <mutex>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/matmul.h"
+
+namespace jpmm {
+
+SystemConstants SystemConstants::Measure() {
+  SystemConstants c;
+  constexpr size_t kN = 1 << 20;
+
+  {  // sequential access
+    std::vector<uint32_t> v(kN, 1);
+    WallTimer t;
+    uint64_t acc = 0;
+    for (size_t i = 0; i < kN; ++i) acc += v[i];
+    double sec = t.Seconds();
+    if (acc == 0) sec += 1e-12;  // keep acc alive
+    c.ts = std::max(sec / kN, 1e-11);
+  }
+  {  // random access + insert
+    std::vector<uint32_t> v(kN, 0);
+    Rng rng(7);
+    WallTimer t;
+    for (size_t i = 0; i < kN / 4; ++i) {
+      v[rng.NextBounded(kN)] += 1;
+    }
+    c.ti = std::max(t.Seconds() / (kN / 4), 1e-11);
+  }
+  {  // allocation of small blocks
+    constexpr size_t kAllocs = 1 << 16;
+    std::vector<std::unique_ptr<uint8_t[]>> blocks;
+    blocks.reserve(kAllocs);
+    WallTimer t;
+    for (size_t i = 0; i < kAllocs; ++i) {
+      blocks.emplace_back(new uint8_t[32]);
+    }
+    c.tm = std::max(t.Seconds() / kAllocs, 1e-11);
+  }
+  return c;
+}
+
+namespace {
+
+Matrix RandomDense(uint32_t dim, uint64_t seed) {
+  Matrix m(dim, dim);
+  Rng rng(seed);
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      m.Set(i, j, rng.NextBool(0.5) ? 1.0f : 0.0f);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+MatMulCalibration MatMulCalibration::Measure(
+    const std::vector<uint32_t>& dims, const std::vector<int>& cores) {
+  JPMM_CHECK(!dims.empty() && !cores.empty());
+  JPMM_CHECK(std::is_sorted(dims.begin(), dims.end()));
+  MatMulCalibration cal;
+  cal.cores_ = cores;
+  cal.entries_.resize(cores.size());
+  for (size_t ci = 0; ci < cores.size(); ++ci) {
+    for (uint32_t p : dims) {
+      Matrix a = RandomDense(p, 11 + p);
+      Matrix b = RandomDense(p, 23 + p);
+      Matrix c;
+      WallTimer t;
+      Multiply(a, b, &c, cores[ci]);
+      cal.entries_[ci].push_back(Entry{p, std::max(t.Seconds(), 1e-9)});
+    }
+  }
+  return cal;
+}
+
+MatMulCalibration MatMulCalibration::FromFlopsRate(
+    double flops_per_second, const std::vector<int>& cores) {
+  JPMM_CHECK(flops_per_second > 0 && !cores.empty());
+  MatMulCalibration cal;
+  cal.cores_ = cores;
+  cal.entries_.resize(cores.size());
+  for (size_t ci = 0; ci < cores.size(); ++ci) {
+    for (uint32_t p : {256u, 512u, 1024u, 2048u}) {
+      const double ops = 2.0 * std::pow(static_cast<double>(p), 3.0);
+      cal.entries_[ci].push_back(
+          Entry{p, ops / (flops_per_second * cores[ci])});
+    }
+  }
+  return cal;
+}
+
+double MatMulCalibration::EstimateForCore(double effective_dim,
+                                          size_t core_idx) const {
+  const auto& table = entries_[core_idx];
+  // Log-log linear interpolation between the two bracketing grid points;
+  // cubic extrapolation beyond the ends (classical kernel growth).
+  if (effective_dim <= table.front().dim) {
+    const auto& e = table.front();
+    return e.seconds * std::pow(effective_dim / e.dim, 3.0);
+  }
+  if (effective_dim >= table.back().dim) {
+    const auto& e = table.back();
+    return e.seconds * std::pow(effective_dim / e.dim, 3.0);
+  }
+  for (size_t i = 1; i < table.size(); ++i) {
+    if (effective_dim <= table[i].dim) {
+      const auto& lo = table[i - 1];
+      const auto& hi = table[i];
+      const double t = (std::log(effective_dim) - std::log(lo.dim)) /
+                       (std::log(static_cast<double>(hi.dim)) - std::log(lo.dim));
+      return std::exp(std::log(lo.seconds) +
+                      t * (std::log(hi.seconds) - std::log(lo.seconds)));
+    }
+  }
+  return table.back().seconds;
+}
+
+double MatMulCalibration::EstimateSeconds(uint64_t u, uint64_t v, uint64_t w,
+                                          int co) const {
+  if (u == 0 || v == 0 || w == 0) return 0.0;
+  const double effective_dim =
+      std::cbrt(static_cast<double>(u) * static_cast<double>(v) *
+                static_cast<double>(w));
+  // Nearest calibrated core count at or below co (extrapolate linearly in
+  // core count beyond the grid: the kernel scales near-linearly, Fig 3b).
+  size_t best = 0;
+  for (size_t ci = 0; ci < cores_.size(); ++ci) {
+    if (cores_[ci] <= co) best = ci;
+  }
+  double est = EstimateForCore(effective_dim, best);
+  if (cores_[best] < co) {
+    est *= static_cast<double>(cores_[best]) / static_cast<double>(co);
+  }
+  return est;
+}
+
+double MatMulCalibration::single_core_flops() const {
+  size_t one = 0;
+  for (size_t ci = 0; ci < cores_.size(); ++ci) {
+    if (cores_[ci] == 1) one = ci;
+  }
+  const Entry& e = entries_[one].back();
+  return 2.0 * std::pow(static_cast<double>(e.dim), 3.0) / e.seconds;
+}
+
+const MatMulCalibration& MatMulCalibration::Default() {
+  static std::once_flag flag;
+  static std::unique_ptr<MatMulCalibration> instance;
+  std::call_once(flag, [] {
+    instance = std::make_unique<MatMulCalibration>(
+        Measure({128, 256, 512}, {1}));
+  });
+  return *instance;
+}
+
+}  // namespace jpmm

@@ -1,0 +1,69 @@
+// Runtime calibration of matrix-multiplication cost — §5, Table 1.
+//
+// The optimizer needs M̂(u, v, w, co): an estimate of the wall-clock seconds
+// to multiply u x v by v x w matrices with co cores. Following the paper, we
+// measure square products M̂(p, p, p, co) for a grid of p and extrapolate an
+// arbitrary (u, v, w) through its effective dimension (u*v*w)^(1/3), which is
+// exact for a classical kernel with predictable cubic growth. The same
+// module measures the Table-1 system constants:
+//   Ts - seconds per sequential std::vector element access
+//   TI - seconds per random access + insert
+//   Tm - seconds per 32-byte allocation
+
+#ifndef JPMM_MATRIX_CALIBRATION_H_
+#define JPMM_MATRIX_CALIBRATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jpmm {
+
+/// Table-1 system constants (seconds per operation).
+struct SystemConstants {
+  double ts = 1e-9;   // sequential access
+  double ti = 8e-9;   // random access + insert
+  double tm = 15e-9;  // 32-byte allocation
+
+  /// Micro-measures the constants on this machine.
+  static SystemConstants Measure();
+};
+
+/// Calibrated matrix-multiplication timing table.
+class MatMulCalibration {
+ public:
+  /// Measures square p x p products for each p in dims and each core count
+  /// in cores. dims must be ascending.
+  static MatMulCalibration Measure(const std::vector<uint32_t>& dims,
+                                   const std::vector<int>& cores);
+
+  /// Builds a synthetic table from a flops rate (tests / deterministic runs):
+  /// time(p, co) = p^3 / (rate * co).
+  static MatMulCalibration FromFlopsRate(double flops_per_second,
+                                         const std::vector<int>& cores);
+
+  /// Estimated seconds for a u x v times v x w product on co cores.
+  /// Includes nothing but the multiplication itself.
+  double EstimateSeconds(uint64_t u, uint64_t v, uint64_t w, int co) const;
+
+  /// Process-wide instance, measured once on first use with a small grid.
+  static const MatMulCalibration& Default();
+
+  /// Measured effective flops rate at the largest calibrated dim, 1 core.
+  double single_core_flops() const;
+
+ private:
+  struct Entry {
+    uint32_t dim;
+    double seconds;
+  };
+  // entries_[c] = timings for cores_[c], ascending dim.
+  std::vector<int> cores_;
+  std::vector<std::vector<Entry>> entries_;
+
+  double EstimateForCore(double effective_dim, size_t core_idx) const;
+};
+
+}  // namespace jpmm
+
+#endif  // JPMM_MATRIX_CALIBRATION_H_

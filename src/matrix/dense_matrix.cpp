@@ -1,0 +1,23 @@
+#include "matrix/dense_matrix.h"
+
+namespace jpmm {
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  // Tile to keep both access patterns cache-resident.
+  constexpr size_t kTile = 32;
+  for (size_t i0 = 0; i0 < rows_; i0 += kTile) {
+    const size_t i1 = std::min(rows_, i0 + kTile);
+    for (size_t j0 = 0; j0 < cols_; j0 += kTile) {
+      const size_t j1 = std::min(cols_, j0 + kTile);
+      for (size_t i = i0; i < i1; ++i) {
+        for (size_t j = j0; j < j1; ++j) {
+          t.data_[j * rows_ + i] = data_[i * cols_ + j];
+        }
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace jpmm

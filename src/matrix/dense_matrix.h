@@ -1,0 +1,70 @@
+// Row-major dense float matrix.
+//
+// The paper stores adjacency matrices "as floating point matrices everywhere
+// rather than double precision or integer matrices for better performance"
+// (§6); witness counts are small integers, exactly representable in float up
+// to 2^24, far above any per-pair witness count at our scales.
+
+#ifndef JPMM_MATRIX_DENSE_MATRIX_H_
+#define JPMM_MATRIX_DENSE_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace jpmm {
+
+/// Dense rows x cols float matrix, zero-initialized.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  float At(size_t i, size_t j) const {
+    JPMM_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  void Set(size_t i, size_t j, float v) {
+    JPMM_DCHECK(i < rows_ && j < cols_);
+    data_[i * cols_ + j] = v;
+  }
+
+  /// Row i as a span.
+  std::span<const float> Row(size_t i) const {
+    JPMM_DCHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<float> MutableRow(size_t i) {
+    JPMM_DCHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  const float* data() const { return data_.data(); }
+  float* mutable_data() { return data_.data(); }
+
+  /// Bytes of payload (for memory accounting).
+  size_t SizeBytes() const { return data_.size() * sizeof(float); }
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace jpmm
+
+#endif  // JPMM_MATRIX_DENSE_MATRIX_H_

@@ -1,0 +1,79 @@
+#include "matrix/matmul.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace jpmm {
+namespace {
+
+// Inner-dimension tile: B rows touched per pass fit in L1/L2 alongside the
+// output row block.
+constexpr size_t kKTile = 256;
+
+// Computes out[i][*] += A(row i) * B for rows [r0, r1) with the ikj order:
+// the j-loop is a contiguous saxpy over B's row and C's row, which the
+// compiler turns into FMA vector code.
+void KernelRowRange(const Matrix& a, const Matrix& b, size_t r0, size_t r1,
+                    float* out) {
+  const size_t v = a.cols();
+  const size_t w = b.cols();
+  for (size_t k0 = 0; k0 < v; k0 += kKTile) {
+    const size_t k1 = std::min(v, k0 + kKTile);
+    for (size_t i = r0; i < r1; ++i) {
+      const float* arow = a.data() + i * v;
+      float* crow = out + (i - r0) * w;
+      for (size_t k = k0; k < k1; ++k) {
+        const float aik = arow[k];
+        if (aik == 0.0f) continue;  // adjacency matrices are sparse-ish
+        const float* brow = b.data() + k * w;
+        for (size_t j = 0; j < w; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void MultiplyRowRange(const Matrix& a, const Matrix& b, size_t row_begin,
+                      size_t row_end, std::span<float> out) {
+  JPMM_CHECK(a.cols() == b.rows());
+  JPMM_CHECK(row_begin <= row_end && row_end <= a.rows());
+  JPMM_CHECK(out.size() >= (row_end - row_begin) * b.cols());
+  std::memset(out.data(), 0, (row_end - row_begin) * b.cols() * sizeof(float));
+  KernelRowRange(a, b, row_begin, row_end, out.data());
+}
+
+void Multiply(const Matrix& a, const Matrix& b, Matrix* c, int threads) {
+  JPMM_CHECK_MSG(a.cols() == b.rows(), "dimension mismatch");
+  *c = Matrix(a.rows(), b.cols());
+  if (a.rows() == 0 || b.cols() == 0) return;
+  float* cdata = c->mutable_data();
+  const size_t w = b.cols();
+  ParallelFor(threads, a.rows(), [&](size_t r0, size_t r1, int) {
+    KernelRowRange(a, b, r0, r1, cdata + r0 * w);
+  });
+}
+
+Matrix Multiply(const Matrix& a, const Matrix& b, int threads) {
+  Matrix c;
+  Multiply(a, b, &c, threads);
+  return c;
+}
+
+Matrix MultiplyNaive(const Matrix& a, const Matrix& b) {
+  JPMM_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (size_t k = 0; k < a.cols(); ++k) acc += a.At(i, k) * b.At(k, j);
+      c.Set(i, j, acc);
+    }
+  }
+  return c;
+}
+
+}  // namespace jpmm

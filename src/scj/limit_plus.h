@@ -1,0 +1,22 @@
+// LIMIT+ — limit-based set containment join (Bouros et al., "Set containment
+// join revisited").
+//
+// Candidate generation only indexes the `limit` least-frequent elements of
+// each probe set: any superset of r must appear in the inverted list of
+// every element of r, so intersecting the `limit` rarest lists gives a small
+// candidate pool. Candidates are then verified with a merge-based subset
+// test. The paper benchmarks limit = 2.
+
+#ifndef JPMM_SCJ_LIMIT_PLUS_H_
+#define JPMM_SCJ_LIMIT_PLUS_H_
+
+#include "scj/scj.h"
+
+namespace jpmm {
+
+/// Runs LIMIT+ with options.limit rarest-element candidate generation.
+ScjResult LimitPlusJoin(const SetFamily& fam, const ScjOptions& options = {});
+
+}  // namespace jpmm
+
+#endif  // JPMM_SCJ_LIMIT_PLUS_H_

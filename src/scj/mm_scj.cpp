@@ -1,0 +1,24 @@
+#include "scj/mm_scj.h"
+
+namespace jpmm {
+
+ScjResult MmScj(const SetFamily& fam, const ScjOptions& options,
+                Strategy strategy) {
+  JoinProjectOptions jo;
+  jo.strategy = strategy;
+  jo.threads = options.threads;
+  jo.count_witnesses = true;
+  auto res = JoinProject::TwoPath(fam.relation(), fam.relation(), jo);
+
+  ScjResult out;
+  for (const CountedPair& p : res.counted) {
+    if (p.x == p.z) continue;
+    if (p.count == fam.SetSize(p.x)) {
+      out.push_back(ContainmentPair{p.x, p.z});
+    }
+  }
+  CanonicalizeScj(&out);
+  return out;
+}
+
+}  // namespace jpmm

@@ -1,0 +1,23 @@
+// MMJoin-based set containment join.
+//
+// Containment is a filter over the counted join-project: r SUBSETOF s iff
+// the witness count |r INTERSECT s| equals |r| (§4, "SCJ"). The heavy
+// lifting — and the parallelism — comes entirely from Algorithm 1; no
+// per-pair merge verification is needed, which is exactly where the
+// trie-based algorithms spend their time on dense data.
+
+#ifndef JPMM_SCJ_MM_SCJ_H_
+#define JPMM_SCJ_MM_SCJ_H_
+
+#include "core/join_project.h"
+#include "scj/scj.h"
+
+namespace jpmm {
+
+/// Runs SCJ through the counted join-project. `strategy` as in MmSsj.
+ScjResult MmScj(const SetFamily& fam, const ScjOptions& options = {},
+                Strategy strategy = Strategy::kAuto);
+
+}  // namespace jpmm
+
+#endif  // JPMM_SCJ_MM_SCJ_H_

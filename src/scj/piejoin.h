@@ -1,0 +1,28 @@
+// PIEJoin — parallel trie-based set containment join (Kunkel et al.),
+// simplified reproduction.
+//
+// The original performs a simultaneous pre/post-order traversal of tries
+// built over both collections, parallelized by partitioning top-level trie
+// branches. This reproduction keeps the two defining properties the paper's
+// comparison relies on — progressive inverted-list intersection along
+// infrequent-first prefixes, and coordination-free parallelism over
+// partitions of the probe side — while replacing the trie-vs-trie recursion
+// with per-partition prefix walks (DESIGN.md §3 records the simplification).
+// Its sensitivity to the partitioning heuristic (§7.4: "PIEJoin does not
+// scale as well ... sensitive to data distribution and choice of
+// partitions") is preserved: partitions are ranges of first-element ranks,
+// so skewed leading elements produce unbalanced work.
+
+#ifndef JPMM_SCJ_PIEJOIN_H_
+#define JPMM_SCJ_PIEJOIN_H_
+
+#include "scj/scj.h"
+
+namespace jpmm {
+
+/// Runs the simplified PIEJoin with options.threads partitions.
+ScjResult PieJoin(const SetFamily& fam, const ScjOptions& options = {});
+
+}  // namespace jpmm
+
+#endif  // JPMM_SCJ_PIEJOIN_H_

@@ -1,0 +1,22 @@
+// PRETTI — prefix-tree set containment join (Jampani & Pudi).
+//
+// Sets are rewritten in infrequent-first element order (ascending inverted-
+// list length) and inserted into a prefix tree. A DFS maintains the running
+// intersection of the inverted lists along the path: at a node ending set r,
+// every set in the current intersection contains all of r's elements, i.e.
+// is a superset of r. Shared prefixes share their (expensive) intersections,
+// which is the algorithm's whole advantage.
+
+#ifndef JPMM_SCJ_PRETTI_H_
+#define JPMM_SCJ_PRETTI_H_
+
+#include "scj/scj.h"
+
+namespace jpmm {
+
+/// Runs PRETTI. Single-threaded (the classic formulation).
+ScjResult PrettiJoin(const SetFamily& fam, const ScjOptions& options = {});
+
+}  // namespace jpmm
+
+#endif  // JPMM_SCJ_PRETTI_H_

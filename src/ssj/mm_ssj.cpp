@@ -1,0 +1,30 @@
+#include "ssj/mm_ssj.h"
+
+#include "common/check.h"
+
+namespace jpmm {
+
+SsjResult MmSsj(const SetFamily& fam, const SsjOptions& options,
+                Strategy strategy) {
+  JPMM_CHECK(options.c >= 1);
+  JoinProjectOptions jo;
+  jo.strategy = strategy;
+  jo.threads = options.threads;
+  jo.count_witnesses = true;
+  jo.min_count = options.c;
+  auto res = JoinProject::TwoPath(fam.relation(), fam.relation(), jo);
+
+  SsjResult out;
+  out.reserve(res.counted.size() / 2);
+  for (const CountedPair& p : res.counted) {
+    if (p.x >= p.z) continue;  // drop self pairs, keep each pair once
+    out.push_back(SimilarPair{p.x, p.z, p.count});
+  }
+  if (!options.ordered) {
+    for (auto& p : out) p.overlap = 0;
+  }
+  CanonicalizeSsj(&out, options.ordered);
+  return out;
+}
+
+}  // namespace jpmm

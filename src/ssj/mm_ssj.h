@@ -1,0 +1,25 @@
+// MMJoin-based set similarity join.
+//
+// SSJ with overlap threshold c is exactly the counted two-path self join
+// filtered to count >= c (§2.1), so the whole problem reduces to Algorithm 1
+// plus the cost-based optimizer. The witness counts come for free, which is
+// why the ordered variant costs only a sort here while SizeAware has to
+// re-intersect every output pair (§7.3, "Ordered SSJ").
+
+#ifndef JPMM_SSJ_MM_SSJ_H_
+#define JPMM_SSJ_MM_SSJ_H_
+
+#include "core/join_project.h"
+#include "ssj/ssj.h"
+
+namespace jpmm {
+
+/// Runs SSJ through the join-project facade. `strategy` defaults to the
+/// cost-based optimizer's choice; pass Strategy::kNonMmJoin to get the
+/// combinatorial comparator.
+SsjResult MmSsj(const SetFamily& fam, const SsjOptions& options,
+                Strategy strategy = Strategy::kAuto);
+
+}  // namespace jpmm
+
+#endif  // JPMM_SSJ_MM_SSJ_H_

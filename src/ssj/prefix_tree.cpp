@@ -1,0 +1,126 @@
+#include "ssj/prefix_tree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace jpmm {
+namespace {
+
+// Candidate-count state: sorted by candidate id.
+using CountState = std::vector<std::pair<Value, uint32_t>>;
+
+// new_state = state + 1 for every candidate in list (sorted merge).
+void MergeList(const CountState& state, std::span<const Value> list,
+               CountState* out) {
+  out->clear();
+  out->reserve(state.size() + list.size());
+  size_t i = 0, j = 0;
+  while (i < state.size() || j < list.size()) {
+    if (j >= list.size() ||
+        (i < state.size() && state[i].first < list[j])) {
+      out->push_back(state[i]);
+      ++i;
+    } else if (i >= state.size() || list[j] < state[i].first) {
+      out->push_back({list[j], 1});
+      ++j;
+    } else {
+      out->push_back({state[i].first, state[i].second + 1});
+      ++i;
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+SsjResult PrefixMergeLightPhase(const SetFamily& fam, uint32_t c,
+                                uint32_t boundary, uint32_t memo_depth,
+                                PrefixMergeStats* stats) {
+  JPMM_CHECK(c >= 1);
+  // Global element order: inverted-list length descending (ties by id).
+  std::vector<uint32_t> rank(fam.num_element_ids());
+  {
+    std::vector<Value> order(fam.num_element_ids());
+    for (Value e = 0; e < fam.num_element_ids(); ++e) order[e] = e;
+    std::sort(order.begin(), order.end(), [&](Value a, Value b) {
+      const uint32_t la = fam.ListSize(a), lb = fam.ListSize(b);
+      return la != lb ? la > lb : a < b;
+    });
+    for (uint32_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
+  }
+
+  // Light sets as rank sequences, sorted lexicographically.
+  struct SeqSet {
+    std::vector<uint32_t> seq;  // element ranks, ascending
+    std::vector<Value> elems;   // elements in rank order
+    Value id;
+  };
+  std::vector<SeqSet> sets;
+  for (Value s = 0; s < fam.num_set_ids(); ++s) {
+    const uint32_t size = fam.SetSize(s);
+    if (size < c || size >= boundary) continue;
+    SeqSet e;
+    e.id = s;
+    for (Value el : fam.Elements(s)) e.seq.push_back(rank[el]);
+    std::sort(e.seq.begin(), e.seq.end());
+    e.elems.reserve(e.seq.size());
+    sets.push_back(std::move(e));
+  }
+  std::sort(sets.begin(), sets.end(),
+            [](const SeqSet& a, const SeqSet& b) { return a.seq < b.seq; });
+  // Rank order back to element ids (rank -> element).
+  std::vector<Value> rank_to_elem(fam.num_element_ids());
+  for (Value e = 0; e < fam.num_element_ids(); ++e) rank_to_elem[rank[e]] = e;
+  for (auto& st : sets) {
+    for (uint32_t r : st.seq) st.elems.push_back(rank_to_elem[r]);
+  }
+
+  // memo[d] = count state after merging elements 0..d of the current prefix.
+  std::vector<CountState> memo;
+  std::vector<uint32_t> memo_seq;  // ranks the memo corresponds to
+  CountState scratch_a;
+  SsjResult out;
+
+  auto is_light = [&](Value s) {
+    const uint32_t size = fam.SetSize(s);
+    return size >= c && size < boundary;
+  };
+
+  for (const SeqSet& st : sets) {
+    // Longest shared prefix with the memoized path, capped by memo_depth.
+    uint32_t lcp = 0;
+    while (lcp < memo_seq.size() && lcp < st.seq.size() &&
+           memo_seq[lcp] == st.seq[lcp]) {
+      ++lcp;
+    }
+    memo.resize(lcp);
+    memo_seq.resize(lcp);
+    if (stats != nullptr) stats->merges_reused += lcp;
+
+    // Current state = memo at lcp (or empty). Copied into a local so that
+    // memo reallocations cannot invalidate it.
+    CountState current = lcp == 0 ? CountState{} : memo[lcp - 1];
+
+    for (uint32_t d = lcp; d < st.seq.size(); ++d) {
+      MergeList(current, fam.InvertedList(st.elems[d]), &scratch_a);
+      current.swap(scratch_a);
+      if (stats != nullptr) ++stats->merges_done;
+      if (d < memo_depth) {
+        memo.push_back(current);
+        memo_seq.push_back(st.seq[d]);
+      }
+    }
+
+    for (const auto& [cand, count] : current) {
+      if (count < c) continue;
+      if (cand >= st.id) continue;  // each unordered pair once
+      if (!is_light(cand)) continue;
+      out.push_back(SimilarPair{cand, st.id, count});
+    }
+  }
+  return out;
+}
+
+}  // namespace jpmm

@@ -1,0 +1,36 @@
+// SizeAware — the state-of-the-art SSJ baseline of Deng, Tao & Li [20]
+// (Algorithm 2 in the paper).
+//
+// Sets are split at GetSizeBoundary into heavy (large) and light (small).
+// Heavy sets join against everything by scanning their elements' inverted
+// lists and counting occurrences per candidate; light sets enumerate their
+// c-subsets and bucket them — two light sets sharing a c-subset overlap in
+// >= c elements.
+
+#ifndef JPMM_SSJ_SIZE_AWARE_H_
+#define JPMM_SSJ_SIZE_AWARE_H_
+
+#include "ssj/ssj.h"
+
+namespace jpmm {
+
+/// Runs SizeAware. options.c is the overlap threshold; ordered mode computes
+/// overlaps (an extra merge per output pair, as §7.3 notes) and sorts.
+/// The use_mm_* flags are ignored — this is the pure baseline.
+SsjResult SizeAwareJoin(const SetFamily& fam, const SsjOptions& options);
+
+/// Internal phases, exposed for SizeAware++ composition and tests. ----------
+
+/// Heavy phase: pairs {a,b} with overlap >= c where max-size side is heavy
+/// (size >= boundary). Deduplicated; overlaps always filled.
+SsjResult SizeAwareHeavyPhase(const SetFamily& fam, uint32_t c,
+                              uint32_t boundary, int threads);
+
+/// Light phase: light-light pairs via c-subset enumeration. Overlaps filled
+/// only when compute_overlap (costs one merge per pair).
+SsjResult SizeAwareLightPhase(const SetFamily& fam, uint32_t c,
+                              uint32_t boundary, bool compute_overlap);
+
+}  // namespace jpmm
+
+#endif  // JPMM_SSJ_SIZE_AWARE_H_

@@ -1,0 +1,25 @@
+// SizeAware++ — the paper's three-way-optimized SizeAware (Section 4).
+//
+// Modifications over the baseline (each independently switchable; Fig 8):
+//   1. use_mm_heavy : the heavy join R JOIN Rh runs through Algorithm 1
+//      (output-sensitive, strictly better whenever |JH| < N^2 / x).
+//   2. use_mm_light : light-light processing through the two-path join with
+//      witness counting instead of c-subset enumeration (wins when the
+//      c-subset index |JL| exceeds the projected output).
+//   3. use_prefix   : the light expansion reuses shared-prefix merge state
+//      (Example 6; implies list-merge processing of the light part).
+
+#ifndef JPMM_SSJ_SIZE_AWARE_PP_H_
+#define JPMM_SSJ_SIZE_AWARE_PP_H_
+
+#include "ssj/ssj.h"
+
+namespace jpmm {
+
+/// Runs SizeAware++ with the toggles in options (all on = the configuration
+/// benchmarked as "SizeAware++" in Figures 5-6).
+SsjResult SizeAwarePlusPlus(const SetFamily& fam, const SsjOptions& options);
+
+}  // namespace jpmm
+
+#endif  // JPMM_SSJ_SIZE_AWARE_PP_H_

@@ -1,0 +1,75 @@
+#include "ssj/size_boundary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace jpmm {
+
+double CSubsetCost(uint32_t m, uint32_t c) {
+  if (m < c) return 0.0;
+  // C(m, c) computed multiplicatively in doubles; capped to avoid inf.
+  double result = 1.0;
+  for (uint32_t i = 0; i < c; ++i) {
+    result *= static_cast<double>(m - i) / static_cast<double>(i + 1);
+    if (result > 1e18) return 1e18;
+  }
+  return result;
+}
+
+uint32_t GetSizeBoundary(const SetFamily& fam, uint32_t c) {
+  JPMM_CHECK(c >= 1);
+  struct Entry {
+    uint32_t size;
+    double light_cost;  // C(size, c)
+    double heavy_cost;  // sum over elements of |L[e]|
+  };
+  std::vector<Entry> entries;
+  for (Value s = 0; s < fam.num_set_ids(); ++s) {
+    const uint32_t size = fam.SetSize(s);
+    if (size < c) continue;  // cannot reach overlap c with any partner
+    double heavy = 0.0;
+    for (Value e : fam.Elements(s)) heavy += fam.ListSize(e);
+    entries.push_back(Entry{size, CSubsetCost(size, c), heavy});
+  }
+  if (entries.empty()) return c + 1;
+
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.size < b.size; });
+
+  // Prefix light cost / suffix heavy cost; candidate boundaries are each
+  // distinct size (boundary = size means that size is heavy) plus "beyond
+  // max" (everything light).
+  const size_t n = entries.size();
+  std::vector<double> light_prefix(n + 1, 0.0), heavy_suffix(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    light_prefix[i + 1] = light_prefix[i] + entries[i].light_cost;
+  }
+  for (size_t i = n; i > 0; --i) {
+    heavy_suffix[i - 1] = heavy_suffix[i] + entries[i - 1].heavy_cost;
+  }
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  uint32_t best_boundary = entries.back().size + 1;
+  size_t i = 0;
+  for (;;) {
+    // Boundary at entries[i].size: sizes >= it are heavy. i == n means
+    // everything light.
+    const uint32_t boundary =
+        i == n ? entries.back().size + 1 : entries[i].size;
+    const double cost = light_prefix[i] + heavy_suffix[i];
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_boundary = boundary;
+    }
+    if (i == n) break;
+    const uint32_t cur = entries[i].size;
+    while (i < n && entries[i].size == cur) ++i;  // next distinct size
+  }
+  return std::max(best_boundary, c + 1);
+}
+
+}  // namespace jpmm

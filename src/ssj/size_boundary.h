@@ -1,0 +1,30 @@
+// GetSizeBoundary — the size threshold of the SizeAware algorithm [20].
+//
+// Sets of size >= boundary are "heavy" and joined through inverted-list
+// scanning (cost ~ sum over heavy h of sum over e in h of |L[e]|); sets
+// below it are "light" and joined through c-subset enumeration (cost ~
+// sum over light r of C(|r|, c)). The boundary balances the two costs.
+
+#ifndef JPMM_SSJ_SIZE_BOUNDARY_H_
+#define JPMM_SSJ_SIZE_BOUNDARY_H_
+
+#include <cstdint>
+
+#include "storage/set_family.h"
+
+namespace jpmm {
+
+/// Estimated cost of c-subset enumeration for one set of size m (clamped
+/// so degenerate parameters do not overflow).
+double CSubsetCost(uint32_t m, uint32_t c);
+
+/// Returns the size boundary x minimizing estimated(heavy) + estimated(light)
+/// over candidate boundaries (the distinct set sizes). Sets with size >= x
+/// are heavy. Returns at least c + 1 (a set smaller than c can never reach
+/// overlap c, but may still pair with larger sets; c-subsets need >= c
+/// elements).
+uint32_t GetSizeBoundary(const SetFamily& fam, uint32_t c);
+
+}  // namespace jpmm
+
+#endif  // JPMM_SSJ_SIZE_BOUNDARY_H_

@@ -1,0 +1,43 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace jpmm {
+
+void Catalog::Put(const std::string& name, BinaryRelation rel) {
+  if (!rel.finalized()) rel.Finalize();
+  Entry e;
+  e.rel = std::move(rel);
+  entries_[name] = std::move(e);
+}
+
+bool Catalog::Has(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+const BinaryRelation& Catalog::Get(const std::string& name) const {
+  auto it = entries_.find(name);
+  JPMM_CHECK_MSG(it != entries_.end(), name.c_str());
+  return it->second.rel;
+}
+
+const IndexedRelation& Catalog::Index(const std::string& name) {
+  auto it = entries_.find(name);
+  JPMM_CHECK_MSG(it != entries_.end(), name.c_str());
+  if (it->second.index == nullptr) {
+    it->second.index = std::make_unique<IndexedRelation>(it->second.rel);
+  }
+  return *it->second.index;
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, _] : entries_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace jpmm

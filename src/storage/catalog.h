@@ -1,0 +1,47 @@
+// Catalog: a small named-relation registry.
+//
+// Keeps finalized relations together with their (lazily built) indexes, so
+// examples and benchmarks can share one loaded dataset across queries.
+
+#ifndef JPMM_STORAGE_CATALOG_H_
+#define JPMM_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/index.h"
+#include "storage/relation.h"
+
+namespace jpmm {
+
+/// Owns named relations and memoizes their IndexedRelation.
+class Catalog {
+ public:
+  /// Registers (or replaces) a relation under `name`. Finalizes it if needed.
+  void Put(const std::string& name, BinaryRelation rel);
+
+  /// True iff `name` is registered.
+  bool Has(const std::string& name) const;
+
+  /// The relation registered under `name`. Aborts if absent.
+  const BinaryRelation& Get(const std::string& name) const;
+
+  /// The CSR index for `name`, built on first use. Aborts if absent.
+  const IndexedRelation& Index(const std::string& name);
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    BinaryRelation rel;
+    std::unique_ptr<IndexedRelation> index;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace jpmm
+
+#endif  // JPMM_STORAGE_CATALOG_H_

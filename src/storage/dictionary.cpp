@@ -1,0 +1,26 @@
+#include "storage/dictionary.h"
+
+#include "common/check.h"
+
+namespace jpmm {
+
+Value Dictionary::Encode(std::string_view key) {
+  auto it = ids_.find(std::string(key));
+  if (it != ids_.end()) return it->second;
+  const Value id = static_cast<Value>(keys_.size());
+  keys_.emplace_back(key);
+  ids_.emplace(keys_.back(), id);
+  return id;
+}
+
+Value Dictionary::Lookup(std::string_view key) const {
+  auto it = ids_.find(std::string(key));
+  return it == ids_.end() ? kInvalidValue : it->second;
+}
+
+const std::string& Dictionary::Decode(Value id) const {
+  JPMM_CHECK(id < keys_.size());
+  return keys_[id];
+}
+
+}  // namespace jpmm

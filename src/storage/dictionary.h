@@ -1,0 +1,37 @@
+// String-to-id dictionary encoding for external data.
+
+#ifndef JPMM_STORAGE_DICTIONARY_H_
+#define JPMM_STORAGE_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace jpmm {
+
+/// Bidirectional mapping between external string keys and dense Value ids.
+class Dictionary {
+ public:
+  /// Returns the id of key, inserting it if new. Ids are assigned densely in
+  /// insertion order.
+  Value Encode(std::string_view key);
+
+  /// Returns the id of key or kInvalidValue if absent.
+  Value Lookup(std::string_view key) const;
+
+  /// Returns the key of id. id must be < size().
+  const std::string& Decode(Value id) const;
+
+  size_t size() const { return keys_.size(); }
+
+ private:
+  std::unordered_map<std::string, Value> ids_;
+  std::vector<std::string> keys_;
+};
+
+}  // namespace jpmm
+
+#endif  // JPMM_STORAGE_DICTIONARY_H_

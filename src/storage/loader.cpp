@@ -1,0 +1,81 @@
+#include "storage/loader.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace jpmm {
+namespace {
+
+// Parses one line into (x, y). Returns false on malformed content.
+bool ParseLine(std::string_view line, Value* x, Value* y) {
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  auto parse_value = [&](Value* out) {
+    skip_ws();
+    const char* begin = line.data() + i;
+    const char* end = line.data() + line.size();
+    auto [ptr, ec] = std::from_chars(begin, end, *out);
+    if (ec != std::errc() || ptr == begin) return false;
+    i = static_cast<size_t>(ptr - line.data());
+    return true;
+  };
+  if (!parse_value(x)) return false;
+  if (!parse_value(y)) return false;
+  skip_ws();
+  return i == line.size() || line[i] == '\r';
+}
+
+std::optional<BinaryRelation> ParseStream(std::istream& in,
+                                          std::string* error) {
+  BinaryRelation rel;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    // Treat whitespace-only lines as blank.
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Value x = 0, y = 0;
+    if (!ParseLine(line, &x, &y)) {
+      if (error != nullptr) {
+        *error = "malformed edge at line " + std::to_string(line_no) + ": '" +
+                 line + "'";
+      }
+      return std::nullopt;
+    }
+    rel.Add(x, y);
+  }
+  rel.Finalize();
+  return rel;
+}
+
+}  // namespace
+
+std::optional<BinaryRelation> LoadEdgeList(const std::string& path,
+                                           std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  return ParseStream(in, error);
+}
+
+std::optional<BinaryRelation> ParseEdgeList(const std::string& text,
+                                            std::string* error) {
+  std::istringstream in(text);
+  return ParseStream(in, error);
+}
+
+bool SaveEdgeList(const BinaryRelation& rel, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const Tuple& t : rel.tuples()) out << t.x << ' ' << t.y << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace jpmm

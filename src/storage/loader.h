@@ -1,0 +1,30 @@
+// Text edge-list I/O.
+//
+// Format: one "x y" pair of non-negative integers per line; blank lines and
+// lines starting with '#' or '%' are ignored (SNAP / KONECT conventions).
+
+#ifndef JPMM_STORAGE_LOADER_H_
+#define JPMM_STORAGE_LOADER_H_
+
+#include <optional>
+#include <string>
+
+#include "storage/relation.h"
+
+namespace jpmm {
+
+/// Parses an edge list from a file. Returns std::nullopt (and fills *error if
+/// given) on missing file or malformed line. The result is finalized.
+std::optional<BinaryRelation> LoadEdgeList(const std::string& path,
+                                           std::string* error = nullptr);
+
+/// Parses an edge list from an in-memory string (same format).
+std::optional<BinaryRelation> ParseEdgeList(const std::string& text,
+                                            std::string* error = nullptr);
+
+/// Writes a relation as an edge list. Returns false on I/O failure.
+bool SaveEdgeList(const BinaryRelation& rel, const std::string& path);
+
+}  // namespace jpmm
+
+#endif  // JPMM_STORAGE_LOADER_H_

@@ -1,0 +1,42 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stamp_set.h"
+
+namespace jpmm {
+
+void BinaryRelation::Finalize() {
+  std::sort(tuples_.begin(), tuples_.end());
+  tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
+
+  num_x_ = 0;
+  num_y_ = 0;
+  distinct_x_ = 0;
+  distinct_y_ = 0;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    const Tuple& t = tuples_[i];
+    num_x_ = std::max(num_x_, t.x + 1);
+    num_y_ = std::max(num_y_, t.y + 1);
+    if (i == 0 || tuples_[i - 1].x != t.x) ++distinct_x_;
+  }
+  if (!tuples_.empty()) {
+    StampSet seen(num_y_);
+    for (const Tuple& t : tuples_) {
+      if (seen.Insert(t.y)) ++distinct_y_;
+    }
+  }
+  finalized_ = true;
+}
+
+BinaryRelation BinaryRelation::Reversed() const {
+  std::vector<Tuple> rev;
+  rev.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) rev.push_back(Tuple{t.y, t.x});
+  BinaryRelation out(std::move(rev));
+  out.Finalize();
+  return out;
+}
+
+}  // namespace jpmm

@@ -1,0 +1,64 @@
+// BinaryRelation: the input format of every query in the library.
+//
+// A relation R(x, y) is a set of dictionary-encoded pairs. Builders append
+// freely (duplicates allowed); Finalize() sorts and deduplicates, giving the
+// set semantics the paper's queries assume.
+
+#ifndef JPMM_STORAGE_RELATION_H_
+#define JPMM_STORAGE_RELATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace jpmm {
+
+/// A binary relation R(x, y) stored as a tuple vector.
+class BinaryRelation {
+ public:
+  BinaryRelation() = default;
+
+  /// Takes ownership of pre-built tuples (call Finalize() before querying).
+  explicit BinaryRelation(std::vector<Tuple> tuples)
+      : tuples_(std::move(tuples)) {}
+
+  /// Appends one tuple. Duplicates are removed by Finalize().
+  void Add(Value x, Value y) { tuples_.push_back(Tuple{x, y}); }
+
+  /// Sorts tuples and removes duplicates. Idempotent.
+  void Finalize();
+
+  /// True once Finalize() has run and no tuple was added since.
+  bool finalized() const { return finalized_; }
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Domain bound for x: 1 + max x (0 when empty).
+  Value num_x() const { return num_x_; }
+  /// Domain bound for y: 1 + max y (0 when empty).
+  Value num_y() const { return num_y_; }
+
+  /// Returns the relation with columns swapped: R'(y, x). Finalized.
+  BinaryRelation Reversed() const;
+
+  /// Number of distinct x values (valid after Finalize()).
+  Value distinct_x() const { return distinct_x_; }
+  /// Number of distinct y values (valid after Finalize()).
+  Value distinct_y() const { return distinct_y_; }
+
+ private:
+  std::vector<Tuple> tuples_;
+  Value num_x_ = 0;
+  Value num_y_ = 0;
+  Value distinct_x_ = 0;
+  Value distinct_y_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace jpmm
+
+#endif  // JPMM_STORAGE_RELATION_H_

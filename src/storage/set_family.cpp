@@ -1,0 +1,47 @@
+#include "storage/set_family.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace jpmm {
+
+std::string SetFamilyStats::ToString() const {
+  std::ostringstream os;
+  os << "|R|=" << num_tuples << " sets=" << num_sets << " |dom|=" << dom_size
+     << " avg=" << avg_set_size << " min=" << min_set_size
+     << " max=" << max_set_size;
+  return os.str();
+}
+
+std::vector<Value> SetFamily::NonEmptySets() const {
+  std::vector<Value> out;
+  for (Value s = 0; s < rel_->num_x(); ++s) {
+    if (rel_->DegX(s) > 0) out.push_back(s);
+  }
+  return out;
+}
+
+SetFamilyStats SetFamily::Stats() const {
+  SetFamilyStats st;
+  st.num_tuples = rel_->num_tuples();
+  st.min_set_size = std::numeric_limits<uint32_t>::max();
+  for (Value s = 0; s < rel_->num_x(); ++s) {
+    const uint32_t sz = rel_->DegX(s);
+    if (sz == 0) continue;
+    ++st.num_sets;
+    st.min_set_size = std::min(st.min_set_size, sz);
+    st.max_set_size = std::max(st.max_set_size, sz);
+  }
+  for (Value e = 0; e < rel_->num_y(); ++e) {
+    if (rel_->DegY(e) > 0) ++st.dom_size;
+  }
+  st.avg_set_size =
+      st.num_sets == 0
+          ? 0.0
+          : static_cast<double>(st.num_tuples) / static_cast<double>(st.num_sets);
+  if (st.num_sets == 0) st.min_set_size = 0;
+  return st;
+}
+
+}  // namespace jpmm

@@ -1,0 +1,72 @@
+// SetFamily: the "family of sets" view used by SSJ, SCJ and BSI.
+//
+// A binary relation R(x, y) read as "set x contains element y" (§2.1). The
+// family exposes per-set sorted element lists, per-element inverted lists,
+// and the summary characteristics reported in Table 2.
+
+#ifndef JPMM_STORAGE_SET_FAMILY_H_
+#define JPMM_STORAGE_SET_FAMILY_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/index.h"
+
+namespace jpmm {
+
+/// Table-2 style summary of a set family.
+struct SetFamilyStats {
+  uint64_t num_tuples = 0;   // |R|
+  uint64_t num_sets = 0;     // sets with >= 1 element
+  uint64_t dom_size = 0;     // distinct elements
+  double avg_set_size = 0.0;
+  uint32_t min_set_size = 0;
+  uint32_t max_set_size = 0;
+
+  std::string ToString() const;
+};
+
+/// Read-only set-family view over an IndexedRelation.
+///
+/// Set ids are the x values of the underlying relation; element ids are the
+/// y values. Sets not present in the relation have size 0.
+class SetFamily {
+ public:
+  /// The view keeps a reference; `rel` must outlive the family.
+  explicit SetFamily(const IndexedRelation& rel) : rel_(&rel) {}
+
+  /// Number of set ids (including possibly-empty ones below num_x).
+  Value num_set_ids() const { return rel_->num_x(); }
+
+  /// Number of element ids.
+  Value num_element_ids() const { return rel_->num_y(); }
+
+  /// Sorted elements of set s.
+  std::span<const Value> Elements(Value s) const { return rel_->YsOf(s); }
+
+  /// Sorted inverted list of element e (ids of sets containing e).
+  std::span<const Value> InvertedList(Value e) const { return rel_->XsOf(e); }
+
+  uint32_t SetSize(Value s) const { return rel_->DegX(s); }
+  uint32_t ListSize(Value e) const { return rel_->DegY(e); }
+
+  /// True iff set s contains element e.
+  bool Contains(Value s, Value e) const { return rel_->Contains(s, e); }
+
+  /// Ids of non-empty sets.
+  std::vector<Value> NonEmptySets() const;
+
+  /// Summary characteristics (Table 2 columns).
+  SetFamilyStats Stats() const;
+
+  const IndexedRelation& relation() const { return *rel_; }
+
+ private:
+  const IndexedRelation* rel_;
+};
+
+}  // namespace jpmm
+
+#endif  // JPMM_STORAGE_SET_FAMILY_H_

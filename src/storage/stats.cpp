@@ -1,0 +1,98 @@
+#include "storage/stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace jpmm {
+
+DegreeCdf::DegreeCdf(const std::vector<uint32_t>& degrees,
+                     const std::vector<double>& weights) {
+  JPMM_CHECK(degrees.size() == weights.size());
+  std::vector<size_t> order;
+  order.reserve(degrees.size());
+  for (size_t i = 0; i < degrees.size(); ++i) {
+    if (degrees[i] > 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return degrees[a] < degrees[b];
+  });
+
+  uint64_t count = 0;
+  double weight = 0.0;
+  for (size_t idx : order) {
+    const uint32_t d = degrees[idx];
+    ++count;
+    weight += weights[idx];
+    if (!degrees_.empty() && degrees_.back() == d) {
+      counts_.back() = count;
+      weights_.back() = weight;
+    } else {
+      degrees_.push_back(d);
+      counts_.push_back(count);
+      weights_.push_back(weight);
+    }
+  }
+}
+
+uint64_t DegreeCdf::CountAtMost(uint64_t delta) const {
+  auto it = std::upper_bound(degrees_.begin(), degrees_.end(), delta);
+  if (it == degrees_.begin()) return 0;
+  return counts_[static_cast<size_t>(it - degrees_.begin()) - 1];
+}
+
+double DegreeCdf::WeightAtMost(uint64_t delta) const {
+  auto it = std::upper_bound(degrees_.begin(), degrees_.end(), delta);
+  if (it == degrees_.begin()) return 0.0;
+  return weights_[static_cast<size_t>(it - degrees_.begin()) - 1];
+}
+
+TwoPathStats::TwoPathStats(const IndexedRelation& r, const IndexedRelation& s) {
+  const Value ny = std::max(r.num_y(), s.num_y());
+  for (Value b = 0; b < ny; ++b) {
+    full_join_size_ +=
+        static_cast<uint64_t>(r.DegY(b)) * static_cast<uint64_t>(s.DegY(b));
+  }
+
+  // x side: weight = expansion effort sum_{b in R[a]} deg_S(b).
+  {
+    std::vector<uint32_t> deg(r.num_x());
+    std::vector<double> w(r.num_x());
+    for (Value a = 0; a < r.num_x(); ++a) {
+      deg[a] = r.DegX(a);
+      double effort = 0.0;
+      for (Value b : r.YsOf(a)) effort += s.DegY(b);
+      w[a] = effort;
+    }
+    x_cdf_ = DegreeCdf(deg, w);
+  }
+
+  // z side: weight = expansion effort sum_{b in S[c]} deg_R(b).
+  {
+    std::vector<uint32_t> deg(s.num_x());
+    std::vector<double> w(s.num_x());
+    for (Value c = 0; c < s.num_x(); ++c) {
+      deg[c] = s.DegX(c);
+      double effort = 0.0;
+      for (Value b : s.YsOf(c)) effort += r.DegY(b);
+      w[c] = effort;
+    }
+    z_cdf_ = DegreeCdf(deg, w);
+  }
+
+  // y side, keyed by deg_S(b) (the lightness test of Algorithm 1).
+  {
+    std::vector<uint32_t> deg(ny);
+    std::vector<double> join_w(ny), tuple_w(ny);
+    for (Value b = 0; b < ny; ++b) {
+      deg[b] = s.DegY(b);
+      join_w[b] = static_cast<double>(r.DegY(b)) * s.DegY(b);
+      tuple_w[b] = static_cast<double>(r.DegY(b));
+    }
+    y_cdf_ = DegreeCdf(deg, join_w);
+    ycdfx_ = DegreeCdf(deg, tuple_w);
+  }
+}
+
+}  // namespace jpmm

@@ -1,0 +1,101 @@
+// Degree statistics and the Section-5 optimizer indexes.
+//
+// Algorithm 3 probes, for candidate thresholds delta:
+//   count(w, delta)  - number of w-values with degree <= delta
+//   sum(x, delta)    - light-x deduplication effort:
+//                      sum over {a : deg_R(a) <= delta} of
+//                      sum over {b in R[a]} of |L_S[b]|
+//   sum(y, delta)    - light-y expansion effort:
+//                      sum over {b : deg_S(b) <= delta} of deg_R(b)*deg_S(b)
+//   cdfx(y, delta)   - number of R-tuples whose y value has deg_S <= delta
+// All are answered in O(log N) from degree-sorted prefix-sum tables built in
+// linear time ("storing the sorted vector containing the true distribution of
+// values present in the relation", §5).
+
+#ifndef JPMM_STORAGE_STATS_H_
+#define JPMM_STORAGE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/index.h"
+
+namespace jpmm {
+
+/// Generic degree-CDF: pairs (degree, weight) sorted by degree with prefix
+/// sums, queried by threshold.
+class DegreeCdf {
+ public:
+  DegreeCdf() = default;
+
+  /// Builds from parallel arrays: entry i has degree degrees[i] and weight
+  /// weights[i]. Zero-degree entries are skipped (values absent from the
+  /// relation).
+  DegreeCdf(const std::vector<uint32_t>& degrees,
+            const std::vector<double>& weights);
+
+  /// Number of entries with degree <= delta.
+  uint64_t CountAtMost(uint64_t delta) const;
+
+  /// Sum of weights over entries with degree <= delta.
+  double WeightAtMost(uint64_t delta) const;
+
+  /// Total number of (non-zero-degree) entries.
+  uint64_t total_count() const {
+    return degrees_.empty() ? 0 : counts_.back();
+  }
+
+  /// Sum of all weights.
+  double total_weight() const {
+    return degrees_.empty() ? 0.0 : weights_.back();
+  }
+
+ private:
+  std::vector<uint32_t> degrees_;  // distinct degrees, ascending
+  std::vector<uint64_t> counts_;   // prefix count per distinct degree
+  std::vector<double> weights_;    // prefix weight per distinct degree
+};
+
+/// All Section-5 indexes for a 2-path query pi_{x,z}(R(x,y) JOIN S(z,y)).
+///
+/// For a self join pass the same IndexedRelation twice.
+class TwoPathStats {
+ public:
+  TwoPathStats(const IndexedRelation& r, const IndexedRelation& s);
+
+  /// |OUT_join|: full join size before projection, sum_b deg_R(b)*deg_S(b).
+  uint64_t full_join_size() const { return full_join_size_; }
+
+  /// count(x, delta): #x-values of R with degree <= delta.
+  uint64_t CountXAtMost(uint64_t delta) const { return x_cdf_.CountAtMost(delta); }
+  /// count(z, delta): #z-values of S with degree <= delta.
+  uint64_t CountZAtMost(uint64_t delta) const { return z_cdf_.CountAtMost(delta); }
+  /// count(y, delta): #y-values with deg_S <= delta (the heavy-y complement).
+  uint64_t CountYAtMost(uint64_t delta) const { return y_cdf_.CountAtMost(delta); }
+
+  /// sum(x, delta): expansion effort for light x (see header comment).
+  double SumXAtMost(uint64_t delta) const { return x_cdf_.WeightAtMost(delta); }
+  /// sum(z, delta): symmetric effort for light z:
+  /// sum over {c : deg_S(c) <= delta} of sum over {b in S[c]} of deg_R(b).
+  double SumZAtMost(uint64_t delta) const { return z_cdf_.WeightAtMost(delta); }
+  /// sum(y, delta): join work through light y: sum deg_R(b) * deg_S(b).
+  double SumYAtMost(uint64_t delta) const { return y_cdf_.WeightAtMost(delta); }
+  /// cdfx(y, delta): #R-tuples whose y has deg_S <= delta.
+  double CdfXAtMost(uint64_t delta) const { return ycdfx_.WeightAtMost(delta); }
+
+  uint64_t distinct_x() const { return x_cdf_.total_count(); }
+  uint64_t distinct_z() const { return z_cdf_.total_count(); }
+  uint64_t distinct_y() const { return y_cdf_.total_count(); }
+
+ private:
+  uint64_t full_join_size_ = 0;
+  DegreeCdf x_cdf_;    // degrees of x in R, weight = sum_{b in R[a]} deg_S(b)
+  DegreeCdf z_cdf_;    // degrees of z in S, weight = sum_{b in S[c]} deg_R(b)
+  DegreeCdf y_cdf_;    // degrees of y in S, weight = deg_R(b) * deg_S(b)
+  DegreeCdf ycdfx_;    // degrees of y in S, weight = deg_R(b)
+};
+
+}  // namespace jpmm
+
+#endif  // JPMM_STORAGE_STATS_H_

@@ -1,0 +1,218 @@
+// Unit tests for src/common: rng, zipf, bitset, stamp sets, thread pool,
+// hashing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/stamp_set.h"
+#include "common/thread_pool.h"
+#include "common/types.h"
+
+namespace jpmm {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.Next(), b.Next());
+  Rng a2(7);
+  EXPECT_NE(a2.Next(), c.Next());
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> buckets(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.NextBounded(10)];
+  for (int b : buckets) {
+    EXPECT_GT(b, kDraws / 10 * 0.9);
+    EXPECT_LT(b, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(Zipf, UniformWhenThetaZero) {
+  ZipfSampler z(100, 0.0, 9);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z.Sample()];
+  // Every rank drawn at least once, max/min ratio bounded.
+  int mn = counts[0], mx = counts[0];
+  for (int c : counts) {
+    mn = std::min(mn, c);
+    mx = std::max(mx, c);
+  }
+  EXPECT_GT(mn, 0);
+  EXPECT_LT(mx, 3 * mn);
+}
+
+TEST(Zipf, SkewFavoursLowRanks) {
+  ZipfSampler z(1000, 1.0, 13);
+  int low = 0, high = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const uint32_t r = z.Sample();
+    if (r < 10) ++low;
+    if (r >= 500) ++high;
+  }
+  // Theory for theta=1, n=1000: P(rank<10)/P(rank>=500) ~ 4.2.
+  EXPECT_GT(low, 3 * high);
+}
+
+TEST(Zipf, SamplesWithinRange) {
+  ZipfSampler z(7, 1.5, 1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.Sample(), 7u);
+}
+
+TEST(Bitset, SetTestClear) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.Count(), 0u);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+  b.Reset();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(Bitset, IntersectsAndAndCount) {
+  DynamicBitset a(200), b(200);
+  a.Set(3);
+  a.Set(100);
+  a.Set(199);
+  b.Set(4);
+  b.Set(100);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.AndCount(b), 1u);
+  b.Clear(100);
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_EQ(a.AndCount(b), 0u);
+}
+
+TEST(Bitset, OrWithAndAppendSetBits) {
+  DynamicBitset a(70), b(70);
+  a.Set(1);
+  b.Set(65);
+  a.OrWith(b);
+  std::vector<uint32_t> bits;
+  a.AppendSetBits(&bits);
+  EXPECT_EQ(bits, (std::vector<uint32_t>{1, 65}));
+}
+
+TEST(StampSet, InsertAndEpochClear) {
+  StampSet s(10);
+  EXPECT_TRUE(s.Insert(3));
+  EXPECT_FALSE(s.Insert(3));
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(4));
+  s.NewEpoch();
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_TRUE(s.Insert(3));
+}
+
+TEST(StampSet, ManyEpochsStayCorrect) {
+  StampSet s(4);
+  for (int e = 0; e < 1000; ++e) {
+    s.NewEpoch();
+    EXPECT_TRUE(s.Insert(e % 4));
+    EXPECT_FALSE(s.Insert(e % 4));
+  }
+}
+
+TEST(StampCounter, AddAndGet) {
+  StampCounter c(8);
+  EXPECT_EQ(c.Add(2, 5), 0u);
+  EXPECT_EQ(c.Add(2, 3), 5u);
+  EXPECT_EQ(c.Get(2), 8u);
+  EXPECT_EQ(c.Get(3), 0u);
+  c.NewEpoch();
+  EXPECT_EQ(c.Get(2), 0u);
+  EXPECT_EQ(c.Add(2, 1), 0u);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    std::vector<std::atomic<int>> hits(1000);
+    ParallelFor(threads, hits.size(), [&](size_t b, size_t e, int) {
+      for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(4, 0, [&](size_t, size_t, int) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, WorkerIdsAreDistinctChunks) {
+  std::vector<int> owner(100, -1);
+  ParallelFor(4, owner.size(), [&](size_t b, size_t e, int w) {
+    for (size_t i = b; i < e; ++i) owner[i] = w;
+  });
+  // Chunks are contiguous and non-decreasing in worker id.
+  for (size_t i = 1; i < owner.size(); ++i) {
+    EXPECT_GE(owner[i], owner[i - 1]);
+  }
+}
+
+TEST(Hash, PackUnpackRoundTrip) {
+  const OutPair p{123456, 654321};
+  const uint64_t key = PackPair(p.x, p.z);
+  const OutPair q = UnpackPair(key);
+  EXPECT_EQ(p, q);
+}
+
+TEST(Hash, Mix64Avalanches) {
+  // Neighbouring inputs should produce very different outputs.
+  std::set<uint64_t> outs;
+  for (uint64_t i = 0; i < 1000; ++i) outs.insert(Mix64(i));
+  EXPECT_EQ(outs.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace jpmm

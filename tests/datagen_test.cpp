@@ -1,0 +1,172 @@
+// Tests for the synthetic dataset generators and Table-2 presets.
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "datagen/presets.h"
+#include "storage/set_family.h"
+
+namespace jpmm {
+namespace {
+
+TEST(Generators, BipartiteRespectsSpecBounds) {
+  BipartiteSpec spec;
+  spec.num_sets = 200;
+  spec.dom_size = 100;
+  spec.min_set_size = 2;
+  spec.max_set_size = 10;
+  spec.size_skew = 1.0;
+  spec.element_skew = 0.8;
+  BinaryRelation rel = MakeBipartite(spec);
+  IndexedRelation idx(rel);
+  SetFamily fam(idx);
+  const SetFamilyStats st = fam.Stats();
+  EXPECT_EQ(st.num_sets, 200u);
+  EXPECT_GE(st.min_set_size, 2u);
+  EXPECT_LE(st.max_set_size, 10u);
+  EXPECT_LE(st.dom_size, 100u);
+}
+
+TEST(Generators, DensePathProducesLargeSets) {
+  BipartiteSpec spec;
+  spec.num_sets = 20;
+  spec.dom_size = 50;
+  spec.min_set_size = 30;  // > dom/3: exercises the Fisher-Yates path
+  spec.max_set_size = 40;
+  spec.size_skew = 0.0;
+  BinaryRelation rel = MakeBipartite(spec);
+  IndexedRelation idx(rel);
+  for (Value s = 0; s < 20; ++s) {
+    EXPECT_GE(idx.DegX(s), 30u);
+    EXPECT_LE(idx.DegX(s), 40u);
+    // No duplicate elements within a set (CSR lists are strictly sorted).
+    const auto ys = idx.YsOf(s);
+    for (size_t i = 1; i < ys.size(); ++i) EXPECT_LT(ys[i - 1], ys[i]);
+  }
+}
+
+TEST(Generators, DeterministicForSeed) {
+  BipartiteSpec spec;
+  spec.num_sets = 50;
+  spec.dom_size = 60;
+  spec.max_set_size = 8;
+  spec.seed = 99;
+  BinaryRelation a = MakeBipartite(spec);
+  BinaryRelation b = MakeBipartite(spec);
+  EXPECT_EQ(a.tuples(), b.tuples());
+  spec.seed = 100;
+  BinaryRelation c = MakeBipartite(spec);
+  EXPECT_NE(a.tuples(), c.tuples());
+}
+
+TEST(Generators, ElementSkewCreatesHubs) {
+  BipartiteSpec skewed;
+  skewed.num_sets = 400;
+  skewed.dom_size = 400;
+  skewed.max_set_size = 6;
+  skewed.element_skew = 1.2;
+  skewed.seed = 7;
+  BipartiteSpec uniform = skewed;
+  uniform.element_skew = 0.0;
+  IndexedRelation si(MakeBipartite(skewed));
+  IndexedRelation ui(MakeBipartite(uniform));
+  uint32_t max_s = 0, max_u = 0;
+  for (Value e = 0; e < si.num_y(); ++e) max_s = std::max(max_s, si.DegY(e));
+  for (Value e = 0; e < ui.num_y(); ++e) max_u = std::max(max_u, ui.DegY(e));
+  EXPECT_GT(max_s, 2 * max_u);
+}
+
+TEST(Generators, CommunityGraphStructure) {
+  BinaryRelation g = CommunityGraph(3, 10, 1.0, 1);
+  // Full cliques minus self-loops.
+  EXPECT_EQ(g.size(), 3u * 10 * 9);
+  IndexedRelation gi(g);
+  // No cross-community edge: x in community c only sees y in community c.
+  for (const Tuple& t : g.tuples()) {
+    EXPECT_EQ(t.x / 10, t.y / 10);
+  }
+  // p_in = 0 gives an empty graph.
+  EXPECT_TRUE(CommunityGraph(3, 10, 0.0, 1).empty());
+}
+
+TEST(Generators, UniformBipartiteDomains) {
+  BinaryRelation r = UniformBipartite(40, 30, 500, 3);
+  EXPECT_LE(r.num_x(), 40u);
+  EXPECT_LE(r.num_y(), 30u);
+  EXPECT_LE(r.size(), 500u);
+  EXPECT_GT(r.size(), 300u);  // few collisions expected
+}
+
+TEST(Presets, AllSixGenerateAndMatchRegime) {
+  for (DatasetPreset p : AllPresets()) {
+    BinaryRelation rel = MakePreset(p, 0.5);
+    ASSERT_GT(rel.size(), 0u) << PresetName(p);
+    IndexedRelation idx(rel);
+    SetFamily fam(idx);
+    const SetFamilyStats st = fam.Stats();
+    EXPECT_GT(st.num_sets, 0u) << PresetName(p);
+    // Dense presets have avg set size a significant fraction of dom.
+    const double density = st.avg_set_size / static_cast<double>(st.dom_size);
+    switch (p) {
+      case DatasetPreset::kJokes:
+      case DatasetPreset::kProtein:
+      case DatasetPreset::kImage:
+        EXPECT_GT(density, 0.05) << PresetName(p);
+        break;
+      case DatasetPreset::kDblp:
+      case DatasetPreset::kRoadNet:
+        EXPECT_LT(density, 0.01) << PresetName(p);
+        break;
+      case DatasetPreset::kWords:
+        EXPECT_LT(density, 0.1) << PresetName(p);
+        break;
+    }
+  }
+}
+
+TEST(Generators, SubsetFractionCreatesContainments) {
+  BipartiteSpec spec;
+  spec.num_sets = 120;
+  spec.dom_size = 100;
+  spec.min_set_size = 4;
+  spec.max_set_size = 20;
+  spec.subset_fraction = 0.4;
+  spec.seed = 55;
+  BinaryRelation rel = MakeBipartite(spec);
+  IndexedRelation idx(rel);
+  // Count (sub, super) pairs by brute force: with 40% subset sets there
+  // must be plenty.
+  size_t containments = 0;
+  for (Value a = 0; a < idx.num_x(); ++a) {
+    const auto ea = idx.YsOf(a);
+    if (ea.empty()) continue;
+    for (Value b = 0; b < idx.num_x(); ++b) {
+      if (a == b || idx.DegX(b) < ea.size()) continue;
+      const auto eb = idx.YsOf(b);
+      if (std::includes(eb.begin(), eb.end(), ea.begin(), ea.end())) {
+        ++containments;
+      }
+    }
+  }
+  EXPECT_GT(containments, 20u);
+
+  BipartiteSpec no_subsets = spec;
+  no_subsets.subset_fraction = 0.0;
+  BinaryRelation rel2 = MakeBipartite(no_subsets);
+  EXPECT_NE(rel.tuples(), rel2.tuples());
+}
+
+TEST(Presets, ScaleChangesSize) {
+  BinaryRelation small = MakePreset(DatasetPreset::kJokes, 0.05);
+  BinaryRelation large = MakePreset(DatasetPreset::kJokes, 0.2);
+  EXPECT_GT(large.size(), 2 * small.size());
+}
+
+TEST(Presets, NamesAreStable) {
+  EXPECT_STREQ(PresetName(DatasetPreset::kDblp), "DBLP");
+  EXPECT_STREQ(PresetName(DatasetPreset::kImage), "Image");
+  EXPECT_EQ(AllPresets().size(), 6u);
+}
+
+}  // namespace
+}  // namespace jpmm

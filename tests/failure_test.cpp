@@ -1,0 +1,90 @@
+// Failure-injection tests: misuse of the public API must fail loudly
+// (JPMM_CHECK aborts), and recoverable failures must return errors.
+
+#include <gtest/gtest.h>
+
+#include "core/join_project.h"
+#include "core/mm_join.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/matmul.h"
+#include "ssj/mm_ssj.h"
+#include "storage/index.h"
+#include "storage/loader.h"
+#include "storage/relation.h"
+#include "tests/test_util.h"
+
+namespace jpmm {
+namespace {
+
+using testutil::RandomRelation;
+
+TEST(FailureDeath, IndexRequiresFinalizedRelation) {
+  BinaryRelation r;
+  r.Add(0, 0);  // not finalized
+  EXPECT_DEATH({ IndexedRelation idx(r); }, "Finalize");
+}
+
+TEST(FailureDeath, MatmulRejectsDimensionMismatch) {
+  Matrix a(3, 4), b(5, 2);
+  Matrix c;
+  EXPECT_DEATH(Multiply(a, b, &c, 1), "dimension mismatch");
+}
+
+TEST(FailureDeath, MinCountWithoutCountingIsRejected) {
+  BinaryRelation r = RandomRelation(10, 10, 30, 0.5, 1);
+  IndexedRelation ri(r);
+  MmJoinOptions opts;
+  opts.min_count = 2;  // but count_witnesses is false
+  EXPECT_DEATH(MmJoinTwoPath(ri, ri, opts), "min_count");
+}
+
+TEST(FailureDeath, FacadeRejectsUnfinalizedRelations) {
+  BinaryRelation r;
+  r.Add(1, 1);
+  BinaryRelation s;
+  s.Add(1, 1);
+  s.Finalize();
+  EXPECT_DEATH(JoinProject::TwoPath(r, s), "Finalize");
+}
+
+TEST(FailureDeath, StarRejectsSingleRelation) {
+  BinaryRelation r = RandomRelation(5, 5, 10, 0.5, 2);
+  IndexedRelation ri(r);
+  std::vector<const IndexedRelation*> rels = {&ri};
+  EXPECT_DEATH(JoinProject::Star(rels), "");
+}
+
+TEST(FailureDeath, SsjRejectsZeroThreshold) {
+  BinaryRelation r = RandomRelation(10, 10, 30, 0.5, 3);
+  IndexedRelation ri(r);
+  SetFamily fam(ri);
+  SsjOptions opts;
+  opts.c = 0;
+  EXPECT_DEATH(MmSsj(fam, opts), "");
+}
+
+TEST(FailureRecoverable, LoaderReportsBadInputWithoutAborting) {
+  std::string error;
+  EXPECT_FALSE(ParseEdgeList("garbage line\n", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(LoadEdgeList("/no/such/file", &error).has_value());
+}
+
+TEST(FailureRecoverable, SaveToUnwritablePathFails) {
+  BinaryRelation r = RandomRelation(5, 5, 10, 0.5, 4);
+  EXPECT_FALSE(SaveEdgeList(r, "/no/such/dir/out.txt"));
+}
+
+TEST(FailureRecoverable, TinyMatrixBudgetStillProducesCorrectResult) {
+  // The memory cap is a degradation path, not a failure path.
+  BinaryRelation r = RandomRelation(60, 30, 600, 1.2, 5);
+  IndexedRelation ri(r);
+  MmJoinOptions opts;
+  opts.thresholds = {1, 1};
+  opts.max_matrix_bytes = 1;  // nothing fits
+  auto res = MmJoinTwoPath(ri, ri, opts);
+  EXPECT_EQ(testutil::Sorted(res.pairs), testutil::OracleTwoPath(r, r));
+}
+
+}  // namespace
+}  // namespace jpmm

@@ -1,0 +1,209 @@
+// Tests for the output estimator (§5) and the cost-based optimizer
+// (Algorithm 3), plus the JoinProject facade.
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "core/join_project.h"
+#include "core/optimizer.h"
+#include "datagen/generators.h"
+#include "tests/test_util.h"
+
+namespace jpmm {
+namespace {
+
+using testutil::OracleTwoPath;
+using testutil::OracleTwoPathCounted;
+using testutil::RandomRelation;
+using testutil::Sorted;
+
+TEST(Estimator, BoundsBracketTrueOutput) {
+  for (uint64_t seed : {51ull, 52ull, 53ull, 54ull}) {
+    BinaryRelation r = RandomRelation(60, 40, 600, 1.2, seed);
+    IndexedRelation ri(r);
+    TwoPathStats stats(ri, ri);
+    const OutputEstimate est = EstimateTwoPathOutput(ri, ri, stats);
+    const uint64_t truth = OracleTwoPath(r, r).size();
+    EXPECT_LE(est.lower, truth) << "seed=" << seed;
+    EXPECT_GE(est.upper, truth) << "seed=" << seed;
+    EXPECT_GE(est.estimate, est.lower);
+    EXPECT_LE(est.estimate, est.upper);
+  }
+}
+
+TEST(Estimator, FullJoinSizeIsExact) {
+  BinaryRelation r = RandomRelation(30, 25, 250, 1.0, 55);
+  BinaryRelation s = RandomRelation(28, 25, 230, 1.0, 56);
+  IndexedRelation ri(r), si(s);
+  TwoPathStats stats(ri, si);
+  const OutputEstimate est = EstimateTwoPathOutput(ri, si, stats);
+  uint64_t expected = 0;
+  for (const Tuple& rt : r.tuples()) {
+    for (const Tuple& st : s.tuples()) {
+      if (rt.y == st.y) ++expected;
+    }
+  }
+  EXPECT_EQ(est.full_join_size, expected);
+}
+
+TEST(Estimator, DenseGraphHasHighDuplication) {
+  // Community graph: J / OUT should be large, and lower bound respects it.
+  BinaryRelation r = CommunityGraph(3, 30, 0.95, 11);
+  IndexedRelation ri(r);
+  TwoPathStats stats(ri, ri);
+  const OutputEstimate est = EstimateTwoPathOutput(ri, ri, stats);
+  const uint64_t truth = OracleTwoPath(r, r).size();
+  EXPECT_GE(est.full_join_size, 4 * truth);  // heavy duplication regime
+  EXPECT_LE(est.lower, truth);
+  EXPECT_GE(est.upper, truth);
+}
+
+TEST(Optimizer, SmallJoinChoosesFullWcoj) {
+  // Near-uniform sparse relation: join barely bigger than input.
+  BinaryRelation r = RandomRelation(500, 500, 800, 0.1, 57);
+  IndexedRelation ri(r);
+  TwoPathStats stats(ri, ri);
+  OptimizerOptions oo;
+  oo.calibration = nullptr;  // default
+  static const MatMulCalibration cal =
+      MatMulCalibration::FromFlopsRate(1e9, {1});
+  static const SystemConstants consts;  // defaults
+  oo.calibration = &cal;
+  oo.constants = &consts;
+  const PlanChoice plan = ChooseTwoPathPlan(ri, ri, stats, oo);
+  EXPECT_TRUE(plan.use_full_wcoj);
+  EXPECT_FALSE(plan.ToString().empty());
+}
+
+TEST(Optimizer, DenseGraphChoosesMmJoinWithFeasibleThresholds) {
+  BinaryRelation r = CommunityGraph(4, 40, 0.95, 13);
+  IndexedRelation ri(r);
+  TwoPathStats stats(ri, ri);
+  static const MatMulCalibration cal =
+      MatMulCalibration::FromFlopsRate(1e9, {1});
+  static const SystemConstants consts;
+  OptimizerOptions oo;
+  oo.calibration = &cal;
+  oo.constants = &consts;
+  const PlanChoice plan = ChooseTwoPathPlan(ri, ri, stats, oo);
+  EXPECT_FALSE(plan.use_full_wcoj);
+  EXPECT_GE(plan.thresholds.delta1, 1u);
+  EXPECT_LE(plan.thresholds.delta1, r.size());
+  EXPECT_GE(plan.thresholds.delta2, 1u);
+  EXPECT_LE(plan.thresholds.delta2, r.size());
+}
+
+TEST(Optimizer, StopAtFirstIncreaseStillFeasible) {
+  BinaryRelation r = CommunityGraph(4, 32, 0.9, 17);
+  IndexedRelation ri(r);
+  TwoPathStats stats(ri, ri);
+  static const MatMulCalibration cal =
+      MatMulCalibration::FromFlopsRate(1e9, {1});
+  static const SystemConstants consts;
+  OptimizerOptions oo;
+  oo.calibration = &cal;
+  oo.constants = &consts;
+  oo.stop_at_first_increase = true;
+  const PlanChoice plan = ChooseTwoPathPlan(ri, ri, stats, oo);
+  if (!plan.use_full_wcoj) {
+    EXPECT_GE(plan.thresholds.delta1, 1u);
+    EXPECT_GE(plan.thresholds.delta2, 1u);
+  }
+}
+
+TEST(Optimizer, NonMmThresholdsBalanced) {
+  BinaryRelation r = CommunityGraph(4, 30, 0.9, 19);
+  IndexedRelation ri(r);
+  TwoPathStats stats(ri, ri);
+  const Thresholds t = ChooseNonMmThresholds(ri, ri, stats);
+  EXPECT_EQ(t.delta1, t.delta2);
+  EXPECT_GE(t.delta1, 1u);
+  EXPECT_LE(t.delta1, r.size());
+}
+
+// ---------------------------------------------------------------------------
+// Facade tests.
+
+class FacadeStrategyTest : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(FacadeStrategyTest, MatchesOracle) {
+  BinaryRelation r = RandomRelation(50, 35, 450, 1.2, 61);
+  JoinProjectOptions opts;
+  opts.strategy = GetParam();
+  opts.sorted = true;
+  auto out = JoinProject::TwoPath(r, r, opts);
+  EXPECT_EQ(out.pairs, OracleTwoPath(r, r));
+  EXPECT_GE(out.seconds, 0.0);
+}
+
+TEST_P(FacadeStrategyTest, CountedMatchesOracle) {
+  BinaryRelation r = RandomRelation(40, 30, 350, 1.0, 62);
+  JoinProjectOptions opts;
+  opts.strategy = GetParam();
+  opts.count_witnesses = true;
+  opts.sorted = true;
+  auto out = JoinProject::TwoPath(r, r, opts);
+  EXPECT_EQ(out.counted, OracleTwoPathCounted(r, r));
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, FacadeStrategyTest,
+                         ::testing::Values(Strategy::kAuto, Strategy::kMmJoin,
+                                           Strategy::kNonMmJoin,
+                                           Strategy::kWcojFull));
+
+TEST(Facade, ExplicitThresholdsAreHonoured) {
+  BinaryRelation r = CommunityGraph(3, 20, 1.0, 23);
+  JoinProjectOptions opts;
+  opts.strategy = Strategy::kMmJoin;
+  opts.thresholds = {4, 4};
+  opts.sorted = true;
+  auto out = JoinProject::TwoPath(r, r, opts);
+  EXPECT_EQ(out.pairs, OracleTwoPath(r, r));
+}
+
+TEST(Facade, MinCountThreshold) {
+  BinaryRelation r = RandomRelation(30, 20, 300, 1.0, 63);
+  JoinProjectOptions opts;
+  opts.strategy = Strategy::kMmJoin;
+  opts.count_witnesses = true;
+  opts.min_count = 3;
+  opts.sorted = true;
+  auto out = JoinProject::TwoPath(r, r, opts);
+  EXPECT_EQ(out.counted, OracleTwoPathCounted(r, r, 3));
+}
+
+TEST(Facade, ThreadsDoNotChangeResult) {
+  BinaryRelation r = RandomRelation(60, 40, 600, 1.2, 64);
+  JoinProjectOptions opts;
+  opts.strategy = Strategy::kMmJoin;
+  opts.sorted = true;
+  auto ref = JoinProject::TwoPath(r, r, opts);
+  opts.threads = 4;
+  auto par = JoinProject::TwoPath(r, r, opts);
+  EXPECT_EQ(ref.pairs, par.pairs);
+}
+
+TEST(Facade, StarDispatch) {
+  BinaryRelation r = RandomRelation(15, 12, 60, 0.8, 65);
+  IndexedRelation ri(r);
+  std::vector<const IndexedRelation*> rels = {&ri, &ri, &ri};
+  for (Strategy s : {Strategy::kAuto, Strategy::kMmJoin, Strategy::kNonMmJoin,
+                     Strategy::kWcojFull}) {
+    JoinProjectOptions opts;
+    opts.strategy = s;
+    auto res = JoinProject::Star(rels, opts);
+    EXPECT_EQ(testutil::ToVectors(res.tuples),
+              testutil::OracleStar({&r, &r, &r}))
+        << StrategyName(s);
+  }
+}
+
+TEST(Facade, StrategyNames) {
+  EXPECT_STREQ(StrategyName(Strategy::kAuto), "auto");
+  EXPECT_STREQ(StrategyName(Strategy::kMmJoin), "mmjoin");
+  EXPECT_STREQ(StrategyName(Strategy::kNonMmJoin), "nonmm");
+  EXPECT_STREQ(StrategyName(Strategy::kWcojFull), "wcoj-full");
+}
+
+}  // namespace
+}  // namespace jpmm

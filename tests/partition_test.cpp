@@ -1,0 +1,129 @@
+// Tests for degree partitioning (Algorithm 1's R-/R+/S-/S+ split).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/partition.h"
+#include "tests/test_util.h"
+
+namespace jpmm {
+namespace {
+
+using testutil::RandomRelation;
+
+TEST(Partition, SubrelationsFormAPartition) {
+  BinaryRelation r = RandomRelation(40, 30, 300, 1.2, 21);
+  BinaryRelation s = RandomRelation(35, 30, 280, 1.2, 22);
+  IndexedRelation ri(r), si(s);
+  for (uint64_t d1 : {1ull, 2ull, 5ull}) {
+    for (uint64_t d2 : {1ull, 3ull, 8ull}) {
+      TwoPathPartition part(ri, si, Thresholds{d1, d2});
+      BinaryRelation rm = part.RMinus(), rp = part.RPlus();
+      EXPECT_EQ(rm.size() + rp.size(), r.size());
+      // Disjoint: no tuple in both.
+      for (const Tuple& t : rp.tuples()) {
+        EXPECT_FALSE(std::binary_search(rm.tuples().begin(),
+                                        rm.tuples().end(), t));
+      }
+      BinaryRelation sm = part.SMinus(), sp = part.SPlus();
+      EXPECT_EQ(sm.size() + sp.size(), s.size());
+    }
+  }
+}
+
+TEST(Partition, RPlusTuplesAreHeavyBothSides) {
+  BinaryRelation r = RandomRelation(30, 20, 250, 1.0, 23);
+  IndexedRelation ri(r);
+  const Thresholds t{2, 3};
+  TwoPathPartition part(ri, ri, t);
+  const BinaryRelation rplus = part.RPlus();
+  for (const Tuple& tp : rplus.tuples()) {
+    EXPECT_GT(ri.DegX(tp.x), t.delta2);
+    EXPECT_GT(ri.DegY(tp.y), t.delta1);
+  }
+  const BinaryRelation rminus = part.RMinus();
+  for (const Tuple& tm : rminus.tuples()) {
+    EXPECT_TRUE(ri.DegX(tm.x) <= t.delta2 || ri.DegY(tm.y) <= t.delta1);
+  }
+}
+
+TEST(Partition, LightnessOraclesMatchDegrees) {
+  BinaryRelation r = RandomRelation(25, 25, 200, 1.5, 24);
+  IndexedRelation ri(r);
+  const Thresholds t{3, 4};
+  TwoPathPartition part(ri, ri, t);
+  for (Value a = 0; a < ri.num_x(); ++a) {
+    EXPECT_EQ(part.XLight(a), ri.DegX(a) <= t.delta2);
+    EXPECT_EQ(part.ZLight(a), ri.DegX(a) <= t.delta2);
+  }
+  for (Value b = 0; b < ri.num_y(); ++b) {
+    EXPECT_EQ(part.YLight(b), ri.DegY(b) <= t.delta1);
+  }
+}
+
+TEST(Partition, HeavyIdsAreDenseAndAscending) {
+  BinaryRelation r = RandomRelation(50, 40, 500, 1.2, 25);
+  IndexedRelation ri(r);
+  TwoPathPartition part(ri, ri, Thresholds{2, 2});
+  const auto& hx = part.heavy_x();
+  EXPECT_TRUE(std::is_sorted(hx.begin(), hx.end()));
+  for (size_t i = 0; i < hx.size(); ++i) {
+    EXPECT_EQ(part.HeavyXId(hx[i]), static_cast<Value>(i));
+  }
+  // Non-heavy values map to invalid.
+  for (Value a = 0; a < ri.num_x(); ++a) {
+    if (!std::binary_search(hx.begin(), hx.end(), a)) {
+      EXPECT_EQ(part.HeavyXId(a), kInvalidValue);
+    }
+  }
+}
+
+TEST(Partition, HeavyValuesExceedThresholds) {
+  BinaryRelation r = RandomRelation(50, 40, 500, 1.2, 26);
+  IndexedRelation ri(r);
+  const Thresholds t{2, 3};
+  TwoPathPartition part(ri, ri, t);
+  for (Value a : part.heavy_x()) EXPECT_GT(ri.DegX(a), t.delta2);
+  for (Value b : part.heavy_y()) EXPECT_GT(ri.DegY(b), t.delta1);
+  for (Value c : part.heavy_z()) EXPECT_GT(ri.DegX(c), t.delta2);
+}
+
+TEST(Partition, HugeThresholdsMakeEverythingLight) {
+  BinaryRelation r = RandomRelation(30, 30, 300, 1.0, 27);
+  IndexedRelation ri(r);
+  TwoPathPartition part(ri, ri, Thresholds{1000, 1000});
+  EXPECT_TRUE(part.heavy_x().empty());
+  EXPECT_TRUE(part.heavy_y().empty());
+  EXPECT_TRUE(part.heavy_z().empty());
+  EXPECT_EQ(part.RPlus().size(), 0u);
+  EXPECT_EQ(part.RMinus().size(), r.size());
+}
+
+TEST(Partition, ThresholdOneMaximizesHeavyPart) {
+  // A star: one hub x connected to many ys that each connect back.
+  BinaryRelation r;
+  for (Value b = 0; b < 10; ++b) {
+    r.Add(0, b);             // hub x=0, degree 10
+    r.Add(b + 1, b);         // pendant xs, degree 1
+    r.Add(b + 1, (b + 1) % 10);
+  }
+  r.Finalize();
+  IndexedRelation ri(r);
+  TwoPathPartition part(ri, ri, Thresholds{1, 1});
+  // Hub is heavy (degree 10 > 1), y values have degree 3 > 1.
+  EXPECT_NE(part.HeavyXId(0), kInvalidValue);
+  EXPECT_FALSE(part.heavy_y().empty());
+}
+
+TEST(Partition, EmptyRelations) {
+  BinaryRelation r;
+  r.Finalize();
+  IndexedRelation ri(r);
+  TwoPathPartition part(ri, ri, Thresholds{1, 1});
+  EXPECT_TRUE(part.heavy_x().empty());
+  EXPECT_TRUE(part.heavy_y().empty());
+}
+
+}  // namespace
+}  // namespace jpmm

@@ -1,0 +1,107 @@
+// Tests for the HyperLogLog sketch and the §9 sketch-based |OUT| estimator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/hyperloglog.h"
+#include "core/sketch_estimator.h"
+#include "datagen/generators.h"
+#include "datagen/presets.h"
+#include "tests/test_util.h"
+
+namespace jpmm {
+namespace {
+
+TEST(HyperLogLog, ExactOnSmallSets) {
+  HyperLogLog hll(10);
+  for (uint64_t v = 0; v < 100; ++v) hll.Add(Mix64(v));
+  // Linear-counting regime: accurate to ~1 sigma of bucket occupancy.
+  EXPECT_NEAR(hll.Estimate(), 100.0, 12.0);
+}
+
+TEST(HyperLogLog, DuplicatesDoNotInflate) {
+  HyperLogLog hll(10);
+  for (int rep = 0; rep < 50; ++rep) {
+    for (uint64_t v = 0; v < 200; ++v) hll.Add(Mix64(v));
+  }
+  EXPECT_NEAR(hll.Estimate(), 200.0, 12.0);
+}
+
+TEST(HyperLogLog, WithinErrorBoundOnLargeSets) {
+  HyperLogLog hll(10);  // sigma ~ 1.04/sqrt(1024) ~ 3.3%
+  const uint64_t n = 200000;
+  for (uint64_t v = 0; v < n; ++v) hll.Add(Mix64(v));
+  EXPECT_NEAR(hll.Estimate(), static_cast<double>(n), 0.12 * n);
+}
+
+TEST(HyperLogLog, MergeEqualsUnion) {
+  HyperLogLog a(9), b(9), u(9);
+  for (uint64_t v = 0; v < 5000; ++v) {
+    a.Add(Mix64(v));
+    u.Add(Mix64(v));
+  }
+  for (uint64_t v = 3000; v < 9000; ++v) {
+    b.Add(Mix64(v));
+    u.Add(Mix64(v));
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), u.Estimate());
+}
+
+TEST(HyperLogLog, ResetClears) {
+  HyperLogLog hll(8);
+  for (uint64_t v = 0; v < 1000; ++v) hll.Add(Mix64(v));
+  hll.Reset();
+  EXPECT_LT(hll.Estimate(), 1.0);
+}
+
+TEST(SketchEstimator, AccurateOnRandomInstances) {
+  for (uint64_t seed : {31ull, 32ull, 33ull}) {
+    BinaryRelation r = testutil::RandomRelation(300, 150, 4000, 1.0, seed);
+    IndexedRelation ri(r);
+    const double truth =
+        static_cast<double>(testutil::OracleTwoPath(r, r).size());
+    const double est =
+        static_cast<double>(EstimateTwoPathOutputSketch(ri, ri));
+    EXPECT_NEAR(est, truth, 0.25 * truth) << "seed=" << seed;
+  }
+}
+
+TEST(SketchEstimator, AccurateOnDensePreset) {
+  BinaryRelation rel = MakePreset(DatasetPreset::kJokes, 0.3);
+  IndexedRelation idx(rel);
+  const double truth =
+      static_cast<double>(testutil::OracleTwoPath(rel, rel).size());
+  const double est = static_cast<double>(EstimateTwoPathOutputSketch(idx, idx));
+  EXPECT_NEAR(est, truth, 0.25 * truth);
+}
+
+TEST(SketchEstimator, PrecisionImprovesEstimate) {
+  BinaryRelation r = testutil::RandomRelation(200, 100, 3000, 0.8, 41);
+  IndexedRelation ri(r);
+  const double truth =
+      static_cast<double>(testutil::OracleTwoPath(r, r).size());
+  SketchEstimatorOptions lo;
+  lo.precision = 5;
+  SketchEstimatorOptions hi;
+  hi.precision = 12;
+  const double err_lo = std::abs(
+      static_cast<double>(EstimateTwoPathOutputSketch(ri, ri, lo)) - truth);
+  const double err_hi = std::abs(
+      static_cast<double>(EstimateTwoPathOutputSketch(ri, ri, hi)) - truth);
+  // Not guaranteed pointwise, but at these sizes the high-precision sketch
+  // should not be dramatically worse.
+  EXPECT_LT(err_hi, err_lo + 0.15 * truth);
+}
+
+TEST(SketchEstimator, EmptyRelation) {
+  BinaryRelation r;
+  r.Finalize();
+  IndexedRelation ri(r);
+  EXPECT_EQ(EstimateTwoPathOutputSketch(ri, ri), 0u);
+}
+
+}  // namespace
+}  // namespace jpmm

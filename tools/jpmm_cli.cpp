@@ -1,0 +1,312 @@
+// jpmm_cli — command-line front end for the library.
+//
+// Usage:
+//   jpmm_cli <command> [options]
+//
+// Commands:
+//   stats      print Table-2 style characteristics of a dataset
+//   twopath    evaluate pi_{x,z}(R JOIN R)
+//   star       evaluate the k-relation star self join
+//   ssj        set similarity join
+//   scj        set containment join
+//   bsi        batched boolean set intersection
+//   triangles  triangle counting (extension)
+//
+// Dataset options (every command):
+//   --preset NAME     dblp|roadnet|jokes|words|protein|image
+//   --scale S         preset scale factor (default 1.0)
+//   --input FILE      edge list file instead of a preset
+//   --seed N          generator seed (default 42)
+//
+// Command options:
+//   --strategy S      auto|mm|nonmm|wcoj      (twopath, star)
+//   --counts          produce witness counts  (twopath)
+//   --min-count C     keep pairs with >= C witnesses (twopath)
+//   --k K             star arity (default 3)  (star)
+//   --algo A          mm|sizeaware|sizeaware++ (ssj)
+//                     mm|pretti|limit|pie      (scj)
+//   --c C             SSJ overlap threshold (default 2)
+//   --ordered         ordered SSJ
+//   --batch N         BSI batch size (default 1000)
+//   --rate B          BSI arrival rate per second (default 1000)
+//   --threads N       worker threads (default 1)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "bsi/bsi.h"
+#include "bsi/latency_sim.h"
+#include "bsi/workload.h"
+#include "common/timer.h"
+#include "core/join_project.h"
+#include "core/triangle.h"
+#include "datagen/generators.h"
+#include "datagen/presets.h"
+#include "scj/limit_plus.h"
+#include "scj/mm_scj.h"
+#include "scj/piejoin.h"
+#include "scj/pretti.h"
+#include "ssj/mm_ssj.h"
+#include "ssj/size_aware.h"
+#include "ssj/size_aware_pp.h"
+#include "storage/loader.h"
+#include "storage/set_family.h"
+#include "storage/stats.h"
+
+using namespace jpmm;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = options.find(key);
+    return it == options.end() ? def : it->second;
+  }
+  double GetD(const std::string& key, double def) const {
+    return Has(key) ? std::atof(Get(key).c_str()) : def;
+  }
+  long GetI(const std::string& key, long def) const {
+    return Has(key) ? std::atol(Get(key).c_str()) : def;
+  }
+};
+
+std::optional<Args> Parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", key.c_str());
+      return std::nullopt;
+    }
+    key = key.substr(2);
+    // Flags without values.
+    if (key == "counts" || key == "ordered") {
+      args.options[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for --%s\n", key.c_str());
+      return std::nullopt;
+    }
+    args.options[key] = argv[++i];
+  }
+  return args;
+}
+
+std::optional<BinaryRelation> LoadDataset(const Args& args) {
+  if (args.Has("input")) {
+    std::string error;
+    auto rel = LoadEdgeList(args.Get("input"), &error);
+    if (!rel.has_value()) {
+      std::fprintf(stderr, "load failed: %s\n", error.c_str());
+      return std::nullopt;
+    }
+    return rel;
+  }
+  const std::string preset = args.Get("preset", "jokes");
+  const double scale = args.GetD("scale", 1.0);
+  const auto seed = static_cast<uint64_t>(args.GetI("seed", 42));
+  for (DatasetPreset p : AllPresets()) {
+    std::string name = PresetName(p);
+    for (auto& ch : name) ch = static_cast<char>(std::tolower(ch));
+    if (name == preset) return MakePreset(p, scale, seed);
+  }
+  std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
+  return std::nullopt;
+}
+
+Strategy ParseStrategy(const std::string& s) {
+  if (s == "mm") return Strategy::kMmJoin;
+  if (s == "nonmm") return Strategy::kNonMmJoin;
+  if (s == "wcoj") return Strategy::kWcojFull;
+  return Strategy::kAuto;
+}
+
+int RunStats(const Args& args, const BinaryRelation& rel) {
+  (void)args;
+  IndexedRelation idx(rel);
+  SetFamily fam(idx);
+  TwoPathStats tp(idx, idx);
+  std::printf("%s\n", fam.Stats().ToString().c_str());
+  std::printf("full 2-path join size: %llu (%.1fx the input)\n",
+              static_cast<unsigned long long>(tp.full_join_size()),
+              static_cast<double>(tp.full_join_size()) /
+                  static_cast<double>(std::max<size_t>(1, rel.size())));
+  return 0;
+}
+
+int RunTwoPath(const Args& args, const BinaryRelation& rel) {
+  JoinProjectOptions opts;
+  opts.strategy = ParseStrategy(args.Get("strategy", "auto"));
+  opts.threads = static_cast<int>(args.GetI("threads", 1));
+  opts.count_witnesses = args.Has("counts") || args.Has("min-count");
+  opts.min_count = static_cast<uint32_t>(args.GetI("min-count", 1));
+  WallTimer timer;
+  auto out = JoinProject::TwoPath(rel, rel, opts);
+  std::printf("plan: %s\n", out.plan.ToString().c_str());
+  std::printf("executed: %s\n", StrategyName(out.executed));
+  std::printf("output: %zu pairs in %.3f s\n", out.size(), timer.Seconds());
+  return 0;
+}
+
+int RunStar(const Args& args, const BinaryRelation& rel) {
+  const long k = args.GetI("k", 3);
+  if (k < 2 || k > 8) {
+    std::fprintf(stderr, "--k must be in [2, 8]\n");
+    return 1;
+  }
+  IndexedRelation idx(rel);
+  std::vector<const IndexedRelation*> rels(static_cast<size_t>(k), &idx);
+  JoinProjectOptions opts;
+  opts.strategy = ParseStrategy(args.Get("strategy", "auto"));
+  opts.threads = static_cast<int>(args.GetI("threads", 1));
+  WallTimer timer;
+  auto res = JoinProject::Star(rels, opts);
+  std::printf("star k=%ld: %zu tuples in %.3f s (light %.3f s, heavy %.3f s, "
+              "V %llu x %llu x W %llu)\n",
+              k, res.tuples.size(), timer.Seconds(), res.light_seconds,
+              res.heavy_seconds,
+              static_cast<unsigned long long>(res.v_rows),
+              static_cast<unsigned long long>(res.heavy_y),
+              static_cast<unsigned long long>(res.w_rows));
+  return 0;
+}
+
+int RunSsj(const Args& args, const BinaryRelation& rel) {
+  IndexedRelation idx(rel);
+  SetFamily fam(idx);
+  SsjOptions opts;
+  opts.c = static_cast<uint32_t>(args.GetI("c", 2));
+  opts.threads = static_cast<int>(args.GetI("threads", 1));
+  opts.ordered = args.Has("ordered");
+  const std::string algo = args.Get("algo", "mm");
+  WallTimer timer;
+  SsjResult res;
+  if (algo == "sizeaware") {
+    res = SizeAwareJoin(fam, opts);
+  } else if (algo == "sizeaware++") {
+    res = SizeAwarePlusPlus(fam, opts);
+  } else {
+    res = MmSsj(fam, opts);
+  }
+  std::printf("ssj c=%u algo=%s: %zu pairs in %.3f s\n", opts.c, algo.c_str(),
+              res.size(), timer.Seconds());
+  if (opts.ordered && !res.empty()) {
+    std::printf("top pair: (%u, %u) overlap %u\n", res[0].a, res[0].b,
+                res[0].overlap);
+  }
+  return 0;
+}
+
+int RunScj(const Args& args, const BinaryRelation& rel) {
+  IndexedRelation idx(rel);
+  SetFamily fam(idx);
+  ScjOptions opts;
+  opts.threads = static_cast<int>(args.GetI("threads", 1));
+  const std::string algo = args.Get("algo", "mm");
+  WallTimer timer;
+  ScjResult res;
+  if (algo == "pretti") {
+    res = PrettiJoin(fam, opts);
+  } else if (algo == "limit") {
+    res = LimitPlusJoin(fam, opts);
+  } else if (algo == "pie") {
+    res = PieJoin(fam, opts);
+  } else {
+    res = MmScj(fam, opts);
+  }
+  std::printf("scj algo=%s: %zu containments in %.3f s\n", algo.c_str(),
+              res.size(), timer.Seconds());
+  return 0;
+}
+
+int RunBsi(const Args& args, const BinaryRelation& rel) {
+  IndexedRelation idx(rel);
+  SetFamily fam(idx);
+  const auto batch_size = static_cast<size_t>(args.GetI("batch", 1000));
+  const double rate = args.GetD("rate", 1000.0);
+  BsiOptions opts;
+  opts.threads = static_cast<int>(args.GetI("threads", 1));
+  auto batch = SampleBsiWorkload(fam, fam, batch_size, 7);
+  WallTimer timer;
+  auto answers = BsiAnswerBatchMm(fam, fam, batch, opts);
+  const double sec = timer.Seconds();
+  size_t positive = 0;
+  for (uint8_t a : answers) positive += a;
+  const auto est = EstimateBsiLatency(rate, batch_size, sec);
+  std::printf("bsi batch=%zu: %zu/%zu intersecting, batch time %.3f s\n",
+              batch_size, positive, answers.size(), sec);
+  std::printf("avg delay %.3f s, machines %.0f (B = %.0f q/s)\n",
+              est.avg_delay_seconds, est.machines, rate);
+  return 0;
+}
+
+int RunTriangles(const Args& args, const BinaryRelation& rel) {
+  // Bipartite set-element relations are triangle-free; with --input we
+  // symmetrize the given graph, otherwise we generate an Example-1 style
+  // community graph (--communities, --community-size, --p).
+  BinaryRelation sym;
+  if (args.Has("input")) {
+    for (const Tuple& t : rel.tuples()) {
+      sym.Add(t.x, t.y);
+      sym.Add(t.y, t.x);
+    }
+    sym.Finalize();
+  } else {
+    sym = CommunityGraph(
+        static_cast<uint32_t>(args.GetI("communities", 4)),
+        static_cast<uint32_t>(args.GetI("community-size", 200)),
+        args.GetD("p", 0.5), static_cast<uint64_t>(args.GetI("seed", 42)));
+  }
+  IndexedRelation idx(sym);
+  TriangleCountOptions opts;
+  opts.threads = static_cast<int>(args.GetI("threads", 1));
+  WallTimer timer;
+  auto res = CountTrianglesMm(idx, opts);
+  std::printf("triangles: %llu (light %llu, heavy %llu; delta %llu) in "
+              "%.3f s\n",
+              static_cast<unsigned long long>(res.triangles),
+              static_cast<unsigned long long>(res.light_triangles),
+              static_cast<unsigned long long>(res.heavy_triangles),
+              static_cast<unsigned long long>(res.delta_used),
+              timer.Seconds());
+  return 0;
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: jpmm_cli "
+               "<stats|twopath|star|ssj|scj|bsi|triangles> [options]\n"
+               "see the header of tools/jpmm_cli.cpp for the option list\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = Parse(argc, argv);
+  if (!args.has_value()) {
+    PrintUsage();
+    return 2;
+  }
+  auto rel = LoadDataset(*args);
+  if (!rel.has_value()) return 1;
+
+  if (args->command == "stats") return RunStats(*args, *rel);
+  if (args->command == "twopath") return RunTwoPath(*args, *rel);
+  if (args->command == "star") return RunStar(*args, *rel);
+  if (args->command == "ssj") return RunSsj(*args, *rel);
+  if (args->command == "scj") return RunScj(*args, *rel);
+  if (args->command == "bsi") return RunBsi(*args, *rel);
+  if (args->command == "triangles") return RunTriangles(*args, *rel);
+  PrintUsage();
+  return 2;
+}
