@@ -16,6 +16,7 @@
 #include "core/partition.h"
 #include "datagen/generators.h"
 #include "matrix/bool_matrix.h"
+#include "matrix/cost_model.h"
 #include "storage/index.h"
 
 using namespace jpmm;
@@ -87,6 +88,12 @@ void BM_HeavyBitsetPopcount(benchmark::State& state) {
     state.counters["heavy_pairs"] =
         static_cast<double>(hx.size() * hz.size());
   }
+  // Modeled kernel time from the measured word rate — the calibration ->
+  // cost-model path a strategy chooser would consult.
+  state.counters["modeled_ms"] =
+      BoolProductSeconds(hx.size(), hy.size(), hz.size(),
+                         BoolKernelRates::Default().bool_words_per_sec) *
+      1e3;
 }
 
 }  // namespace
@@ -95,4 +102,4 @@ BENCHMARK(BM_HeavyFloatGemm)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_HeavyBitsetPopcount)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_HeavyPairwiseGallop)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+JPMM_BENCH_MAIN();

@@ -1,8 +1,15 @@
-// Shared benchmark plumbing: preset caching, registration helpers.
+// Shared benchmark plumbing: preset caching, registration helpers, JSON
+// output.
 //
 // Every bench binary regenerates one table or figure of the paper; its
 // stdout rows (one benchmark per configuration) are the figure's series.
 // JPMM_SCALE rescales all datasets (default 1.0 = laptop scale).
+//
+// Machine-readable output: binaries whose main is JPMM_BENCH_MAIN() mirror
+// their results to a JSON file when JPMM_BENCH_JSON=<path> is set, e.g.
+//   JPMM_BENCH_JSON=kernels.json ./bench_kernel_microbench
+// which is google benchmark's JSON schema — the source for BENCH_*.json
+// trajectory tracking.
 
 #ifndef JPMM_BENCH_BENCH_UTIL_H_
 #define JPMM_BENCH_BENCH_UTIL_H_
@@ -10,9 +17,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "datagen/presets.h"
 #include "matrix/calibration.h"
@@ -20,6 +29,30 @@
 #include "storage/set_family.h"
 
 namespace jpmm::benchutil {
+
+/// Initializes and runs google benchmark, adding
+/// --benchmark_out=<JPMM_BENCH_JSON> --benchmark_out_format=json when the
+/// environment variable is set (explicit command-line flags still win:
+/// google benchmark takes the last occurrence).
+inline int RunBenchmarks(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag;
+  const char* json_path = std::getenv("JPMM_BENCH_JSON");
+  if (json_path != nullptr && *json_path != '\0') {
+    out_flag = std::string("--benchmark_out=") + json_path;
+    fmt_flag = "--benchmark_out_format=json";
+    // Insert before user flags so explicit flags override.
+    args.insert(args.begin() + 1, fmt_flag.data());
+    args.insert(args.begin() + 1, out_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
 
 /// One generated dataset with its index and set-family view.
 struct Dataset {
@@ -60,5 +93,12 @@ inline const std::vector<int>& ThreadSweep() {
 }
 
 }  // namespace jpmm::benchutil
+
+/// Drop-in replacement for BENCHMARK_MAIN() with JPMM_BENCH_JSON support.
+#define JPMM_BENCH_MAIN()                                \
+  int main(int argc, char** argv) {                      \
+    return jpmm::benchutil::RunBenchmarks(argc, argv);   \
+  }                                                      \
+  int main(int, char**)
 
 #endif  // JPMM_BENCH_BENCH_UTIL_H_

@@ -8,23 +8,16 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
-#include "common/rng.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/matmul.h"
+#include "matrix/random.h"
 
 using namespace jpmm;
 
 namespace {
 
 Matrix RandomDense(size_t dim, uint64_t seed) {
-  Matrix m(dim, dim);
-  Rng rng(seed);
-  for (size_t i = 0; i < dim; ++i) {
-    for (size_t j = 0; j < dim; ++j) {
-      if (rng.NextBool(0.5)) m.Set(i, j, 1.0f);
-    }
-  }
-  return m;
+  return RandomDenseMatrix(dim, dim, 0.5, seed);
 }
 
 void BM_SquareMatMul(benchmark::State& state) {
@@ -53,4 +46,4 @@ BENCHMARK(BM_SquareMatMul)
     ->Arg(2048)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+JPMM_BENCH_MAIN();

@@ -1,0 +1,259 @@
+// Kernel microbenchmark — blocked vs seed kernels, dense and boolean.
+//
+// Measures the matrix-layer rewrite in isolation:
+//   dense : packed-panel blocked GEMM (Multiply) vs the seed ikj-saxpy
+//           kernel (MultiplyScalarReference) vs the naive triple loop;
+//   bool  : tiled BoolProduct / CountProduct vs the unblocked all-pairs
+//           row-intersection references;
+//   transpose : 64x64 word-block bit transpose vs the seed per-bit scatter.
+// Every timed kernel is verified against its reference once at setup, so a
+// reported speedup can never come from computing something different.
+//
+// The "gflops" / "gwords" counters make the speedups comparable across
+// rows; set JPMM_BENCH_JSON=<path> for machine-readable output. Run:
+//   ./build/bench_kernel_microbench --benchmark_filter=Dense
+
+#include <benchmark/benchmark.h>
+
+#include <bit>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "matrix/bool_matrix.h"
+#include "matrix/calibration.h"
+#include "matrix/cost_model.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/matmul.h"
+#include "matrix/random.h"
+
+using namespace jpmm;
+
+namespace {
+
+constexpr double kDensity = 0.5;       // fig-3a operand density
+constexpr double kBoolDensity = 0.3;   // dense enough that tiling governs
+
+Matrix RandomDense(size_t dim, uint64_t seed) {
+  return RandomDenseMatrix(dim, dim, kDensity, seed);
+}
+
+BoolMatrix RandomBool(size_t dim, uint64_t seed) {
+  return RandomBoolMatrix(dim, dim, kBoolDensity, seed);
+}
+
+void AddGflops(benchmark::State& state, size_t dim) {
+  state.counters["dim"] = static_cast<double>(dim);
+  state.counters["gflops"] = benchmark::Counter(
+      2.0 * static_cast<double>(dim) * dim * dim * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void AddGwords(benchmark::State& state, size_t dim) {
+  state.counters["dim"] = static_cast<double>(dim);
+  state.counters["gwords"] = benchmark::Counter(
+      BoolProductWordOps(dim, dim, dim) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// ---- Dense ---------------------------------------------------------------
+
+void BM_DenseBlocked(benchmark::State& state) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  Matrix a = RandomDense(dim, 1);
+  Matrix b = RandomDense(dim, 2);
+  JPMM_CHECK_MSG(Multiply(a, b, 1) == MultiplyScalarReference(a, b),
+                 "blocked kernel diverged from the seed kernel");
+  Matrix c;
+  for (auto _ : state) {
+    Multiply(a, b, &c, /*threads=*/1);
+    benchmark::DoNotOptimize(c.data());
+  }
+  AddGflops(state, dim);
+}
+
+void BM_DenseScalarSeed(benchmark::State& state) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  Matrix a = RandomDense(dim, 1);
+  Matrix b = RandomDense(dim, 2);
+  for (auto _ : state) {
+    Matrix c = MultiplyScalarReference(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  AddGflops(state, dim);
+}
+
+void BM_DenseNaive(benchmark::State& state) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  Matrix a = RandomDense(dim, 1);
+  Matrix b = RandomDense(dim, 2);
+  for (auto _ : state) {
+    Matrix c = MultiplyNaive(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  AddGflops(state, dim);
+}
+
+// ---- Boolean -------------------------------------------------------------
+
+void BM_BoolBlocked(benchmark::State& state) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  BoolMatrix a = RandomBool(dim, 3);
+  BoolMatrix bt = RandomBool(dim, 4);
+  {
+    const BoolMatrix got = BoolProduct(a, bt, 1);
+    const BoolMatrix want = BoolProductNaive(a, bt);
+    for (size_t i = 0; i < dim; ++i) {
+      JPMM_CHECK_MSG(std::memcmp(got.RowWords(i), want.RowWords(i),
+                                 got.words_per_row() * 8) == 0,
+                     "blocked BoolProduct diverged from the reference");
+    }
+  }
+  for (auto _ : state) {
+    BoolMatrix c = BoolProduct(a, bt, 1);
+    benchmark::DoNotOptimize(c.RowWords(0));
+  }
+  AddGwords(state, dim);
+}
+
+void BM_BoolUnblocked(benchmark::State& state) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  BoolMatrix a = RandomBool(dim, 3);
+  BoolMatrix bt = RandomBool(dim, 4);
+  for (auto _ : state) {
+    BoolMatrix c = BoolProductNaive(a, bt);
+    benchmark::DoNotOptimize(c.RowWords(0));
+  }
+  AddGwords(state, dim);
+}
+
+void BM_CountBlocked(benchmark::State& state) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  BoolMatrix a = RandomBool(dim, 5);
+  BoolMatrix bt = RandomBool(dim, 6);
+  JPMM_CHECK_MSG(CountProduct(a, bt, 1) == CountProductNaive(a, bt),
+                 "blocked CountProduct diverged from the reference");
+  for (auto _ : state) {
+    std::vector<uint32_t> c = CountProduct(a, bt, 1);
+    benchmark::DoNotOptimize(c.data());
+  }
+  AddGwords(state, dim);
+}
+
+void BM_CountUnblocked(benchmark::State& state) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  BoolMatrix a = RandomBool(dim, 5);
+  BoolMatrix bt = RandomBool(dim, 6);
+  for (auto _ : state) {
+    std::vector<uint32_t> c = CountProductNaive(a, bt);
+    benchmark::DoNotOptimize(c.data());
+  }
+  AddGwords(state, dim);
+}
+
+// ---- Transpose -----------------------------------------------------------
+
+// The seed implementation: per set bit, one random write.
+BoolMatrix TransposeScatter(const BoolMatrix& m) {
+  BoolMatrix t(m.cols(), m.rows());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const uint64_t* row = m.RowWords(i);
+    for (size_t wi = 0; wi < m.words_per_row(); ++wi) {
+      uint64_t w = row[wi];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        t.Set((wi << 6) + static_cast<size_t>(bit), i);
+        w &= w - 1;
+      }
+    }
+  }
+  return t;
+}
+
+void BM_TransposeBlocked(benchmark::State& state) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  BoolMatrix m = RandomBool(dim, 7);
+  {
+    const BoolMatrix got = m.Transposed();
+    const BoolMatrix want = TransposeScatter(m);
+    for (size_t i = 0; i < got.rows(); ++i) {
+      JPMM_CHECK_MSG(std::memcmp(got.RowWords(i), want.RowWords(i),
+                                 got.words_per_row() * 8) == 0,
+                     "block transpose diverged from the scatter reference");
+    }
+  }
+  for (auto _ : state) {
+    BoolMatrix t = m.Transposed();
+    benchmark::DoNotOptimize(t.RowWords(0));
+  }
+  state.counters["dim"] = static_cast<double>(dim);
+}
+
+void BM_TransposeScatter(benchmark::State& state) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  BoolMatrix m = RandomBool(dim, 7);
+  for (auto _ : state) {
+    BoolMatrix t = TransposeScatter(m);
+    benchmark::DoNotOptimize(t.RowWords(0));
+  }
+  state.counters["dim"] = static_cast<double>(dim);
+}
+
+// ---- Calibration feed-through --------------------------------------------
+
+// Sanity row: the measured boolean word rate (what the cost model consumes)
+// against the modeled word-op count, demonstrating the calibration ->
+// cost-model path the optimizer uses.
+void BM_BoolRateCalibration(benchmark::State& state) {
+  for (auto _ : state) {
+    BoolKernelRates rates = BoolKernelRates::Measure(512);
+    benchmark::DoNotOptimize(rates);
+    state.counters["bool_gwords_per_s"] = rates.bool_words_per_sec * 1e-9;
+    state.counters["count_gwords_per_s"] = rates.count_words_per_sec * 1e-9;
+    state.counters["est_1024_ms"] =
+        BoolProductSeconds(1024, 1024, 1024, rates.count_words_per_sec) * 1e3;
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_DenseBlocked)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(1536)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DenseScalarSeed)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(1536)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DenseNaive)->Arg(512)->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_BoolBlocked)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BoolUnblocked)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CountBlocked)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CountUnblocked)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_TransposeBlocked)->Arg(4096)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TransposeScatter)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_BoolRateCalibration)->Unit(benchmark::kMillisecond);
+
+JPMM_BENCH_MAIN();

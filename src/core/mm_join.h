@@ -41,8 +41,11 @@ struct MmJoinOptions {
   /// Emit only pairs with >= min_count witnesses (requires counting when
   /// min_count > 1). SSJ sets this to the overlap threshold c.
   uint32_t min_count = 1;
-  /// Rows per matrix block (memory = row_block * |heavy_z| floats per worker).
-  size_t row_block = 128;
+  /// Rows per matrix block (memory = row_block * |heavy_z| floats per
+  /// worker). Each block is one MultiplyRowRange call, which re-packs B's
+  /// panels; 256 rows (two MC panels of the blocked kernel) keep that
+  /// packing cost under ~1% of the block's FLOPs.
+  size_t row_block = 256;
   DedupImpl dedup = DedupImpl::kStampArray;
   /// Hard cap on M1 + M2 bytes; thresholds are doubled until the matrices
   /// fit (recorded in MmJoinResult::adjusted_thresholds).

@@ -36,7 +36,9 @@ struct StarJoinOptions {
   /// matrices fit.
   uint64_t max_matrix_bytes = uint64_t{3} << 30;
   /// Rows per product block (memory = row_block * |W rows| floats / worker).
-  size_t row_block = 128;
+  /// 256 rows = two MC panels of the blocked kernel, amortizing the per-call
+  /// B-panel packing (see core/mm_join.h).
+  size_t row_block = 256;
 };
 
 struct StarJoinResult {

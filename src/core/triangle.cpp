@@ -93,7 +93,9 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
         if (id != kInvalidValue) row[id] = 1.0f;
       }
     }
-    constexpr size_t kRowBlock = 128;
+    // Two MC panels of the blocked kernel per MultiplyRowRange call, so the
+    // per-call B-panel packing stays amortized (see core/mm_join.h).
+    constexpr size_t kRowBlock = 256;
     const size_t num_blocks = (heavy.size() + kRowBlock - 1) / kRowBlock;
     std::vector<double> trace_partial(static_cast<size_t>(threads), 0.0);
     ParallelFor(threads, num_blocks, [&](size_t b0, size_t b1, int w) {

@@ -1,21 +1,59 @@
 #include "matrix/bool_matrix.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/thread_pool.h"
 
 namespace jpmm {
+namespace {
+
+// ---- Blocking parameters -------------------------------------------------
+//
+// Product tiles span kIB rows of a, 64 rows of bt (one output word), and
+// kWB-word slices of the shared inner dimension, so the operand slices
+// ((kIB + 64) rows x kWB x 8 bytes = 32 KiB) stay L1-resident while every
+// row pair in the tile is intersected. 64 bt rows per tile lets results be
+// written (and early-exit state tracked) as single 64-bit words instead of
+// per-bit Set() calls.
+constexpr size_t kIB = 64;
+constexpr size_t kWB = 32;
+
+// In-register transpose of a 64x64 bit block held as 64 row words with the
+// LSB-first column convention (bit c of word r = element (r, c)). Classic
+// Hacker's Delight delta-swap ladder, mirrored for LSB-first.
+void Transpose64(uint64_t* m) {
+  uint64_t mask = 0x00000000FFFFFFFFull;
+  for (int j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const uint64_t t = ((m[k] >> j) ^ m[k + j]) & mask;
+      m[k] ^= t << j;
+      m[k + j] ^= t;
+    }
+  }
+}
+
+}  // namespace
 
 BoolMatrix BoolMatrix::Transposed() const {
   BoolMatrix t(cols_, rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const uint64_t* row = RowWords(i);
-    for (size_t wi = 0; wi < words_per_row_; ++wi) {
-      uint64_t w = row[wi];
-      while (w != 0) {
-        const int bit = std::countr_zero(w);
-        t.Set((wi << 6) + static_cast<size_t>(bit), i);
-        w &= w - 1;
+  const size_t row_blocks = (rows_ + 63) / 64;
+  for (size_t rb = 0; rb < row_blocks; ++rb) {
+    const size_t r0 = rb << 6;
+    const size_t rcount = std::min<size_t>(64, rows_ - r0);
+    for (size_t cb = 0; cb < words_per_row_; ++cb) {
+      uint64_t block[64];
+      uint64_t any = 0;
+      for (size_t r = 0; r < rcount; ++r) {
+        block[r] = data_[(r0 + r) * words_per_row_ + cb];
+        any |= block[r];
+      }
+      if (any == 0) continue;  // destination words already zero
+      for (size_t r = rcount; r < 64; ++r) block[r] = 0;
+      Transpose64(block);
+      const size_t ccount = std::min<size_t>(64, cols_ - (cb << 6));
+      for (size_t c = 0; c < ccount; ++c) {
+        t.data_[((cb << 6) + c) * t.words_per_row_ + rb] = block[c];
       }
     }
   }
@@ -49,10 +87,43 @@ BoolMatrix BoolProduct(const BoolMatrix& a, const BoolMatrix& bt,
                        int threads) {
   JPMM_CHECK(a.cols() == bt.cols());
   BoolMatrix c(a.rows(), bt.rows());
-  ParallelFor(threads, a.rows(), [&](size_t r0, size_t r1, int) {
-    for (size_t i = r0; i < r1; ++i) {
-      for (size_t j = 0; j < bt.rows(); ++j) {
-        if (a.RowsIntersect(i, bt, j)) c.Set(i, j);
+  const size_t words = a.words_per_row();
+  const size_t nb = bt.rows();
+  ParallelFor(threads, a.rows(), [&](size_t rr0, size_t rr1, int) {
+    for (size_t i0 = rr0; i0 < rr1; i0 += kIB) {
+      const size_t i1 = std::min(rr1, i0 + kIB);
+      for (size_t j0 = 0; j0 < nb; j0 += 64) {
+        const size_t jn = std::min<size_t>(64, nb - j0);
+        const uint64_t full =
+            jn == 64 ? ~uint64_t{0} : (uint64_t{1} << jn) - 1;
+        uint64_t out[kIB] = {};
+        for (size_t w0 = 0; w0 < words; w0 += kWB) {
+          const size_t wn = std::min(kWB, words - w0);
+          bool tile_done = true;
+          for (size_t i = i0; i < i1; ++i) {
+            uint64_t got = out[i - i0];
+            if (got == full) continue;
+            const uint64_t* ra = a.RowWords(i) + w0;
+            uint64_t pending = full & ~got;
+            while (pending != 0) {
+              const int jj = std::countr_zero(pending);
+              pending &= pending - 1;
+              const uint64_t* rb = bt.RowWords(j0 + jj) + w0;
+              for (size_t w = 0; w < wn; ++w) {
+                if (ra[w] & rb[w]) {
+                  got |= uint64_t{1} << jj;
+                  break;
+                }
+              }
+            }
+            out[i - i0] = got;
+            tile_done &= got == full;
+          }
+          if (tile_done) break;  // every pair in the tile has a witness
+        }
+        for (size_t i = i0; i < i1; ++i) {
+          c.MutableRowWords(i)[j0 >> 6] = out[i - i0];
+        }
       }
     }
   });
@@ -63,14 +134,57 @@ std::vector<uint32_t> CountProduct(const BoolMatrix& a, const BoolMatrix& bt,
                                    int threads) {
   JPMM_CHECK(a.cols() == bt.cols());
   std::vector<uint32_t> c(a.rows() * bt.rows(), 0);
-  ParallelFor(threads, a.rows(), [&](size_t r0, size_t r1, int) {
-    for (size_t i = r0; i < r1; ++i) {
-      uint32_t* crow = c.data() + i * bt.rows();
-      for (size_t j = 0; j < bt.rows(); ++j) {
-        crow[j] = a.RowAndCount(i, bt, j);
+  const size_t words = a.words_per_row();
+  const size_t nb = bt.rows();
+  ParallelFor(threads, a.rows(), [&](size_t rr0, size_t rr1, int) {
+    for (size_t i0 = rr0; i0 < rr1; i0 += kIB) {
+      const size_t i1 = std::min(rr1, i0 + kIB);
+      for (size_t j0 = 0; j0 < nb; j0 += 64) {
+        const size_t jn = std::min<size_t>(64, nb - j0);
+        // The 64 x 64 x 4-byte output tile stays L1-resident across the
+        // word-slice passes; counts accumulate in place.
+        for (size_t w0 = 0; w0 < words; w0 += kWB) {
+          const size_t wn = std::min(kWB, words - w0);
+          for (size_t i = i0; i < i1; ++i) {
+            const uint64_t* ra = a.RowWords(i) + w0;
+            uint32_t* crow = c.data() + i * nb + j0;
+            for (size_t jj = 0; jj < jn; ++jj) {
+              const uint64_t* rb = bt.RowWords(j0 + jj) + w0;
+              uint32_t s = 0;
+              for (size_t w = 0; w < wn; ++w) {
+                s += static_cast<uint32_t>(std::popcount(ra[w] & rb[w]));
+              }
+              crow[jj] += s;
+            }
+          }
+        }
       }
     }
   });
+  return c;
+}
+
+BoolMatrix BoolProductNaive(const BoolMatrix& a, const BoolMatrix& bt) {
+  JPMM_CHECK(a.cols() == bt.cols());
+  BoolMatrix c(a.rows(), bt.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < bt.rows(); ++j) {
+      if (a.RowsIntersect(i, bt, j)) c.Set(i, j);
+    }
+  }
+  return c;
+}
+
+std::vector<uint32_t> CountProductNaive(const BoolMatrix& a,
+                                        const BoolMatrix& bt) {
+  JPMM_CHECK(a.cols() == bt.cols());
+  std::vector<uint32_t> c(a.rows() * bt.rows(), 0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    uint32_t* crow = c.data() + i * bt.rows();
+    for (size_t j = 0; j < bt.rows(); ++j) {
+      crow[j] = a.RowAndCount(i, bt, j);
+    }
+  }
   return c;
 }
 

@@ -4,6 +4,14 @@
 // (does any witness exist?) and the counting product (how many witnesses?)
 // computed 64 columns at a time. Used by the heavy-strategy ablation bench
 // and by the boolean-set-intersection fast path.
+//
+// The products are tiled (row-block x row-block x word-block) so the
+// operand slices a tile touches stay L1-resident, and results are written
+// 64 output bits at a time; Transposed() moves whole 64x64 bit blocks
+// through an in-register delta-swap transpose instead of scattering single
+// bits. The unblocked all-pairs row-intersection survives as
+// BoolProductNaive / CountProductNaive, the oracle the tests and the kernel
+// microbenchmark compare against.
 
 #ifndef JPMM_MATRIX_BOOL_MATRIX_H_
 #define JPMM_MATRIX_BOOL_MATRIX_H_
@@ -43,6 +51,10 @@ class BoolMatrix {
     JPMM_DCHECK(i < rows_);
     return data_.data() + i * words_per_row_;
   }
+  uint64_t* MutableRowWords(size_t i) {
+    JPMM_DCHECK(i < rows_);
+    return data_.data() + i * words_per_row_;
+  }
 
   /// Returns the transpose (cols x rows).
   BoolMatrix Transposed() const;
@@ -72,6 +84,12 @@ BoolMatrix BoolProduct(const BoolMatrix& a, const BoolMatrix& bt,
 /// Counting product: result[i * bt.rows() + j] = |row_i(a) AND row_j(bt)|.
 std::vector<uint32_t> CountProduct(const BoolMatrix& a, const BoolMatrix& bt,
                                    int threads = 1);
+
+/// Unblocked all-pairs references (the pre-blocking kernels), for oracle
+/// tests and the kernel microbenchmark. Single-threaded.
+BoolMatrix BoolProductNaive(const BoolMatrix& a, const BoolMatrix& bt);
+std::vector<uint32_t> CountProductNaive(const BoolMatrix& a,
+                                        const BoolMatrix& bt);
 
 }  // namespace jpmm
 

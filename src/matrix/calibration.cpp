@@ -8,8 +8,10 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "matrix/bool_matrix.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/matmul.h"
+#include "matrix/random.h"
 
 namespace jpmm {
 
@@ -48,20 +50,33 @@ SystemConstants SystemConstants::Measure() {
   return c;
 }
 
-namespace {
-
-Matrix RandomDense(uint32_t dim, uint64_t seed) {
-  Matrix m(dim, dim);
-  Rng rng(seed);
-  for (size_t i = 0; i < dim; ++i) {
-    for (size_t j = 0; j < dim; ++j) {
-      m.Set(i, j, rng.NextBool(0.5) ? 1.0f : 0.0f);
-    }
+BoolKernelRates BoolKernelRates::Measure(uint32_t dim, double density) {
+  JPMM_CHECK(dim > 0 && density > 0.0 && density <= 1.0);
+  BoolKernelRates rates;
+  const BoolMatrix a = RandomBoolMatrix(dim, dim, density, 5 + dim);
+  const BoolMatrix bt = RandomBoolMatrix(dim, dim, density, 9 + dim);
+  const double word_ops = static_cast<double>(dim) * dim * ((dim + 63) / 64);
+  {
+    WallTimer t;
+    const BoolMatrix c = BoolProduct(a, bt, 1);
+    rates.bool_words_per_sec = word_ops / std::max(t.Seconds(), 1e-9);
   }
-  return m;
+  {
+    WallTimer t;
+    const std::vector<uint32_t> c = CountProduct(a, bt, 1);
+    rates.count_words_per_sec = word_ops / std::max(t.Seconds(), 1e-9);
+  }
+  return rates;
 }
 
-}  // namespace
+const BoolKernelRates& BoolKernelRates::Default() {
+  static std::once_flag flag;
+  static std::unique_ptr<BoolKernelRates> instance;
+  std::call_once(flag, [] {
+    instance = std::make_unique<BoolKernelRates>(Measure(512));
+  });
+  return *instance;
+}
 
 MatMulCalibration MatMulCalibration::Measure(
     const std::vector<uint32_t>& dims, const std::vector<int>& cores) {
@@ -72,8 +87,8 @@ MatMulCalibration MatMulCalibration::Measure(
   cal.entries_.resize(cores.size());
   for (size_t ci = 0; ci < cores.size(); ++ci) {
     for (uint32_t p : dims) {
-      Matrix a = RandomDense(p, 11 + p);
-      Matrix b = RandomDense(p, 23 + p);
+      Matrix a = RandomDenseMatrix(p, p, 0.5, 11 + p);
+      Matrix b = RandomDenseMatrix(p, p, 0.5, 23 + p);
       Matrix c;
       WallTimer t;
       Multiply(a, b, &c, cores[ci]);
@@ -158,7 +173,7 @@ const MatMulCalibration& MatMulCalibration::Default() {
   static std::unique_ptr<MatMulCalibration> instance;
   std::call_once(flag, [] {
     instance = std::make_unique<MatMulCalibration>(
-        Measure({128, 256, 512}, {1}));
+        Measure({128, 256, 512, 1024}, {1}));
   });
   return *instance;
 }

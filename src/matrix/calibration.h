@@ -29,6 +29,27 @@ struct SystemConstants {
   static SystemConstants Measure();
 };
 
+/// Measured throughput of the tiled boolean kernels, in 64-bit word
+/// operations per second (one operation = AND, or AND + popcount, of one
+/// word pair), relative to the full BoolProductWordOps word count.
+/// The default density is low enough that the boolean product's early exit
+/// almost never fires, so bool_words_per_sec reflects sustained full-row
+/// scans — on denser inputs the kernel exits early and runs faster than
+/// modeled, making BoolProductSeconds a conservative (upper-bound) time
+/// estimate at any density. The counting product has no early exit, so its
+/// rate is density-independent. cost_model.h turns both into time
+/// estimates via BoolProductWordOps.
+struct BoolKernelRates {
+  double bool_words_per_sec = 1e9;
+  double count_words_per_sec = 1e9;
+
+  /// Times the blocked kernels on dim x dim random operands.
+  static BoolKernelRates Measure(uint32_t dim = 1024, double density = 0.02);
+
+  /// Process-wide instance, measured once on first use.
+  static const BoolKernelRates& Default();
+};
+
 /// Calibrated matrix-multiplication timing table.
 class MatMulCalibration {
  public:
@@ -46,7 +67,11 @@ class MatMulCalibration {
   /// Includes nothing but the multiplication itself.
   double EstimateSeconds(uint64_t u, uint64_t v, uint64_t w, int co) const;
 
-  /// Process-wide instance, measured once on first use with a small grid.
+  /// Process-wide instance, measured once on first use. The grid tops out
+  /// at 1024: the blocked kernel's throughput keeps climbing past the small
+  /// dims as packing amortizes, so the largest anchor (which cubic
+  /// extrapolation grows from) must see the sustained rate, not the
+  /// panel-setup-dominated one.
   static const MatMulCalibration& Default();
 
   /// Measured effective flops rate at the largest calibrated dim, 1 core.

@@ -19,6 +19,18 @@ double MatrixBuildOps(uint64_t u, uint64_t v, uint64_t w) {
                   static_cast<double>(v) * static_cast<double>(w));
 }
 
+double BoolProductWordOps(uint64_t u, uint64_t v, uint64_t w) {
+  if (u == 0 || v == 0 || w == 0) return 0.0;
+  return static_cast<double>(u) * static_cast<double>(w) *
+         static_cast<double>((v + 63) / 64);
+}
+
+double BoolProductSeconds(uint64_t u, uint64_t v, uint64_t w,
+                          double words_per_sec) {
+  JPMM_CHECK(words_per_sec > 0.0);
+  return BoolProductWordOps(u, v, w) / words_per_sec;
+}
+
 double Lemma3Runtime(double n, double out) {
   JPMM_CHECK(n >= 0 && out >= 0);
   return n + std::pow(n, 2.0 / 3.0) * std::pow(out, 1.0 / 3.0) *

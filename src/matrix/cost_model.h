@@ -26,6 +26,16 @@ double RectangularMmOps(uint64_t u, uint64_t v, uint64_t w,
 /// (the constant C of §3.1): max(U*V, V*W) cell visits.
 double MatrixBuildOps(uint64_t u, uint64_t v, uint64_t w);
 
+/// Word operations of the tiled boolean / counting product over packed
+/// rows: U*W row pairs, each intersecting ceil(V / 64) words. An upper
+/// bound for BoolProduct (early exit) and exact for CountProduct.
+double BoolProductWordOps(uint64_t u, uint64_t v, uint64_t w);
+
+/// Seconds for a boolean-semiring U x V times V x W product at a measured
+/// word rate (BoolKernelRates in calibration.h).
+double BoolProductSeconds(uint64_t u, uint64_t v, uint64_t w,
+                          double words_per_sec);
+
 /// Lemma 3 runtime shape, for shape-checking tests:
 /// |D| + |D|^(2/3) * |OUT|^(1/3) * max(|D|, |OUT|)^(1/3)   (omega = 2).
 double Lemma3Runtime(double n, double out);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
@@ -9,15 +10,140 @@
 namespace jpmm {
 namespace {
 
-// Inner-dimension tile: B rows touched per pass fit in L1/L2 alongside the
-// output row block.
-constexpr size_t kKTile = 256;
+// ---- Blocking parameters -------------------------------------------------
+//
+// Classic three-level GEMM blocking (Goto/BLIS structure):
+//   NC splits C's columns into panels whose packed B slab (KC x NC floats,
+//      4 MiB) stays resident in last-level cache across every row block of
+//      the panel;
+//   KC is the inner-dimension slice; one packed A panel (MC x KC, 256 KiB)
+//      plus the B stripe a micro-kernel touches (KC x NR, 64 KiB) stay in
+//      L2 across the register-tile sweep;
+//   MC rows of A are packed once and reused across the whole NC-wide panel;
+//   MR x NR is the register tile: the accumulator lives in vector registers
+//      (8 x 32 floats = 16 AVX-512 zmm) and the k-loop compiles to
+//      broadcast + FMA under -O3 -march=native. NR spanning two full
+//      vectors is what lets GCC 12 vectorize the accumulator cleanly;
+//      narrower tiles (8x16, 4x16) fall off a 20x cliff — see
+//      docs/kernels.md for the measured sweep and how to re-tune.
+constexpr size_t kMR = 8;
+constexpr size_t kNR = 32;
+constexpr size_t kMC = 128;
+constexpr size_t kKC = 512;
+constexpr size_t kNC = 2048;
 
-// Computes out[i][*] += A(row i) * B for rows [r0, r1) with the ikj order:
-// the j-loop is a contiguous saxpy over B's row and C's row, which the
-// compiler turns into FMA vector code.
+static_assert(kMC % kMR == 0, "A panels must divide evenly into row tiles");
+static_assert(kNC % kNR == 0, "B panels must divide evenly into column tiles");
+
+// Packs A[ic..ic+mc) x [pc..pc+kc) into kMR-row panels: panel p (rows
+// p*kMR..) holds ap[p*kMR*kc + k*kMR + r] = A[ic + p*kMR + r][pc + k].
+// Rows past mc are zero-filled so the micro-kernel never branches on the
+// row edge; the padding contributes 0 to every product.
+void PackA(const Matrix& a, size_t ic, size_t mc, size_t pc, size_t kc,
+           float* ap) {
+  const size_t v = a.cols();
+  for (size_t p0 = 0; p0 < mc; p0 += kMR) {
+    const size_t rows = std::min(kMR, mc - p0);
+    float* panel = ap + p0 * kc;
+    for (size_t r = 0; r < rows; ++r) {
+      const float* src = a.data() + (ic + p0 + r) * v + pc;
+      for (size_t k = 0; k < kc; ++k) panel[k * kMR + r] = src[k];
+    }
+    for (size_t r = rows; r < kMR; ++r) {
+      for (size_t k = 0; k < kc; ++k) panel[k * kMR + r] = 0.0f;
+    }
+  }
+}
+
+// Packs B[pc..pc+kc) x [jc..jc+nc) into kNR-column panels: panel q holds
+// bp[q*kNR*kc + k*kNR + c] = B[pc + k][jc + q*kNR + c], zero-padded past nc.
+void PackB(const Matrix& b, size_t pc, size_t kc, size_t jc, size_t nc,
+           float* bp) {
+  const size_t w = b.cols();
+  for (size_t j0 = 0; j0 < nc; j0 += kNR) {
+    const size_t cols = std::min(kNR, nc - j0);
+    float* panel = bp + j0 * kc;
+    for (size_t k = 0; k < kc; ++k) {
+      const float* src = b.data() + (pc + k) * w + jc + j0;
+      float* dst = panel + k * kNR;
+      size_t c = 0;
+      for (; c < cols; ++c) dst[c] = src[c];
+      for (; c < kNR; ++c) dst[c] = 0.0f;
+    }
+  }
+}
+
+// C[0..rows) x [0..cols) += Ap panel * Bp panel over kc inner steps. The
+// kMR x kNR accumulator is a local array the compiler keeps in vector
+// registers; rows/cols only bound the final write-back, so edge tiles pay
+// nothing in the hot loop.
+void MicroKernel(const float* ap, const float* bp, size_t kc, float* c,
+                 size_t ldc, size_t rows, size_t cols) {
+  float acc[kMR * kNR] = {};
+  for (size_t k = 0; k < kc; ++k) {
+    const float* arow = ap + k * kMR;
+    const float* brow = bp + k * kNR;
+    for (size_t r = 0; r < kMR; ++r) {
+      const float av = arow[r];
+      for (size_t j = 0; j < kNR; ++j) acc[r * kNR + j] += av * brow[j];
+    }
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    float* crow = c + r * ldc;
+    const float* arow = acc + r * kNR;
+    for (size_t j = 0; j < cols; ++j) crow[j] += arow[j];
+  }
+}
+
+// Per-thread packing scratch, sized for the largest panels. thread_local so
+// repeated block-streamed calls (mm_join's row blocks) reuse the allocation.
+struct PackScratch {
+  std::vector<float> a = std::vector<float>(kMC * kKC);
+  std::vector<float> b = std::vector<float>(kKC * kNC);
+};
+
+PackScratch& Scratch() {
+  static thread_local PackScratch scratch;
+  return scratch;
+}
+
+// out[(i - r0) * ldc + j] += (A * B)(i, j) for rows [r0, r1). B panels are
+// packed once per (jc, pc) and reused across every MC row block in the
+// range; A panels are packed per row block.
 void KernelRowRange(const Matrix& a, const Matrix& b, size_t r0, size_t r1,
-                    float* out) {
+                    float* out, size_t ldc) {
+  const size_t v = a.cols();
+  const size_t w = b.cols();
+  PackScratch& scratch = Scratch();
+  float* ap = scratch.a.data();
+  float* bp = scratch.b.data();
+  for (size_t jc = 0; jc < w; jc += kNC) {
+    const size_t nc = std::min(kNC, w - jc);
+    for (size_t pc = 0; pc < v; pc += kKC) {
+      const size_t kc = std::min(kKC, v - pc);
+      PackB(b, pc, kc, jc, nc, bp);
+      for (size_t ic = r0; ic < r1; ic += kMC) {
+        const size_t mc = std::min(kMC, r1 - ic);
+        PackA(a, ic, mc, pc, kc, ap);
+        for (size_t jr = 0; jr < nc; jr += kNR) {
+          const size_t cols = std::min(kNR, nc - jr);
+          for (size_t ir = 0; ir < mc; ir += kMR) {
+            const size_t rows = std::min(kMR, mc - ir);
+            MicroKernel(ap + ir * kc, bp + jr * kc, kc,
+                        out + (ic - r0 + ir) * ldc + jc + jr, ldc, rows,
+                        cols);
+          }
+        }
+      }
+    }
+  }
+}
+
+// The seed kernel: ikj saxpy with an inner-dimension tile. Kept as the
+// microbenchmark baseline the blocked kernel is measured against.
+void ScalarKernelRowRange(const Matrix& a, const Matrix& b, size_t r0,
+                          size_t r1, float* out) {
+  constexpr size_t kKTile = 256;
   const size_t v = a.cols();
   const size_t w = b.cols();
   for (size_t k0 = 0; k0 < v; k0 += kKTile) {
@@ -27,7 +153,7 @@ void KernelRowRange(const Matrix& a, const Matrix& b, size_t r0, size_t r1,
       float* crow = out + (i - r0) * w;
       for (size_t k = k0; k < k1; ++k) {
         const float aik = arow[k];
-        if (aik == 0.0f) continue;  // adjacency matrices are sparse-ish
+        if (aik == 0.0f) continue;
         const float* brow = b.data() + k * w;
         for (size_t j = 0; j < w; ++j) crow[j] += aik * brow[j];
       }
@@ -43,7 +169,7 @@ void MultiplyRowRange(const Matrix& a, const Matrix& b, size_t row_begin,
   JPMM_CHECK(row_begin <= row_end && row_end <= a.rows());
   JPMM_CHECK(out.size() >= (row_end - row_begin) * b.cols());
   std::memset(out.data(), 0, (row_end - row_begin) * b.cols() * sizeof(float));
-  KernelRowRange(a, b, row_begin, row_end, out.data());
+  KernelRowRange(a, b, row_begin, row_end, out.data(), b.cols());
 }
 
 void Multiply(const Matrix& a, const Matrix& b, Matrix* c, int threads) {
@@ -53,13 +179,21 @@ void Multiply(const Matrix& a, const Matrix& b, Matrix* c, int threads) {
   float* cdata = c->mutable_data();
   const size_t w = b.cols();
   ParallelFor(threads, a.rows(), [&](size_t r0, size_t r1, int) {
-    KernelRowRange(a, b, r0, r1, cdata + r0 * w);
+    KernelRowRange(a, b, r0, r1, cdata + r0 * w, w);
   });
 }
 
 Matrix Multiply(const Matrix& a, const Matrix& b, int threads) {
   Matrix c;
   Multiply(a, b, &c, threads);
+  return c;
+}
+
+Matrix MultiplyScalarReference(const Matrix& a, const Matrix& b) {
+  JPMM_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  if (a.rows() == 0 || b.cols() == 0) return c;
+  ScalarKernelRowRange(a, b, 0, a.rows(), c.mutable_data());
   return c;
 }
 

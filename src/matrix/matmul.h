@@ -1,10 +1,21 @@
-// Blocked, multithreaded dense matrix multiplication.
+// Blocked, register-tiled, multithreaded dense matrix multiplication.
 //
 // This is jpmm's substitute for the paper's Eigen + Intel MKL SGEMM: a
-// cache-tiled classical O(uvw) kernel whose inner loop vectorizes to FMA
-// under -O3 -march=native. Parallelism partitions output rows across
-// workers — the "coordination-free" scheme of §6: each worker owns a row
-// block and never synchronizes with the others.
+// packed-panel classical O(uvw) kernel with three-level (MC/KC/NC) cache
+// blocking and an 8x32 register-accumulator micro-kernel that compiles to
+// broadcast + FMA under -O3 -march=native. B panels are packed once per
+// (column panel, inner slice) and reused across every row block, so the
+// block-streamed join path pays the packing cost only once per panel.
+// Parallelism partitions output rows across workers — the
+// "coordination-free" scheme of §6: each worker owns a row block and never
+// synchronizes with the others. See docs/kernels.md for the design and the
+// tuning procedure.
+//
+// Numerical note: every per-element accumulation still runs in ascending-k
+// order, but partial sums are formed per KC slice, so results are
+// bit-identical to the naive triple loop only when all intermediate values
+// are exactly representable — which holds for jpmm's 0/1 adjacency matrices
+// (witness counts are small integers, exact in float up to 2^24).
 
 #ifndef JPMM_MATRIX_MATMUL_H_
 #define JPMM_MATRIX_MATMUL_H_
@@ -29,6 +40,11 @@ Matrix Multiply(const Matrix& a, const Matrix& b, int threads = 1);
 /// product block by block instead of materializing all of M.
 void MultiplyRowRange(const Matrix& a, const Matrix& b, size_t row_begin,
                       size_t row_end, std::span<float> out);
+
+/// The pre-blocking seed kernel (ikj saxpy with an inner-dimension tile),
+/// single-threaded. Kept as the baseline the kernel microbenchmark measures
+/// the blocked kernel against; not used by any query path.
+Matrix MultiplyScalarReference(const Matrix& a, const Matrix& b);
 
 /// Naive triple loop, for oracle tests only.
 Matrix MultiplyNaive(const Matrix& a, const Matrix& b);

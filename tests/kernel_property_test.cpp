@@ -1,0 +1,176 @@
+// Randomized property tests for the blocked matrix kernels.
+//
+// The blocked dense GEMM, the tiled boolean products, and the word-block
+// bit transpose must agree exactly with their naive references on shapes
+// that exercise every edge case: dimensions that are odd, prime, smaller
+// than one register tile, and straddling cache-block boundaries. Dense
+// operands use small-integer values, where float accumulation is exact in
+// any order, so EXPECT_EQ compares bit-identical payloads.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "matrix/bool_matrix.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/matmul.h"
+#include "matrix/random.h"
+
+namespace jpmm {
+namespace {
+
+// Not the shared 0/1 generator: multi-valued entries exercise the exact
+// small-integer accumulation the kernels promise.
+Matrix RandomIntMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      // Values in {0, 1, 2, 3}, biased toward 0 like an adjacency matrix.
+      if (rng.NextBool(0.4)) {
+        m.Set(i, j, static_cast<float>(1 + rng.NextBounded(3)));
+      }
+    }
+  }
+  return m;
+}
+
+// Shapes chosen to straddle the register tile (8 x 32), the cache blocks
+// (MC = 128, KC = 512, NC = 2048), and the 64-bit word boundary.
+struct Shape {
+  size_t u, v, w;
+};
+
+const Shape kShapes[] = {
+    {1, 1, 1},      {3, 5, 7},      {8, 32, 8},     {9, 33, 31},
+    {7, 513, 65},   {64, 64, 64},   {65, 127, 63},  {129, 257, 33},
+    {130, 512, 97}, {41, 1030, 29}, {256, 19, 300},
+};
+
+TEST(KernelProperty, BlockedGemmMatchesNaiveOnIrregularShapes) {
+  uint64_t seed = 1;
+  for (const Shape& s : kShapes) {
+    Matrix a = RandomIntMatrix(s.u, s.v, seed++);
+    Matrix b = RandomIntMatrix(s.v, s.w, seed++);
+    const Matrix want = MultiplyNaive(a, b);
+    EXPECT_EQ(Multiply(a, b, 1), want)
+        << "u=" << s.u << " v=" << s.v << " w=" << s.w;
+    EXPECT_EQ(MultiplyScalarReference(a, b), want)
+        << "scalar reference, u=" << s.u << " v=" << s.v << " w=" << s.w;
+  }
+}
+
+TEST(KernelProperty, BlockedGemmMatchesNaiveMultithreaded) {
+  Matrix a = RandomIntMatrix(201, 307, 77);
+  Matrix b = RandomIntMatrix(307, 143, 78);
+  const Matrix want = MultiplyNaive(a, b);
+  for (int threads : {2, 3, 5}) {
+    EXPECT_EQ(Multiply(a, b, threads), want) << threads << " threads";
+  }
+}
+
+TEST(KernelProperty, RowRangeMatchesNaiveAtEveryBlockOffset) {
+  Matrix a = RandomIntMatrix(70, 143, 91);
+  Matrix b = RandomIntMatrix(143, 89, 92);
+  const Matrix want = MultiplyNaive(a, b);
+  for (size_t block : {1u, 7u, 64u}) {
+    std::vector<float> buf(block * b.cols());
+    for (size_t r0 = 0; r0 < a.rows(); r0 += block) {
+      const size_t r1 = std::min(a.rows(), r0 + block);
+      MultiplyRowRange(a, b, r0, r1, buf);
+      for (size_t i = r0; i < r1; ++i) {
+        for (size_t j = 0; j < b.cols(); ++j) {
+          ASSERT_EQ(buf[(i - r0) * b.cols() + j], want.At(i, j))
+              << "block=" << block << " i=" << i << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelProperty, BoolProductMatchesReferenceAcrossDensities) {
+  uint64_t seed = 100;
+  for (double density : {0.01, 0.1, 0.5, 0.95}) {
+    for (const Shape& s : kShapes) {
+      BoolMatrix a = RandomBoolMatrix(s.u, s.v, density, seed++);
+      BoolMatrix bt = RandomBoolMatrix(s.w, s.v, density, seed++);
+      const BoolMatrix want = BoolProductNaive(a, bt);
+      const BoolMatrix got = BoolProduct(a, bt, 1);
+      ASSERT_EQ(got.rows(), want.rows());
+      ASSERT_EQ(got.words_per_row(), want.words_per_row());
+      for (size_t i = 0; i < got.rows(); ++i) {
+        ASSERT_EQ(std::memcmp(got.RowWords(i), want.RowWords(i),
+                              got.words_per_row() * sizeof(uint64_t)),
+                  0)
+            << "density=" << density << " u=" << s.u << " v=" << s.v
+            << " w=" << s.w << " row=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelProperty, CountProductMatchesReferenceAcrossDensities) {
+  uint64_t seed = 500;
+  for (double density : {0.05, 0.4}) {
+    for (const Shape& s : kShapes) {
+      BoolMatrix a = RandomBoolMatrix(s.u, s.v, density, seed++);
+      BoolMatrix bt = RandomBoolMatrix(s.w, s.v, density, seed++);
+      EXPECT_EQ(CountProduct(a, bt, 1), CountProductNaive(a, bt))
+          << "density=" << density << " u=" << s.u << " v=" << s.v
+          << " w=" << s.w;
+    }
+  }
+}
+
+TEST(KernelProperty, BlockedProductsMatchReferenceMultithreaded) {
+  BoolMatrix a = RandomBoolMatrix(203, 517, 0.2, 900);
+  BoolMatrix bt = RandomBoolMatrix(131, 517, 0.2, 901);
+  const BoolMatrix want = BoolProductNaive(a, bt);
+  for (int threads : {2, 4}) {
+    const BoolMatrix got = BoolProduct(a, bt, threads);
+    for (size_t i = 0; i < got.rows(); ++i) {
+      ASSERT_EQ(std::memcmp(got.RowWords(i), want.RowWords(i),
+                            got.words_per_row() * sizeof(uint64_t)),
+                0)
+          << threads << " threads, row " << i;
+    }
+    EXPECT_EQ(CountProduct(a, bt, threads), CountProductNaive(a, bt))
+        << threads << " threads";
+  }
+}
+
+TEST(KernelProperty, TransposeMatchesPerBitReferenceOnOddShapes) {
+  uint64_t seed = 1000;
+  for (size_t rows : {1u, 7u, 63u, 64u, 65u, 200u}) {
+    for (size_t cols : {1u, 31u, 64u, 129u, 300u}) {
+      const BoolMatrix m = RandomBoolMatrix(rows, cols, 0.3, seed++);
+      const BoolMatrix t = m.Transposed();
+      ASSERT_EQ(t.rows(), cols);
+      ASSERT_EQ(t.cols(), rows);
+      for (size_t i = 0; i < rows; ++i) {
+        for (size_t j = 0; j < cols; ++j) {
+          ASSERT_EQ(m.Test(i, j), t.Test(j, i))
+              << rows << "x" << cols << " at (" << i << ", " << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelProperty, TransposeRoundTripsOnWordBoundaryStraddle) {
+  const BoolMatrix m = RandomBoolMatrix(127, 193, 0.4, 2000);
+  const BoolMatrix round = m.Transposed().Transposed();
+  ASSERT_EQ(round.rows(), m.rows());
+  ASSERT_EQ(round.cols(), m.cols());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    ASSERT_EQ(std::memcmp(round.RowWords(i), m.RowWords(i),
+                          m.words_per_row() * sizeof(uint64_t)),
+              0)
+        << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace jpmm

@@ -11,19 +11,13 @@
 #include "matrix/cost_model.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/matmul.h"
+#include "matrix/random.h"
 
 namespace jpmm {
 namespace {
 
 Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed, double density) {
-  Matrix m(rows, cols);
-  Rng rng(seed);
-  for (size_t i = 0; i < rows; ++i) {
-    for (size_t j = 0; j < cols; ++j) {
-      if (rng.NextBool(density)) m.Set(i, j, 1.0f);
-    }
-  }
-  return m;
+  return RandomDenseMatrix(rows, cols, density, seed);
 }
 
 TEST(DenseMatrix, SetAtRow) {
@@ -47,6 +41,12 @@ TEST(Matmul, MatchesNaiveSquare) {
   Matrix a = RandomMatrix(33, 33, 2, 0.4);
   Matrix b = RandomMatrix(33, 33, 3, 0.4);
   EXPECT_EQ(Multiply(a, b, 1), MultiplyNaive(a, b));
+}
+
+TEST(Matmul, ScalarReferenceMatchesNaive) {
+  Matrix a = RandomMatrix(45, 70, 20, 0.4);
+  Matrix b = RandomMatrix(70, 31, 21, 0.4);
+  EXPECT_EQ(MultiplyScalarReference(a, b), MultiplyNaive(a, b));
 }
 
 TEST(Matmul, MatchesNaiveRectangular) {
@@ -196,6 +196,25 @@ TEST(CostModel, Lemma3BeatsLemma2Shape) {
 TEST(CostModel, BuildCostIsMaxOfOperands) {
   EXPECT_DOUBLE_EQ(MatrixBuildOps(10, 20, 5), 200.0);
   EXPECT_DOUBLE_EQ(MatrixBuildOps(5, 20, 10), 200.0);
+}
+
+TEST(CostModel, BoolProductWordOpsRoundsInnerDimToWords) {
+  EXPECT_DOUBLE_EQ(BoolProductWordOps(10, 64, 20), 10.0 * 20);
+  EXPECT_DOUBLE_EQ(BoolProductWordOps(10, 65, 20), 10.0 * 20 * 2);
+  EXPECT_DOUBLE_EQ(BoolProductWordOps(0, 64, 20), 0.0);
+}
+
+TEST(CostModel, BoolProductSecondsScalesWithRate) {
+  const double t1 = BoolProductSeconds(128, 128, 128, 1e9);
+  const double t2 = BoolProductSeconds(128, 128, 128, 2e9);
+  EXPECT_DOUBLE_EQ(t1, 2.0 * t2);
+  EXPECT_GT(t1, 0.0);
+}
+
+TEST(Calibration, BoolKernelRatesArePositive) {
+  const BoolKernelRates rates = BoolKernelRates::Measure(128);
+  EXPECT_GT(rates.bool_words_per_sec, 0.0);
+  EXPECT_GT(rates.count_words_per_sec, 0.0);
 }
 
 TEST(Calibration, SyntheticTableInterpolates) {
