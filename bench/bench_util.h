@@ -88,7 +88,7 @@ inline void WarmCalibration() { MatMulCalibration::Default(); }
 /// ships in may expose a single hardware thread; the sweep still exercises
 /// the parallel code paths (EXPERIMENTS.md discusses the flat curves).
 inline const std::vector<int>& ThreadSweep() {
-  static const std::vector<int> kThreads = {1, 2, 4};
+  static const std::vector<int> kThreads = {1, 2, 4, 8};
   return kThreads;
 }
 

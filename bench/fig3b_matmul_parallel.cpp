@@ -54,6 +54,7 @@ BENCHMARK(BM_ConstructAndMultiply)
     ->Arg(3)
     ->Arg(4)
     ->Arg(5)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

@@ -3,6 +3,9 @@
 // Measures the matrix-layer rewrite in isolation:
 //   dense : packed-panel blocked GEMM (Multiply) vs the seed ikj-saxpy
 //           kernel (MultiplyScalarReference) vs the naive triple loop;
+//   parallel dense : shared-packed-B-slab MultiplyParallel vs the
+//           replicated-packing path (every worker re-packs B) across
+//           thread counts — the pool-era parallel regression guard;
 //   bool  : tiled BoolProduct / CountProduct vs the unblocked all-pairs
 //           row-intersection references;
 //   transpose : 64x64 word-block bit transpose vs the seed per-bit scatter.
@@ -93,6 +96,55 @@ void BM_DenseNaive(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   AddGflops(state, dim);
+}
+
+// ---- Parallel dense: shared packed-B slab vs replicated packing ----------
+//
+// The parallel mode: both benchmarks partition output rows across the same
+// persistent pool; the only difference is that the shared-slab path packs
+// B's panels once (in parallel) and every worker reads the one slab, while
+// the replicated path has every worker re-pack the full B for its own row
+// range. The gap is the redundant packing traffic — it widens with thread
+// count. Run with --benchmark_filter=Parallel.
+
+void BM_DenseParallelSharedSlab(benchmark::State& state) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  Matrix a = RandomDense(dim, 1);
+  Matrix b = RandomDense(dim, 2);
+  {
+    Matrix got;
+    MultiplyParallel(a, b, &got, threads);
+    JPMM_CHECK_MSG(got == Multiply(a, b, 1),
+                   "shared-slab parallel product diverged from sequential");
+  }
+  Matrix c;
+  for (auto _ : state) {
+    MultiplyParallel(a, b, &c, threads);
+    benchmark::DoNotOptimize(c.data());
+  }
+  AddGflops(state, dim);
+  state.counters["threads"] = threads;
+}
+
+void BM_DenseParallelReplicatedPack(benchmark::State& state) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  Matrix a = RandomDense(dim, 1);
+  Matrix b = RandomDense(dim, 2);
+  {
+    Matrix got;
+    MultiplyReplicatedPacking(a, b, &got, threads);
+    JPMM_CHECK_MSG(got == Multiply(a, b, 1),
+                   "replicated-packing parallel product diverged");
+  }
+  Matrix c;
+  for (auto _ : state) {
+    MultiplyReplicatedPacking(a, b, &c, threads);
+    benchmark::DoNotOptimize(c.data());
+  }
+  AddGflops(state, dim);
+  state.counters["threads"] = threads;
 }
 
 // ---- Boolean -------------------------------------------------------------
@@ -231,6 +283,21 @@ BENCHMARK(BM_DenseScalarSeed)
     ->Arg(2048)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DenseNaive)->Arg(512)->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_DenseParallelSharedSlab)
+    ->Args({2048, 1})
+    ->Args({2048, 2})
+    ->Args({2048, 4})
+    ->Args({2048, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_DenseParallelReplicatedPack)
+    ->Args({2048, 1})
+    ->Args({2048, 2})
+    ->Args({2048, 4})
+    ->Args({2048, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 BENCHMARK(BM_BoolBlocked)
     ->Arg(1024)

@@ -1,17 +1,53 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/check.h"
 
 namespace jpmm {
+namespace {
+
+std::atomic<size_t> g_threads_spawned{0};
+
+// Set for the lifetime of one task execution; nested ParallelFor calls use
+// it to fall back to inline execution instead of re-entering the pool.
+thread_local bool t_on_pool_thread = false;
+
+// Shared completion state for one ParallelFor / ParallelForDynamic call.
+// Tasks from concurrent calls interleave freely in the global pool; each
+// call only waits for (and observes exceptions from) its own group.
+struct TaskGroup {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+  size_t pending = 0;
+
+  // Runs one chunk, recording the first exception. Decrementing `pending`
+  // is unconditional so a throwing chunk can never strand the waiter.
+  void RunChunk(const std::function<void()>& body) {
+    try {
+      body();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!error) error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    if (--pending == 0) done_cv.notify_all();
+  }
+
+  void WaitAndRethrow() {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [this] { return pending == 0; });
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
-  JPMM_CHECK(threads >= 1);
-  workers_.reserve(static_cast<size_t>(threads));
-  for (int i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
+  JPMM_CHECK(threads >= 0);
+  EnsureWorkers(threads);
 }
 
 ThreadPool::~ThreadPool() {
@@ -21,6 +57,19 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::EnsureWorkers(int threads) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (static_cast<int>(workers_.size()) < threads) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+    g_threads_spawned.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+int ThreadPool::num_threads() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -33,11 +82,18 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::WorkerLoop() {
+  t_on_pool_thread = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -50,7 +106,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    // The decrement must happen whether or not task() throws — a leaked
+    // count would deadlock WaitIdle() forever — so it lives after the
+    // catch, on every path out of the try.
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) idle_cv_.notify_all();
@@ -58,31 +122,86 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+size_t ThreadPool::TotalThreadsSpawned() {
+  return g_threads_spawned.load(std::memory_order_relaxed);
+}
+
+bool ThreadPool::OnPoolThread() { return t_on_pool_thread; }
+
 void ParallelFor(int threads, size_t n,
                  const std::function<void(size_t, size_t, int)>& fn) {
   if (n == 0) return;
   threads = std::max(1, threads);
   const size_t workers = std::min<size_t>(static_cast<size_t>(threads), n);
-  if (workers == 1) {
+  if (workers == 1 || ThreadPool::OnPoolThread()) {
     fn(0, n, 0);
     return;
   }
   // Contiguous chunks: coordination-free, matches the row-partitioned
-  // parallelism the paper relies on. One std::thread per chunk; chunk counts
-  // here are small (= thread count), so spawn cost is negligible next to the
-  // work inside.
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
+  // parallelism the paper relies on. Chunks 1..k-1 go to the persistent
+  // pool; the caller runs chunk 0 itself, so k-way execution needs only
+  // k-1 pool workers and no thread is ever spawned per call.
+  ThreadPool& pool = ThreadPool::Global();
+  pool.EnsureWorkers(static_cast<int>(workers) - 1);
   const size_t chunk = (n + workers - 1) / workers;
-  for (size_t w = 0; w < workers; ++w) {
+  TaskGroup group;
+  group.pending = workers;
+  for (size_t w = 1; w < workers; ++w) {
     const size_t begin = w * chunk;
     const size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    pool.emplace_back([&fn, begin, end, w] {
-      fn(begin, end, static_cast<int>(w));
+    if (begin >= end) {
+      // Rounding left this chunk empty; retire it without a pool trip.
+      std::lock_guard<std::mutex> lock(group.mu);
+      --group.pending;
+      continue;
+    }
+    pool.Submit([&group, &fn, begin, end, w] {
+      group.RunChunk([&] { fn(begin, end, static_cast<int>(w)); });
     });
   }
-  for (auto& t : pool) t.join();
+  group.RunChunk([&] { fn(0, std::min(n, chunk), 0); });
+  group.WaitAndRethrow();
+}
+
+void ParallelForDynamic(int threads, size_t n, size_t grain,
+                        const std::function<void(size_t, size_t, int)>& fn) {
+  if (n == 0) return;
+  threads = std::max(1, threads);
+  grain = std::max<size_t>(1, grain);
+  const size_t chunks = (n + grain - 1) / grain;
+  const size_t workers = std::min<size_t>(static_cast<size_t>(threads), chunks);
+  if (workers == 1 || ThreadPool::OnPoolThread()) {
+    fn(0, n, 0);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::Global();
+  pool.EnsureWorkers(static_cast<int>(workers) - 1);
+  // One atomic fetch_add per grain-sized chunk: a worker stuck on expensive
+  // indices claims fewer chunks, so zipf-skewed loops balance without any
+  // cross-worker coordination beyond the counter. Stack-local is safe: the
+  // caller blocks in WaitAndRethrow until every task is done.
+  std::atomic<size_t> next{0};
+  auto drain = [&next, &fn, n, grain](int w) {
+    for (;;) {
+      const size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) break;
+      fn(begin, std::min(n, begin + grain), w);
+    }
+  };
+  TaskGroup group;
+  group.pending = workers;
+  for (size_t w = 1; w < workers; ++w) {
+    pool.Submit([&group, &drain, w] {
+      group.RunChunk([&] { drain(static_cast<int>(w)); });
+    });
+  }
+  group.RunChunk([&] { drain(0); });
+  group.WaitAndRethrow();
 }
 
 int HardwareThreads() {

@@ -1,16 +1,25 @@
-// Minimal thread pool with a blocking ParallelFor.
+// Persistent worker pool with blocking ParallelFor / ParallelForDynamic.
 //
 // The paper's framework obtains "coordination-free" parallelism by
 // partitioning matrix rows / x-values across workers (Section 6). Every
 // parallel algorithm in jpmm takes an explicit thread count and routes its
 // partitioned work through ParallelFor, so single-threaded runs execute the
 // exact same code path inline.
+//
+// ParallelFor used to spawn fresh std::threads per call; a single
+// MmJoinTwoPath query makes four ParallelFor rounds, so the spawn/join cost
+// was paid four times per query. Both entry points now run on one
+// lazily-initialized process-wide ThreadPool that grows to the largest
+// thread count ever requested and is reused for the life of the process.
+// The calling thread always executes chunk 0 itself, so a request for T
+// threads needs only T-1 pool workers and the caller is never idle.
 
 #ifndef JPMM_COMMON_THREAD_POOL_H_
 #define JPMM_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -19,33 +28,57 @@
 
 namespace jpmm {
 
-/// Fixed-size worker pool. Submit() enqueues a task; WaitIdle() blocks until
-/// every submitted task has finished.
+/// Worker pool. Submit() enqueues a task; WaitIdle() blocks until every
+/// submitted task has finished and rethrows the first exception any task
+/// threw since the last WaitIdle(). The pool can grow (EnsureWorkers) but
+/// never shrinks; workers exit only at destruction.
 class ThreadPool {
  public:
-  /// Spawns `threads` workers (>= 1).
+  /// Spawns `threads` workers (>= 0; a zero-size pool is legal and grows on
+  /// demand).
   explicit ThreadPool(int threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution. A task that throws does NOT
+  /// leak the in-flight count (the decrement is scope-guarded): the first
+  /// exception is captured and rethrown by the next WaitIdle(), and the pool
+  /// stays usable.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is drained and all workers are idle.
+  /// Blocks until the queue is drained and all workers are idle, then
+  /// rethrows the first captured task exception, if any.
   void WaitIdle();
 
-  int num_threads() const { return static_cast<int>(workers_.size()); }
+  /// Grows the pool to at least `threads` workers.
+  void EnsureWorkers(int threads);
+
+  int num_threads() const;
+
+  /// The process-wide pool ParallelFor runs on. Lazily constructed empty;
+  /// grown on demand.
+  static ThreadPool& Global();
+
+  /// Total std::threads ever spawned by all ThreadPool instances in this
+  /// process. A reuse test asserts this stays flat across repeated
+  /// ParallelFor calls — the regression guard against per-call spawning.
+  static size_t TotalThreadsSpawned();
+
+  /// True on a thread currently executing a pool task. Nested ParallelFor
+  /// calls detect this and run inline instead of re-entering the pool.
+  static bool OnPoolThread();
 
  private:
   void WorkerLoop();
 
+  mutable std::mutex mu_;
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers
   std::condition_variable idle_cv_;   // signals WaitIdle
+  std::exception_ptr first_error_;    // first uncaught task exception
   size_t in_flight_ = 0;              // queued + running tasks
   bool stop_ = false;
 };
@@ -53,10 +86,29 @@ class ThreadPool {
 /// Splits [0, n) into contiguous chunks and runs
 /// `fn(begin, end, worker_index)` on each, using `threads` workers.
 ///
-/// threads <= 1 runs inline on the calling thread (no pool, no locks), so the
-/// sequential path is identical modulo partitioning. Blocks until done.
+/// threads <= 1 runs inline on the calling thread (no pool, no locks), so
+/// the sequential path is identical modulo partitioning. Calls from inside a
+/// pool task also run inline (single chunk, worker 0) — nesting cannot
+/// deadlock. Blocks until done; the first exception thrown by `fn` is
+/// rethrown on the calling thread.
+///
+/// Worker indices are chunk indices in [0, min(threads, n)): each index is
+/// passed to exactly one fn invocation, so per-worker state arrays sized by
+/// `threads` need no synchronization.
 void ParallelFor(int threads, size_t n,
                  const std::function<void(size_t, size_t, int)>& fn);
+
+/// Skew-tolerant variant: workers claim `grain`-sized chunks of [0, n) from
+/// a shared atomic counter until the range is exhausted, so a worker that
+/// lands on expensive indices (zipf-heavy x values, early-exit-resistant
+/// rows) simply claims fewer chunks. fn(begin, end, worker_index) may be
+/// invoked MANY times per worker index with disjoint ranges — accumulate,
+/// don't assign, into per-worker slots. Chunk-to-worker assignment is
+/// nondeterministic; aggregate results are not.
+///
+/// Inline rules and exception behavior match ParallelFor.
+void ParallelForDynamic(int threads, size_t n, size_t grain,
+                        const std::function<void(size_t, size_t, int)>& fn);
 
 /// Hardware concurrency, at least 1.
 int HardwareThreads();

@@ -41,7 +41,10 @@ JoinProjectOutput WcojFullJoinProject(const IndexedRelation& r,
   };
   std::vector<Worker> workers(static_cast<size_t>(threads));
 
-  ParallelFor(threads, r.num_x(), [&](size_t a0, size_t a1, int w) {
+  // Dynamic chunking over the (possibly zipf-skewed) x domain: a hub-heavy
+  // contiguous chunk no longer pins one worker (see mm_join.cpp).
+  ParallelForDynamic(threads, r.num_x(), /*grain=*/256,
+                     [&](size_t a0, size_t a1, int w) {
     Worker& ws = workers[static_cast<size_t>(w)];
     if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
     for (size_t a = a0; a < a1; ++a) {

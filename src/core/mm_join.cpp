@@ -134,17 +134,28 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   Thresholds t = opts.thresholds;
   t.delta1 = std::max<uint64_t>(1, t.delta1);
   t.delta2 = std::max<uint64_t>(1, t.delta2);
+  const int threads = std::max(1, opts.threads);
 
-  // Build the context; double the thresholds until the dense operands fit
-  // the memory cap (fewer heavy values => smaller matrices).
+  // Build the context; double the thresholds until the heavy-part working
+  // set fits the memory cap (fewer heavy values => smaller matrices). The
+  // footprint is the two dense operands PLUS the shared packed-B slab PLUS
+  // one row-block product buffer per worker — the buffers alone are
+  // threads * row_block * hz floats, which dwarfs the operands when hz is
+  // large and threads are many, so they must count against the cap.
   std::unique_ptr<internal::TwoPathContext> ctx;
   for (;;) {
     ctx = std::make_unique<internal::TwoPathContext>(r, s, t);
     const uint64_t hx = ctx->part.heavy_x().size();
     const uint64_t hy = ctx->part.heavy_y().size();
     const uint64_t hz = ctx->part.heavy_z().size();
-    const uint64_t bytes = 4 * (hx * hy + hy * hz);
-    if (hy == 0 || bytes <= opts.max_matrix_bytes) break;
+    if (hy == 0) break;
+    const uint64_t blocks = (hx + opts.row_block - 1) / opts.row_block;
+    const uint64_t block_workers =
+        std::min<uint64_t>(static_cast<uint64_t>(threads),
+                           std::max<uint64_t>(1, blocks));
+    const uint64_t bytes = 4 * (hx * hy + hy * hz) + PackedBBytes(hy, hz) +
+                           4 * block_workers * opts.row_block * hz;
+    if (bytes <= opts.max_matrix_bytes) break;
     t.delta1 *= 2;
     t.delta2 *= 2;
   }
@@ -159,24 +170,38 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   result.heavy_inner = hys.size();
   result.heavy_cols = hzs.size();
   const bool use_matrix = !hxs.empty() && !hys.empty() && !hzs.empty();
+  // Heavy witness counts accumulate in float matrix cells and are read back
+  // with an integer cast; both are exact only below 2^24 (see mm_join.h).
+  // The per-cell maximum is the inner dimension |heavy y|.
+  if (use_matrix) {
+    JPMM_CHECK_MSG(hys.size() < kMaxExactFloatCount,
+                   "heavy inner dimension exceeds exact float count range");
+  }
 
-  const int threads = std::max(1, opts.threads);
   std::vector<WorkerState> workers(static_cast<size_t>(threads));
   const size_t num_z = s.num_x();
   const TwoPathRunner runner(*ctx, opts);
 
   // ---- Pass A: head values with no matrix row (light part only).
+  // Dynamic chunking: zipf-skewed x degrees make contiguous static chunks
+  // wildly unbalanced (one worker can own all the hubs).
   WallTimer light_timer;
-  ParallelFor(threads, r.num_x(), [&](size_t a0, size_t a1, int w) {
-    WorkerState& ws = workers[static_cast<size_t>(w)];
-    if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
-    for (size_t a = a0; a < a1; ++a) {
-      const auto av = static_cast<Value>(a);
-      if (r.DegX(av) == 0) continue;
-      if (use_matrix && part.HeavyXId(av) != kInvalidValue) continue;
-      runner.EmitHead(av, nullptr, &ws);
-    }
-  });
+  constexpr size_t kHeadGrain = 256;
+  ParallelForDynamic(threads, r.num_x(), kHeadGrain,
+                     [&](size_t a0, size_t a1, int w) {
+                       WorkerState& ws = workers[static_cast<size_t>(w)];
+                       if (ws.counter.universe() < num_z) {
+                         ws.counter.ResizeUniverse(num_z);
+                       }
+                       for (size_t a = a0; a < a1; ++a) {
+                         const auto av = static_cast<Value>(a);
+                         if (r.DegX(av) == 0) continue;
+                         if (use_matrix && part.HeavyXId(av) != kInvalidValue) {
+                           continue;
+                         }
+                         runner.EmitHead(av, nullptr, &ws);
+                       }
+                     });
   result.light_seconds = light_timer.Seconds();
 
   // ---- Pass B: heavy rows, block by block.
@@ -203,27 +228,34 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
       }
     });
 
+    // M2's panels are packed once (packing fans out over the pool) and
+    // shared read-only by every row-block worker; the legacy path re-packed
+    // them once per worker per block. Blocks are claimed dynamically: emit
+    // cost per block tracks the output skew, not just the flops.
+    const PackedB packed_m2(m2, threads);
     const size_t row_block = opts.row_block;
     const size_t num_blocks = (hxs.size() + row_block - 1) / row_block;
-    ParallelFor(threads, num_blocks, [&](size_t b0, size_t b1, int w) {
-      WorkerState& ws = workers[static_cast<size_t>(w)];
-      if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
-      ws.block.resize(row_block * hzs.size());
-      for (size_t blk = b0; blk < b1; ++blk) {
-        const size_t r0 = blk * row_block;
-        const size_t r1 = std::min(hxs.size(), r0 + row_block);
-        MultiplyRowRange(m1, m2, r0, r1, ws.block);
-        for (size_t i = r0; i < r1; ++i) {
-          runner.EmitHead(hxs[i], ws.block.data() + (i - r0) * hzs.size(),
-                          &ws);
-        }
-      }
-    });
+    ParallelForDynamic(
+        threads, num_blocks, /*grain=*/1, [&](size_t b0, size_t b1, int w) {
+          WorkerState& ws = workers[static_cast<size_t>(w)];
+          if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
+          ws.block.resize(row_block * hzs.size());
+          for (size_t blk = b0; blk < b1; ++blk) {
+            const size_t r0 = blk * row_block;
+            const size_t r1 = std::min(hxs.size(), r0 + row_block);
+            MultiplyRowRange(m1, packed_m2, r0, r1, ws.block);
+            for (size_t i = r0; i < r1; ++i) {
+              runner.EmitHead(hxs[i], ws.block.data() + (i - r0) * hzs.size(),
+                              &ws);
+            }
+          }
+        });
     result.heavy_seconds = heavy_timer.Seconds();
   }
 
-  // ---- Merge worker outputs (worker order => deterministic for a fixed
-  // thread count).
+  // ---- Merge worker outputs. Dynamic chunk claiming makes the pair ORDER
+  // run-dependent (the header documents it as unspecified); the pair SET is
+  // deterministic at every thread count.
   size_t total_pairs = 0, total_counted = 0;
   for (const auto& ws : workers) {
     total_pairs += ws.pairs.size();

@@ -14,6 +14,13 @@
 // sizes SSJ thresholds on and ordered SSJ sorts by — because the witness
 // classes visited by the light part and the matrix product partition the
 // witness set (see two_path_internal.h).
+//
+// Exactness bound: heavy witness counts accumulate in float matrix cells
+// and are read back with an integer cast, both exact only for values below
+// 2^24. A cell's count is at most the inner dimension |heavy y|, so
+// MmJoinTwoPath checks |heavy y| < 2^24 at plan build time and aborts
+// rather than silently truncating counts. (In practice the
+// max_matrix_bytes cap forces thresholds up long before the bound binds.)
 
 #ifndef JPMM_CORE_MM_JOIN_H_
 #define JPMM_CORE_MM_JOIN_H_
@@ -26,6 +33,13 @@
 #include "storage/index.h"
 
 namespace jpmm {
+
+/// Smallest positive integer a float matrix cell (and the `v + 0.5f`
+/// integer read-back) can NOT represent exactly: 2^24. Witness counts are
+/// exact strictly below this, so MmJoinTwoPath and MmStarJoin check their
+/// heavy inner dimension (the per-cell count maximum) against it at plan
+/// build time.
+inline constexpr uint64_t kMaxExactFloatCount = uint64_t{1} << 24;
 
 /// Deduplication implementation for the light part (§6 discusses both).
 enum class DedupImpl {
@@ -42,13 +56,15 @@ struct MmJoinOptions {
   /// min_count > 1). SSJ sets this to the overlap threshold c.
   uint32_t min_count = 1;
   /// Rows per matrix block (memory = row_block * |heavy_z| floats per
-  /// worker). Each block is one MultiplyRowRange call, which re-packs B's
-  /// panels; 256 rows (two MC panels of the blocked kernel) keep that
-  /// packing cost under ~1% of the block's FLOPs.
+  /// worker). Each block is one MultiplyRowRange call against the shared
+  /// packed-B slab (B is packed once per query, not per block); 256 rows =
+  /// two MC panels of the blocked kernel.
   size_t row_block = 256;
   DedupImpl dedup = DedupImpl::kStampArray;
-  /// Hard cap on M1 + M2 bytes; thresholds are doubled until the matrices
-  /// fit (recorded in MmJoinResult::adjusted_thresholds).
+  /// Hard cap on the heavy-part working set: M1 + M2, the shared packed-B
+  /// slab, and the per-worker row-block product buffers
+  /// (threads * row_block * |heavy_z| floats). Thresholds are doubled until
+  /// everything fits (recorded in MmJoinResult::adjusted_thresholds).
   uint64_t max_matrix_bytes = uint64_t{3} << 30;
 };
 

@@ -100,8 +100,10 @@ MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
     }
   };
 
+  // Dynamic chunking over the (zipf-skewed) x domain — see mm_join.cpp.
   WallTimer light_timer;
-  ParallelFor(threads, r.num_x(), [&](size_t a0, size_t a1, int w) {
+  ParallelForDynamic(threads, r.num_x(), /*grain=*/256,
+                     [&](size_t a0, size_t a1, int w) {
     Worker& ws = workers[static_cast<size_t>(w)];
     if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
     for (size_t a = a0; a < a1; ++a) {
@@ -115,7 +117,8 @@ MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
 
   if (use_heavy) {
     WallTimer heavy_timer;
-    ParallelFor(threads, hxs.size(), [&](size_t i0, size_t i1, int w) {
+    ParallelForDynamic(threads, hxs.size(), /*grain=*/4,
+                       [&](size_t i0, size_t i1, int w) {
       Worker& ws = workers[static_cast<size_t>(w)];
       if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
       for (size_t i = i0; i < i1; ++i) emit_head(hxs[i], true, &ws);

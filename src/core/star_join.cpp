@@ -10,6 +10,7 @@
 #include "common/hash.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/mm_join.h"
 #include "join/intersection.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/matmul.h"
@@ -360,6 +361,10 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
   result.light_seconds = light_timer.Seconds();
 
   if (result.v_rows > 0 && result.w_rows > 0) {
+    // Witness counts accumulate in float cells; a cell's maximum is the
+    // shared-column count, which must stay in exact integer float range.
+    JPMM_CHECK_MSG(hg.cols.size() < kMaxExactFloatCount,
+                   "heavy inner dimension exceeds exact float count range");
     WallTimer heavy_timer;
     Matrix v(result.v_rows, hg.cols.size());
     for (const auto& [row, col] : hg.entries1) v.Set(row, col, 1.0f);
@@ -367,18 +372,25 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
     Matrix wt(hg.cols.size(), result.w_rows);
     for (const auto& [row, col] : hg.entries2) wt.Set(col, row, 1.0f);
 
+    // One shared packed slab for W^T; workers claim product blocks
+    // dynamically (per-block emit cost follows the output distribution).
+    const PackedB packed_wt(wt, threads);
     const size_t row_block = std::max<size_t>(1, options.row_block);
     const size_t num_blocks = (result.v_rows + row_block - 1) / row_block;
     std::vector<TupleBuffer> partial(static_cast<size_t>(threads),
                                      TupleBuffer(static_cast<uint32_t>(k)));
-    ParallelFor(threads, num_blocks, [&](size_t b0, size_t b1, int w) {
-      std::vector<float> buf(row_block * result.w_rows);
+    std::vector<std::vector<float>> bufs(static_cast<size_t>(threads));
+    ParallelForDynamic(threads, num_blocks, /*grain=*/1, [&](size_t b0,
+                                                             size_t b1,
+                                                             int w) {
+      std::vector<float>& buf = bufs[static_cast<size_t>(w)];
+      buf.resize(row_block * result.w_rows);
       std::vector<Value> tuple(k);
       TupleBuffer& out = partial[static_cast<size_t>(w)];
       for (size_t blk = b0; blk < b1; ++blk) {
         const size_t r0 = blk * row_block;
         const size_t r1 = std::min<size_t>(result.v_rows, r0 + row_block);
-        MultiplyRowRange(v, wt, r0, r1, buf);
+        MultiplyRowRange(v, packed_wt, r0, r1, buf);
         for (size_t i = r0; i < r1; ++i) {
           const float* prow = buf.data() + (i - r0) * result.w_rows;
           const Value* left = hg.rows1_flat.data() + i * g1;
@@ -440,7 +452,9 @@ StarJoinResult NonMmStarJoin(const std::vector<const IndexedRelation*>& rels,
 
     std::vector<TupleBuffer> partial(static_cast<size_t>(threads),
                                      TupleBuffer(static_cast<uint32_t>(k)));
-    ParallelFor(threads, result.v_rows, [&](size_t i0, size_t i1, int w) {
+    // Witness-list lengths vary per combo; dynamic chunks absorb the skew.
+    ParallelForDynamic(threads, result.v_rows, /*grain=*/16,
+                       [&](size_t i0, size_t i1, int w) {
       std::vector<Value> tuple(k);
       TupleBuffer& out = partial[static_cast<size_t>(w)];
       for (size_t i = i0; i < i1; ++i) {

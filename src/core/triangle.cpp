@@ -60,7 +60,10 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
   // or has a larger id (so no other light vertex claims the triangle
   // first).
   std::vector<uint64_t> light_partial(static_cast<size_t>(threads), 0);
-  ParallelFor(threads, graph.num_x(), [&](size_t v0, size_t v1, int w) {
+  // Dynamic chunks: per-vertex cost is quadratic in (skewed) degree.
+  // Accumulate (+=) — a dynamic worker handles many chunks.
+  ParallelForDynamic(threads, graph.num_x(), /*grain=*/512,
+                     [&](size_t v0, size_t v1, int w) {
     uint64_t local = 0;
     std::vector<Value> eligible;
     for (size_t v = v0; v < v1; ++v) {
@@ -77,7 +80,7 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
         }
       }
     }
-    light_partial[static_cast<size_t>(w)] = local;
+    light_partial[static_cast<size_t>(w)] += local;
   });
   for (uint64_t c : light_partial) result.light_triangles += c;
 
@@ -93,18 +96,23 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
         if (id != kInvalidValue) row[id] = 1.0f;
       }
     }
-    // Two MC panels of the blocked kernel per MultiplyRowRange call, so the
-    // per-call B-panel packing stays amortized (see core/mm_join.h).
+    // A's panels are packed once into a shared slab; workers claim 256-row
+    // product blocks (two MC panels) dynamically and accumulate (+=) their
+    // trace contributions.
+    const PackedB packed_a(a, threads);
     constexpr size_t kRowBlock = 256;
     const size_t num_blocks = (heavy.size() + kRowBlock - 1) / kRowBlock;
     std::vector<double> trace_partial(static_cast<size_t>(threads), 0.0);
-    ParallelFor(threads, num_blocks, [&](size_t b0, size_t b1, int w) {
-      std::vector<float> block(kRowBlock * heavy.size());
+    std::vector<std::vector<float>> blocks(static_cast<size_t>(threads));
+    ParallelForDynamic(threads, num_blocks, /*grain=*/1,
+                       [&](size_t b0, size_t b1, int w) {
+      std::vector<float>& block = blocks[static_cast<size_t>(w)];
+      block.resize(kRowBlock * heavy.size());
       double local = 0.0;
       for (size_t blk = b0; blk < b1; ++blk) {
         const size_t r0 = blk * kRowBlock;
         const size_t r1 = std::min(heavy.size(), r0 + kRowBlock);
-        MultiplyRowRange(a, a, r0, r1, block);
+        MultiplyRowRange(a, packed_a, r0, r1, block);
         for (size_t i = r0; i < r1; ++i) {
           const float* a2row = block.data() + (i - r0) * heavy.size();
           const auto arow = a.Row(i);
@@ -113,7 +121,7 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
           }
         }
       }
-      trace_partial[static_cast<size_t>(w)] = local;
+      trace_partial[static_cast<size_t>(w)] += local;
     });
     double trace = 0.0;
     for (double t : trace_partial) trace += t;

@@ -89,7 +89,10 @@ BoolMatrix BoolProduct(const BoolMatrix& a, const BoolMatrix& bt,
   BoolMatrix c(a.rows(), bt.rows());
   const size_t words = a.words_per_row();
   const size_t nb = bt.rows();
-  ParallelFor(threads, a.rows(), [&](size_t rr0, size_t rr1, int) {
+  // Dynamic row-band claiming: the early exit makes witness-dense bands far
+  // cheaper than sparse ones, so static chunks would load-imbalance.
+  ParallelForDynamic(threads, a.rows(), /*grain=*/kIB,
+                     [&](size_t rr0, size_t rr1, int) {
     for (size_t i0 = rr0; i0 < rr1; i0 += kIB) {
       const size_t i1 = std::min(rr1, i0 + kIB);
       for (size_t j0 = 0; j0 < nb; j0 += 64) {

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "matrix/bool_matrix.h"
 #include "matrix/dense_matrix.h"
@@ -82,6 +83,8 @@ MatMulCalibration MatMulCalibration::Measure(
     const std::vector<uint32_t>& dims, const std::vector<int>& cores) {
   JPMM_CHECK(!dims.empty() && !cores.empty());
   JPMM_CHECK(std::is_sorted(dims.begin(), dims.end()));
+  // EstimateSeconds' speedup interpolation brackets core counts by order.
+  JPMM_CHECK(std::is_sorted(cores.begin(), cores.end()));
   MatMulCalibration cal;
   cal.cores_ = cores;
   cal.entries_.resize(cores.size());
@@ -101,6 +104,7 @@ MatMulCalibration MatMulCalibration::Measure(
 MatMulCalibration MatMulCalibration::FromFlopsRate(
     double flops_per_second, const std::vector<int>& cores) {
   JPMM_CHECK(flops_per_second > 0 && !cores.empty());
+  JPMM_CHECK(std::is_sorted(cores.begin(), cores.end()));
   MatMulCalibration cal;
   cal.cores_ = cores;
   cal.entries_.resize(cores.size());
@@ -143,20 +147,57 @@ double MatMulCalibration::EstimateForCore(double effective_dim,
 double MatMulCalibration::EstimateSeconds(uint64_t u, uint64_t v, uint64_t w,
                                           int co) const {
   if (u == 0 || v == 0 || w == 0) return 0.0;
+  co = std::max(1, co);
   const double effective_dim =
       std::cbrt(static_cast<double>(u) * static_cast<double>(v) *
                 static_cast<double>(w));
-  // Nearest calibrated core count at or below co (extrapolate linearly in
-  // core count beyond the grid: the kernel scales near-linearly, Fig 3b).
-  size_t best = 0;
-  for (size_t ci = 0; ci < cores_.size(); ++ci) {
-    if (cores_[ci] <= co) best = ci;
+
+  // Per-anchor estimates at this problem size, then interpolate the
+  // MEASURED speedup curve across core counts. The old model assumed
+  // perfect linear scaling beyond the grid; real speedup flattens with
+  // memory-bandwidth pressure, so extrapolation now continues the marginal
+  // per-core efficiency of the last measured segment instead.
+  const size_t nc = cores_.size();
+  std::vector<double> secs(nc);
+  for (size_t ci = 0; ci < nc; ++ci) {
+    secs[ci] = std::max(EstimateForCore(effective_dim, ci), 1e-12);
   }
-  double est = EstimateForCore(effective_dim, best);
-  if (cores_[best] < co) {
-    est *= static_cast<double>(cores_[best]) / static_cast<double>(co);
+  const double base = secs.front();       // seconds at the smallest anchor
+  const int c0 = cores_.front();
+
+  if (co <= c0) {
+    // Below the grid: scale linearly down from the smallest anchor (only
+    // reachable with grids that omit 1 core).
+    return base * static_cast<double>(c0) / static_cast<double>(co);
   }
-  return est;
+  // speedup(c) relative to the smallest anchor; s(c0) = 1 by construction.
+  auto speedup_at = [&](size_t ci) { return base / secs[ci]; };
+  for (size_t ci = 1; ci < nc; ++ci) {
+    if (co <= cores_[ci]) {
+      // Piecewise-linear speedup between the bracketing anchors.
+      const double s_lo = speedup_at(ci - 1);
+      const double s_hi = speedup_at(ci);
+      const double f = static_cast<double>(co - cores_[ci - 1]) /
+                       static_cast<double>(cores_[ci] - cores_[ci - 1]);
+      const double s = s_lo + f * (s_hi - s_lo);
+      return base / std::max(s, 1e-9);
+    }
+  }
+  // Beyond the grid. With >= 2 anchors, continue the last segment's
+  // marginal efficiency (clamped non-negative: extra cores never help less
+  // than nothing). With a single anchor there is no measured efficiency —
+  // fall back to the linear assumption, as before.
+  double s_last = speedup_at(nc - 1);
+  double marginal;
+  if (nc >= 2) {
+    marginal = (s_last - speedup_at(nc - 2)) /
+               static_cast<double>(cores_[nc - 1] - cores_[nc - 2]);
+    marginal = std::max(0.0, marginal);
+  } else {
+    marginal = s_last / static_cast<double>(cores_[nc - 1]);
+  }
+  const double s = s_last + marginal * static_cast<double>(co - cores_[nc - 1]);
+  return base / std::max(s, 1e-9);
 }
 
 double MatMulCalibration::single_core_flops() const {
@@ -172,8 +213,16 @@ const MatMulCalibration& MatMulCalibration::Default() {
   static std::once_flag flag;
   static std::unique_ptr<MatMulCalibration> instance;
   std::call_once(flag, [] {
+    // Anchor the parallel efficiency with real measurements at 2 cores and
+    // the full machine (the shared-slab MultiplyParallel path), so
+    // EstimateSeconds stops assuming linear scaling it can't deliver. On a
+    // single-core host the grid collapses to {1} and behavior is unchanged.
+    std::vector<int> cores{1};
+    const int hw = HardwareThreads();
+    if (hw >= 2) cores.push_back(2);
+    if (hw > 2) cores.push_back(hw);
     instance = std::make_unique<MatMulCalibration>(
-        Measure({128, 256, 512, 1024}, {1}));
+        Measure({128, 256, 512, 1024}, cores));
   });
   return *instance;
 }

@@ -64,14 +64,20 @@ class MatMulCalibration {
                                          const std::vector<int>& cores);
 
   /// Estimated seconds for a u x v times v x w product on co cores.
-  /// Includes nothing but the multiplication itself.
+  /// Includes nothing but the multiplication itself. Core counts between
+  /// calibrated anchors interpolate the measured speedup curve; counts
+  /// beyond the grid extrapolate with the marginal per-core efficiency of
+  /// the last measured segment (a single-anchor grid falls back to the old
+  /// linear-scaling assumption).
   double EstimateSeconds(uint64_t u, uint64_t v, uint64_t w, int co) const;
 
-  /// Process-wide instance, measured once on first use. The grid tops out
-  /// at 1024: the blocked kernel's throughput keeps climbing past the small
-  /// dims as packing amortizes, so the largest anchor (which cubic
+  /// Process-wide instance, measured once on first use. The dim grid tops
+  /// out at 1024: the blocked kernel's throughput keeps climbing past the
+  /// small dims as packing amortizes, so the largest anchor (which cubic
   /// extrapolation grows from) must see the sustained rate, not the
-  /// panel-setup-dominated one.
+  /// panel-setup-dominated one. The core grid anchors {1, 2, hardware}
+  /// (deduplicated) so heavy-cost estimates reflect measured parallel
+  /// efficiency of the shared-slab path, not assumed linear scaling.
   static const MatMulCalibration& Default();
 
   /// Measured effective flops rate at the largest calibrated dim, 1 core.

@@ -55,21 +55,27 @@ void PackA(const Matrix& a, size_t ic, size_t mc, size_t pc, size_t kc,
   }
 }
 
+// Packs the single kNR-column sub-panel starting at B column j of the
+// [pc, pc+kc) inner slice: dst[k * kNR + c] = B[pc + k][j + c], zero-padded
+// past the matrix edge. The unit of parallel packing.
+void PackBSub(const Matrix& b, size_t pc, size_t kc, size_t j, float* dst) {
+  const size_t w = b.cols();
+  const size_t cols = std::min(kNR, w - j);
+  for (size_t k = 0; k < kc; ++k) {
+    const float* src = b.data() + (pc + k) * w + j;
+    float* row = dst + k * kNR;
+    size_t c = 0;
+    for (; c < cols; ++c) row[c] = src[c];
+    for (; c < kNR; ++c) row[c] = 0.0f;
+  }
+}
+
 // Packs B[pc..pc+kc) x [jc..jc+nc) into kNR-column panels: panel q holds
 // bp[q*kNR*kc + k*kNR + c] = B[pc + k][jc + q*kNR + c], zero-padded past nc.
 void PackB(const Matrix& b, size_t pc, size_t kc, size_t jc, size_t nc,
            float* bp) {
-  const size_t w = b.cols();
   for (size_t j0 = 0; j0 < nc; j0 += kNR) {
-    const size_t cols = std::min(kNR, nc - j0);
-    float* panel = bp + j0 * kc;
-    for (size_t k = 0; k < kc; ++k) {
-      const float* src = b.data() + (pc + k) * w + jc + j0;
-      float* dst = panel + k * kNR;
-      size_t c = 0;
-      for (; c < cols; ++c) dst[c] = src[c];
-      for (; c < kNR; ++c) dst[c] = 0.0f;
-    }
+    PackBSub(b, pc, kc, jc + j0, bp + j0 * kc);
   }
 }
 
@@ -96,7 +102,9 @@ void MicroKernel(const float* ap, const float* bp, size_t kc, float* c,
 }
 
 // Per-thread packing scratch, sized for the largest panels. thread_local so
-// repeated block-streamed calls (mm_join's row blocks) reuse the allocation.
+// repeated block-streamed calls (mm_join's row blocks) reuse the
+// allocation — and, now that ParallelFor runs on the persistent pool, the
+// scratch survives across queries instead of dying with per-call threads.
 struct PackScratch {
   std::vector<float> a = std::vector<float>(kMC * kKC);
   std::vector<float> b = std::vector<float>(kKC * kNC);
@@ -107,34 +115,60 @@ PackScratch& Scratch() {
   return scratch;
 }
 
+// Sweeps the register tiles of one packed (jc-panel, pc-slice) pair over
+// row range [r0, r1): packs A per MC block, consumes an already-packed B
+// panel (shared or thread-local — the kernel cannot tell).
+void SweepPanel(const Matrix& a, const float* bp, size_t r0, size_t r1,
+                size_t pc, size_t kc, size_t jc, size_t nc, float* out,
+                size_t ldc) {
+  PackScratch& scratch = Scratch();
+  float* ap = scratch.a.data();
+  for (size_t ic = r0; ic < r1; ic += kMC) {
+    const size_t mc = std::min(kMC, r1 - ic);
+    PackA(a, ic, mc, pc, kc, ap);
+    for (size_t jr = 0; jr < nc; jr += kNR) {
+      const size_t cols = std::min(kNR, nc - jr);
+      for (size_t ir = 0; ir < mc; ir += kMR) {
+        const size_t rows = std::min(kMR, mc - ir);
+        MicroKernel(ap + ir * kc, bp + jr * kc, kc,
+                    out + (ic - r0 + ir) * ldc + jc + jr, ldc, rows, cols);
+      }
+    }
+  }
+}
+
 // out[(i - r0) * ldc + j] += (A * B)(i, j) for rows [r0, r1). B panels are
-// packed once per (jc, pc) and reused across every MC row block in the
-// range; A panels are packed per row block.
+// packed once per (jc, pc) into thread-local scratch and reused across
+// every MC row block in the range; A panels are packed per row block.
 void KernelRowRange(const Matrix& a, const Matrix& b, size_t r0, size_t r1,
                     float* out, size_t ldc) {
   const size_t v = a.cols();
   const size_t w = b.cols();
-  PackScratch& scratch = Scratch();
-  float* ap = scratch.a.data();
-  float* bp = scratch.b.data();
+  float* bp = Scratch().b.data();
   for (size_t jc = 0; jc < w; jc += kNC) {
     const size_t nc = std::min(kNC, w - jc);
     for (size_t pc = 0; pc < v; pc += kKC) {
       const size_t kc = std::min(kKC, v - pc);
       PackB(b, pc, kc, jc, nc, bp);
-      for (size_t ic = r0; ic < r1; ic += kMC) {
-        const size_t mc = std::min(kMC, r1 - ic);
-        PackA(a, ic, mc, pc, kc, ap);
-        for (size_t jr = 0; jr < nc; jr += kNR) {
-          const size_t cols = std::min(kNR, nc - jr);
-          for (size_t ir = 0; ir < mc; ir += kMR) {
-            const size_t rows = std::min(kMR, mc - ir);
-            MicroKernel(ap + ir * kc, bp + jr * kc, kc,
-                        out + (ic - r0 + ir) * ldc + jc + jr, ldc, rows,
-                        cols);
-          }
-        }
-      }
+      SweepPanel(a, bp, r0, r1, pc, kc, jc, nc, out, ldc);
+    }
+  }
+}
+
+// Same sweep against a shared PackedB: no packing of B at all — every
+// worker reads the one slab read-only.
+void KernelRowRangePacked(const Matrix& a, const PackedB& b, size_t r0,
+                          size_t r1, float* out, size_t ldc) {
+  const size_t v = a.cols();
+  const size_t w = b.cols();
+  size_t jc_idx = 0;
+  for (size_t jc = 0; jc < w; jc += kNC, ++jc_idx) {
+    const size_t nc = std::min(kNC, w - jc);
+    size_t pc_idx = 0;
+    for (size_t pc = 0; pc < v; pc += kKC, ++pc_idx) {
+      const size_t kc = std::min(kKC, v - pc);
+      SweepPanel(a, b.Panel(jc_idx, pc_idx), r0, r1, pc, kc, jc, nc, out,
+                 ldc);
     }
   }
 }
@@ -163,6 +197,60 @@ void ScalarKernelRowRange(const Matrix& a, const Matrix& b, size_t r0,
 
 }  // namespace
 
+PackedB::PackedB(const Matrix& b, int threads) {
+  rows_ = b.rows();
+  cols_ = b.cols();
+  if (empty()) return;
+  const size_t v = rows_;
+  const size_t w = cols_;
+  num_pc_ = (v + kKC - 1) / kKC;
+  const size_t num_jc = (w + kNC - 1) / kNC;
+  offsets_.resize(num_jc * num_pc_);
+
+  // One task per kNR-column sub-panel: fine enough grain that the packing
+  // itself saturates the pool even when the panel count is small.
+  struct Sub {
+    size_t dst, pc, kc, col;
+  };
+  std::vector<Sub> subs;
+  size_t total = 0;
+  size_t jc_idx = 0;
+  for (size_t jc = 0; jc < w; jc += kNC, ++jc_idx) {
+    const size_t nc = std::min(kNC, w - jc);
+    const size_t ncp = (nc + kNR - 1) / kNR * kNR;
+    size_t pc_idx = 0;
+    for (size_t pc = 0; pc < v; pc += kKC, ++pc_idx) {
+      const size_t kc = std::min(kKC, v - pc);
+      offsets_[jc_idx * num_pc_ + pc_idx] = total;
+      for (size_t j0 = 0; j0 < nc; j0 += kNR) {
+        subs.push_back(Sub{total + j0 * kc, pc, kc, jc + j0});
+      }
+      total += ncp * kc;
+    }
+  }
+  data_.resize(total);
+  ParallelForDynamic(threads, subs.size(), /*grain=*/8,
+                     [&](size_t s0, size_t s1, int) {
+                       for (size_t s = s0; s < s1; ++s) {
+                         const Sub& sub = subs[s];
+                         PackBSub(b, sub.pc, sub.kc, sub.col,
+                                  data_.data() + sub.dst);
+                       }
+                     });
+}
+
+uint64_t PackedBBytes(uint64_t v, uint64_t w) {
+  // Per NC-wide column panel the padded width is a kNR multiple; every
+  // inner slice stores that many columns, so the slab is v * padded_w
+  // floats.
+  uint64_t padded_w = 0;
+  for (uint64_t jc = 0; jc < w; jc += kNC) {
+    const uint64_t nc = std::min<uint64_t>(kNC, w - jc);
+    padded_w += (nc + kNR - 1) / kNR * kNR;
+  }
+  return 4 * v * padded_w;
+}
+
 void MultiplyRowRange(const Matrix& a, const Matrix& b, size_t row_begin,
                       size_t row_end, std::span<float> out) {
   JPMM_CHECK(a.cols() == b.rows());
@@ -172,7 +260,50 @@ void MultiplyRowRange(const Matrix& a, const Matrix& b, size_t row_begin,
   KernelRowRange(a, b, row_begin, row_end, out.data(), b.cols());
 }
 
+void MultiplyRowRange(const Matrix& a, const PackedB& b, size_t row_begin,
+                      size_t row_end, std::span<float> out) {
+  JPMM_CHECK(a.cols() == b.rows());
+  JPMM_CHECK(row_begin <= row_end && row_end <= a.rows());
+  JPMM_CHECK(out.size() >= (row_end - row_begin) * b.cols());
+  std::memset(out.data(), 0, (row_end - row_begin) * b.cols() * sizeof(float));
+  KernelRowRangePacked(a, b, row_begin, row_end, out.data(), b.cols());
+}
+
 void Multiply(const Matrix& a, const Matrix& b, Matrix* c, int threads) {
+  JPMM_CHECK_MSG(a.cols() == b.rows(), "dimension mismatch");
+  if (threads > 1) {
+    MultiplyParallel(a, b, c, threads);
+    return;
+  }
+  *c = Matrix(a.rows(), b.cols());
+  if (a.rows() == 0 || b.cols() == 0) return;
+  KernelRowRange(a, b, 0, a.rows(), c->mutable_data(), b.cols());
+}
+
+Matrix Multiply(const Matrix& a, const Matrix& b, int threads) {
+  Matrix c;
+  Multiply(a, b, &c, threads);
+  return c;
+}
+
+void MultiplyParallel(const Matrix& a, const Matrix& b, Matrix* c,
+                      int threads) {
+  JPMM_CHECK_MSG(a.cols() == b.rows(), "dimension mismatch");
+  *c = Matrix(a.rows(), b.cols());
+  if (a.rows() == 0 || b.cols() == 0) return;
+  const PackedB packed(b, threads);
+  float* cdata = c->mutable_data();
+  const size_t w = b.cols();
+  // Static row partitioning: per-row arithmetic is identical to the
+  // single-threaded kernel (same jc/pc/k order), so results are
+  // bit-identical at any thread count.
+  ParallelFor(threads, a.rows(), [&](size_t r0, size_t r1, int) {
+    KernelRowRangePacked(a, packed, r0, r1, cdata + r0 * w, w);
+  });
+}
+
+void MultiplyReplicatedPacking(const Matrix& a, const Matrix& b, Matrix* c,
+                               int threads) {
   JPMM_CHECK_MSG(a.cols() == b.rows(), "dimension mismatch");
   *c = Matrix(a.rows(), b.cols());
   if (a.rows() == 0 || b.cols() == 0) return;
@@ -181,12 +312,6 @@ void Multiply(const Matrix& a, const Matrix& b, Matrix* c, int threads) {
   ParallelFor(threads, a.rows(), [&](size_t r0, size_t r1, int) {
     KernelRowRange(a, b, r0, r1, cdata + r0 * w, w);
   });
-}
-
-Matrix Multiply(const Matrix& a, const Matrix& b, int threads) {
-  Matrix c;
-  Multiply(a, b, &c, threads);
-  return c;
 }
 
 Matrix MultiplyScalarReference(const Matrix& a, const Matrix& b) {

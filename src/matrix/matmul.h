@@ -8,8 +8,10 @@
 // block-streamed join path pays the packing cost only once per panel.
 // Parallelism partitions output rows across workers — the
 // "coordination-free" scheme of §6: each worker owns a row block and never
-// synchronizes with the others. See docs/kernels.md for the design and the
-// tuning procedure.
+// synchronizes with the others. The packed-B slab is built once (packing
+// itself parallelized) and shared read-only by every worker (PackedB /
+// MultiplyParallel), instead of each worker re-packing the same panels.
+// See docs/kernels.md for the design and the tuning procedure.
 //
 // Numerical note: every per-element accumulation still runs in ascending-k
 // order, but partial sums are formed per KC slice, so results are
@@ -21,24 +23,83 @@
 #define JPMM_MATRIX_MATMUL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "matrix/dense_matrix.h"
 
 namespace jpmm {
 
+/// B pre-packed into the kernel's (NC x KC) panel layout, all panels at
+/// once. Build it once, then any number of workers can stream row ranges
+/// against it concurrently (the slab is read-only after construction) —
+/// this removes the per-worker, per-call B re-packing of the legacy path.
+/// Memory: about one padded copy of B (see PackedBBytes).
+class PackedB {
+ public:
+  PackedB() = default;
+  /// Packs every panel of b; the packing itself fans out over `threads`
+  /// (each kNR-column sub-panel is an independent task).
+  explicit PackedB(const Matrix& b, int threads = 1);
+
+  size_t rows() const { return rows_; }      // inner dimension v
+  size_t cols() const { return cols_; }      // output columns w
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  size_t size_bytes() const { return data_.size() * sizeof(float); }
+
+  /// Packed panel for the (column panel jc_idx, inner slice pc_idx) pair,
+  /// laid out exactly as the kernel's per-call packing buffer.
+  const float* Panel(size_t jc_idx, size_t pc_idx) const {
+    return data_.data() + offsets_[jc_idx * num_pc_ + pc_idx];
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t num_pc_ = 0;             // inner-dimension slice count
+  std::vector<size_t> offsets_;   // panel offsets, jc-major
+  std::vector<float> data_;
+};
+
+/// Bytes a PackedB of a v x w matrix occupies (columns padded to the
+/// register-tile width). Exposed so memory caps (MmJoinOptions::
+/// max_matrix_bytes) can account for the slab before building it.
+uint64_t PackedBBytes(uint64_t v, uint64_t w);
+
 /// C = A * B. A is u x v, B is v x w, C is resized to u x w.
-/// threads <= 1 runs single-threaded.
+/// threads <= 1 runs single-threaded; threads > 1 uses the shared-slab
+/// parallel path (MultiplyParallel). Bit-identical across thread counts.
 void Multiply(const Matrix& a, const Matrix& b, Matrix* c, int threads = 1);
 
 /// Convenience wrapper returning the product.
 Matrix Multiply(const Matrix& a, const Matrix& b, int threads = 1);
+
+/// C = A * B where B's panels are packed once (in parallel) and shared
+/// read-only by all row-partitioned workers. This is what Multiply runs for
+/// threads > 1; exposed separately so benchmarks can compare it against the
+/// replicated-packing path.
+void MultiplyParallel(const Matrix& a, const Matrix& b, Matrix* c,
+                      int threads);
+
+/// The pre-shared-slab parallel path: output rows are partitioned across
+/// workers and EVERY worker independently re-packs the same B panels.
+/// Kept as the baseline bench_kernel_microbench measures MultiplyParallel
+/// against; not used by any query path.
+void MultiplyReplicatedPacking(const Matrix& a, const Matrix& b, Matrix* c,
+                               int threads);
 
 /// Computes rows [row_begin, row_end) of A * B into `out`, which must have
 /// (row_end - row_begin) * b.cols() elements. Single-threaded; this is the
 /// bounded-memory building block the join uses to stream the heavy-part
 /// product block by block instead of materializing all of M.
 void MultiplyRowRange(const Matrix& a, const Matrix& b, size_t row_begin,
+                      size_t row_end, std::span<float> out);
+
+/// Same, against a pre-packed B. Safe to call concurrently from many
+/// workers on one shared PackedB — this is how the join paths stream blocks
+/// without re-packing B once per worker per block.
+void MultiplyRowRange(const Matrix& a, const PackedB& b, size_t row_begin,
                       size_t row_end, std::span<float> out);
 
 /// The pre-blocking seed kernel (ikj saxpy with an inner-dimension tile),

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "common/bitset.h"
@@ -173,6 +175,33 @@ TEST(ThreadPool, WaitIdleOnEmptyPool) {
   SUCCEED();
 }
 
+// Regression: a throwing task used to skip the in_flight_ decrement, so
+// WaitIdle() deadlocked forever. The decrement is now unconditional and the
+// exception is rethrown by WaitIdle instead of being lost.
+TEST(ThreadPool, ThrowingTaskDoesNotDeadlockWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 10);
+  // The pool survives the exception and keeps executing.
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.WaitIdle();  // must not hang, must not rethrow a stale error
+  EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(ThreadPool, GrowsButNeverShrinks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  pool.EnsureWorkers(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  pool.EnsureWorkers(2);  // no-op
+  EXPECT_EQ(pool.num_threads(), 3);
+}
+
 TEST(ParallelFor, CoversRangeExactlyOnce) {
   for (int threads : {1, 2, 4, 7}) {
     std::vector<std::atomic<int>> hits(1000);
@@ -197,6 +226,110 @@ TEST(ParallelFor, WorkerIdsAreDistinctChunks) {
   // Chunks are contiguous and non-decreasing in worker id.
   for (size_t i = 1; i < owner.size(); ++i) {
     EXPECT_GE(owner[i], owner[i - 1]);
+  }
+}
+
+// Pool-reuse regression: ParallelFor used to spawn fresh std::threads on
+// every call. It now runs on the persistent process-wide pool, so after a
+// warm-up call at a given width, repeated calls spawn NOTHING.
+TEST(ParallelFor, ReusesPoolAcrossCalls) {
+  std::atomic<size_t> sink{0};
+  ParallelFor(4, 64, [&](size_t b, size_t e, int) {
+    sink.fetch_add(e - b);
+  });  // warm-up: may grow the global pool
+  const size_t spawned = ThreadPool::TotalThreadsSpawned();
+  for (int call = 0; call < 25; ++call) {
+    ParallelFor(4, 64, [&](size_t b, size_t e, int) {
+      sink.fetch_add(e - b);
+    });
+    ParallelForDynamic(4, 64, 8, [&](size_t b, size_t e, int) {
+      sink.fetch_add(e - b);
+    });
+  }
+  EXPECT_EQ(ThreadPool::TotalThreadsSpawned(), spawned)
+      << "ParallelFor spawned threads per call instead of reusing the pool";
+  EXPECT_EQ(sink.load(), 64u * 51u);
+}
+
+TEST(ParallelFor, PropagatesExceptionToCaller) {
+  EXPECT_THROW(
+      ParallelFor(4, 100,
+                  [](size_t b, size_t, int) {
+                    if (b >= 50) throw std::runtime_error("chunk failed");
+                  }),
+      std::runtime_error);
+  // The pool is still healthy afterwards.
+  std::atomic<int> hits{0};
+  ParallelFor(4, 8, [&](size_t b, size_t e, int) {
+    hits.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(hits.load(), 8);
+}
+
+TEST(ParallelFor, NestedCallRunsInlineWithoutDeadlock) {
+  std::atomic<int> inner_total{0};
+  ParallelFor(4, 8, [&](size_t, size_t, int) {
+    // Re-entering the pool from a pool task must not deadlock: on a pool
+    // thread the nested call collapses to inline execution (single chunk,
+    // worker 0). The outer chunk run by the calling thread is not on a pool
+    // thread and may legitimately fan out again.
+    const bool on_pool = ThreadPool::OnPoolThread();
+    ParallelForDynamic(4, 10, 2, [&, on_pool](size_t b, size_t e, int w) {
+      if (on_pool) EXPECT_EQ(w, 0);
+      inner_total.fetch_add(static_cast<int>(e - b));
+    });
+  });
+  // Every outer chunk covered [0, 10) exactly once.
+  EXPECT_GE(inner_total.load(), 10);
+  EXPECT_EQ(inner_total.load() % 10, 0);
+}
+
+TEST(ParallelForDynamic, CoversRangeExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    for (size_t grain : {1u, 3u, 64u, 1000u, 5000u}) {
+      std::vector<std::atomic<int>> hits(1000);
+      ParallelForDynamic(threads, hits.size(), grain,
+                         [&](size_t b, size_t e, int) {
+                           for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+                         });
+      for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(ParallelForDynamic, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelForDynamic(4, 0, 16, [&](size_t, size_t, int) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForDynamic, WorkerIndicesStayInBounds) {
+  const int threads = 3;
+  std::vector<std::atomic<int>> per_worker(threads);
+  ParallelForDynamic(threads, 500, 7, [&](size_t b, size_t e, int w) {
+    ASSERT_GE(w, 0);
+    ASSERT_LT(w, threads);
+    per_worker[static_cast<size_t>(w)].fetch_add(static_cast<int>(e - b));
+  });
+  int total = 0;
+  for (auto& c : per_worker) total += c.load();
+  EXPECT_EQ(total, 500);
+}
+
+TEST(ParallelForDynamic, ChunksRespectGrainBoundaries) {
+  // On the pooled (non-inline) path every claimed range starts on a grain
+  // boundary and spans at most one grain.
+  const size_t grain = 16;
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> ranges;
+  ParallelForDynamic(4, 100, grain, [&](size_t b, size_t e, int) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace_back(b, e);
+  });
+  for (const auto& [b, e] : ranges) {
+    EXPECT_EQ(b % grain, 0u);
+    EXPECT_LE(e - b, grain);
+    EXPECT_LE(e, 100u);
   }
 }
 

@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <tuple>
+#include <vector>
 
+#include "common/thread_pool.h"
+#include "core/join_project.h"
 #include "core/mm_join.h"
 #include "core/nonmm_join.h"
 #include "datagen/generators.h"
@@ -267,6 +270,77 @@ TEST(NonMm, HeavyPathExercised) {
   auto res = NonMmJoinTwoPath(ri, ri, opts);
   EXPECT_GT(res.heavy_rows, 0u);
   EXPECT_EQ(Sorted(res.pairs), OracleTwoPath(r, r));
+}
+
+// Guard for the dynamic (atomic-chunk-claiming) scheduler: on skewed
+// inputs, every thread count — including ones above the hardware count —
+// must produce the identical sorted output. A partition-dependent race or
+// per-worker-state collision would show up as a diff here.
+TEST(MmJoin, ThreadCountDoesNotChangeSortedOutput) {
+  BipartiteSpec spec;
+  spec.num_sets = 1500;
+  spec.dom_size = 500;
+  spec.min_set_size = 1;
+  spec.max_set_size = 16;
+  spec.element_skew = 0.9;  // zipf-heavy hubs => skewed x/y degrees
+  spec.size_skew = 1.0;
+  spec.seed = 97;
+  BinaryRelation rel = MakeBipartite(spec);
+  IndexedRelation ri(rel);
+
+  const std::vector<int> sweep = {1, 3, HardwareThreads()};
+  for (DedupImpl dedup : {DedupImpl::kStampArray, DedupImpl::kSortLocal}) {
+    MmJoinOptions base;
+    base.thresholds = {4, 4};  // force a real heavy part
+    base.dedup = dedup;
+    base.threads = 1;
+    const auto ref = Sorted(MmJoinTwoPath(ri, ri, base).pairs);
+    EXPECT_FALSE(ref.empty());
+    for (int threads : sweep) {
+      MmJoinOptions opts = base;
+      opts.threads = threads;
+      EXPECT_EQ(Sorted(MmJoinTwoPath(ri, ri, opts).pairs), ref)
+          << "threads=" << threads;
+    }
+    // Counted variant: witness counts must also be partition-independent.
+    MmJoinOptions counted = base;
+    counted.count_witnesses = true;
+    const auto cref = Sorted(MmJoinTwoPath(ri, ri, counted).counted);
+    for (int threads : sweep) {
+      MmJoinOptions opts = counted;
+      opts.threads = threads;
+      EXPECT_EQ(Sorted(MmJoinTwoPath(ri, ri, opts).counted), cref)
+          << "threads=" << threads;
+    }
+  }
+}
+
+// Same property through the JoinProject facade (plan choice + execution),
+// with a pinned calibration so the optimizer's decision is deterministic
+// and no measurement runs inside the test.
+TEST(MmJoin, JoinProjectThreadSweepIsDeterministic) {
+  BipartiteSpec spec;
+  spec.num_sets = 2500;
+  spec.dom_size = 600;
+  spec.max_set_size = 20;
+  spec.element_skew = 0.8;
+  spec.seed = 131;
+  BinaryRelation rel = MakeBipartite(spec);
+
+  const MatMulCalibration cal =
+      MatMulCalibration::FromFlopsRate(5e10, {1, 2, 4, 8});
+  JoinProjectOptions opts;
+  opts.sorted = true;
+  opts.optimizer.calibration = &cal;
+  opts.threads = 1;
+  const auto ref = JoinProject::TwoPath(rel, rel, opts);
+  for (int threads : {3, HardwareThreads()}) {
+    JoinProjectOptions o = opts;
+    o.threads = threads;
+    const auto got = JoinProject::TwoPath(rel, rel, o);
+    EXPECT_EQ(got.pairs, ref.pairs) << "threads=" << threads;
+    EXPECT_EQ(got.executed, ref.executed);
+  }
 }
 
 TEST(MmJoin, InstrumentationIsConsistent) {
