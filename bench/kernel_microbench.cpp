@@ -8,6 +8,10 @@
 //           thread counts — the pool-era parallel regression guard;
 //   bool  : tiled BoolProduct / CountProduct vs the unblocked all-pairs
 //           row-intersection references;
+//   sparse: CSR x dense saxpy and CSR x CSR stamp kernels across a density
+//           sweep {1e-4 .. 0.25} at n in {1024, 4096}, against the dense
+//           blocked GEMM on the same operands; BM_SparseCrossover emits the
+//           measured dense/sparse crossover density into the bench JSON;
 //   transpose : 64x64 word-block bit transpose vs the seed per-bit scatter.
 // Every timed kernel is verified against its reference once at setup, so a
 // reported speedup can never come from computing something different.
@@ -18,8 +22,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstring>
+#include <functional>
+#include <span>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/check.h"
@@ -30,6 +39,7 @@
 #include "matrix/dense_matrix.h"
 #include "matrix/matmul.h"
 #include "matrix/random.h"
+#include "matrix/sparse_matrix.h"
 
 using namespace jpmm;
 
@@ -204,6 +214,168 @@ void BM_CountUnblocked(benchmark::State& state) {
   AddGwords(state, dim);
 }
 
+// ---- Sparse (CSR) kernels ------------------------------------------------
+//
+// Density arrives as parts-per-million in the second benchmark argument
+// (google benchmark args are integers). Operands are built once per row
+// via the shared generators, so the CSR and dense kernels see identical
+// matrices. Verification oracle: CsrProductReference, the unblocked
+// double-accumulator saxpy (itself checked against MultiplyNaive at 256 on
+// first use) — full-product verification would be O(n^3) at n = 4096, so
+// rows are verified up to a bounded op budget from row 0.
+
+double PpmToDensity(int64_t ppm) { return static_cast<double>(ppm) * 1e-6; }
+
+// Verify a prefix of rows of `got` against the reference, capped at roughly
+// `max_ops` accumulate operations so high-density 4096 rows stay tractable.
+void VerifySparsePrefix(const CsrMatrix& a, const Matrix& b,
+                        const std::function<void(size_t, size_t,
+                                                 std::span<float>)>& got_rows,
+                        double max_ops = 2e9) {
+  {
+    // Tie the reference itself to the ground-truth naive kernel once.
+    static bool reference_checked = [] {
+      const Matrix ad = RandomDenseMatrix(256, 192, 0.05, 71);
+      const Matrix bd = RandomDenseMatrix(192, 128, 0.05, 72);
+      JPMM_CHECK_MSG(
+          CsrProductReference(CsrMatrix::FromDense(ad), bd) ==
+              MultiplyNaive(ad, bd),
+          "CsrProductReference diverged from the naive dense kernel");
+      return true;
+    }();
+    (void)reference_checked;
+  }
+  const size_t w = b.cols();
+  size_t vrows = 0;
+  double ops = 0.0;
+  while (vrows < a.rows() && ops < max_ops) {
+    ops += static_cast<double>(a.Row(vrows).size() + 1) * w;
+    ++vrows;
+  }
+  if (vrows == 0) return;
+  std::vector<float> out(vrows * w);
+  got_rows(0, vrows, out);
+  // Reference over the verified prefix only — a full-matrix reference at
+  // dim 4096 / density 0.25 would cost the very O(nnz * w) the cap bounds.
+  CsrMatrix prefix(a.cols());
+  for (size_t i = 0; i < vrows; ++i) {
+    for (uint32_t c : a.Row(i)) prefix.PushCol(c);
+    prefix.FinishRow();
+  }
+  const Matrix want = CsrProductReference(prefix, b);
+  for (size_t i = 0; i < vrows; ++i) {
+    JPMM_CHECK_MSG(std::memcmp(out.data() + i * w, want.Row(i).data(),
+                               w * sizeof(float)) == 0,
+                   "sparse kernel diverged from the saxpy reference");
+  }
+}
+
+void AddSparseCounters(benchmark::State& state, size_t dim, uint64_t nnz,
+                       double ops) {
+  state.counters["dim"] = static_cast<double>(dim);
+  state.counters["nnz"] = static_cast<double>(nnz);
+  state.counters["density"] =
+      static_cast<double>(nnz) / (static_cast<double>(dim) * dim);
+  state.counters["gnnzops"] = benchmark::Counter(
+      ops * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_SparseCsrDense(benchmark::State& state) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  const double density = PpmToDensity(state.range(1));
+  const Matrix b = RandomDenseMatrix(dim, dim, density, 11);
+  const CsrMatrix a =
+      CsrMatrix::FromDense(RandomDenseMatrix(dim, dim, density, 12));
+  VerifySparsePrefix(a, b, [&](size_t r0, size_t r1, std::span<float> out) {
+    CsrDenseRowRange(a, b, r0, r1, out);
+  });
+  for (auto _ : state) {
+    Matrix c = CsrDenseProduct(a, b, 1);
+    benchmark::DoNotOptimize(c.data());
+  }
+  AddSparseCounters(state, dim, a.nnz(), SparseProductOps(a.nnz(), dim, dim));
+}
+
+void BM_SparseCsrCsr(benchmark::State& state) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  const double density = PpmToDensity(state.range(1));
+  const Matrix bd = RandomDenseMatrix(dim, dim, density, 11);
+  const CsrMatrix a =
+      CsrMatrix::FromDense(RandomDenseMatrix(dim, dim, density, 12));
+  const CsrMatrix b = CsrMatrix::FromDense(bd);
+  {
+    CsrScratch scratch;
+    VerifySparsePrefix(a, bd,
+                       [&](size_t r0, size_t r1, std::span<float> out) {
+                         SparseRowBlock blk;
+                         CsrCsrRowRange(a, b, r0, r1, &scratch, &blk);
+                         for (size_t i = r0; i < r1; ++i) {
+                           const auto cols = blk.RowCols(i - r0);
+                           const auto counts = blk.RowCounts(i - r0);
+                           float* row = out.data() + (i - r0) * dim;
+                           std::fill(row, row + dim, 0.0f);
+                           for (size_t e = 0; e < cols.size(); ++e) {
+                             row[cols[e]] = static_cast<float>(counts[e]);
+                           }
+                         }
+                       });
+  }
+  for (auto _ : state) {
+    Matrix c = CsrCsrProduct(a, b, 1);
+    benchmark::DoNotOptimize(c.data());
+  }
+  AddSparseCounters(state, dim, a.nnz(),
+                    CsrCsrExpandOps(a, b, 0, a.rows()));
+}
+
+// Dense blocked GEMM on the same sparse operands — the baseline the
+// acceptance criterion compares against (its runtime is density-blind).
+void BM_SparseDenseGemm(benchmark::State& state) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  const double density = PpmToDensity(state.range(1));
+  const Matrix b = RandomDenseMatrix(dim, dim, density, 11);
+  const Matrix a = RandomDenseMatrix(dim, dim, density, 12);
+  for (auto _ : state) {
+    Matrix c = Multiply(a, b, 1);
+    benchmark::DoNotOptimize(c.data());
+  }
+  AddGflops(state, dim);
+  state.counters["density"] = density;
+}
+
+// Measures SparseKernelRates and bisects the density where the modeled
+// dense GEMM time equals the modeled CSR x dense time at this dim — the
+// machine's dense/sparse crossover, emitted into the bench JSON for
+// trajectory tracking.
+void BM_SparseCrossover(benchmark::State& state) {
+  const auto dim = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const SparseKernelRates rates = SparseKernelRates::Measure(
+        static_cast<uint32_t>(std::min<uint64_t>(dim, 1024)));
+    benchmark::DoNotOptimize(&rates);
+    auto csr_minus_dense = [&](double d) {
+      const auto nnz =
+          static_cast<uint64_t>(d * static_cast<double>(dim) * dim);
+      const double dense_sec = 2.0 * static_cast<double>(dim) * dim * dim /
+                               rates.dense_flops_per_sec;
+      const double csr_sec = SparseProductSeconds(
+          SparseProductOps(nnz, dim, dim), rates.CsrDenseRate(d));
+      return csr_sec - dense_sec;
+    };
+    double lo = 1e-6, hi = 1.0;
+    if (csr_minus_dense(hi) < 0.0) {
+      state.counters["crossover_density"] = 1.0;  // CSR wins everywhere
+    } else {
+      for (int it = 0; it < 64; ++it) {
+        const double mid = std::sqrt(lo * hi);  // bisect in log space
+        (csr_minus_dense(mid) < 0.0 ? lo : hi) = mid;
+      }
+      state.counters["crossover_density"] = hi;
+    }
+    state.counters["dense_gflops"] = rates.dense_flops_per_sec * 1e-9;
+  }
+}
+
 // ---- Transpose -----------------------------------------------------------
 
 // The seed implementation: per set bit, one random write.
@@ -317,6 +489,29 @@ BENCHMARK(BM_CountUnblocked)
     ->Arg(1024)
     ->Arg(2048)
     ->Unit(benchmark::kMillisecond);
+
+// Density sweep {1e-4, 1e-3, 1e-2, 0.1, 0.25} (ppm) at n in {1024, 4096}.
+#define JPMM_SPARSE_SWEEP(bench)                                          \
+  BENCHMARK(bench)                                                        \
+      ->Args({1024, 100})                                                 \
+      ->Args({1024, 1000})                                                \
+      ->Args({1024, 10000})                                               \
+      ->Args({1024, 100000})                                              \
+      ->Args({1024, 250000})                                              \
+      ->Args({4096, 100})                                                 \
+      ->Args({4096, 1000})                                                \
+      ->Args({4096, 10000})                                               \
+      ->Args({4096, 100000})                                              \
+      ->Args({4096, 250000})                                              \
+      ->Unit(benchmark::kMillisecond)
+JPMM_SPARSE_SWEEP(BM_SparseCsrDense);
+JPMM_SPARSE_SWEEP(BM_SparseCsrCsr);
+#undef JPMM_SPARSE_SWEEP
+BENCHMARK(BM_SparseDenseGemm)
+    ->Args({1024, 1000})
+    ->Args({4096, 1000})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SparseCrossover)->Arg(1024)->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_TransposeBlocked)->Arg(4096)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TransposeScatter)->Arg(4096)->Unit(benchmark::kMillisecond);

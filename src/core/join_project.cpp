@@ -110,9 +110,15 @@ JoinProjectOutput JoinProject::TwoPath(const IndexedRelation& r,
       mo.threads = opts.threads;
       mo.count_witnesses = opts.count_witnesses;
       mo.min_count = opts.min_count;
+      mo.heavy_path = opts.heavy_path;
       MmJoinResult res = MmJoinTwoPath(r, s, mo);
       out.pairs = std::move(res.pairs);
       out.counted = std::move(res.counted);
+      out.m1_nnz = res.m1_nnz;
+      out.m2_nnz = res.m2_nnz;
+      out.heavy_density = res.heavy_density;
+      out.kernel_counts = res.kernel_counts;
+      out.block_choices = std::move(res.block_choices);
       out.executed = Strategy::kMmJoin;
       break;
     }
@@ -159,6 +165,7 @@ StarJoinResult JoinProject::Star(
   JPMM_CHECK(rels.size() >= 2);
   StarJoinOptions so;
   so.threads = opts.threads;
+  so.heavy_path = opts.heavy_path;
   if (opts.thresholds.delta1 != 0 || opts.thresholds.delta2 != 0) {
     so.thresholds = opts.thresholds;
   } else {

@@ -46,6 +46,8 @@ struct JoinProjectOptions {
   Thresholds thresholds{0, 0};
   /// Sort the output by (x, z) before returning (oracle-friendly).
   bool sorted = false;
+  /// Heavy-part kernel override (kAuto = per-block density dispatch).
+  HeavyPathMode heavy_path = HeavyPathMode::kAuto;
   OptimizerOptions optimizer;
 };
 
@@ -55,6 +57,15 @@ struct JoinProjectOutput {
   PlanChoice plan;
   Strategy executed = Strategy::kMmJoin;
   double seconds = 0.0;
+
+  /// Heavy-part execution record (MMJoin strategy only): measured operand
+  /// nnz/density and the per-block kernel decisions — what jpmm_cli
+  /// --explain prints.
+  uint64_t m1_nnz = 0;
+  uint64_t m2_nnz = 0;
+  double heavy_density = 0.0;
+  HeavyKernelCounts kernel_counts;
+  std::vector<BlockKernelChoice> block_choices;
 
   size_t size() const { return pairs.empty() ? counted.size() : pairs.size(); }
 };

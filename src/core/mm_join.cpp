@@ -10,6 +10,7 @@
 #include "core/two_path_internal.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/matmul.h"
+#include "matrix/sparse_matrix.h"
 
 namespace jpmm {
 namespace {
@@ -21,6 +22,8 @@ struct WorkerState {
   std::vector<Value> witness_buf;           // kSortLocal scratch
   std::vector<CountedPair> matrix_entries;  // kSortLocal scratch
   std::vector<float> block;                 // matrix row-block buffer
+  CsrScratch csr_scratch;                   // CSR x CSR stamp scratch
+  SparseRowBlock sparse_block;              // CSR x CSR block output
   std::vector<OutPair> pairs;
   std::vector<CountedPair> counted;
 };
@@ -40,7 +43,31 @@ class TwoPathRunner {
     }
   }
 
+  // Sparse-row variant: the heavy-witness counts arrive as parallel
+  // (column id, count) spans with ascending columns — the CSR x CSR
+  // kernel's output. No O(|heavy z|) scan per head value.
+  void EmitHead(Value a, std::span<const uint32_t> cols,
+                std::span<const uint32_t> counts, WorkerState* ws) const {
+    if (opts_.dedup == DedupImpl::kStampArray) {
+      EmitHeadStamp(a, cols, counts, ws);
+    } else {
+      EmitHeadSort(a, cols, counts, ws);
+    }
+  }
+
  private:
+  void EmitRow(Value a, WorkerState* ws) const {
+    for (Value c : ws->touched) {
+      const uint32_t cnt = ws->counter.Get(c);
+      if (cnt < opts_.min_count) continue;
+      if (opts_.count_witnesses) {
+        ws->counted.push_back(CountedPair{a, c, cnt});
+      } else {
+        ws->pairs.push_back(OutPair{a, c});
+      }
+    }
+  }
+
   void EmitHeadStamp(Value a, const float* matrix_row, WorkerState* ws) const {
     ws->counter.NewEpoch();
     ws->touched.clear();
@@ -55,36 +82,25 @@ class TwoPathRunner {
         }
       }
     }
-    for (Value c : ws->touched) {
-      const uint32_t cnt = ws->counter.Get(c);
-      if (cnt < opts_.min_count) continue;
-      if (opts_.count_witnesses) {
-        ws->counted.push_back(CountedPair{a, c, cnt});
-      } else {
-        ws->pairs.push_back(OutPair{a, c});
-      }
-    }
+    EmitRow(a, ws);
   }
 
-  void EmitHeadSort(Value a, const float* matrix_row, WorkerState* ws) const {
-    ws->witness_buf.clear();
-    ctx_.AccumulateLightToVector(a, &ws->witness_buf);
-    std::sort(ws->witness_buf.begin(), ws->witness_buf.end());
-
-    ws->matrix_entries.clear();
-    if (matrix_row != nullptr) {
-      const auto& hz = ctx_.part.heavy_z();
-      for (size_t j = 0; j < hz.size(); ++j) {
-        const float v = matrix_row[j];
-        if (v > 0.5f) {
-          ws->matrix_entries.push_back(
-              CountedPair{a, hz[j], static_cast<uint32_t>(v + 0.5f)});
-        }
-      }
+  void EmitHeadStamp(Value a, std::span<const uint32_t> cols,
+                     std::span<const uint32_t> counts, WorkerState* ws) const {
+    ws->counter.NewEpoch();
+    ws->touched.clear();
+    ctx_.AccumulateLight(a, &ws->counter, &ws->touched);
+    const auto& hz = ctx_.part.heavy_z();
+    for (size_t e = 0; e < cols.size(); ++e) {
+      const Value z = hz[cols[e]];
+      if (ws->counter.Add(z, counts[e]) == 0) ws->touched.push_back(z);
     }
+    EmitRow(a, ws);
+  }
 
-    // Merge the sorted witness runs with the (already z-sorted) matrix
-    // entries, summing counts per z.
+  // Merge the sorted light-witness runs with already z-sorted matrix
+  // entries, summing counts per z. Shared by both sort-dedup variants.
+  void MergeAndEmit(Value a, WorkerState* ws) const {
     size_t i = 0;
     size_t m = 0;
     const size_t n = ws->witness_buf.size();
@@ -117,9 +133,80 @@ class TwoPathRunner {
     }
   }
 
+  void EmitHeadSort(Value a, const float* matrix_row, WorkerState* ws) const {
+    ws->witness_buf.clear();
+    ctx_.AccumulateLightToVector(a, &ws->witness_buf);
+    std::sort(ws->witness_buf.begin(), ws->witness_buf.end());
+
+    ws->matrix_entries.clear();
+    if (matrix_row != nullptr) {
+      const auto& hz = ctx_.part.heavy_z();
+      for (size_t j = 0; j < hz.size(); ++j) {
+        const float v = matrix_row[j];
+        if (v > 0.5f) {
+          ws->matrix_entries.push_back(
+              CountedPair{a, hz[j], static_cast<uint32_t>(v + 0.5f)});
+        }
+      }
+    }
+    MergeAndEmit(a, ws);
+  }
+
+  void EmitHeadSort(Value a, std::span<const uint32_t> cols,
+                    std::span<const uint32_t> counts, WorkerState* ws) const {
+    ws->witness_buf.clear();
+    ctx_.AccumulateLightToVector(a, &ws->witness_buf);
+    std::sort(ws->witness_buf.begin(), ws->witness_buf.end());
+
+    ws->matrix_entries.clear();
+    const auto& hz = ctx_.part.heavy_z();
+    for (size_t e = 0; e < cols.size(); ++e) {
+      // cols ascending => hz[cols[e]] ascending (heavy ids are assigned in
+      // ascending value order), which MergeAndEmit requires.
+      ws->matrix_entries.push_back(CountedPair{a, hz[cols[e]], counts[e]});
+    }
+    MergeAndEmit(a, ws);
+  }
+
   const internal::TwoPathContext& ctx_;
   const MmJoinOptions& opts_;
 };
+
+// Exact nnz of the two heavy operands under the current partition: one
+// adjacency sweep each, no materialization. Drives both the memory-cap
+// accounting and the density instrumentation.
+void CountHeavyNnz(const IndexedRelation& r, const IndexedRelation& s,
+                   const TwoPathPartition& part, int threads, uint64_t* nnz1,
+                   uint64_t* nnz2) {
+  const auto& hxs = part.heavy_x();
+  const auto& hys = part.heavy_y();
+  std::vector<uint64_t> partial(static_cast<size_t>(std::max(1, threads)), 0);
+  ParallelForDynamic(threads, hxs.size(), /*grain=*/64,
+                     [&](size_t i0, size_t i1, int w) {
+                       uint64_t local = 0;
+                       for (size_t i = i0; i < i1; ++i) {
+                         for (Value b : r.YsOf(hxs[i])) {
+                           if (part.HeavyYId(b) != kInvalidValue) ++local;
+                         }
+                       }
+                       partial[static_cast<size_t>(w)] += local;
+                     });
+  *nnz1 = 0;
+  for (uint64_t c : partial) *nnz1 += c;
+  std::fill(partial.begin(), partial.end(), 0);
+  ParallelForDynamic(threads, hys.size(), /*grain=*/64,
+                     [&](size_t i0, size_t i1, int w) {
+                       uint64_t local = 0;
+                       for (size_t i = i0; i < i1; ++i) {
+                         for (Value c : s.XsOf(hys[i])) {
+                           if (part.HeavyZId(c) != kInvalidValue) ++local;
+                         }
+                       }
+                       partial[static_cast<size_t>(w)] += local;
+                     });
+  *nnz2 = 0;
+  for (uint64_t c : partial) *nnz2 += c;
+}
 
 }  // namespace
 
@@ -137,24 +224,64 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   const int threads = std::max(1, opts.threads);
 
   // Build the context; double the thresholds until the heavy-part working
-  // set fits the memory cap (fewer heavy values => smaller matrices). The
-  // footprint is the two dense operands PLUS the shared packed-B slab PLUS
-  // one row-block product buffer per worker — the buffers alone are
-  // threads * row_block * hz floats, which dwarfs the operands when hz is
-  // large and threads are many, so they must count against the cap.
+  // set fits the memory cap. The footprint depends on the representation
+  // the heavy kernels need: the CSR operands are always built (they ARE the
+  // heavy adjacency, and the per-block dispatch reads block nnz off them);
+  // dense M1/M2 + the packed slab + per-worker float row-block buffers only
+  // when dense-GEMM blocks may run; dense M2 + the float buffers for
+  // CSR x dense; per-worker stamp scratch for CSR x CSR. Under kAuto the
+  // expensive representations are gated off instead of doubling thresholds
+  // — the CSR floor is what must fit (the old accounting charged sparse
+  // inputs dense U*V bytes and over-forced their thresholds).
   std::unique_ptr<internal::TwoPathContext> ctx;
+  uint64_t m1_nnz = 0;
+  uint64_t m2_nnz = 0;
+  bool allow_dense = true;
+  bool allow_csr_dense = true;
   for (;;) {
     ctx = std::make_unique<internal::TwoPathContext>(r, s, t);
     const uint64_t hx = ctx->part.heavy_x().size();
     const uint64_t hy = ctx->part.heavy_y().size();
     const uint64_t hz = ctx->part.heavy_z().size();
     if (hy == 0) break;
+    CountHeavyNnz(r, s, ctx->part, threads, &m1_nnz, &m2_nnz);
     const uint64_t blocks = (hx + opts.row_block - 1) / opts.row_block;
     const uint64_t block_workers =
         std::min<uint64_t>(static_cast<uint64_t>(threads),
                            std::max<uint64_t>(1, blocks));
-    const uint64_t bytes = 4 * (hx * hy + hy * hz) + PackedBBytes(hy, hz) +
-                           4 * block_workers * opts.row_block * hz;
+    const uint64_t csr = CsrBytes(hx, m1_nnz) + CsrBytes(hy, m2_nnz);
+    // StampCounter (8 B/slot) + touched list (4 B/slot) per block worker.
+    const uint64_t stamp = 12 * block_workers * hz;
+    const uint64_t acc = 4 * block_workers * opts.row_block * hz;
+    const uint64_t m2_dense = 4 * hy * hz;
+    const uint64_t dense_full =
+        4 * hx * hy + m2_dense + PackedBBytes(hy, hz) + acc;
+    uint64_t bytes = 0;
+    switch (opts.heavy_path) {
+      case HeavyPathMode::kForceDense:
+        bytes = csr + dense_full;
+        allow_dense = true;
+        allow_csr_dense = true;
+        break;
+      case HeavyPathMode::kForceCsrDense:
+        bytes = csr + m2_dense + acc;
+        allow_dense = false;
+        allow_csr_dense = true;
+        break;
+      case HeavyPathMode::kForceCsrCsr:
+        bytes = csr + stamp;
+        allow_dense = false;
+        allow_csr_dense = false;
+        break;
+      case HeavyPathMode::kAuto:
+        allow_dense = csr + dense_full + stamp <= opts.max_matrix_bytes;
+        allow_csr_dense =
+            csr + m2_dense + acc + stamp <= opts.max_matrix_bytes;
+        bytes = allow_dense ? csr + dense_full + stamp
+                : allow_csr_dense ? csr + m2_dense + acc + stamp
+                                  : csr + stamp;
+        break;
+    }
     if (bytes <= opts.max_matrix_bytes) break;
     t.delta1 *= 2;
     t.delta2 *= 2;
@@ -170,12 +297,12 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   result.heavy_inner = hys.size();
   result.heavy_cols = hzs.size();
   const bool use_matrix = !hxs.empty() && !hys.empty() && !hzs.empty();
-  // Heavy witness counts accumulate in float matrix cells and are read back
-  // with an integer cast; both are exact only below 2^24 (see mm_join.h).
-  // The per-cell maximum is the inner dimension |heavy y|.
   if (use_matrix) {
-    JPMM_CHECK_MSG(hys.size() < kMaxExactFloatCount,
-                   "heavy inner dimension exceeds exact float count range");
+    result.m1_nnz = m1_nnz;
+    result.m2_nnz = m2_nnz;
+    result.heavy_density = static_cast<double>(m1_nnz) /
+                           (static_cast<double>(hxs.size()) *
+                            static_cast<double>(hys.size()));
   }
 
   std::vector<WorkerState> workers(static_cast<size_t>(threads));
@@ -207,43 +334,75 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   // ---- Pass B: heavy rows, block by block.
   if (use_matrix) {
     WallTimer heavy_timer;
-    Matrix m1(hxs.size(), hys.size());
-    Matrix m2(hys.size(), hzs.size());
-    ParallelFor(threads, hxs.size(), [&](size_t i0, size_t i1, int) {
-      for (size_t i = i0; i < i1; ++i) {
-        auto row = m1.MutableRow(i);
-        for (Value b : r.YsOf(hxs[i])) {
-          const Value id = part.HeavyYId(b);
-          if (id != kInvalidValue) row[id] = 1.0f;
-        }
-      }
-    });
-    ParallelFor(threads, hys.size(), [&](size_t i0, size_t i1, int) {
-      for (size_t i = i0; i < i1; ++i) {
-        auto row = m2.MutableRow(i);
-        for (Value c : s.XsOf(hys[i])) {
-          const Value id = part.HeavyZId(c);
-          if (id != kInvalidValue) row[id] = 1.0f;
-        }
-      }
-    });
+    // CSR operands straight from the heavy adjacency lists — no dense
+    // materialization pass. Column ids ascend within each row because the
+    // index's adjacency lists are sorted and heavy ids are assigned in
+    // ascending value order.
+    const CsrMatrix csr1 = CsrMatrix::FromRows(
+        hxs.size(), hys.size(), threads,
+        [&](size_t i, std::vector<uint32_t>* out) {
+          for (Value b : r.YsOf(hxs[i])) {
+            const Value id = part.HeavyYId(b);
+            if (id != kInvalidValue) out->push_back(id);
+          }
+        });
+    const CsrMatrix csr2 = CsrMatrix::FromRows(
+        hys.size(), hzs.size(), threads,
+        [&](size_t i, std::vector<uint32_t>* out) {
+          for (Value c : s.XsOf(hys[i])) {
+            const Value id = part.HeavyZId(c);
+            if (id != kInvalidValue) out->push_back(id);
+          }
+        });
 
-    // M2's panels are packed once (packing fans out over the pool) and
-    // shared read-only by every row-block worker; the legacy path re-packed
-    // them once per worker per block. Blocks are claimed dynamically: emit
-    // cost per block tracks the output skew, not just the flops.
-    const PackedB packed_m2(m2, threads);
     const size_t row_block = opts.row_block;
-    const size_t num_blocks = (hxs.size() + row_block - 1) / row_block;
+    result.block_choices = PlanProductBlocks(
+        csr1, csr2, row_block, opts.heavy_path, opts.sparse_rates,
+        allow_dense, allow_csr_dense, &result.kernel_counts);
+    const bool any_dense = result.kernel_counts.dense > 0;
+    const bool any_float = any_dense || result.kernel_counts.csr_dense > 0;
+    // Heavy witness counts on the float paths accumulate in float cells and
+    // are read back with an integer cast; both are exact only below 2^24
+    // (see mm_join.h). The per-cell maximum is the inner dimension. The
+    // CSR x CSR path counts in uint32 and has no such bound.
+    if (any_float) {
+      JPMM_CHECK_MSG(hys.size() < kMaxExactFloatCount,
+                     "heavy inner dimension exceeds exact float count range");
+    }
+
+    // Dense representations only for the blocks that want them.
+    Matrix m1, m2;
+    PackedB packed_m2;
+    if (any_dense) m1 = csr1.ToDense(threads);
+    if (any_float) m2 = csr2.ToDense(threads);
+    if (any_dense) packed_m2 = PackedB(m2, threads);
+
+    // Blocks are claimed dynamically: emit cost per block tracks the output
+    // skew, not just the flops.
+    const size_t num_blocks = result.block_choices.size();
     ParallelForDynamic(
         threads, num_blocks, /*grain=*/1, [&](size_t b0, size_t b1, int w) {
           WorkerState& ws = workers[static_cast<size_t>(w)];
           if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
-          ws.block.resize(row_block * hzs.size());
           for (size_t blk = b0; blk < b1; ++blk) {
-            const size_t r0 = blk * row_block;
-            const size_t r1 = std::min(hxs.size(), r0 + row_block);
-            MultiplyRowRange(m1, packed_m2, r0, r1, ws.block);
+            const BlockKernelChoice& choice = result.block_choices[blk];
+            const size_t r0 = choice.row_begin;
+            const size_t r1 = choice.row_end;
+            if (choice.kernel == ProductKernel::kCsrCsr) {
+              CsrCsrRowRange(csr1, csr2, r0, r1, &ws.csr_scratch,
+                             &ws.sparse_block);
+              for (size_t i = r0; i < r1; ++i) {
+                runner.EmitHead(hxs[i], ws.sparse_block.RowCols(i - r0),
+                                ws.sparse_block.RowCounts(i - r0), &ws);
+              }
+              continue;
+            }
+            ws.block.resize(row_block * hzs.size());
+            if (choice.kernel == ProductKernel::kDenseGemm) {
+              MultiplyRowRange(m1, packed_m2, r0, r1, ws.block);
+            } else {
+              CsrDenseRowRange(csr1, m2, r0, r1, ws.block);
+            }
             for (size_t i = r0; i < r1; ++i) {
               runner.EmitHead(hxs[i], ws.block.data() + (i - r0) * hzs.size(),
                               &ws);

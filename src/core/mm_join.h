@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/heavy_dispatch.h"
 #include "core/thresholds.h"
 #include "storage/index.h"
 
@@ -37,8 +38,9 @@ namespace jpmm {
 /// Smallest positive integer a float matrix cell (and the `v + 0.5f`
 /// integer read-back) can NOT represent exactly: 2^24. Witness counts are
 /// exact strictly below this, so MmJoinTwoPath and MmStarJoin check their
-/// heavy inner dimension (the per-cell count maximum) against it at plan
-/// build time.
+/// heavy inner dimension (the per-cell count maximum) against it whenever a
+/// float-accumulating kernel (dense GEMM or CSR x dense) runs. The CSR x
+/// CSR kernel counts in uint32 stamp counters and is exempt.
 inline constexpr uint64_t kMaxExactFloatCount = uint64_t{1} << 24;
 
 /// Deduplication implementation for the light part (§6 discusses both).
@@ -61,10 +63,26 @@ struct MmJoinOptions {
   /// two MC panels of the blocked kernel.
   size_t row_block = 256;
   DedupImpl dedup = DedupImpl::kStampArray;
-  /// Hard cap on the heavy-part working set: M1 + M2, the shared packed-B
-  /// slab, and the per-worker row-block product buffers
-  /// (threads * row_block * |heavy_z| floats). Thresholds are doubled until
-  /// everything fits (recorded in MmJoinResult::adjusted_thresholds).
+  /// Heavy-part kernel selection. kAuto picks per product block between the
+  /// dense blocked GEMM and the CSR kernels from the block's measured
+  /// density (core/heavy_dispatch.h); the force modes pin one kernel
+  /// everywhere (equivalence tests diff their sorted outputs).
+  HeavyPathMode heavy_path = HeavyPathMode::kAuto;
+  /// Measured sparse-kernel rates for the dispatch; nullptr uses
+  /// SparseKernelRates::Default() (measured once per process, and only when
+  /// a heavy part actually exists under kAuto).
+  const SparseKernelRates* sparse_rates = nullptr;
+  /// Hard cap on the heavy-part working set. What counts depends on the
+  /// representation the chosen kernels need: the CSR index arrays are
+  /// always counted; dense M1/M2, the shared packed-B slab, and the
+  /// per-worker row-block float buffers (threads * row_block * |heavy_z|)
+  /// only when dense or CSR x dense blocks may run; the per-worker stamp
+  /// scratch when CSR x CSR may run. Under kAuto the dense representations
+  /// are *gated off* when they alone would blow the cap — the query
+  /// degrades to the CSR kernels — and thresholds double only when even
+  /// the CSR floor does not fit (recorded in adjusted_thresholds). This is
+  /// what stops sparse inputs from having their thresholds over-forced by
+  /// dense U*V accounting.
   uint64_t max_matrix_bytes = uint64_t{3} << 30;
 };
 
@@ -79,6 +97,11 @@ struct MmJoinResult {
   uint64_t heavy_rows = 0;         // |heavy x|
   uint64_t heavy_inner = 0;        // |heavy y|
   uint64_t heavy_cols = 0;         // |heavy z|
+  uint64_t m1_nnz = 0;             // set cells of the heavy-x adjacency
+  uint64_t m2_nnz = 0;             // set cells of the heavy-z adjacency
+  double heavy_density = 0.0;      // m1_nnz / (heavy_rows * heavy_inner)
+  HeavyKernelCounts kernel_counts; // product blocks per kernel
+  std::vector<BlockKernelChoice> block_choices;  // per-block dispatch record
   double light_seconds = 0.0;
   double heavy_seconds = 0.0;      // matrix build + multiply + scan
 

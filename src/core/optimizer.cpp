@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/estimator.h"
+#include "matrix/cost_model.h"
 
 namespace jpmm {
 namespace {
@@ -20,6 +21,8 @@ const SystemConstants& DefaultConstants() {
 struct CostBreakdown {
   double light = 0.0;
   double heavy = 0.0;
+  ProductKernel heavy_kernel = ProductKernel::kDenseGemm;
+  double heavy_density = 0.0;
   double total() const { return light + heavy; }
 };
 
@@ -41,10 +44,59 @@ CostBreakdown EvaluateCost(const TwoPathStats& stats, Thresholds t,
   const uint64_t v = stats.distinct_y() - stats.CountYAtMost(t.delta1);
   const uint64_t w = stats.distinct_z() - stats.CountZAtMost(t.delta2);
   if (u > 0 && v > 0 && w > 0) {
-    const double build = consts.ts * (static_cast<double>(u) * v +
-                                      static_cast<double>(v) * w);
+    // Resolved lazily so fully-light plans never pay the one-time sparse
+    // calibration (same contract as PlanProductBlocks).
+    const SparseKernelRates& srates = opts.sparse_rates != nullptr
+                                          ? *opts.sparse_rates
+                                          : SparseKernelRates::Default();
+    const int co = std::max(1, opts.threads);
+    const double cells = static_cast<double>(u) * static_cast<double>(v);
+    // nnz upper bounds from the degree CDFs: every M1 cell is an R-tuple
+    // with a heavy x (and heavy y — not queryable, so this over-estimates
+    // density and under-sells the sparse kernels: a conservative tilt).
+    const double nnz1 = std::min(
+        cells, static_cast<double>(stats.num_tuples_r()) -
+                   stats.SumDegXAtMost(t.delta2));
+    const double nnz2 = std::min(
+        static_cast<double>(v) * static_cast<double>(w),
+        static_cast<double>(stats.num_tuples_s()) -
+            stats.SumDegZAtMost(t.delta2));
+    const double density = std::clamp(nnz1 / std::max(1.0, cells), 0.0, 1.0);
+    cost.heavy_density = density;
+
     const double scan = consts.ts * static_cast<double>(u) * w;
-    cost.heavy = cal.EstimateSeconds(u, v, w, opts.threads) + build + scan;
+    // Dense GEMM: calibrated multiply + dense operand builds + scan.
+    const double dense_build = consts.ts * (static_cast<double>(u) * v +
+                                            static_cast<double>(v) * w);
+    const double dense_sec =
+        cal.EstimateSeconds(u, v, w, co) + dense_build + scan;
+    // CSR x dense: CSR builds are O(nnz); M2 is still dense. Row bands
+    // parallelize coordination-free, so divide the kernel time by cores.
+    const double csr_build = consts.ts * (nnz1 + nnz2);
+    const double csr_dense_sec =
+        csr_build + consts.ts * static_cast<double>(v) * w +
+        SparseProductSeconds(
+            SparseProductOps(static_cast<uint64_t>(nnz1), u, w),
+            srates.CsrDenseRate(density)) /
+            co +
+        scan;
+    // CSR x CSR: expansion bound nnz1 * avg M2 row nnz; sparse emit (no
+    // dense output scan).
+    const double expand = nnz1 * (nnz2 / static_cast<double>(v));
+    const double csr_csr_sec =
+        csr_build +
+        SparseProductSeconds(expand, srates.CsrCsrRate(density)) / co;
+
+    cost.heavy = dense_sec;
+    cost.heavy_kernel = ProductKernel::kDenseGemm;
+    if (csr_dense_sec < cost.heavy) {
+      cost.heavy = csr_dense_sec;
+      cost.heavy_kernel = ProductKernel::kCsrDense;
+    }
+    if (csr_csr_sec < cost.heavy) {
+      cost.heavy = csr_csr_sec;
+      cost.heavy_kernel = ProductKernel::kCsrCsr;
+    }
   }
   return cost;
 }
@@ -59,7 +111,9 @@ std::string PlanChoice::ToString() const {
     os << "plan=mmjoin " << thresholds.ToString()
        << " est_out=" << estimated_output << " join=" << full_join_size
        << " est_light=" << est_light_seconds
-       << " est_heavy=" << est_heavy_seconds;
+       << " est_heavy=" << est_heavy_seconds
+       << " heavy_kernel=" << ProductKernelName(heavy_kernel)
+       << " est_density=" << est_heavy_density;
   }
   return os.str();
 }
@@ -120,6 +174,8 @@ PlanChoice ChooseTwoPathPlan(const IndexedRelation& r,
   plan.thresholds = best;
   plan.est_light_seconds = best_breakdown.light;
   plan.est_heavy_seconds = best_breakdown.heavy;
+  plan.heavy_kernel = best_breakdown.heavy_kernel;
+  plan.est_heavy_density = best_breakdown.heavy_density;
   return plan;
 }
 

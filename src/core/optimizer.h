@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/heavy_dispatch.h"
 #include "core/thresholds.h"
 #include "matrix/calibration.h"
 #include "storage/index.h"
@@ -40,6 +41,9 @@ struct OptimizerOptions {
   const MatMulCalibration* calibration = nullptr;
   /// Measured on first use when not supplied.
   const SystemConstants* constants = nullptr;
+  /// Measured sparse-kernel rates for the dense-vs-CSR heavy estimate;
+  /// nullptr => SparseKernelRates::Default().
+  const SparseKernelRates* sparse_rates = nullptr;
 };
 
 /// The optimizer's decision for one 2-path instance.
@@ -52,6 +56,12 @@ struct PlanChoice {
   uint64_t full_join_size = 0;
   double est_light_seconds = 0.0;
   double est_heavy_seconds = 0.0;
+  /// Heavy-part kernel the cost model expects to win at the chosen
+  /// thresholds (execution re-decides per product block from exact nnz;
+  /// this is the plan-level prediction) and the estimated operand density
+  /// it was derived from.
+  ProductKernel heavy_kernel = ProductKernel::kDenseGemm;
+  double est_heavy_density = 0.0;
 
   std::string ToString() const;
 };

@@ -14,6 +14,7 @@
 #include "join/intersection.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/matmul.h"
+#include "matrix/sparse_matrix.h"
 
 namespace jpmm {
 namespace {
@@ -113,12 +114,24 @@ TupleBuffer LightSteps(const StarContext& ctx, int threads) {
   return out;
 }
 
+// Approximate bytes the sparse registration of one group holds: the
+// incidence list, the flat combo rows, and the hash map (amortized ~48 B
+// per combo). This — not the dense rows x cols cell count — is what the
+// memory-cap retry loop bounds: the dense representations are gated
+// per-block later (falling back to the CSR kernels), so a sparse-but-wide
+// heavy part must not force thresholds up.
+uint64_t RegistrationBytes(size_t combos, size_t group_size, size_t entries) {
+  return static_cast<uint64_t>(entries) * sizeof(std::pair<Value, Value>) +
+         static_cast<uint64_t>(combos) * group_size * sizeof(Value) +
+         static_cast<uint64_t>(combos) * 48;
+}
+
 // Heavy-combo registration for one variable group over the shared columns.
 // Returns the number of (row, col) incidences; fills row_map / rows_flat /
-// entries. Aborts early (returns false) if the projected matrix exceeds
-// max_cells.
+// entries. Aborts early (returns false) if the registration working set
+// exceeds max_bytes.
 bool RegisterGroup(const StarContext& ctx, const std::vector<size_t>& group,
-                   const std::vector<Value>& cols, uint64_t max_cells,
+                   const std::vector<Value>& cols, uint64_t max_bytes,
                    RowMap* row_map, std::vector<Value>* rows_flat,
                    std::vector<std::pair<Value, Value>>* entries) {
   const size_t g = group.size();
@@ -146,11 +159,14 @@ bool RegisterGroup(const StarContext& ctx, const std::vector<size_t>& group,
           PackComboKey(combo), static_cast<Value>(row_map->size()));
       if (inserted) {
         rows_flat->insert(rows_flat->end(), combo.begin(), combo.end());
-        if (static_cast<uint64_t>(row_map->size()) * cols.size() > max_cells) {
-          return false;
-        }
       }
       entries->emplace_back(it->second, static_cast<Value>(col));
+      // Checked on every incidence, not just combo insertions: the entry
+      // list keeps growing even when no new combo appears.
+      if (RegistrationBytes(row_map->size(), g, entries->size()) >
+          max_bytes) {
+        return false;
+      }
 
       size_t dim = g;
       bool done = false;
@@ -204,7 +220,7 @@ struct HeavyGroups {
   bool fits = false;
 };
 
-HeavyGroups BuildHeavyGroups(const StarContext& ctx, uint64_t max_cells) {
+HeavyGroups BuildHeavyGroups(const StarContext& ctx, uint64_t max_bytes) {
   const size_t k = ctx.rels.size();
   const size_t g1 = (k + 1) / 2;
   std::vector<size_t> group1, group2;
@@ -217,9 +233,9 @@ HeavyGroups BuildHeavyGroups(const StarContext& ctx, uint64_t max_cells) {
     hg.fits = true;
     return hg;
   }
-  hg.fits = RegisterGroup(ctx, group1, hg.cols, max_cells, &hg.map1,
+  hg.fits = RegisterGroup(ctx, group1, hg.cols, max_bytes, &hg.map1,
                           &hg.rows1_flat, &hg.entries1) &&
-            RegisterGroup(ctx, group2, hg.cols, max_cells, &hg.map2,
+            RegisterGroup(ctx, group2, hg.cols, max_bytes, &hg.map2,
                           &hg.rows2_flat, &hg.entries2);
   return hg;
 }
@@ -335,18 +351,40 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
   Thresholds t = options.thresholds;
   t.delta1 = std::max<uint64_t>(1, t.delta1);
   t.delta2 = std::max<uint64_t>(1, t.delta2);
-  const uint64_t max_cells = options.max_matrix_bytes / 4 / 2;
+
 
   StarJoinResult result;
   result.tuples = TupleBuffer(static_cast<uint32_t>(k));
 
-  // Retry with doubled thresholds until the heavy matrices fit.
+  // Retry with doubled thresholds until the heavy part fits: the sparse
+  // registration must always fit, and the dense representations must fit
+  // whenever a forced mode will unconditionally materialize them (under
+  // kAuto they are gated off per block instead — see below).
+  const size_t row_block = std::max<size_t>(1, options.row_block);
   std::unique_ptr<StarContext> ctx;
   HeavyGroups hg;
   for (;;) {
     ctx = std::make_unique<StarContext>(rels, t);
-    hg = BuildHeavyGroups(*ctx, max_cells);
-    if (hg.fits) break;
+    hg = BuildHeavyGroups(*ctx, options.max_matrix_bytes);
+    bool fits = hg.fits;
+    if (fits && (options.heavy_path == HeavyPathMode::kForceDense ||
+                 options.heavy_path == HeavyPathMode::kForceCsrDense)) {
+      const uint64_t vr = hg.map1.size();
+      const uint64_t wr = hg.map2.size();
+      const uint64_t cn = hg.cols.size();
+      const uint64_t blocks = (vr + row_block - 1) / row_block;
+      const uint64_t workers = std::min<uint64_t>(
+          static_cast<uint64_t>(threads), std::max<uint64_t>(1, blocks));
+      uint64_t needed = CsrBytes(vr, hg.entries1.size()) +
+                        CsrBytes(cn, hg.entries2.size()) +
+                        4 * cn * wr +                    // dense W^T
+                        4 * workers * row_block * wr;    // product buffers
+      if (options.heavy_path == HeavyPathMode::kForceDense) {
+        needed += 4 * vr * cn + PackedBBytes(cn, wr);
+      }
+      fits = needed <= options.max_matrix_bytes;
+    }
+    if (fits) break;
     t.delta1 *= 2;
     t.delta2 *= 2;
   }
@@ -361,46 +399,98 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
   result.light_seconds = light_timer.Seconds();
 
   if (result.v_rows > 0 && result.w_rows > 0) {
-    // Witness counts accumulate in float cells; a cell's maximum is the
-    // shared-column count, which must stay in exact integer float range.
-    JPMM_CHECK_MSG(hg.cols.size() < kMaxExactFloatCount,
-                   "heavy inner dimension exceeds exact float count range");
     WallTimer heavy_timer;
-    Matrix v(result.v_rows, hg.cols.size());
-    for (const auto& [row, col] : hg.entries1) v.Set(row, col, 1.0f);
-    // W is built directly transposed: columns(y) x rows2.
-    Matrix wt(hg.cols.size(), result.w_rows);
-    for (const auto& [row, col] : hg.entries2) wt.Set(col, row, 1.0f);
+    // CSR operands first (they are just the registered incidences, row
+    // offsets + column ids); dense V / W^T only materialize if the
+    // per-block dispatch sends some block to a float kernel.
+    const size_t cols_n = hg.cols.size();
+    const CsrMatrix csr_v =
+        CsrMatrix::FromEntries(result.v_rows, cols_n, hg.entries1);
+    const CsrMatrix csr_wt = CsrMatrix::FromEntries(
+        cols_n, result.w_rows, hg.entries2, /*swapped=*/true);
+    result.v_nnz = csr_v.nnz();
+    result.w_nnz = csr_wt.nnz();
+    result.heavy_density = csr_v.Density();
 
-    // One shared packed slab for W^T; workers claim product blocks
-    // dynamically (per-block emit cost follows the output distribution).
-    const PackedB packed_wt(wt, threads);
-    const size_t row_block = std::max<size_t>(1, options.row_block);
-    const size_t num_blocks = (result.v_rows + row_block - 1) / row_block;
+    const uint64_t blocks64 = (result.v_rows + row_block - 1) / row_block;
+    const uint64_t block_workers = std::min<uint64_t>(
+        static_cast<uint64_t>(threads), std::max<uint64_t>(1, blocks64));
+    // Representation gates mirror mm_join's: dense V/W^T + the packed slab
+    // + per-worker float buffers must fit the cap, or those kernels are off
+    // the table for this query (the CSR floor always runs).
+    const uint64_t csr_bytes = csr_v.SizeBytes() + csr_wt.SizeBytes();
+    const uint64_t acc = 4 * block_workers * row_block * result.w_rows;
+    const uint64_t wt_dense = 4 * cols_n * result.w_rows;
+    const uint64_t dense_full = 4 * result.v_rows * cols_n + wt_dense +
+                                PackedBBytes(cols_n, result.w_rows) + acc;
+    bool allow_dense = true;
+    bool allow_csr_dense = true;
+    if (options.heavy_path == HeavyPathMode::kAuto) {
+      allow_dense = csr_bytes + dense_full <= options.max_matrix_bytes;
+      allow_csr_dense =
+          csr_bytes + wt_dense + acc <= options.max_matrix_bytes;
+    }
+    const std::vector<BlockKernelChoice> choices = PlanProductBlocks(
+        csr_v, csr_wt, row_block, options.heavy_path, options.sparse_rates,
+        allow_dense, allow_csr_dense, &result.kernel_counts);
+    const bool any_dense = result.kernel_counts.dense > 0;
+    const bool any_float = any_dense || result.kernel_counts.csr_dense > 0;
+    if (any_float) {
+      // Witness counts accumulate in float cells on those paths; a cell's
+      // maximum is the shared-column count, which must stay in exact
+      // integer float range.
+      JPMM_CHECK_MSG(cols_n < kMaxExactFloatCount,
+                     "heavy inner dimension exceeds exact float count range");
+    }
+    Matrix v, wt;
+    PackedB packed_wt;
+    if (any_dense) v = csr_v.ToDense(threads);
+    if (any_float) wt = csr_wt.ToDense(threads);
+    if (any_dense) packed_wt = PackedB(wt, threads);
+
+    // Workers claim product blocks dynamically (per-block emit cost follows
+    // the output distribution).
     std::vector<TupleBuffer> partial(static_cast<size_t>(threads),
                                      TupleBuffer(static_cast<uint32_t>(k)));
     std::vector<std::vector<float>> bufs(static_cast<size_t>(threads));
-    ParallelForDynamic(threads, num_blocks, /*grain=*/1, [&](size_t b0,
-                                                             size_t b1,
-                                                             int w) {
-      std::vector<float>& buf = bufs[static_cast<size_t>(w)];
-      buf.resize(row_block * result.w_rows);
+    std::vector<CsrScratch> scratch(static_cast<size_t>(threads));
+    std::vector<SparseRowBlock> sparse_blocks(static_cast<size_t>(threads));
+    ParallelForDynamic(threads, choices.size(), /*grain=*/1, [&](size_t b0,
+                                                                 size_t b1,
+                                                                 int w) {
       std::vector<Value> tuple(k);
       TupleBuffer& out = partial[static_cast<size_t>(w)];
+      auto emit = [&](size_t i, size_t j) {
+        const Value* left = hg.rows1_flat.data() + i * g1;
+        std::copy(left, left + g1, tuple.begin());
+        const Value* right = hg.rows2_flat.data() + j * g2;
+        std::copy(right, right + g2, tuple.begin() + g1);
+        out.Add(tuple);
+      };
       for (size_t blk = b0; blk < b1; ++blk) {
-        const size_t r0 = blk * row_block;
-        const size_t r1 = std::min<size_t>(result.v_rows, r0 + row_block);
-        MultiplyRowRange(v, packed_wt, r0, r1, buf);
+        const BlockKernelChoice& choice = choices[blk];
+        const size_t r0 = choice.row_begin;
+        const size_t r1 = choice.row_end;
+        if (choice.kernel == ProductKernel::kCsrCsr) {
+          auto& sblk = sparse_blocks[static_cast<size_t>(w)];
+          CsrCsrRowRange(csr_v, csr_wt, r0, r1,
+                         &scratch[static_cast<size_t>(w)], &sblk);
+          for (size_t i = r0; i < r1; ++i) {
+            for (uint32_t j : sblk.RowCols(i - r0)) emit(i, j);
+          }
+          continue;
+        }
+        std::vector<float>& buf = bufs[static_cast<size_t>(w)];
+        buf.resize(row_block * result.w_rows);
+        if (choice.kernel == ProductKernel::kDenseGemm) {
+          MultiplyRowRange(v, packed_wt, r0, r1, buf);
+        } else {
+          CsrDenseRowRange(csr_v, wt, r0, r1, buf);
+        }
         for (size_t i = r0; i < r1; ++i) {
           const float* prow = buf.data() + (i - r0) * result.w_rows;
-          const Value* left = hg.rows1_flat.data() + i * g1;
           for (size_t j = 0; j < result.w_rows; ++j) {
-            if (prow[j] > 0.5f) {
-              std::copy(left, left + g1, tuple.begin());
-              const Value* right = hg.rows2_flat.data() + j * g2;
-              std::copy(right, right + g2, tuple.begin() + g1);
-              out.Add(tuple);
-            }
+            if (prow[j] > 0.5f) emit(i, j);
           }
         }
       }

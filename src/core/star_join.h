@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "core/heavy_dispatch.h"
 #include "core/thresholds.h"
 #include "join/star_wcoj.h"
 #include "storage/index.h"
@@ -32,13 +33,21 @@ namespace jpmm {
 struct StarJoinOptions {
   Thresholds thresholds;
   int threads = 1;
-  /// Cap on the dense V/W operand bytes; thresholds are doubled until the
-  /// matrices fit.
+  /// Cap on the heavy-part bytes. Thresholds double until the combo
+  /// registration fits; the dense V/W representations are additionally
+  /// gated off (falling back to the CSR kernels) when they alone would
+  /// exceed the cap.
   uint64_t max_matrix_bytes = uint64_t{3} << 30;
   /// Rows per product block (memory = row_block * |W rows| floats / worker).
   /// 256 rows = two MC panels of the blocked kernel, amortizing the per-call
   /// B-panel packing (see core/mm_join.h).
   size_t row_block = 256;
+  /// Heavy-part kernel selection, as in MmJoinOptions: per-block
+  /// density-aware dispatch under kAuto, pinned kernel under the force
+  /// modes.
+  HeavyPathMode heavy_path = HeavyPathMode::kAuto;
+  /// nullptr uses SparseKernelRates::Default().
+  const SparseKernelRates* sparse_rates = nullptr;
 };
 
 struct StarJoinResult {
@@ -47,6 +56,10 @@ struct StarJoinResult {
   uint64_t v_rows = 0;  // heavy combos, first group
   uint64_t w_rows = 0;  // heavy combos, second group
   uint64_t heavy_y = 0; // shared inner dimension
+  uint64_t v_nnz = 0;   // set cells of V (heavy combo incidences)
+  uint64_t w_nnz = 0;   // set cells of W
+  double heavy_density = 0.0;      // v_nnz / (v_rows * heavy_y)
+  HeavyKernelCounts kernel_counts; // product blocks per kernel
   double light_seconds = 0.0;
   double heavy_seconds = 0.0;
 

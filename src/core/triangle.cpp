@@ -7,8 +7,16 @@
 #include "common/thread_pool.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/matmul.h"
+#include "matrix/sparse_matrix.h"
 
 namespace jpmm {
+namespace {
+
+// Rows per trace product block: two MC panels of the blocked kernel (see
+// core/mm_join.h). Shared by the memory-cap accounting and the heavy loop.
+constexpr size_t kTraceRowBlock = 256;
+
+}  // namespace
 
 uint64_t CountTrianglesNodeIterator(const IndexedRelation& graph) {
   uint64_t count = 0;
@@ -35,25 +43,68 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
                              1, static_cast<uint64_t>(std::sqrt(
                                     static_cast<double>(edges))));
 
-  // Heavy vertex set under the (possibly memory-degraded) threshold.
+  // Heavy vertex set under the (possibly memory-degraded) threshold. The
+  // CSR adjacency is the memory floor; the dense matrix + packed slab are
+  // gated by the cap (a capped run keeps its delta and degrades to the
+  // CSR x CSR trace instead of shrinking the heavy set).
+  const int threads = std::max(1, options.threads);
   std::vector<Value> heavy;
   std::vector<Value> heavy_id;
+  bool allow_dense = true;
   for (;;) {
     heavy.clear();
     heavy_id.assign(graph.num_x(), kInvalidValue);
+    uint64_t nnz = 0;
     for (Value v = 0; v < graph.num_x(); ++v) {
       if (graph.DegX(v) > delta) {
         heavy_id[v] = static_cast<Value>(heavy.size());
         heavy.push_back(v);
       }
     }
-    const uint64_t bytes = 4ull * heavy.size() * heavy.size();
+    // Parallel accumulate: the per-vertex cost is the (skewed) heavy
+    // degree, and this runs once per delta-doubling iteration.
+    std::vector<uint64_t> nnz_partial(static_cast<size_t>(threads), 0);
+    ParallelForDynamic(threads, heavy.size(), /*grain=*/64,
+                       [&](size_t i0, size_t i1, int w) {
+                         uint64_t local = 0;
+                         for (size_t i = i0; i < i1; ++i) {
+                           const Value v = heavy[i];
+                           for (Value u : graph.YsOf(v)) {
+                             if (u != v && heavy_id[u] != kInvalidValue) {
+                               ++local;
+                             }
+                           }
+                         }
+                         nnz_partial[static_cast<size_t>(w)] += local;
+                       });
+    for (uint64_t c : nnz_partial) nnz += c;
+    const uint64_t h = heavy.size();
+    const uint64_t blocks = (h + kTraceRowBlock - 1) / kTraceRowBlock;
+    const uint64_t block_workers = std::min<uint64_t>(
+        static_cast<uint64_t>(threads), std::max<uint64_t>(1, blocks));
+    // Per-worker float product-block buffers, paid by the dense and
+    // CSR x dense kernels alike.
+    const uint64_t acc = 4ull * block_workers * kTraceRowBlock * h;
+    const uint64_t csr_bytes = CsrBytes(h, nnz) + 12ull * block_workers * h;
+    const uint64_t dense_bytes =
+        4ull * h * h + PackedBBytes(h, h) + acc + csr_bytes;
+    switch (options.heavy_path) {
+      case HeavyPathMode::kForceCsrCsr:
+        allow_dense = false;
+        break;
+      case HeavyPathMode::kAuto:
+        allow_dense = dense_bytes <= options.max_matrix_bytes;
+        break;
+      default:
+        allow_dense = true;
+        break;
+    }
+    const uint64_t bytes = allow_dense ? dense_bytes : csr_bytes;
     if (heavy.empty() || bytes <= options.max_matrix_bytes) break;
     delta *= 2;
   }
   result.delta_used = delta;
   result.heavy_vertices = heavy.size();
-  const int threads = std::max(1, options.threads);
 
   // Light part: triangles containing >= 1 light vertex, counted at their
   // minimum-id light vertex. A neighbour participates only if it is heavy
@@ -86,38 +137,91 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
 
   // Heavy part: trace(A_H^3) / 6. A_H is symmetric, so
   // trace(A^3) = sum_{i,j} (A^2)[i][j] * A[i][j], computed in row blocks.
+  // Per-block dispatch: the A^2 block comes from the dense GEMM, the
+  // CSR x dense saxpy, or the CSR x CSR stamp kernel, whichever the block's
+  // measured density makes cheapest; the A[i][j] mask is then applied as a
+  // dense dot, a CSR-indexed gather, or a sorted-merge intersection
+  // respectively.
   if (heavy.size() >= 3) {
-    Matrix a(heavy.size(), heavy.size());
-    for (size_t i = 0; i < heavy.size(); ++i) {
-      auto row = a.MutableRow(i);
-      for (Value u : graph.YsOf(heavy[i])) {
-        if (u == heavy[i]) continue;
-        const Value id = heavy_id[u];
-        if (id != kInvalidValue) row[id] = 1.0f;
-      }
-    }
-    // A's panels are packed once into a shared slab; workers claim 256-row
-    // product blocks (two MC panels) dynamically and accumulate (+=) their
-    // trace contributions.
-    const PackedB packed_a(a, threads);
-    constexpr size_t kRowBlock = 256;
-    const size_t num_blocks = (heavy.size() + kRowBlock - 1) / kRowBlock;
+    const size_t h = heavy.size();
+    const CsrMatrix csr_a = CsrMatrix::FromRows(
+        h, h, threads, [&](size_t i, std::vector<uint32_t>* out) {
+          for (Value u : graph.YsOf(heavy[i])) {
+            if (u == heavy[i]) continue;
+            const Value id = heavy_id[u];
+            if (id != kInvalidValue) out->push_back(id);
+          }
+        });
+    result.heavy_nnz = csr_a.nnz();
+    result.heavy_density = csr_a.Density();
+
+    const uint64_t trace_blocks = (h + kTraceRowBlock - 1) / kTraceRowBlock;
+    const uint64_t trace_workers = std::min<uint64_t>(
+        static_cast<uint64_t>(threads), std::max<uint64_t>(1, trace_blocks));
+    const bool allow_csr_dense =
+        options.heavy_path != HeavyPathMode::kForceCsrCsr &&
+        (allow_dense ||
+         4ull * h * h + 4ull * trace_workers * kTraceRowBlock * h +
+                 csr_a.SizeBytes() <=
+             options.max_matrix_bytes);
+    const std::vector<BlockKernelChoice> choices = PlanProductBlocks(
+        csr_a, csr_a, kTraceRowBlock, options.heavy_path, options.sparse_rates,
+        allow_dense, allow_csr_dense, &result.kernel_counts);
+    const bool any_dense = result.kernel_counts.dense > 0;
+    const bool any_float = any_dense || result.kernel_counts.csr_dense > 0;
+
+    Matrix a;
+    PackedB packed_a;
+    if (any_float) a = csr_a.ToDense(threads);
+    if (any_dense) packed_a = PackedB(a, threads);
+
     std::vector<double> trace_partial(static_cast<size_t>(threads), 0.0);
     std::vector<std::vector<float>> blocks(static_cast<size_t>(threads));
-    ParallelForDynamic(threads, num_blocks, /*grain=*/1,
+    std::vector<CsrScratch> scratch(static_cast<size_t>(threads));
+    std::vector<SparseRowBlock> sparse_blocks(static_cast<size_t>(threads));
+    ParallelForDynamic(threads, choices.size(), /*grain=*/1,
                        [&](size_t b0, size_t b1, int w) {
-      std::vector<float>& block = blocks[static_cast<size_t>(w)];
-      block.resize(kRowBlock * heavy.size());
       double local = 0.0;
       for (size_t blk = b0; blk < b1; ++blk) {
-        const size_t r0 = blk * kRowBlock;
-        const size_t r1 = std::min(heavy.size(), r0 + kRowBlock);
-        MultiplyRowRange(a, packed_a, r0, r1, block);
+        const BlockKernelChoice& choice = choices[blk];
+        const size_t r0 = choice.row_begin;
+        const size_t r1 = choice.row_end;
+        if (choice.kernel == ProductKernel::kCsrCsr) {
+          auto& sblk = sparse_blocks[static_cast<size_t>(w)];
+          CsrCsrRowRange(csr_a, csr_a, r0, r1,
+                         &scratch[static_cast<size_t>(w)], &sblk);
+          for (size_t i = r0; i < r1; ++i) {
+            // Both column lists ascend; merge-intersect A^2 row with A row.
+            const auto pcols = sblk.RowCols(i - r0);
+            const auto pcounts = sblk.RowCounts(i - r0);
+            const auto acols = csr_a.Row(i);
+            size_t p = 0, q = 0;
+            while (p < pcols.size() && q < acols.size()) {
+              if (pcols[p] < acols[q]) {
+                ++p;
+              } else if (pcols[p] > acols[q]) {
+                ++q;
+              } else {
+                local += static_cast<double>(pcounts[p]);
+                ++p;
+                ++q;
+              }
+            }
+          }
+          continue;
+        }
+        std::vector<float>& block = blocks[static_cast<size_t>(w)];
+        block.resize(kTraceRowBlock * h);
+        if (choice.kernel == ProductKernel::kDenseGemm) {
+          MultiplyRowRange(a, packed_a, r0, r1, block);
+        } else {
+          CsrDenseRowRange(csr_a, a, r0, r1, block);
+        }
         for (size_t i = r0; i < r1; ++i) {
-          const float* a2row = block.data() + (i - r0) * heavy.size();
-          const auto arow = a.Row(i);
-          for (size_t j = 0; j < heavy.size(); ++j) {
-            local += static_cast<double>(a2row[j]) * arow[j];
+          const float* a2row = block.data() + (i - r0) * h;
+          // Gather through the CSR row: only A's set cells contribute.
+          for (uint32_t j : csr_a.Row(i)) {
+            local += static_cast<double>(a2row[j]);
           }
         }
       }

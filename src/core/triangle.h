@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "core/heavy_dispatch.h"
 #include "storage/index.h"
 
 namespace jpmm {
@@ -22,8 +23,15 @@ struct TriangleCountOptions {
   /// classical multiplication).
   uint64_t delta = 0;
   int threads = 1;
-  /// Cap on the heavy adjacency matrix bytes (threshold doubles until fit).
+  /// Cap on the heavy adjacency working set. The CSR representation is
+  /// always counted; the dense matrix (and packed slab) only when some
+  /// product block runs a float kernel — a capped run degrades to the
+  /// CSR x CSR trace instead of doubling delta.
   uint64_t max_matrix_bytes = uint64_t{2} << 30;
+  /// Heavy-part kernel selection (core/heavy_dispatch.h).
+  HeavyPathMode heavy_path = HeavyPathMode::kAuto;
+  /// nullptr uses SparseKernelRates::Default().
+  const SparseKernelRates* sparse_rates = nullptr;
 };
 
 struct TriangleCountResult {
@@ -32,6 +40,9 @@ struct TriangleCountResult {
   uint64_t heavy_triangles = 0;  // found via trace(A_H^3)/6
   uint64_t heavy_vertices = 0;
   uint64_t delta_used = 0;
+  uint64_t heavy_nnz = 0;          // heavy-subgraph edges (directed count)
+  double heavy_density = 0.0;      // heavy_nnz / heavy_vertices^2
+  HeavyKernelCounts kernel_counts; // trace blocks per kernel
 };
 
 /// Counts triangles of an undirected graph given as a symmetric edge

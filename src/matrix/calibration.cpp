@@ -10,9 +10,11 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "matrix/bool_matrix.h"
+#include "matrix/cost_model.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/matmul.h"
 #include "matrix/random.h"
+#include "matrix/sparse_matrix.h"
 
 namespace jpmm {
 
@@ -68,6 +70,119 @@ BoolKernelRates BoolKernelRates::Measure(uint32_t dim, double density) {
     rates.count_words_per_sec = word_ops / std::max(t.Seconds(), 1e-9);
   }
   return rates;
+}
+
+namespace {
+
+// Times fn() repeatedly until the accumulated wall clock passes min_sec
+// (tiny sparse products at low density finish in microseconds; a single
+// sample would be all noise). Returns seconds per call.
+template <typename Fn>
+double TimePerCall(const Fn& fn, double min_sec = 5e-3, int max_reps = 256) {
+  WallTimer t;
+  int reps = 0;
+  do {
+    fn();
+    ++reps;
+  } while (t.Seconds() < min_sec && reps < max_reps);
+  return std::max(t.Seconds(), 1e-9) / reps;
+}
+
+double InterpolateRate(const std::vector<SparseKernelRates::Anchor>& anchors,
+                       double density,
+                       double SparseKernelRates::Anchor::*field) {
+  JPMM_CHECK(!anchors.empty());
+  density = std::clamp(density, 1e-12, 1.0);
+  if (density <= anchors.front().density) return anchors.front().*field;
+  if (density >= anchors.back().density) return anchors.back().*field;
+  for (size_t i = 1; i < anchors.size(); ++i) {
+    if (density <= anchors[i].density) {
+      const auto& lo = anchors[i - 1];
+      const auto& hi = anchors[i];
+      const double t = (std::log(density) - std::log(lo.density)) /
+                       (std::log(hi.density) - std::log(lo.density));
+      return lo.*field + t * (hi.*field - lo.*field);
+    }
+  }
+  return anchors.back().*field;
+}
+
+}  // namespace
+
+SparseKernelRates SparseKernelRates::Measure(
+    uint32_t dim, const std::vector<double>& densities) {
+  JPMM_CHECK(dim > 0 && !densities.empty());
+  JPMM_CHECK(std::is_sorted(densities.begin(), densities.end()));
+  SparseKernelRates rates;
+  for (double d : densities) {
+    JPMM_CHECK(d > 0.0 && d <= 1.0);
+    const Matrix bd = RandomDenseMatrix(dim, dim, d, 31 + dim);
+    const CsrMatrix a =
+        CsrMatrix::FromDense(RandomDenseMatrix(dim, dim, d, 37 + dim));
+    const CsrMatrix bcsr = CsrMatrix::FromDense(bd);
+    Anchor anchor;
+    anchor.density = d;
+    {
+      const double ops = SparseProductOps(a.nnz(), dim, dim);
+      const double sec = TimePerCall([&] {
+        Matrix c = CsrDenseProduct(a, bd, 1);
+        (void)c;
+      });
+      anchor.csr_dense_ops_per_sec = std::max(ops, 1.0) / sec;
+    }
+    {
+      const double ops = CsrCsrExpandOps(a, bcsr, 0, a.rows());
+      const double sec = TimePerCall([&] {
+        Matrix c = CsrCsrProduct(a, bcsr, 1);
+        (void)c;
+      });
+      anchor.csr_csr_ops_per_sec = std::max(ops, 1.0) / sec;
+    }
+    rates.anchors.push_back(anchor);
+  }
+  {
+    // Dense anchor for the dispatch: one blocked product at a modest dim
+    // (cheap, but big enough to see the sustained packed-panel rate).
+    const uint32_t p = std::min<uint32_t>(dim, 512);
+    const Matrix a = RandomDenseMatrix(p, p, 0.5, 41 + p);
+    const Matrix b = RandomDenseMatrix(p, p, 0.5, 43 + p);
+    Matrix c;
+    const double sec = TimePerCall([&] { Multiply(a, b, &c, 1); });
+    rates.dense_flops_per_sec =
+        2.0 * std::pow(static_cast<double>(p), 3.0) / sec;
+  }
+  return rates;
+}
+
+SparseKernelRates SparseKernelRates::FromRates(double csr_dense_ops_per_sec,
+                                               double csr_csr_ops_per_sec,
+                                               double dense_flops_per_sec) {
+  JPMM_CHECK(csr_dense_ops_per_sec > 0 && csr_csr_ops_per_sec > 0 &&
+             dense_flops_per_sec > 0);
+  SparseKernelRates rates;
+  rates.anchors.push_back(
+      Anchor{1e-4, csr_dense_ops_per_sec, csr_csr_ops_per_sec});
+  rates.anchors.push_back(
+      Anchor{1.0, csr_dense_ops_per_sec, csr_csr_ops_per_sec});
+  rates.dense_flops_per_sec = dense_flops_per_sec;
+  return rates;
+}
+
+const SparseKernelRates& SparseKernelRates::Default() {
+  static std::once_flag flag;
+  static std::unique_ptr<SparseKernelRates> instance;
+  std::call_once(flag, [] {
+    instance = std::make_unique<SparseKernelRates>(Measure(1024));
+  });
+  return *instance;
+}
+
+double SparseKernelRates::CsrDenseRate(double density) const {
+  return InterpolateRate(anchors, density, &Anchor::csr_dense_ops_per_sec);
+}
+
+double SparseKernelRates::CsrCsrRate(double density) const {
+  return InterpolateRate(anchors, density, &Anchor::csr_csr_ops_per_sec);
 }
 
 const BoolKernelRates& BoolKernelRates::Default() {

@@ -50,6 +50,47 @@ struct BoolKernelRates {
   static const BoolKernelRates& Default();
 };
 
+/// Measured throughput of the sparse heavy-part kernels
+/// (matrix/sparse_matrix.h), in nnz-operations per second, at a small grid
+/// of anchor densities. One nnz-op is one float accumulate of the
+/// CSR x dense saxpy (relative to SparseProductOps) or one stamp-counter
+/// update of the CSR x CSR expansion (relative to CsrCsrExpandOps). The
+/// rate is density-dependent — at low density the saxpy is latency-bound on
+/// short rows, at high density it streams — so rates are anchored at 2-3
+/// densities and queried by log-density interpolation. dense_flops_per_sec
+/// is a small blocked-GEMM anchor measured alongside, so the per-block
+/// dense-vs-CSR dispatch (core/heavy_dispatch.h) compares kernels measured
+/// on the same machine in the same process.
+struct SparseKernelRates {
+  struct Anchor {
+    double density;
+    double csr_dense_ops_per_sec;
+    double csr_csr_ops_per_sec;
+  };
+  std::vector<Anchor> anchors;       // ascending density
+  double dense_flops_per_sec = 1e9;  // blocked Multiply anchor
+
+  /// Times the sparse kernels on dim x dim operands at each density, and
+  /// the dense kernel once (min(dim, 512) cubed).
+  static SparseKernelRates Measure(
+      uint32_t dim = 1024, const std::vector<double>& densities = {1e-3, 1e-2,
+                                                                   1e-1});
+
+  /// Synthetic instance (deterministic tests): constant rates at all
+  /// densities.
+  static SparseKernelRates FromRates(double csr_dense_ops_per_sec,
+                                     double csr_csr_ops_per_sec,
+                                     double dense_flops_per_sec);
+
+  /// Process-wide instance, measured once on first use.
+  static const SparseKernelRates& Default();
+
+  /// Rates at an arbitrary density: log-density linear interpolation
+  /// between the bracketing anchors, clamped at the grid ends.
+  double CsrDenseRate(double density) const;
+  double CsrCsrRate(double density) const;
+};
+
 /// Calibrated matrix-multiplication timing table.
 class MatMulCalibration {
  public:

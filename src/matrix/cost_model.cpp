@@ -31,6 +31,17 @@ double BoolProductSeconds(uint64_t u, uint64_t v, uint64_t w,
   return BoolProductWordOps(u, v, w) / words_per_sec;
 }
 
+double SparseProductOps(uint64_t nnz, uint64_t u, uint64_t w) {
+  if (w == 0) return 0.0;
+  return (static_cast<double>(u) + static_cast<double>(nnz)) *
+         static_cast<double>(w);
+}
+
+double SparseProductSeconds(double ops, double ops_per_sec) {
+  JPMM_CHECK(ops_per_sec > 0.0);
+  return std::max(0.0, ops) / ops_per_sec;
+}
+
 double Lemma3Runtime(double n, double out) {
   JPMM_CHECK(n >= 0 && out >= 0);
   return n + std::pow(n, 2.0 / 3.0) * std::pow(out, 1.0 / 3.0) *

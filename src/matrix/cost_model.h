@@ -36,6 +36,19 @@ double BoolProductWordOps(uint64_t u, uint64_t v, uint64_t w);
 double BoolProductSeconds(uint64_t u, uint64_t v, uint64_t w,
                           double words_per_sec);
 
+/// Float-accumulate operations of the CSR x dense saxpy kernel producing a
+/// U x W product from a CSR operand with nnz set cells: U*W output-zeroing
+/// stores plus one add per (A entry, output column) pair. Compare against
+/// RectangularMmOps' U*V*W to see the zero-skip: the sparse count scales
+/// with density, the dense one does not.
+double SparseProductOps(uint64_t nnz, uint64_t u, uint64_t w);
+
+/// Seconds for a sparse product at a measured nnz-op rate
+/// (SparseKernelRates in calibration.h). ops is SparseProductOps for the
+/// CSR x dense kernel or the exact expansion count (CsrCsrExpandOps) for
+/// the CSR x CSR kernel.
+double SparseProductSeconds(double ops, double ops_per_sec);
+
 /// Lemma 3 runtime shape, for shape-checking tests:
 /// |D| + |D|^(2/3) * |OUT|^(1/3) * max(|D|, |OUT|)^(1/3)   (omega = 2).
 double Lemma3Runtime(double n, double out);

@@ -55,30 +55,40 @@ TwoPathStats::TwoPathStats(const IndexedRelation& r, const IndexedRelation& s) {
         static_cast<uint64_t>(r.DegY(b)) * static_cast<uint64_t>(s.DegY(b));
   }
 
-  // x side: weight = expansion effort sum_{b in R[a]} deg_S(b).
+  num_tuples_r_ = r.num_tuples();
+  num_tuples_s_ = s.num_tuples();
+
+  // x side: weight = expansion effort sum_{b in R[a]} deg_S(b), plus the
+  // tuple-count CDF (weight = own degree) the sparse cost model uses.
   {
     std::vector<uint32_t> deg(r.num_x());
     std::vector<double> w(r.num_x());
+    std::vector<double> degw(r.num_x());
     for (Value a = 0; a < r.num_x(); ++a) {
       deg[a] = r.DegX(a);
+      degw[a] = static_cast<double>(deg[a]);
       double effort = 0.0;
       for (Value b : r.YsOf(a)) effort += s.DegY(b);
       w[a] = effort;
     }
     x_cdf_ = DegreeCdf(deg, w);
+    xdeg_cdf_ = DegreeCdf(deg, degw);
   }
 
   // z side: weight = expansion effort sum_{b in S[c]} deg_R(b).
   {
     std::vector<uint32_t> deg(s.num_x());
     std::vector<double> w(s.num_x());
+    std::vector<double> degw(s.num_x());
     for (Value c = 0; c < s.num_x(); ++c) {
       deg[c] = s.DegX(c);
+      degw[c] = static_cast<double>(deg[c]);
       double effort = 0.0;
       for (Value b : s.YsOf(c)) effort += r.DegY(b);
       w[c] = effort;
     }
     z_cdf_ = DegreeCdf(deg, w);
+    zdeg_cdf_ = DegreeCdf(deg, degw);
   }
 
   // y side, keyed by deg_S(b) (the lightness test of Algorithm 1).

@@ -84,16 +84,34 @@ class TwoPathStats {
   /// cdfx(y, delta): #R-tuples whose y has deg_S <= delta.
   double CdfXAtMost(uint64_t delta) const { return ycdfx_.WeightAtMost(delta); }
 
+  /// #R-tuples whose x value has degree <= delta. num_tuples(R) minus this
+  /// bounds the heavy-x adjacency nnz — the optimizer's density estimate
+  /// for the sparse heavy-part kernels.
+  double SumDegXAtMost(uint64_t delta) const {
+    return xdeg_cdf_.WeightAtMost(delta);
+  }
+  /// #S-tuples whose z value has degree <= delta (symmetric bound for M2).
+  double SumDegZAtMost(uint64_t delta) const {
+    return zdeg_cdf_.WeightAtMost(delta);
+  }
+
+  uint64_t num_tuples_r() const { return num_tuples_r_; }
+  uint64_t num_tuples_s() const { return num_tuples_s_; }
+
   uint64_t distinct_x() const { return x_cdf_.total_count(); }
   uint64_t distinct_z() const { return z_cdf_.total_count(); }
   uint64_t distinct_y() const { return y_cdf_.total_count(); }
 
  private:
   uint64_t full_join_size_ = 0;
+  uint64_t num_tuples_r_ = 0;
+  uint64_t num_tuples_s_ = 0;
   DegreeCdf x_cdf_;    // degrees of x in R, weight = sum_{b in R[a]} deg_S(b)
   DegreeCdf z_cdf_;    // degrees of z in S, weight = sum_{b in S[c]} deg_R(b)
   DegreeCdf y_cdf_;    // degrees of y in S, weight = deg_R(b) * deg_S(b)
   DegreeCdf ycdfx_;    // degrees of y in S, weight = deg_R(b)
+  DegreeCdf xdeg_cdf_; // degrees of x in R, weight = deg_R(a)
+  DegreeCdf zdeg_cdf_; // degrees of z in S, weight = deg_S(c)
 };
 
 }  // namespace jpmm

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON artifacts (BENCH_*.json).
+
+Prints per-benchmark deltas between a baseline and a candidate run and
+exits nonzero when any shared benchmark regressed by more than the
+threshold (default 15%). This is the comparator over the BENCH_*.json
+trajectory artifacts CI uploads on every run:
+
+    python3 tools/bench_compare.py old.json new.json [--threshold 15]
+
+Benchmarks present in only one file are reported but never fail the
+comparison (new rows appear whenever a kernel family is added). Aggregate
+rows (mean/median/stddev) are skipped — only plain iteration rows compare.
+"""
+
+import argparse
+import json
+import sys
+
+# google-benchmark time_unit values, normalized to nanoseconds.
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_rows(path, metric):
+    with open(path) as f:
+        data = json.load(f)
+    rows = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip mean/median/stddev aggregates
+        if metric not in b:
+            continue
+        scale = _UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+        rows[b["name"]] = float(b[metric]) * scale
+    return rows
+
+
+def fmt_ns(ns):
+    for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= div:
+            return f"{ns / div:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="baseline BENCH_*.json")
+    ap.add_argument("candidate", help="candidate BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=15.0,
+                    help="fail when a benchmark slows down by more than "
+                         "this percentage (default 15)")
+    ap.add_argument("--metric", default="real_time",
+                    choices=["real_time", "cpu_time"])
+    args = ap.parse_args()
+
+    old = load_rows(args.baseline, args.metric)
+    new = load_rows(args.candidate, args.metric)
+    if not old or not new:
+        print("bench_compare: no iteration rows in one of the inputs; "
+              "nothing to compare")
+        return 0
+
+    shared = sorted(set(old) & set(new))
+    regressions = []
+    width = max((len(n) for n in shared), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'candidate':>10}  "
+          f"{'delta':>8}")
+    for name in shared:
+        delta = (new[name] - old[name]) / old[name] * 100.0
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((name, delta))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {fmt_ns(old[name]):>10}  "
+              f"{fmt_ns(new[name]):>10}  {delta:>+7.1f}%{flag}")
+    for name in sorted(set(new) - set(old)):
+        print(f"{name:<{width}}  {'-':>10}  {fmt_ns(new[name]):>10}  "
+              f"    new")
+    for name in sorted(set(old) - set(new)):
+        print(f"{name:<{width}}  {fmt_ns(old[name]):>10}  {'-':>10}  "
+              f"removed")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0f}%:")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%")
+        return 1
+    print(f"\nno regression above {args.threshold:.0f}% across "
+          f"{len(shared)} shared benchmark(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

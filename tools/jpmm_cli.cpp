@@ -30,6 +30,10 @@
 //   --batch N         BSI batch size (default 1000)
 //   --rate B          BSI arrival rate per second (default 1000)
 //   --threads N       worker threads (default 1)
+//   --explain         print per-product-block kernel choices (dense / CSR)
+//                     and measured heavy-part density (twopath, star)
+//   --heavy-path P    auto|dense|csr-dense|csr-csr kernel override
+//                     (twopath, star, triangles)
 
 #include <cstdio>
 #include <cstdlib>
@@ -89,7 +93,7 @@ std::optional<Args> Parse(int argc, char** argv) {
     }
     key = key.substr(2);
     // Flags without values.
-    if (key == "counts" || key == "ordered") {
+    if (key == "counts" || key == "ordered" || key == "explain") {
       args.options[key] = "1";
       continue;
     }
@@ -131,6 +135,38 @@ Strategy ParseStrategy(const std::string& s) {
   return Strategy::kAuto;
 }
 
+HeavyPathMode ParseHeavyPath(const std::string& s) {
+  if (s == "dense") return HeavyPathMode::kForceDense;
+  if (s == "csr-dense") return HeavyPathMode::kForceCsrDense;
+  if (s == "csr-csr") return HeavyPathMode::kForceCsrCsr;
+  return HeavyPathMode::kAuto;
+}
+
+// --explain: the per-block dispatch record of the heavy product.
+void PrintBlockChoices(const HeavyKernelCounts& counts,
+                       const std::vector<BlockKernelChoice>& choices,
+                       uint64_t nnz, double density) {
+  std::printf("heavy part: nnz=%llu density=%.3g blocks: dense=%llu "
+              "csr-dense=%llu csr-csr=%llu\n",
+              static_cast<unsigned long long>(nnz), density,
+              static_cast<unsigned long long>(counts.dense),
+              static_cast<unsigned long long>(counts.csr_dense),
+              static_cast<unsigned long long>(counts.csr_csr));
+  constexpr size_t kMaxLines = 32;
+  for (size_t i = 0; i < choices.size(); ++i) {
+    if (i == kMaxLines) {
+      std::printf("  ... (%zu more blocks)\n", choices.size() - kMaxLines);
+      break;
+    }
+    const BlockKernelChoice& c = choices[i];
+    std::printf("  block %zu rows [%u, %u): nnz=%llu density=%.3g "
+                "kernel=%s\n",
+                i, c.row_begin, c.row_end,
+                static_cast<unsigned long long>(c.nnz), c.density,
+                ProductKernelName(c.kernel));
+  }
+}
+
 int RunStats(const Args& args, const BinaryRelation& rel) {
   (void)args;
   IndexedRelation idx(rel);
@@ -150,11 +186,16 @@ int RunTwoPath(const Args& args, const BinaryRelation& rel) {
   opts.threads = static_cast<int>(args.GetI("threads", 1));
   opts.count_witnesses = args.Has("counts") || args.Has("min-count");
   opts.min_count = static_cast<uint32_t>(args.GetI("min-count", 1));
+  opts.heavy_path = ParseHeavyPath(args.Get("heavy-path", "auto"));
   WallTimer timer;
   auto out = JoinProject::TwoPath(rel, rel, opts);
   std::printf("plan: %s\n", out.plan.ToString().c_str());
   std::printf("executed: %s\n", StrategyName(out.executed));
   std::printf("output: %zu pairs in %.3f s\n", out.size(), timer.Seconds());
+  if (args.Has("explain")) {
+    PrintBlockChoices(out.kernel_counts, out.block_choices, out.m1_nnz,
+                      out.heavy_density);
+  }
   return 0;
 }
 
@@ -169,6 +210,7 @@ int RunStar(const Args& args, const BinaryRelation& rel) {
   JoinProjectOptions opts;
   opts.strategy = ParseStrategy(args.Get("strategy", "auto"));
   opts.threads = static_cast<int>(args.GetI("threads", 1));
+  opts.heavy_path = ParseHeavyPath(args.Get("heavy-path", "auto"));
   WallTimer timer;
   auto res = JoinProject::Star(rels, opts);
   std::printf("star k=%ld: %zu tuples in %.3f s (light %.3f s, heavy %.3f s, "
@@ -178,6 +220,15 @@ int RunStar(const Args& args, const BinaryRelation& rel) {
               static_cast<unsigned long long>(res.v_rows),
               static_cast<unsigned long long>(res.heavy_y),
               static_cast<unsigned long long>(res.w_rows));
+  if (args.Has("explain")) {
+    std::printf("heavy part: V nnz=%llu density=%.3g blocks: dense=%llu "
+                "csr-dense=%llu csr-csr=%llu\n",
+                static_cast<unsigned long long>(res.v_nnz),
+                res.heavy_density,
+                static_cast<unsigned long long>(res.kernel_counts.dense),
+                static_cast<unsigned long long>(res.kernel_counts.csr_dense),
+                static_cast<unsigned long long>(res.kernel_counts.csr_csr));
+  }
   return 0;
 }
 
@@ -270,6 +321,7 @@ int RunTriangles(const Args& args, const BinaryRelation& rel) {
   IndexedRelation idx(sym);
   TriangleCountOptions opts;
   opts.threads = static_cast<int>(args.GetI("threads", 1));
+  opts.heavy_path = ParseHeavyPath(args.Get("heavy-path", "auto"));
   WallTimer timer;
   auto res = CountTrianglesMm(idx, opts);
   std::printf("triangles: %llu (light %llu, heavy %llu; delta %llu) in "
