@@ -176,7 +176,12 @@ void ParallelForDynamic(int threads, size_t n, size_t grain,
   const size_t chunks = (n + grain - 1) / grain;
   const size_t workers = std::min<size_t>(static_cast<size_t>(threads), chunks);
   if (workers == 1 || ThreadPool::OnPoolThread()) {
-    fn(0, n, 0);
+    // Same grain-sized claims as the pooled path (just in order), so
+    // chunk-boundary behavior — a ResultSink's done() poll skipping the
+    // rest of the range — is identical at every thread count.
+    for (size_t b = 0; b < n; b += grain) {
+      fn(b, std::min(n, b + grain), 0);
+    }
     return;
   }
   ThreadPool& pool = ThreadPool::Global();

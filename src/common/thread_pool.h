@@ -106,7 +106,10 @@ void ParallelFor(int threads, size_t n,
 /// don't assign, into per-worker slots. Chunk-to-worker assignment is
 /// nondeterministic; aggregate results are not.
 ///
-/// Inline rules and exception behavior match ParallelFor.
+/// The inline path (threads <= 1, nested calls) claims the same
+/// grain-sized chunks in order, so per-chunk checks — e.g. polling a
+/// ResultSink's done() to skip the remaining range — behave identically
+/// at every thread count. Exception behavior matches ParallelFor.
 void ParallelForDynamic(int threads, size_t n, size_t grain,
                         const std::function<void(size_t, size_t, int)>& fn);
 

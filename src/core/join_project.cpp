@@ -1,6 +1,7 @@
 #include "core/join_project.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/check.h"
 #include "common/stamp_set.h"
@@ -9,6 +10,24 @@
 #include "storage/stats.h"
 
 namespace jpmm {
+
+std::string ValidateJoinProjectOptions(const JoinProjectOptions& opts) {
+  if (opts.threads <= 0) {
+    return "threads must be >= 1 (got " + std::to_string(opts.threads) + ")";
+  }
+  if (opts.min_count < 1) {
+    return "min_count must be >= 1";
+  }
+  if (opts.min_count > 1 && !opts.count_witnesses) {
+    return "min_count > 1 requires count_witnesses (witness counts are what "
+           "the threshold filters on)";
+  }
+  if (opts.sink != nullptr && opts.sorted) {
+    return "sorted is incompatible with a sink (push delivery has no global "
+           "order; sort the materialized output instead)";
+  }
+  return "";
+}
 
 const char* StrategyName(Strategy s) {
   switch (s) {
@@ -27,7 +46,7 @@ const char* StrategyName(Strategy s) {
 JoinProjectOutput WcojFullJoinProject(const IndexedRelation& r,
                                       const IndexedRelation& s,
                                       bool count_witnesses, uint32_t min_count,
-                                      int threads) {
+                                      int threads, ResultSink* caller_sink) {
   JoinProjectOutput out;
   out.executed = Strategy::kWcojFull;
   threads = std::max(1, threads);
@@ -36,16 +55,25 @@ JoinProjectOutput WcojFullJoinProject(const IndexedRelation& r,
   struct Worker {
     StampCounter counter;
     std::vector<Value> touched;
-    std::vector<OutPair> pairs;
-    std::vector<CountedPair> counted;
+    ResultSink::Shard* shard = nullptr;
   };
   std::vector<Worker> workers(static_cast<size_t>(threads));
+
+  VectorSink fallback;
+  ResultSink* sink = caller_sink != nullptr ? caller_sink : &fallback;
+  sink->Open(threads);
+  std::atomic<uint64_t> skipped{0};
 
   // Dynamic chunking over the (possibly zipf-skewed) x domain: a hub-heavy
   // contiguous chunk no longer pins one worker (see mm_join.cpp).
   ParallelForDynamic(threads, r.num_x(), /*grain=*/256,
                      [&](size_t a0, size_t a1, int w) {
     Worker& ws = workers[static_cast<size_t>(w)];
+    if (sink->done()) {
+      skipped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (ws.shard == nullptr) ws.shard = &sink->shard(w);
     if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
     for (size_t a = a0; a < a1; ++a) {
       const auto av = static_cast<Value>(a);
@@ -61,18 +89,104 @@ JoinProjectOutput WcojFullJoinProject(const IndexedRelation& r,
         const uint32_t cnt = ws.counter.Get(c);
         if (cnt < min_count) continue;
         if (count_witnesses) {
-          ws.counted.push_back(CountedPair{av, c, cnt});
+          ws.shard->OnCountedPair(CountedPair{av, c, cnt});
         } else {
-          ws.pairs.push_back(OutPair{av, c});
+          ws.shard->OnPair(OutPair{av, c});
         }
       }
     }
   });
-  for (auto& ws : workers) {
-    out.pairs.insert(out.pairs.end(), ws.pairs.begin(), ws.pairs.end());
-    out.counted.insert(out.counted.end(), ws.counted.begin(),
-                       ws.counted.end());
+  sink->Finish();
+  if (caller_sink == nullptr) {
+    out.pairs = std::move(fallback.pairs());
+    out.counted = std::move(fallback.counted());
   }
+  out.light_chunks_skipped = skipped.load();
+  return out;
+}
+
+JoinProjectOutput JoinProject::TwoPathWithPlan(const IndexedRelation& r,
+                                               const IndexedRelation& s,
+                                               const PlanChoice& plan,
+                                               const JoinProjectOptions& opts) {
+  JPMM_CHECK(opts.min_count >= 1);
+  JPMM_CHECK_MSG(opts.min_count == 1 || opts.count_witnesses,
+                 "min_count > 1 requires count_witnesses");
+  WallTimer timer;
+
+  Strategy strategy = opts.strategy;
+  if (strategy == Strategy::kAuto) {
+    strategy = plan.use_full_wcoj ? Strategy::kWcojFull : Strategy::kMmJoin;
+  }
+
+  Thresholds t = opts.thresholds;
+  const bool explicit_thresholds = t.delta1 != 0 || t.delta2 != 0;
+
+  JoinProjectOutput out;
+  switch (strategy) {
+    case Strategy::kWcojFull: {
+      out = WcojFullJoinProject(r, s, opts.count_witnesses, opts.min_count,
+                                opts.threads, opts.sink);
+      break;
+    }
+    case Strategy::kMmJoin: {
+      MmJoinOptions mo;
+      mo.thresholds = explicit_thresholds ? t : plan.thresholds;
+      mo.threads = opts.threads;
+      mo.count_witnesses = opts.count_witnesses;
+      mo.min_count = opts.min_count;
+      mo.heavy_path = opts.heavy_path;
+      mo.max_matrix_bytes = opts.max_matrix_bytes;
+      mo.sink = opts.sink;
+      MmJoinResult res = MmJoinTwoPath(r, s, mo);
+      out.pairs = std::move(res.pairs);
+      out.counted = std::move(res.counted);
+      out.m1_nnz = res.m1_nnz;
+      out.m2_nnz = res.m2_nnz;
+      out.heavy_density = res.heavy_density;
+      out.kernel_counts = res.kernel_counts;
+      out.block_choices = std::move(res.block_choices);
+      out.heavy_blocks_total = res.heavy_blocks_total;
+      out.heavy_blocks_executed = res.heavy_blocks_executed;
+      out.heavy_blocks_skipped = res.heavy_blocks_skipped;
+      out.light_chunks_skipped = res.light_chunks_skipped;
+      out.executed = Strategy::kMmJoin;
+      break;
+    }
+    case Strategy::kNonMmJoin: {
+      NonMmJoinOptions no;
+      // A cached plan carries MMJoin thresholds; the combinatorial join
+      // re-balances unless the caller pinned thresholds explicitly.
+      if (explicit_thresholds) {
+        no.thresholds = t;
+      } else {
+        TwoPathStats stats(r, s);
+        no.thresholds = ChooseNonMmThresholds(r, s, stats);
+      }
+      no.threads = opts.threads;
+      no.count_witnesses = opts.count_witnesses;
+      no.min_count = opts.min_count;
+      no.sink = opts.sink;
+      MmJoinResult res = NonMmJoinTwoPath(r, s, no);
+      out.pairs = std::move(res.pairs);
+      out.counted = std::move(res.counted);
+      out.heavy_blocks_total = res.heavy_blocks_total;
+      out.heavy_blocks_executed = res.heavy_blocks_executed;
+      out.heavy_blocks_skipped = res.heavy_blocks_skipped;
+      out.light_chunks_skipped = res.light_chunks_skipped;
+      out.executed = Strategy::kNonMmJoin;
+      break;
+    }
+    case Strategy::kAuto:
+      JPMM_CHECK_MSG(false, "unreachable");
+  }
+
+  if (opts.sorted && opts.sink == nullptr) {
+    std::sort(out.pairs.begin(), out.pairs.end());
+    std::sort(out.counted.begin(), out.counted.end());
+  }
+  out.plan = plan;
+  out.seconds = timer.Seconds();
   return out;
 }
 
@@ -89,61 +203,14 @@ JoinProjectOutput JoinProject::TwoPath(const IndexedRelation& r,
   oo.threads = opts.threads;
   PlanChoice plan = ChooseTwoPathPlan(r, s, stats, oo);
 
-  Strategy strategy = opts.strategy;
-  if (strategy == Strategy::kAuto) {
-    strategy = plan.use_full_wcoj ? Strategy::kWcojFull : Strategy::kMmJoin;
+  // The NonMM threshold choice needs the stats we already have; pin it so
+  // TwoPathWithPlan does not rebuild them.
+  JoinProjectOptions inner = opts;
+  if (opts.strategy == Strategy::kNonMmJoin && opts.thresholds.delta1 == 0 &&
+      opts.thresholds.delta2 == 0) {
+    inner.thresholds = ChooseNonMmThresholds(r, s, stats);
   }
-
-  Thresholds t = opts.thresholds;
-  const bool explicit_thresholds = t.delta1 != 0 || t.delta2 != 0;
-
-  JoinProjectOutput out;
-  switch (strategy) {
-    case Strategy::kWcojFull: {
-      out = WcojFullJoinProject(r, s, opts.count_witnesses, opts.min_count,
-                                opts.threads);
-      break;
-    }
-    case Strategy::kMmJoin: {
-      MmJoinOptions mo;
-      mo.thresholds = explicit_thresholds ? t : plan.thresholds;
-      mo.threads = opts.threads;
-      mo.count_witnesses = opts.count_witnesses;
-      mo.min_count = opts.min_count;
-      mo.heavy_path = opts.heavy_path;
-      MmJoinResult res = MmJoinTwoPath(r, s, mo);
-      out.pairs = std::move(res.pairs);
-      out.counted = std::move(res.counted);
-      out.m1_nnz = res.m1_nnz;
-      out.m2_nnz = res.m2_nnz;
-      out.heavy_density = res.heavy_density;
-      out.kernel_counts = res.kernel_counts;
-      out.block_choices = std::move(res.block_choices);
-      out.executed = Strategy::kMmJoin;
-      break;
-    }
-    case Strategy::kNonMmJoin: {
-      NonMmJoinOptions no;
-      no.thresholds =
-          explicit_thresholds ? t : ChooseNonMmThresholds(r, s, stats);
-      no.threads = opts.threads;
-      no.count_witnesses = opts.count_witnesses;
-      no.min_count = opts.min_count;
-      MmJoinResult res = NonMmJoinTwoPath(r, s, no);
-      out.pairs = std::move(res.pairs);
-      out.counted = std::move(res.counted);
-      out.executed = Strategy::kNonMmJoin;
-      break;
-    }
-    case Strategy::kAuto:
-      JPMM_CHECK_MSG(false, "unreachable");
-  }
-
-  if (opts.sorted) {
-    std::sort(out.pairs.begin(), out.pairs.end());
-    std::sort(out.counted.begin(), out.counted.end());
-  }
-  out.plan = plan;
+  JoinProjectOutput out = TwoPathWithPlan(r, s, plan, inner);
   out.seconds = timer.Seconds();
   return out;
 }
@@ -166,6 +233,8 @@ StarJoinResult JoinProject::Star(
   StarJoinOptions so;
   so.threads = opts.threads;
   so.heavy_path = opts.heavy_path;
+  so.max_matrix_bytes = opts.max_matrix_bytes;
+  so.sink = opts.sink;
   if (opts.thresholds.delta1 != 0 || opts.thresholds.delta2 != 0) {
     so.thresholds = opts.thresholds;
   } else {
@@ -180,6 +249,17 @@ StarJoinResult JoinProject::Star(
       WallTimer timer;
       res.tuples = WcojStarJoin(rels, opts.threads);
       res.light_seconds = timer.Seconds();
+      // The reference baseline materializes first; sinks get one
+      // post-evaluation stream (no early production exit on this path).
+      if (opts.sink != nullptr) {
+        opts.sink->Open(1);
+        ResultSink::Shard& shard = opts.sink->shard(0);
+        for (size_t i = 0; i < res.tuples.size(); ++i) {
+          if (opts.sink->done()) break;
+          shard.OnTuple(res.tuples.Get(i));
+        }
+        opts.sink->Finish();
+      }
       return res;
     }
     case Strategy::kAuto:

@@ -21,6 +21,7 @@
 #include "core/mm_join.h"
 #include "core/nonmm_join.h"
 #include "core/optimizer.h"
+#include "core/result_sink.h"
 #include "core/star_join.h"
 #include "storage/relation.h"
 
@@ -48,7 +49,15 @@ struct JoinProjectOptions {
   bool sorted = false;
   /// Heavy-part kernel override (kAuto = per-block density dispatch).
   HeavyPathMode heavy_path = HeavyPathMode::kAuto;
+  /// Heavy-part memory cap (see MmJoinOptions::max_matrix_bytes).
+  uint64_t max_matrix_bytes = uint64_t{3} << 30;
   OptimizerOptions optimizer;
+  /// Push-based result delivery (core/result_sink.h). When set, results
+  /// stream into the sink, the output vectors stay empty, `sorted` is
+  /// ignored (delivery order is unspecified; the caller owns ordering),
+  /// and the sink's done() signal short-circuits the remaining light
+  /// chunks / heavy product blocks (skip counts land in the output).
+  ResultSink* sink = nullptr;
 };
 
 struct JoinProjectOutput {
@@ -67,8 +76,22 @@ struct JoinProjectOutput {
   HeavyKernelCounts kernel_counts;
   std::vector<BlockKernelChoice> block_choices;
 
+  /// Early-exit record (sink-driven runs; see MmJoinResult).
+  uint64_t heavy_blocks_total = 0;
+  uint64_t heavy_blocks_executed = 0;
+  uint64_t heavy_blocks_skipped = 0;
+  uint64_t light_chunks_skipped = 0;
+
   size_t size() const { return pairs.empty() ? counted.size() : pairs.size(); }
 };
+
+/// Up-front validation of a JoinProjectOptions instance: returns an empty
+/// string when valid, otherwise a human-readable description of the first
+/// problem (min_count > 1 without count_witnesses, non-positive threads,
+/// ...). The low-level entry points still JPMM_CHECK the same invariants;
+/// validating first turns an abort into a structured error (the
+/// QueryEngine path does this for every query).
+std::string ValidateJoinProjectOptions(const JoinProjectOptions& opts);
 
 /// Facade for the 2-path query.
 class JoinProject {
@@ -84,6 +107,15 @@ class JoinProject {
                                    const IndexedRelation& s,
                                    const JoinProjectOptions& opts = {});
 
+  /// Executes with an already-chosen plan (PreparedQuery reuse): skips the
+  /// stats build and the optimizer sweep entirely. `plan` must come from
+  /// ChooseTwoPathPlan over the same (r, s); opts.strategy == kAuto
+  /// resolves through plan.use_full_wcoj as usual.
+  static JoinProjectOutput TwoPathWithPlan(const IndexedRelation& r,
+                                           const IndexedRelation& s,
+                                           const PlanChoice& plan,
+                                           const JoinProjectOptions& opts);
+
   /// Star query Q*_k over k >= 2 relations. Uses MmStarJoin (kAuto/kMmJoin),
   /// NonMmStarJoin, or plain WCOJ per opts.strategy. Count/min_count options
   /// are not supported for stars.
@@ -91,11 +123,14 @@ class JoinProject {
                              const JoinProjectOptions& opts = {});
 };
 
-/// Full-join + stamp-set dedup reference evaluation (Prop. 1).
+/// Full-join + stamp-set dedup reference evaluation (Prop. 1). `sink`,
+/// when non-null, receives the results instead of the output vectors and
+/// can stop the scan early via done() (the skipped x-domain chunks are
+/// recorded in light_chunks_skipped).
 JoinProjectOutput WcojFullJoinProject(const IndexedRelation& r,
                                       const IndexedRelation& s,
                                       bool count_witnesses, uint32_t min_count,
-                                      int threads);
+                                      int threads, ResultSink* sink = nullptr);
 
 }  // namespace jpmm
 

@@ -1,12 +1,14 @@
 #include "core/mm_join.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 
 #include "common/check.h"
 #include "common/stamp_set.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/result_sink.h"
 #include "core/two_path_internal.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/matmul.h"
@@ -15,7 +17,7 @@
 namespace jpmm {
 namespace {
 
-// Per-worker scratch + output buffers.
+// Per-worker scratch + output shard.
 struct WorkerState {
   StampCounter counter;
   std::vector<Value> touched;
@@ -24,8 +26,7 @@ struct WorkerState {
   std::vector<float> block;                 // matrix row-block buffer
   CsrScratch csr_scratch;                   // CSR x CSR stamp scratch
   SparseRowBlock sparse_block;              // CSR x CSR block output
-  std::vector<OutPair> pairs;
-  std::vector<CountedPair> counted;
+  ResultSink::Shard* shard = nullptr;       // this worker's emission handle
 };
 
 class TwoPathRunner {
@@ -61,9 +62,9 @@ class TwoPathRunner {
       const uint32_t cnt = ws->counter.Get(c);
       if (cnt < opts_.min_count) continue;
       if (opts_.count_witnesses) {
-        ws->counted.push_back(CountedPair{a, c, cnt});
+        ws->shard->OnCountedPair(CountedPair{a, c, cnt});
       } else {
-        ws->pairs.push_back(OutPair{a, c});
+        ws->shard->OnPair(OutPair{a, c});
       }
     }
   }
@@ -108,9 +109,9 @@ class TwoPathRunner {
     auto emit = [&](Value c, uint32_t cnt) {
       if (cnt < opts_.min_count) return;
       if (opts_.count_witnesses) {
-        ws->counted.push_back(CountedPair{a, c, cnt});
+        ws->shard->OnCountedPair(CountedPair{a, c, cnt});
       } else {
-        ws->pairs.push_back(OutPair{a, c});
+        ws->shard->OnPair(OutPair{a, c});
       }
     };
     while (i < n || m < mn) {
@@ -309,6 +310,16 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   const size_t num_z = s.num_x();
   const TwoPathRunner runner(*ctx, opts);
 
+  // When the caller provides no sink, stream into a local VectorSink and
+  // move its vectors into the result afterwards — one emission path either
+  // way, and the shard-order merge matches the old per-worker merge.
+  VectorSink fallback;
+  ResultSink* sink = opts.sink != nullptr ? opts.sink : &fallback;
+  sink->Open(threads);
+  std::atomic<uint64_t> light_skipped{0};
+  std::atomic<uint64_t> blocks_executed{0};
+  std::atomic<uint64_t> blocks_skipped{0};
+
   // ---- Pass A: head values with no matrix row (light part only).
   // Dynamic chunking: zipf-skewed x degrees make contiguous static chunks
   // wildly unbalanced (one worker can own all the hubs).
@@ -317,6 +328,11 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   ParallelForDynamic(threads, r.num_x(), kHeadGrain,
                      [&](size_t a0, size_t a1, int w) {
                        WorkerState& ws = workers[static_cast<size_t>(w)];
+                       if (sink->done()) {
+                         light_skipped.fetch_add(1, std::memory_order_relaxed);
+                         return;
+                       }
+                       if (ws.shard == nullptr) ws.shard = &sink->shard(w);
                        if (ws.counter.universe() < num_z) {
                          ws.counter.ResizeUniverse(num_z);
                        }
@@ -331,8 +347,15 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
                      });
   result.light_seconds = light_timer.Seconds();
 
-  // ---- Pass B: heavy rows, block by block.
-  if (use_matrix) {
+  // ---- Pass B: heavy rows, block by block. If the sink was satisfied by
+  // the light pass alone, skip the whole heavy phase — operand build,
+  // planning, and dense materialization included — and account every
+  // would-be block as skipped (the block count is just the row count).
+  if (use_matrix && sink->done()) {
+    result.heavy_blocks_total =
+        (hxs.size() + opts.row_block - 1) / opts.row_block;
+    blocks_skipped.store(result.heavy_blocks_total);
+  } else if (use_matrix) {
     WallTimer heavy_timer;
     // CSR operands straight from the heavy adjacency lists — no dense
     // materialization pass. Column ids ascend within each row because the
@@ -383,8 +406,14 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
     ParallelForDynamic(
         threads, num_blocks, /*grain=*/1, [&](size_t b0, size_t b1, int w) {
           WorkerState& ws = workers[static_cast<size_t>(w)];
+          if (ws.shard == nullptr) ws.shard = &sink->shard(w);
           if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
           for (size_t blk = b0; blk < b1; ++blk) {
+            if (sink->done()) {
+              blocks_skipped.fetch_add(b1 - blk, std::memory_order_relaxed);
+              return;
+            }
+            blocks_executed.fetch_add(1, std::memory_order_relaxed);
             const BlockKernelChoice& choice = result.block_choices[blk];
             const size_t r0 = choice.row_begin;
             const size_t r1 = choice.row_end;
@@ -412,21 +441,21 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
     result.heavy_seconds = heavy_timer.Seconds();
   }
 
-  // ---- Merge worker outputs. Dynamic chunk claiming makes the pair ORDER
+  // ---- Merge point. Dynamic chunk claiming makes the pair ORDER
   // run-dependent (the header documents it as unspecified); the pair SET is
-  // deterministic at every thread count.
-  size_t total_pairs = 0, total_counted = 0;
-  for (const auto& ws : workers) {
-    total_pairs += ws.pairs.size();
-    total_counted += ws.counted.size();
+  // deterministic at every thread count. With a caller sink the results
+  // already live there; otherwise move the fallback's merged vectors out.
+  sink->Finish();
+  if (opts.sink == nullptr) {
+    result.pairs = std::move(fallback.pairs());
+    result.counted = std::move(fallback.counted());
   }
-  result.pairs.reserve(total_pairs);
-  result.counted.reserve(total_counted);
-  for (auto& ws : workers) {
-    result.pairs.insert(result.pairs.end(), ws.pairs.begin(), ws.pairs.end());
-    result.counted.insert(result.counted.end(), ws.counted.begin(),
-                          ws.counted.end());
+  if (!result.block_choices.empty()) {
+    result.heavy_blocks_total = result.block_choices.size();
   }
+  result.heavy_blocks_executed = blocks_executed.load();
+  result.heavy_blocks_skipped = blocks_skipped.load();
+  result.light_chunks_skipped = light_skipped.load();
   return result;
 }
 

@@ -35,6 +35,8 @@
 
 namespace jpmm {
 
+class ResultSink;
+
 /// Smallest positive integer a float matrix cell (and the `v + 0.5f`
 /// integer read-back) can NOT represent exactly: 2^24. Witness counts are
 /// exact strictly below this, so MmJoinTwoPath and MmStarJoin check their
@@ -72,6 +74,13 @@ struct MmJoinOptions {
   /// SparseKernelRates::Default() (measured once per process, and only when
   /// a heavy part actually exists under kAuto).
   const SparseKernelRates* sparse_rates = nullptr;
+  /// Push-based result delivery (core/result_sink.h). When set, results
+  /// stream into the sink (min_count filtering still applies first) and
+  /// MmJoinResult::pairs / counted stay empty; the sink's done() signal is
+  /// polled at light-chunk / product-block granularity and skips the
+  /// remaining work (skip counts land in the result). When null, results
+  /// materialize into the result vectors as before.
+  ResultSink* sink = nullptr;
   /// Hard cap on the heavy-part working set. What counts depends on the
   /// representation the chosen kernels need: the CSR index arrays are
   /// always counted; dense M1/M2, the shared packed-B slab, and the
@@ -104,6 +113,13 @@ struct MmJoinResult {
   std::vector<BlockKernelChoice> block_choices;  // per-block dispatch record
   double light_seconds = 0.0;
   double heavy_seconds = 0.0;      // matrix build + multiply + scan
+
+  // --- early-exit instrumentation (sink-driven runs) ---
+  uint64_t heavy_blocks_total = 0;     // planned product blocks (or heavy
+                                       // chunks for the combinatorial path)
+  uint64_t heavy_blocks_executed = 0;  // blocks actually run
+  uint64_t heavy_blocks_skipped = 0;   // blocks skipped after sink done()
+  uint64_t light_chunks_skipped = 0;   // light-part chunks skipped
 
   size_t size() const { return pairs.empty() ? counted.size() : pairs.size(); }
 };

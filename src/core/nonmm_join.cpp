@@ -1,11 +1,13 @@
 #include "core/nonmm_join.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/check.h"
 #include "common/stamp_set.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/result_sink.h"
 #include "core/two_path_internal.h"
 #include "join/intersection.h"
 
@@ -60,10 +62,16 @@ MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
   struct Worker {
     StampCounter counter;
     std::vector<Value> touched;
-    std::vector<OutPair> pairs;
-    std::vector<CountedPair> counted;
+    ResultSink::Shard* shard = nullptr;
   };
   std::vector<Worker> workers(static_cast<size_t>(threads));
+
+  VectorSink fallback;
+  ResultSink* sink = opts.sink != nullptr ? opts.sink : &fallback;
+  sink->Open(threads);
+  std::atomic<uint64_t> light_skipped{0};
+  std::atomic<uint64_t> heavy_executed{0};
+  std::atomic<uint64_t> heavy_skipped{0};
 
   auto emit_head = [&](Value a, bool with_heavy, Worker* ws) {
     ws->counter.NewEpoch();
@@ -93,9 +101,9 @@ MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
       const uint32_t cnt = ws->counter.Get(c);
       if (cnt < opts.min_count) continue;
       if (opts.count_witnesses) {
-        ws->counted.push_back(CountedPair{a, c, cnt});
+        ws->shard->OnCountedPair(CountedPair{a, c, cnt});
       } else {
-        ws->pairs.push_back(OutPair{a, c});
+        ws->shard->OnPair(OutPair{a, c});
       }
     }
   };
@@ -105,6 +113,11 @@ MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
   ParallelForDynamic(threads, r.num_x(), /*grain=*/256,
                      [&](size_t a0, size_t a1, int w) {
     Worker& ws = workers[static_cast<size_t>(w)];
+    if (sink->done()) {
+      light_skipped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (ws.shard == nullptr) ws.shard = &sink->shard(w);
     if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
     for (size_t a = a0; a < a1; ++a) {
       const auto av = static_cast<Value>(a);
@@ -115,29 +128,34 @@ MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
   });
   result.light_seconds = light_timer.Seconds();
 
+  constexpr size_t kHeavyGrain = 4;
   if (use_heavy) {
     WallTimer heavy_timer;
-    ParallelForDynamic(threads, hxs.size(), /*grain=*/4,
+    ParallelForDynamic(threads, hxs.size(), kHeavyGrain,
                        [&](size_t i0, size_t i1, int w) {
       Worker& ws = workers[static_cast<size_t>(w)];
+      if (sink->done()) {
+        heavy_skipped.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      heavy_executed.fetch_add(1, std::memory_order_relaxed);
+      if (ws.shard == nullptr) ws.shard = &sink->shard(w);
       if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
       for (size_t i = i0; i < i1; ++i) emit_head(hxs[i], true, &ws);
     });
     result.heavy_seconds = heavy_timer.Seconds();
   }
 
-  size_t total_pairs = 0, total_counted = 0;
-  for (const auto& ws : workers) {
-    total_pairs += ws.pairs.size();
-    total_counted += ws.counted.size();
+  sink->Finish();
+  if (opts.sink == nullptr) {
+    result.pairs = std::move(fallback.pairs());
+    result.counted = std::move(fallback.counted());
   }
-  result.pairs.reserve(total_pairs);
-  result.counted.reserve(total_counted);
-  for (auto& ws : workers) {
-    result.pairs.insert(result.pairs.end(), ws.pairs.begin(), ws.pairs.end());
-    result.counted.insert(result.counted.end(), ws.counted.begin(),
-                          ws.counted.end());
-  }
+  result.heavy_blocks_total =
+      use_heavy ? (hxs.size() + kHeavyGrain - 1) / kHeavyGrain : 0;
+  result.heavy_blocks_executed = heavy_executed.load();
+  result.heavy_blocks_skipped = heavy_skipped.load();
+  result.light_chunks_skipped = light_skipped.load();
   return result;
 }
 

@@ -20,6 +20,10 @@ struct NonMmJoinOptions {
   int threads = 1;
   bool count_witnesses = false;
   uint32_t min_count = 1;
+  /// Push-based delivery + cooperative early exit, as in MmJoinOptions.
+  /// The "heavy blocks" counted for early-exit instrumentation are the
+  /// dynamic chunks of heavy x values.
+  ResultSink* sink = nullptr;
 };
 
 /// Runs the combinatorial join. Result fields mirror MmJoinTwoPath

@@ -1,0 +1,363 @@
+#include "core/query_engine.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/timer.h"
+#include "core/optimizer.h"
+
+namespace jpmm {
+namespace {
+
+// ---- SCJ / SSJ adapter sink ---------------------------------------------
+//
+// Both set joins are filters over the counted two-path self join (§4), so
+// the engine runs them as exactly that: the inner pipeline streams counted
+// pairs into an adapter, a per-query transform forwards the qualifying
+// ones to the user sink, and done() flows back through the adapter — a
+// satisfied limit stops the underlying join mid-block.
+
+class FilteredAdapterSink : public ResultSink {
+ public:
+  /// transform receives every counted pair of the inner join together
+  /// with the user shard to (maybe) deliver into. Shared across shards,
+  /// so it must be stateless or internally synchronized.
+  using Transform = std::function<void(const CountedPair&, Shard*)>;
+
+  FilteredAdapterSink(Transform transform, ResultSink* user)
+      : transform_(std::move(transform)), user_(user) {}
+
+  class AdapterShard : public Shard {
+   public:
+    AdapterShard(const Transform* transform, Shard* out)
+        : transform_(transform), out_(out) {}
+    void OnPair(const OutPair&) override {}  // inner join always counts
+    void OnCountedPair(const CountedPair& p) override {
+      (*transform_)(p, out_);
+    }
+
+   private:
+    const Transform* transform_;
+    Shard* out_;
+  };
+
+  void Open(int num_shards) override {
+    user_->Open(num_shards);
+    shards_.clear();
+    for (int i = 0; i < num_shards; ++i) {
+      shards_.push_back(
+          std::make_unique<AdapterShard>(&transform_, &user_->shard(i)));
+    }
+  }
+  Shard& shard(int w) override { return *shards_[static_cast<size_t>(w)]; }
+  bool done() const override { return user_->done(); }
+  bool may_finish_early() const override { return user_->may_finish_early(); }
+  void Finish() override {
+    shards_.clear();
+    user_->Finish();
+  }
+
+ private:
+  const Transform transform_;
+  ResultSink* user_;
+  std::vector<std::unique_ptr<AdapterShard>> shards_;
+};
+
+// Containment: count == |set(x)| means set x is contained in set z.
+FilteredAdapterSink::Transform ScjTransform(const SetFamily* fam) {
+  return [fam](const CountedPair& p, ResultSink::Shard* out) {
+    if (p.x != p.z && p.count == fam->SetSize(p.x)) {
+      out->OnPair(OutPair{p.x, p.z});
+    }
+  };
+}
+
+// Similarity: the inner join already applied min_count = c; keep each
+// unordered pair once (x < z) and drop self pairs.
+FilteredAdapterSink::Transform SsjTransform(bool ordered) {
+  return [ordered](const CountedPair& p, ResultSink::Shard* out) {
+    if (p.x >= p.z) return;
+    if (ordered) {
+      out->OnCountedPair(p);
+    } else {
+      out->OnPair(OutPair{p.x, p.z});
+    }
+  };
+}
+
+void FillTwoPathStats(JoinProjectOutput* out, ExecStats* stats) {
+  if (stats == nullptr) return;
+  stats->executed = out->executed;
+  stats->m1_nnz = out->m1_nnz;
+  stats->m2_nnz = out->m2_nnz;
+  stats->heavy_density = out->heavy_density;
+  stats->kernel_counts = out->kernel_counts;
+  stats->block_choices = std::move(out->block_choices);
+  stats->heavy_blocks_total = out->heavy_blocks_total;
+  stats->heavy_blocks_executed = out->heavy_blocks_executed;
+  stats->heavy_blocks_skipped = out->heavy_blocks_skipped;
+  stats->light_chunks_skipped = out->light_chunks_skipped;
+}
+
+}  // namespace
+
+const char* QueryKindName(QueryKind k) {
+  switch (k) {
+    case QueryKind::kTwoPath:
+      return "twopath";
+    case QueryKind::kStar:
+      return "star";
+    case QueryKind::kTriangle:
+      return "triangle";
+    case QueryKind::kScj:
+      return "scj";
+    case QueryKind::kSsj:
+      return "ssj";
+  }
+  return "?";
+}
+
+PreparedQuery::PreparedQuery() = default;
+PreparedQuery::~PreparedQuery() = default;
+PreparedQuery::PreparedQuery(PreparedQuery&&) noexcept = default;
+PreparedQuery& PreparedQuery::operator=(PreparedQuery&&) noexcept = default;
+
+QueryStatus QueryEngine::Prepare(const QuerySpec& spec, PreparedQuery* out) {
+  if (out == nullptr) return QueryStatus::Error("null PreparedQuery output");
+
+  // ---- Structural validation: everything here is a returned error, not
+  // an abort.
+  size_t want_min = 1, want_max = 1;
+  switch (spec.kind) {
+    case QueryKind::kTwoPath:
+      want_min = 1;
+      want_max = 2;
+      break;
+    case QueryKind::kStar:
+      want_min = 2;
+      want_max = 8;
+      break;
+    default:
+      break;
+  }
+  if (spec.relations.size() < want_min || spec.relations.size() > want_max) {
+    return QueryStatus::Error(
+        std::string(QueryKindName(spec.kind)) + " query takes " +
+        std::to_string(want_min) +
+        (want_max == want_min ? "" : ".." + std::to_string(want_max)) +
+        " relation name(s), got " + std::to_string(spec.relations.size()));
+  }
+  for (const std::string& name : spec.relations) {
+    if (!catalog_.Has(name)) {
+      return QueryStatus::Error("unknown relation '" + name +
+                                "' (not in the catalog)");
+    }
+  }
+  {
+    // Same rule set as the low-level facade, via the shared validator.
+    JoinProjectOptions check;
+    check.count_witnesses = spec.count_witnesses;
+    check.min_count = spec.min_count;
+    std::string problem = ValidateJoinProjectOptions(check);
+    if (!problem.empty()) return QueryStatus::Error(problem);
+  }
+  if (spec.kind == QueryKind::kSsj && spec.ssj_c < 1) {
+    return QueryStatus::Error("ssj_c must be >= 1");
+  }
+  if (spec.kind == QueryKind::kStar &&
+      (spec.count_witnesses || spec.min_count > 1)) {
+    return QueryStatus::Error(
+        "count_witnesses / min_count are not supported for star queries");
+  }
+
+  // ---- Resolve + cache: indexes (built once, memoized in the catalog)
+  // and operand statistics (the expensive part of planning).
+  PreparedQuery q;
+  q.spec_ = spec;
+  for (const std::string& name : spec.relations) {
+    q.rels_.push_back(&catalog_.Index(name));
+  }
+  switch (spec.kind) {
+    case QueryKind::kTwoPath: {
+      const IndexedRelation* r = q.rels_[0];
+      const IndexedRelation* s = q.rels_.size() > 1 ? q.rels_[1] : q.rels_[0];
+      q.stats_ = std::make_unique<TwoPathStats>(*r, *s);
+      break;
+    }
+    case QueryKind::kScj:
+    case QueryKind::kSsj: {
+      q.family_ = std::make_unique<SetFamily>(*q.rels_[0]);
+      q.stats_ = std::make_unique<TwoPathStats>(*q.rels_[0], *q.rels_[0]);
+      break;
+    }
+    default:
+      break;
+  }
+  *out = std::move(q);
+  return QueryStatus::Ok();
+}
+
+QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
+                                 const ExecOptions& opts, ExecStats* stats) {
+  if (query.rels_.empty()) {
+    return QueryStatus::Error("PreparedQuery is empty (Prepare it first)");
+  }
+  if (stats != nullptr) *stats = ExecStats{};  // no cross-execution leakage
+  WallTimer timer;
+  const QuerySpec& spec = query.spec_;
+
+  // Every execution path funnels its option combination through the
+  // shared validator — one place grows new rules for facade and engine
+  // alike.
+  {
+    JoinProjectOptions check;
+    check.threads = opts.threads;
+    check.count_witnesses =
+        spec.kind != QueryKind::kTwoPath || spec.count_witnesses;
+    check.min_count = spec.min_count;
+    std::string problem = ValidateJoinProjectOptions(check);
+    if (!problem.empty()) return QueryStatus::Error(problem);
+  }
+
+  switch (spec.kind) {
+    case QueryKind::kTwoPath:
+    case QueryKind::kScj:
+    case QueryKind::kSsj: {
+      const IndexedRelation* r = query.rels_[0];
+      const IndexedRelation* s =
+          query.rels_.size() > 1 ? query.rels_[1] : query.rels_[0];
+
+      // Plan cache: the optimizer's choice depends on the worker count
+      // (parallel efficiency is part of the cost model), so a thread-count
+      // change re-plans; anything else is a cache hit.
+      const bool cache_hit =
+          query.plan_valid_ && query.plan_threads_ == opts.threads;
+      if (!cache_hit) {
+        OptimizerOptions oo;
+        oo.threads = opts.threads;
+        query.plan_ = ChooseTwoPathPlan(*r, *s, *query.stats_, oo);
+        query.plan_valid_ = true;
+        query.plan_threads_ = opts.threads;
+      }
+
+      JoinProjectOptions jo;
+      jo.strategy = spec.strategy;
+      jo.threads = opts.threads;
+      jo.thresholds = opts.thresholds;
+      jo.heavy_path = opts.heavy_path;
+      jo.max_matrix_bytes = opts.max_matrix_bytes;
+      if (spec.kind == QueryKind::kTwoPath) {
+        jo.count_witnesses = spec.count_witnesses;
+        jo.min_count = spec.min_count;
+      } else {
+        jo.count_witnesses = true;  // both set joins filter on counts
+        jo.min_count = spec.kind == QueryKind::kSsj ? spec.ssj_c : 1;
+      }
+      // The combinatorial strategy balances its own thresholds; derive
+      // them once from the cached stats instead of rebuilding stats.
+      if (jo.strategy == Strategy::kNonMmJoin && jo.thresholds.delta1 == 0 &&
+          jo.thresholds.delta2 == 0) {
+        if (!query.nonmm_thresholds_valid_) {
+          query.nonmm_thresholds_ =
+              ChooseNonMmThresholds(*r, *s, *query.stats_);
+          query.nonmm_thresholds_valid_ = true;
+        }
+        jo.thresholds = query.nonmm_thresholds_;
+      }
+
+      std::unique_ptr<FilteredAdapterSink> adapter;
+      if (spec.kind == QueryKind::kScj) {
+        adapter = std::make_unique<FilteredAdapterSink>(
+            ScjTransform(query.family_.get()), &sink);
+        jo.sink = adapter.get();
+      } else if (spec.kind == QueryKind::kSsj) {
+        adapter = std::make_unique<FilteredAdapterSink>(
+            SsjTransform(spec.ssj_ordered), &sink);
+        jo.sink = adapter.get();
+      } else {
+        jo.sink = &sink;
+      }
+
+      JoinProjectOutput out =
+          JoinProject::TwoPathWithPlan(*r, *s, query.plan_, jo);
+      FillTwoPathStats(&out, stats);
+      if (stats != nullptr) {
+        stats->plan = query.plan_;
+        stats->plan_cache_hit = cache_hit;
+      }
+      break;
+    }
+    case QueryKind::kStar: {
+      if (!sink.supports_tuples()) {
+        return QueryStatus::Error(
+            "this sink does not consume star tuples (supports_tuples() is "
+            "false) — use VectorSink / LimitSink / CountOnlySink or a "
+            "custom sink overriding OnTuple");
+      }
+      // The thresholds sweep is the star query's "plan"; cache it so
+      // repeated executions go straight to evaluation.
+      if (!query.star_thresholds_valid_) {
+        query.star_thresholds_ = ChooseStarThresholds(query.rels_);
+        query.star_thresholds_valid_ = true;
+      }
+      JoinProjectOptions jo;
+      jo.strategy = spec.strategy;
+      jo.threads = opts.threads;
+      jo.heavy_path = opts.heavy_path;
+      jo.max_matrix_bytes = opts.max_matrix_bytes;
+      jo.sink = &sink;
+      jo.thresholds = (opts.thresholds.delta1 != 0 ||
+                       opts.thresholds.delta2 != 0)
+                          ? opts.thresholds
+                          : query.star_thresholds_;
+
+      StarJoinResult res = JoinProject::Star(query.rels_, jo);
+      if (stats != nullptr) {
+        stats->executed = spec.strategy == Strategy::kAuto
+                              ? Strategy::kMmJoin
+                              : spec.strategy;
+        stats->plan_cache_hit = query.executions_ > 0;
+        stats->kernel_counts = res.kernel_counts;
+        stats->heavy_density = res.heavy_density;
+        stats->heavy_blocks_total = res.heavy_blocks_total;
+        stats->heavy_blocks_executed = res.heavy_blocks_executed;
+        stats->heavy_blocks_skipped = res.heavy_blocks_skipped;
+        stats->light_steps_skipped = res.light_steps_skipped;
+      }
+      break;
+    }
+    case QueryKind::kTriangle: {
+      // A count query: the result is ExecStats::triangle_count, not a pair
+      // stream. The sink serves as the cancellation token only.
+      TriangleCountOptions to;
+      to.threads = opts.threads;
+      to.heavy_path = opts.heavy_path;
+      to.max_matrix_bytes = opts.max_matrix_bytes;
+      to.cancel = &sink;
+      TriangleCountResult res = CountTrianglesMm(*query.rels_[0], to);
+      if (stats != nullptr) {
+        stats->triangle_count = res.triangles;
+        stats->triangle_cancelled = res.cancelled;
+        stats->heavy_blocks_skipped = res.blocks_skipped;
+        stats->kernel_counts = res.kernel_counts;
+        stats->heavy_density = res.heavy_density;
+        stats->plan_cache_hit = query.executions_ > 0;
+      }
+      break;
+    }
+  }
+
+  ++query.executions_;
+  if (stats != nullptr) stats->seconds = timer.Seconds();
+  return QueryStatus::Ok();
+}
+
+QueryStatus QueryEngine::Run(const QuerySpec& spec, ResultSink& sink,
+                             const ExecOptions& opts, ExecStats* stats) {
+  PreparedQuery q;
+  QueryStatus st = Prepare(spec, &q);
+  if (!st.ok()) return st;
+  return Execute(q, sink, opts, stats);
+}
+
+}  // namespace jpmm

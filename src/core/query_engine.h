@@ -1,0 +1,205 @@
+// QueryEngine — the service-facing facade over the whole library.
+//
+// One engine object owns a Catalog of named relations and evaluates
+// QuerySpecs (two-path | star | triangle | scj | ssj) against it:
+//
+//   QueryEngine engine;
+//   engine.catalog().Put("follows", std::move(rel));
+//
+//   QuerySpec spec;
+//   spec.kind = QueryKind::kTwoPath;
+//   spec.relations = {"follows"};
+//
+//   PreparedQuery q;
+//   QueryStatus st = engine.Prepare(spec, &q);     // structured errors
+//   if (!st.ok()) { ...; }
+//
+//   LimitSink sink(10);                            // or VectorSink, ...
+//   ExecStats stats;
+//   st = engine.Execute(q, sink, {.threads = 8}, &stats);
+//
+// Prepare resolves and caches the operand indexes and degree statistics;
+// the first Execute runs the cost-based optimizer and caches the
+// PlanChoice inside the PreparedQuery, so repeated executions skip
+// optimization entirely (stats.plan_cache_hit says which happened).
+// Results are pushed into a ResultSink — limit / count-only / top-k
+// consumers never pay for full materialization, and the sink's done()
+// signal short-circuits the remaining light buckets and heavy product
+// blocks (the skip counts land in ExecStats).
+//
+// Errors (unknown relation names, invalid option combinations) come back
+// as QueryStatus values instead of aborting — the abort-on-misuse checks
+// remain only on the low-level algorithm entry points.
+
+#ifndef JPMM_CORE_QUERY_ENGINE_H_
+#define JPMM_CORE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/join_project.h"
+#include "core/result_sink.h"
+#include "core/triangle.h"
+#include "storage/catalog.h"
+#include "storage/set_family.h"
+#include "storage/stats.h"
+
+namespace jpmm {
+
+/// Structured success-or-error result of an engine call.
+class QueryStatus {
+ public:
+  static QueryStatus Ok() { return QueryStatus(); }
+  static QueryStatus Error(std::string message) {
+    QueryStatus s;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return message_.empty(); }
+  const std::string& message() const { return message_; }
+
+ private:
+  std::string message_;
+};
+
+enum class QueryKind {
+  kTwoPath,   // pi_{x,z}(R(x,y) JOIN S(z,y))
+  kStar,      // pi_{x1..xk}(R1(x1,y) JOIN ... JOIN Rk(xk,y))
+  kTriangle,  // triangle count of a symmetric edge relation
+  kScj,       // set containment join over one set family
+  kSsj,       // set similarity join over one set family
+};
+
+const char* QueryKindName(QueryKind k);
+
+/// A declarative query over named catalog relations.
+struct QuerySpec {
+  QueryKind kind = QueryKind::kTwoPath;
+  /// Catalog names. kTwoPath: one (self join) or two; kStar: 2..8 (repeat
+  /// a name for the self star); kTriangle/kScj/kSsj: exactly one.
+  std::vector<std::string> relations;
+  /// Evaluation strategy; kAuto defers to the cost-based optimizer.
+  Strategy strategy = Strategy::kAuto;
+  /// Two-path: deliver CountedPair witness counts instead of plain pairs.
+  bool count_witnesses = false;
+  /// Two-path: keep only pairs with >= min_count witnesses (requires
+  /// count_witnesses when > 1).
+  uint32_t min_count = 1;
+  /// SSJ: overlap threshold c >= 1.
+  uint32_t ssj_c = 2;
+  /// SSJ: deliver overlaps via OnCountedPair (otherwise OnPair).
+  bool ssj_ordered = false;
+};
+
+/// Per-execution knobs (everything about HOW, nothing about WHAT).
+struct ExecOptions {
+  int threads = 1;
+  /// Explicit thresholds; {0, 0} lets the cached plan decide.
+  Thresholds thresholds{0, 0};
+  /// Heavy-part kernel override (kAuto = per-block density dispatch).
+  HeavyPathMode heavy_path = HeavyPathMode::kAuto;
+  /// Heavy-part memory cap (see MmJoinOptions::max_matrix_bytes).
+  uint64_t max_matrix_bytes = uint64_t{3} << 30;
+};
+
+/// Execution record: what ran, what the plan was, and what early exit
+/// saved. Counters that do not apply to a query kind stay zero.
+struct ExecStats {
+  Strategy executed = Strategy::kMmJoin;
+  PlanChoice plan;              // two-path family only
+  bool plan_cache_hit = false;  // true: optimization was skipped
+  double seconds = 0.0;
+
+  // Early-exit record (sink done() short-circuit).
+  uint64_t heavy_blocks_total = 0;
+  uint64_t heavy_blocks_executed = 0;
+  uint64_t heavy_blocks_skipped = 0;
+  uint64_t light_chunks_skipped = 0;
+  uint64_t light_steps_skipped = 0;  // star decomposition steps
+
+  // Heavy-part record (MM strategies), as in JoinProjectOutput.
+  uint64_t m1_nnz = 0;
+  uint64_t m2_nnz = 0;
+  double heavy_density = 0.0;
+  HeavyKernelCounts kernel_counts;
+  std::vector<BlockKernelChoice> block_choices;
+
+  /// kTriangle only: the (possibly partial, see triangle_cancelled)
+  /// triangle count — triangle queries deliver through stats, not pairs.
+  uint64_t triangle_count = 0;
+  bool triangle_cancelled = false;
+};
+
+/// A resolved, reusable query: operand indexes and degree statistics are
+/// cached at Prepare time, the optimizer's PlanChoice after the first
+/// Execute. Borrow semantics: a PreparedQuery points into the engine's
+/// catalog — replacing one of its relations (Catalog::Put with the same
+/// name) invalidates it; re-Prepare after reloading data.
+class PreparedQuery {
+ public:
+  PreparedQuery();
+  ~PreparedQuery();
+  PreparedQuery(PreparedQuery&&) noexcept;
+  PreparedQuery& operator=(PreparedQuery&&) noexcept;
+
+  const QuerySpec& spec() const { return spec_; }
+  /// True once a plan has been cached (after the first Execute).
+  bool has_plan() const { return plan_valid_; }
+  const PlanChoice& plan() const { return plan_; }
+  /// Executions served by this prepared query so far.
+  uint64_t executions() const { return executions_; }
+
+ private:
+  friend class QueryEngine;
+
+  QuerySpec spec_;
+  std::vector<const IndexedRelation*> rels_;  // borrowed from the catalog
+  std::unique_ptr<TwoPathStats> stats_;       // two-path family
+  std::unique_ptr<SetFamily> family_;         // scj / ssj view
+
+  bool plan_valid_ = false;
+  PlanChoice plan_;
+  int plan_threads_ = 0;  // plan is re-derived when threads change
+  bool nonmm_thresholds_valid_ = false;
+  Thresholds nonmm_thresholds_{0, 0};
+  bool star_thresholds_valid_ = false;
+  Thresholds star_thresholds_{0, 0};
+  uint64_t executions_ = 0;
+};
+
+/// The facade. Owns the catalog; queries borrow from it (see
+/// PreparedQuery). Thread-compatibility: Prepare/Execute mutate cached
+/// state, so serialize calls that share an engine or a PreparedQuery;
+/// parallelism belongs inside Execute (ExecOptions::threads).
+class QueryEngine {
+ public:
+  QueryEngine() = default;
+  explicit QueryEngine(Catalog catalog) : catalog_(std::move(catalog)) {}
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Validates the spec (unknown relation names, bad option combinations
+  /// come back as errors), resolves + caches indexes and operand stats.
+  QueryStatus Prepare(const QuerySpec& spec, PreparedQuery* out);
+
+  /// Executes a prepared query, streaming results into `sink`. The first
+  /// execution runs the optimizer and caches the plan; later executions
+  /// reuse it (stats->plan_cache_hit). `stats` may be null.
+  QueryStatus Execute(PreparedQuery& query, ResultSink& sink,
+                      const ExecOptions& opts = {},
+                      ExecStats* stats = nullptr);
+
+  /// Prepare + Execute in one shot (no plan reuse across calls).
+  QueryStatus Run(const QuerySpec& spec, ResultSink& sink,
+                  const ExecOptions& opts = {}, ExecStats* stats = nullptr);
+
+ private:
+  Catalog catalog_;
+};
+
+}  // namespace jpmm
+
+#endif  // JPMM_CORE_QUERY_ENGINE_H_

@@ -1,0 +1,248 @@
+#include "core/result_sink.h"
+
+#include <algorithm>
+
+namespace jpmm {
+
+void ResultSink::Shard::OnPairs(std::span<const OutPair> ps) {
+  for (const OutPair& p : ps) OnPair(p);
+}
+
+void ResultSink::Shard::OnCountedPairs(std::span<const CountedPair> ps) {
+  for (const CountedPair& p : ps) OnCountedPair(p);
+}
+
+// ---- VectorSink ----------------------------------------------------------
+
+VectorSink::VectorSink() = default;
+VectorSink::~VectorSink() = default;
+
+struct VectorSink::VectorShard : ResultSink::Shard {
+  std::vector<OutPair> pairs;
+  std::vector<CountedPair> counted;
+  std::vector<Value> tuple_data;
+  uint32_t tuple_arity = 0;
+
+  void OnPair(const OutPair& p) override { pairs.push_back(p); }
+  void OnCountedPair(const CountedPair& p) override { counted.push_back(p); }
+  void OnTuple(std::span<const Value> tuple) override {
+    tuple_arity = static_cast<uint32_t>(tuple.size());
+    tuple_data.insert(tuple_data.end(), tuple.begin(), tuple.end());
+  }
+  void OnPairs(std::span<const OutPair> ps) override {
+    pairs.insert(pairs.end(), ps.begin(), ps.end());
+  }
+  void OnCountedPairs(std::span<const CountedPair> ps) override {
+    counted.insert(counted.end(), ps.begin(), ps.end());
+  }
+};
+
+void VectorSink::Open(int num_shards) {
+  shards_.clear();
+  pairs_.clear();
+  counted_.clear();
+  tuple_data_.clear();
+  tuple_arity_ = 0;
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<VectorShard>());
+  }
+}
+
+ResultSink::Shard& VectorSink::shard(int w) {
+  return *shards_[static_cast<size_t>(w)];
+}
+
+void VectorSink::Finish() {
+  size_t np = 0, nc = 0, nt = 0;
+  for (const auto& s : shards_) {
+    np += s->pairs.size();
+    nc += s->counted.size();
+    nt += s->tuple_data.size();
+    if (s->tuple_arity != 0) tuple_arity_ = s->tuple_arity;
+  }
+  pairs_.reserve(pairs_.size() + np);
+  counted_.reserve(counted_.size() + nc);
+  tuple_data_.reserve(tuple_data_.size() + nt);
+  for (auto& s : shards_) {
+    pairs_.insert(pairs_.end(), s->pairs.begin(), s->pairs.end());
+    counted_.insert(counted_.end(), s->counted.begin(), s->counted.end());
+    tuple_data_.insert(tuple_data_.end(), s->tuple_data.begin(),
+                       s->tuple_data.end());
+  }
+  shards_.clear();
+}
+
+// ---- CountOnlySink -------------------------------------------------------
+
+CountOnlySink::CountOnlySink() = default;
+CountOnlySink::~CountOnlySink() = default;
+
+struct CountOnlySink::CountShard : ResultSink::Shard {
+  explicit CountShard(std::atomic<uint64_t>* total) : total_(total) {}
+  void OnPair(const OutPair&) override {
+    total_->fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnCountedPair(const CountedPair&) override {
+    total_->fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnTuple(std::span<const Value>) override {
+    total_->fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnPairs(std::span<const OutPair> ps) override {
+    total_->fetch_add(ps.size(), std::memory_order_relaxed);
+  }
+  void OnCountedPairs(std::span<const CountedPair> ps) override {
+    total_->fetch_add(ps.size(), std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t>* total_;
+};
+
+void CountOnlySink::Open(int num_shards) {
+  shards_.clear();
+  count_.store(0, std::memory_order_relaxed);
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<CountShard>(&count_));
+  }
+}
+
+ResultSink::Shard& CountOnlySink::shard(int w) {
+  return *shards_[static_cast<size_t>(w)];
+}
+
+// ---- LimitSink -----------------------------------------------------------
+
+LimitSink::LimitSink(uint64_t limit) : limit_(limit) {}
+LimitSink::~LimitSink() = default;
+
+struct LimitSink::LimitShard : ResultSink::Shard {
+  LimitShard(std::atomic<uint64_t>* accepted, uint64_t limit)
+      : accepted_(accepted), limit_(limit) {}
+
+  std::vector<OutPair> pairs;
+  std::vector<CountedPair> counted;
+  std::vector<Value> tuple_data;
+  uint32_t tuple_arity = 0;
+
+  bool Reserve() {
+    return accepted_->fetch_add(1, std::memory_order_relaxed) < limit_;
+  }
+  void OnPair(const OutPair& p) override {
+    if (Reserve()) pairs.push_back(p);
+  }
+  void OnCountedPair(const CountedPair& p) override {
+    if (Reserve()) counted.push_back(p);
+  }
+  void OnTuple(std::span<const Value> tuple) override {
+    if (Reserve()) {
+      tuple_arity = static_cast<uint32_t>(tuple.size());
+      tuple_data.insert(tuple_data.end(), tuple.begin(), tuple.end());
+    }
+  }
+
+ private:
+  std::atomic<uint64_t>* accepted_;
+  const uint64_t limit_;
+};
+
+void LimitSink::Open(int num_shards) {
+  shards_.clear();
+  pairs_.clear();
+  counted_.clear();
+  tuple_data_.clear();
+  tuple_arity_ = 0;
+  accepted_.store(0, std::memory_order_relaxed);
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<LimitShard>(&accepted_, limit_));
+  }
+}
+
+ResultSink::Shard& LimitSink::shard(int w) {
+  return *shards_[static_cast<size_t>(w)];
+}
+
+void LimitSink::Finish() {
+  for (auto& s : shards_) {
+    pairs_.insert(pairs_.end(), s->pairs.begin(), s->pairs.end());
+    counted_.insert(counted_.end(), s->counted.begin(), s->counted.end());
+    tuple_data_.insert(tuple_data_.end(), s->tuple_data.begin(),
+                       s->tuple_data.end());
+    if (s->tuple_arity != 0) tuple_arity_ = s->tuple_arity;
+  }
+  shards_.clear();
+}
+
+// ---- TopKByCountSink -----------------------------------------------------
+
+namespace {
+
+// Heap/order comparator: "a ranks above b" in the final output. Count
+// descending, ties (x, z) ascending — a strict total order, so the top-k
+// set is unique and the result deterministic at every thread count.
+bool RanksAbove(const CountedPair& a, const CountedPair& b) {
+  if (a.count != b.count) return a.count > b.count;
+  if (a.x != b.x) return a.x < b.x;
+  return a.z < b.z;
+}
+
+}  // namespace
+
+TopKByCountSink::TopKByCountSink(size_t k) : k_(k) {}
+TopKByCountSink::~TopKByCountSink() = default;
+
+struct TopKByCountSink::TopKShard : ResultSink::Shard {
+  explicit TopKShard(size_t k) : k_(k) {}
+
+  // Min-heap on the ranking: heap[0] is the weakest kept pair.
+  std::vector<CountedPair> heap;
+
+  void OnPair(const OutPair& p) override {
+    // A non-counted query gives every pair implicit weight 1; the ranking
+    // degenerates to the k smallest (x, z) pairs — still deterministic,
+    // and a service passing the wrong spec keeps running instead of
+    // aborting (ask for count_witnesses to get a meaningful top-k).
+    OnCountedPair(CountedPair{p.x, p.z, 1});
+  }
+  void OnCountedPair(const CountedPair& p) override {
+    auto weaker = [](const CountedPair& a, const CountedPair& b) {
+      return RanksAbove(a, b);  // std heap: "less" = further from the top
+    };
+    if (heap.size() < k_) {
+      heap.push_back(p);
+      std::push_heap(heap.begin(), heap.end(), weaker);
+    } else if (!heap.empty() && RanksAbove(p, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), weaker);
+      heap.back() = p;
+      std::push_heap(heap.begin(), heap.end(), weaker);
+    }
+  }
+
+ private:
+  const size_t k_;
+};
+
+void TopKByCountSink::Open(int num_shards) {
+  shards_.clear();
+  top_.clear();
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<TopKShard>(k_));
+  }
+}
+
+ResultSink::Shard& TopKByCountSink::shard(int w) {
+  return *shards_[static_cast<size_t>(w)];
+}
+
+void TopKByCountSink::Finish() {
+  std::vector<CountedPair> all;
+  for (auto& s : shards_) {
+    all.insert(all.end(), s->heap.begin(), s->heap.end());
+  }
+  std::sort(all.begin(), all.end(), RanksAbove);
+  if (all.size() > k_) all.resize(k_);
+  top_ = std::move(all);
+  shards_.clear();
+}
+
+}  // namespace jpmm

@@ -1,0 +1,209 @@
+// ResultSink — push-based result delivery for every jpmm query family.
+//
+// The paper's algorithms are output-sensitive, so the API should be too:
+// limit, count-only, and top-k consumers must not pay for materializing
+// every output pair. A ResultSink inverts the old "return a vector"
+// contract into push-based delivery:
+//
+//   - The executor calls Open(workers) once, then each worker w emits
+//     through shard(w) — shards are single-owner, so parallel emission
+//     needs no locks — and finally the executor calls Finish() once on the
+//     coordinating thread.
+//   - done() is a cooperative early-exit signal, polled by the emit loops
+//     at bucket/block granularity: once a LimitSink has its k pairs, the
+//     remaining light chunks and heavy product blocks are skipped (the
+//     skip counts surface through the result structs and
+//     `jpmm_cli --explain`).
+//   - Delivery order is unspecified (it follows dynamic chunk claiming);
+//     the pair SET at a given option set is deterministic for sinks that
+//     accept everything. Executors apply min_count filtering BEFORE the
+//     sink, so a sink only ever sees qualifying results.
+//
+// Ships four consumers: VectorSink (materialize-everything back-compat),
+// CountOnlySink, LimitSink, and TopKByCountSink. Custom sinks implement
+// the same contract; see docs/api.md.
+
+#ifndef JPMM_CORE_RESULT_SINK_H_
+#define JPMM_CORE_RESULT_SINK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace jpmm {
+
+/// Push-based consumer of query results. See the file header for the
+/// threading contract (Open / shard(w) / Finish, plus done() from any
+/// thread).
+class ResultSink {
+ public:
+  /// Per-worker emission handle. shard(w) is touched only by worker w
+  /// between Open() and Finish(), so implementations need no locking in
+  /// the On* methods unless they share state across shards on purpose.
+  class Shard {
+   public:
+    virtual ~Shard() = default;
+    /// One plain output pair (count_witnesses off).
+    virtual void OnPair(const OutPair& p) = 0;
+    /// One counted output pair (count_witnesses on). The count is the
+    /// exact witness count and is already >= the query's min_count.
+    virtual void OnCountedPair(const CountedPair& p) = 0;
+    /// One k-ary star tuple (star queries only; duplicate-free).
+    virtual void OnTuple(std::span<const Value> tuple) { (void)tuple; }
+    /// Block-granular bulk delivery; default loops the scalar hooks.
+    virtual void OnPairs(std::span<const OutPair> ps);
+    virtual void OnCountedPairs(std::span<const CountedPair> ps);
+  };
+
+  virtual ~ResultSink() = default;
+
+  /// Called once by the executor before any emission. num_shards is the
+  /// worker count; shard(w) must be valid for w in [0, num_shards).
+  /// Reopening resets the sink for a fresh execution.
+  virtual void Open(int num_shards) = 0;
+
+  /// Worker w's emission handle. Valid between Open() and Finish().
+  virtual Shard& shard(int w) = 0;
+
+  /// Cooperative early exit: when true, executors skip remaining work at
+  /// the next bucket/block boundary. Must be callable from any thread.
+  virtual bool done() const { return false; }
+
+  /// True when done() can become true before the query completes (e.g.
+  /// LimitSink). Executors whose emission is not naturally streaming
+  /// (the star join needs global tuple dedup) only pay the incremental
+  /// delivery overhead when this is set.
+  virtual bool may_finish_early() const { return false; }
+
+  /// False for sinks whose shards do not consume OnTuple (pair-only
+  /// consumers like TopKByCountSink). QueryEngine rejects star queries
+  /// into such a sink instead of silently delivering nothing.
+  virtual bool supports_tuples() const { return true; }
+
+  /// Called once after all parallel emission finished; merge point.
+  virtual void Finish() {}
+};
+
+/// Materializes every result — the back-compat sink the old facade is a
+/// wrapper over. Shard buffers merge in shard order at Finish(), matching
+/// the old per-worker merge exactly.
+class VectorSink : public ResultSink {
+ public:
+  VectorSink();
+  ~VectorSink() override;
+
+  void Open(int num_shards) override;
+  Shard& shard(int w) override;
+  void Finish() override;
+
+  std::vector<OutPair>& pairs() { return pairs_; }
+  std::vector<CountedPair>& counted() { return counted_; }
+  /// Star tuples, flattened with stride arity(); empty for pair queries.
+  const std::vector<Value>& tuple_data() const { return tuple_data_; }
+  uint32_t tuple_arity() const { return tuple_arity_; }
+  size_t size() const {
+    if (!pairs_.empty()) return pairs_.size();
+    if (!counted_.empty()) return counted_.size();
+    return tuple_arity_ == 0 ? 0 : tuple_data_.size() / tuple_arity_;
+  }
+
+ private:
+  struct VectorShard;
+  std::vector<std::unique_ptr<VectorShard>> shards_;
+  std::vector<OutPair> pairs_;
+  std::vector<CountedPair> counted_;
+  std::vector<Value> tuple_data_;
+  uint32_t tuple_arity_ = 0;
+};
+
+/// Counts results without storing them.
+class CountOnlySink : public ResultSink {
+ public:
+  CountOnlySink();
+  ~CountOnlySink() override;
+
+  void Open(int num_shards) override;
+  Shard& shard(int w) override;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  struct CountShard;
+  std::vector<std::unique_ptr<CountShard>> shards_;
+  std::atomic<uint64_t> count_{0};
+};
+
+/// Keeps the first `limit` results to arrive and then reports done().
+/// WHICH results are kept follows the (nondeterministic) emission order;
+/// the kept count is deterministic: min(limit, |OUT|). Slots are reserved
+/// with one atomic fetch_add per result, so across all shards exactly
+/// min(limit, emitted) results are stored — no post-hoc truncation.
+class LimitSink : public ResultSink {
+ public:
+  explicit LimitSink(uint64_t limit);
+  ~LimitSink() override;
+
+  void Open(int num_shards) override;
+  Shard& shard(int w) override;
+  bool done() const override {
+    return accepted_.load(std::memory_order_relaxed) >= limit_;
+  }
+  bool may_finish_early() const override { return true; }
+  void Finish() override;
+
+  uint64_t limit() const { return limit_; }
+  const std::vector<OutPair>& pairs() const { return pairs_; }
+  const std::vector<CountedPair>& counted() const { return counted_; }
+  const std::vector<Value>& tuple_data() const { return tuple_data_; }
+  uint32_t tuple_arity() const { return tuple_arity_; }
+  size_t size() const {
+    if (!pairs_.empty()) return pairs_.size();
+    if (!counted_.empty()) return counted_.size();
+    return tuple_arity_ == 0 ? 0 : tuple_data_.size() / tuple_arity_;
+  }
+
+ private:
+  struct LimitShard;
+  const uint64_t limit_;
+  std::atomic<uint64_t> accepted_{0};
+  std::vector<std::unique_ptr<LimitShard>> shards_;
+  std::vector<OutPair> pairs_;
+  std::vector<CountedPair> counted_;
+  std::vector<Value> tuple_data_;
+  uint32_t tuple_arity_ = 0;
+};
+
+/// The k highest-witness-count pairs, without a full sort: each shard keeps
+/// a size-k min-heap; Finish() merges them. Ordering is count descending,
+/// ties broken by (x, z) ascending, so the result is deterministic — equal
+/// to sorting the full counted output and taking the first k. Never
+/// reports done(): every pair must be seen. Intended for counted pairs;
+/// plain pairs rank with implicit weight 1 (k smallest (x, z) pairs).
+class TopKByCountSink : public ResultSink {
+ public:
+  explicit TopKByCountSink(size_t k);
+  ~TopKByCountSink() override;
+
+  void Open(int num_shards) override;
+  Shard& shard(int w) override;
+  bool supports_tuples() const override { return false; }
+  void Finish() override;
+
+  size_t k() const { return k_; }
+  /// Top-k pairs, count descending (ties (x, z) ascending).
+  const std::vector<CountedPair>& top() const { return top_; }
+
+ private:
+  struct TopKShard;
+  const size_t k_;
+  std::vector<std::unique_ptr<TopKShard>> shards_;
+  std::vector<CountedPair> top_;
+};
+
+}  // namespace jpmm
+
+#endif  // JPMM_CORE_RESULT_SINK_H_

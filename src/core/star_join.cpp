@@ -1,9 +1,11 @@
 #include "core/star_join.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -11,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/mm_join.h"
+#include "core/result_sink.h"
 #include "join/intersection.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/matmul.h"
@@ -18,6 +21,56 @@
 
 namespace jpmm {
 namespace {
+
+// Streaming tuple delivery for sink-driven star queries. The star
+// decomposition can produce one output tuple from several steps (a tuple
+// may have both light and heavy witnesses), so incremental delivery needs
+// a global dedup: EmitBatch sort-uniques the batch, streams the tuples
+// never seen before into the sink, and folds them into the sorted `seen`
+// union. Batches arrive from many workers; the mutex serializes them (the
+// per-batch merge is O(|seen| + |batch|), paid only for sinks that can
+// finish early — everyone else gets one post-evaluation stream).
+struct StarEmitter {
+  ResultSink* sink = nullptr;
+  bool streaming = false;
+  std::mutex mu;
+  TupleBuffer seen;
+
+  explicit StarEmitter(uint32_t arity) : seen(arity) {}
+
+  void EmitBatch(TupleBuffer* batch, int worker) {
+    if (batch->empty()) return;
+    batch->SortUnique();
+    const uint32_t k = seen.arity();
+    std::lock_guard<std::mutex> lock(mu);
+    ResultSink::Shard& shard = sink->shard(worker);
+    TupleBuffer merged(k);
+    const size_t ns = seen.size();
+    const size_t nb = batch->size();
+    size_t i = 0, j = 0;
+    auto less = [k](std::span<const Value> a, std::span<const Value> b) {
+      return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                          b.end());
+    };
+    while (i < ns || j < nb) {
+      if (j >= nb) {
+        merged.Add(seen.Get(i++));
+      } else if (i >= ns) {
+        shard.OnTuple(batch->Get(j));
+        merged.Add(batch->Get(j++));
+      } else if (less(seen.Get(i), batch->Get(j))) {
+        merged.Add(seen.Get(i++));
+      } else if (less(batch->Get(j), seen.Get(i))) {
+        shard.OnTuple(batch->Get(j));
+        merged.Add(batch->Get(j++));
+      } else {
+        merged.Add(seen.Get(i++));
+        ++j;  // already delivered
+      }
+    }
+    seen = std::move(merged);
+  }
+};
 
 // Heavy combos are packed 32 bits per value into one 128-bit key (group
 // sizes beyond 4 — star arity beyond 8 — would need the general path; the
@@ -78,7 +131,8 @@ struct StarContext {
 //     the light part degenerates to a single WCOJ pass.
 //   - A y light in *every* relation satisfies step 2's condition for every
 //     j; it is claimed by j = 0 alone to avoid k identical enumerations.
-TupleBuffer LightSteps(const StarContext& ctx, int threads) {
+TupleBuffer LightSteps(const StarContext& ctx, int threads, StarEmitter* em,
+                       uint64_t* steps_skipped) {
   const size_t k = ctx.rels.size();
   TupleBuffer out(static_cast<uint32_t>(k));
 
@@ -86,8 +140,24 @@ TupleBuffer LightSteps(const StarContext& ctx, int threads) {
   for (Value b = 0; b < ctx.ny && !any_shared_heavy; ++b) {
     any_shared_heavy = ctx.heavy_cnt[b] >= 2;
   }
+  const uint64_t steps_per_j = any_shared_heavy ? 2 : 1;
+
+  auto deliver = [&](TupleBuffer* part) {
+    if (em->streaming) {
+      em->EmitBatch(part, /*worker=*/0);
+    } else {
+      out.Append(*part);
+    }
+  };
 
   for (size_t j = 0; j < k; ++j) {
+    // Cooperative early exit between light steps (a "light bucket" here is
+    // one decomposition step): once the sink is satisfied, the remaining
+    // steps are skipped and counted.
+    if (em->sink != nullptr && em->sink->done()) {
+      *steps_skipped += (k - j) * steps_per_j;
+      break;
+    }
     if (any_shared_heavy) {
       // Step 1-j: substitute R-j (light xj tuples only), restricted to y
       // values not already fully covered by step 2.
@@ -97,7 +167,7 @@ TupleBuffer LightSteps(const StarContext& ctx, int threads) {
             return rel != j || ctx.XiLight(j, a);
           },
           [&ctx](Value b) { return ctx.heavy_cnt[b] >= 2; }, threads);
-      out.Append(part);
+      deliver(&part);
     }
 
     // Step 2-j: substitute R<>j — only y values light in all other
@@ -109,7 +179,7 @@ TupleBuffer LightSteps(const StarContext& ctx, int threads) {
           return ctx.LightAllExcept(j, b);
         },
         threads);
-    out.Append(part2);
+    deliver(&part2);
   }
   return out;
 }
@@ -393,12 +463,27 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
   result.w_rows = hg.map2.size();
   result.heavy_y = hg.cols.size();
 
+  ResultSink* sink = options.sink;
+  if (sink != nullptr) sink->Open(threads);
+  StarEmitter em(static_cast<uint32_t>(k));
+  em.sink = sink;
+  em.streaming = sink != nullptr && sink->may_finish_early();
+  std::atomic<uint64_t> blocks_executed{0};
+  std::atomic<uint64_t> blocks_skipped{0};
+
   WallTimer light_timer;
-  TupleBuffer light = LightSteps(*ctx, threads);
+  TupleBuffer light =
+      LightSteps(*ctx, threads, &em, &result.light_steps_skipped);
   result.tuples.Append(light);
   result.light_seconds = light_timer.Seconds();
 
-  if (result.v_rows > 0 && result.w_rows > 0) {
+  if (result.v_rows > 0 && result.w_rows > 0 && sink != nullptr &&
+      sink->done()) {
+    // Light steps satisfied the sink: account every planned block as
+    // skipped without building the heavy operands at all.
+    result.heavy_blocks_total = (result.v_rows + row_block - 1) / row_block;
+    blocks_skipped.store(result.heavy_blocks_total);
+  } else if (result.v_rows > 0 && result.w_rows > 0) {
     WallTimer heavy_timer;
     // CSR operands first (they are just the registered incidences, row
     // offsets + column ids); dense V / W^T only materialize if the
@@ -450,6 +535,7 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
 
     // Workers claim product blocks dynamically (per-block emit cost follows
     // the output distribution).
+    result.heavy_blocks_total = choices.size();
     std::vector<TupleBuffer> partial(static_cast<size_t>(threads),
                                      TupleBuffer(static_cast<uint32_t>(k)));
     std::vector<std::vector<float>> bufs(static_cast<size_t>(threads));
@@ -459,7 +545,11 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
                                                                  size_t b1,
                                                                  int w) {
       std::vector<Value> tuple(k);
-      TupleBuffer& out = partial[static_cast<size_t>(w)];
+      // Streaming sinks get each block's tuples as one dedup'd batch; the
+      // materializing path appends to the per-worker buffer as before.
+      TupleBuffer block_out(static_cast<uint32_t>(k));
+      TupleBuffer& out =
+          em.streaming ? block_out : partial[static_cast<size_t>(w)];
       auto emit = [&](size_t i, size_t j) {
         const Value* left = hg.rows1_flat.data() + i * g1;
         std::copy(left, left + g1, tuple.begin());
@@ -468,6 +558,11 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
         out.Add(tuple);
       };
       for (size_t blk = b0; blk < b1; ++blk) {
+        if (sink != nullptr && sink->done()) {
+          blocks_skipped.fetch_add(b1 - blk, std::memory_order_relaxed);
+          return;
+        }
+        blocks_executed.fetch_add(1, std::memory_order_relaxed);
         const BlockKernelChoice& choice = choices[blk];
         const size_t r0 = choice.row_begin;
         const size_t r1 = choice.row_end;
@@ -478,20 +573,24 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
           for (size_t i = r0; i < r1; ++i) {
             for (uint32_t j : sblk.RowCols(i - r0)) emit(i, j);
           }
-          continue;
-        }
-        std::vector<float>& buf = bufs[static_cast<size_t>(w)];
-        buf.resize(row_block * result.w_rows);
-        if (choice.kernel == ProductKernel::kDenseGemm) {
-          MultiplyRowRange(v, packed_wt, r0, r1, buf);
         } else {
-          CsrDenseRowRange(csr_v, wt, r0, r1, buf);
-        }
-        for (size_t i = r0; i < r1; ++i) {
-          const float* prow = buf.data() + (i - r0) * result.w_rows;
-          for (size_t j = 0; j < result.w_rows; ++j) {
-            if (prow[j] > 0.5f) emit(i, j);
+          std::vector<float>& buf = bufs[static_cast<size_t>(w)];
+          buf.resize(row_block * result.w_rows);
+          if (choice.kernel == ProductKernel::kDenseGemm) {
+            MultiplyRowRange(v, packed_wt, r0, r1, buf);
+          } else {
+            CsrDenseRowRange(csr_v, wt, r0, r1, buf);
           }
+          for (size_t i = r0; i < r1; ++i) {
+            const float* prow = buf.data() + (i - r0) * result.w_rows;
+            for (size_t j = 0; j < result.w_rows; ++j) {
+              if (prow[j] > 0.5f) emit(i, j);
+            }
+          }
+        }
+        if (em.streaming) {
+          em.EmitBatch(&block_out, w);
+          block_out = TupleBuffer(static_cast<uint32_t>(k));
         }
       }
     });
@@ -499,7 +598,22 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
     result.heavy_seconds = heavy_timer.Seconds();
   }
 
-  result.tuples.SortUnique();
+  result.heavy_blocks_executed = blocks_executed.load();
+  result.heavy_blocks_skipped = blocks_skipped.load();
+  if (em.streaming) {
+    // seen is the sorted duplicate-free union of everything delivered.
+    result.tuples = std::move(em.seen);
+  } else {
+    result.tuples.SortUnique();
+    if (sink != nullptr) {
+      ResultSink::Shard& shard = sink->shard(0);
+      for (size_t i = 0; i < result.tuples.size(); ++i) {
+        if (sink->done()) break;
+        shard.OnTuple(result.tuples.Get(i));
+      }
+    }
+  }
+  if (sink != nullptr) sink->Finish();
   return result;
 }
 
@@ -527,12 +641,27 @@ StarJoinResult NonMmStarJoin(const std::vector<const IndexedRelation*>& rels,
   result.w_rows = hg.map2.size();
   result.heavy_y = hg.cols.size();
 
+  ResultSink* sink = options.sink;
+  if (sink != nullptr) sink->Open(threads);
+  StarEmitter em(static_cast<uint32_t>(k));
+  em.sink = sink;
+  em.streaming = sink != nullptr && sink->may_finish_early();
+  std::atomic<uint64_t> blocks_executed{0};
+  std::atomic<uint64_t> blocks_skipped{0};
+
   WallTimer light_timer;
-  TupleBuffer light = LightSteps(ctx, threads);
+  TupleBuffer light =
+      LightSteps(ctx, threads, &em, &result.light_steps_skipped);
   result.tuples.Append(light);
   result.light_seconds = light_timer.Seconds();
 
-  if (result.v_rows > 0 && result.w_rows > 0) {
+  constexpr size_t kComboGrain = 16;
+  if (result.v_rows > 0 && result.w_rows > 0 && sink != nullptr &&
+      sink->done()) {
+    result.heavy_blocks_total =
+        (result.v_rows + kComboGrain - 1) / kComboGrain;
+    blocks_skipped.store(result.heavy_blocks_total);
+  } else if (result.v_rows > 0 && result.w_rows > 0) {
     WallTimer heavy_timer;
     // Witness (column) lists per heavy combo, ascending because entries are
     // produced in ascending column order.
@@ -540,13 +669,22 @@ StarJoinResult NonMmStarJoin(const std::vector<const IndexedRelation*>& rels,
     for (const auto& [row, col] : hg.entries1) wit1[row].push_back(col);
     for (const auto& [row, col] : hg.entries2) wit2[row].push_back(col);
 
+    result.heavy_blocks_total =
+        (result.v_rows + kComboGrain - 1) / kComboGrain;
     std::vector<TupleBuffer> partial(static_cast<size_t>(threads),
                                      TupleBuffer(static_cast<uint32_t>(k)));
     // Witness-list lengths vary per combo; dynamic chunks absorb the skew.
-    ParallelForDynamic(threads, result.v_rows, /*grain=*/16,
+    ParallelForDynamic(threads, result.v_rows, kComboGrain,
                        [&](size_t i0, size_t i1, int w) {
+      if (sink != nullptr && sink->done()) {
+        blocks_skipped.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      blocks_executed.fetch_add(1, std::memory_order_relaxed);
       std::vector<Value> tuple(k);
-      TupleBuffer& out = partial[static_cast<size_t>(w)];
+      TupleBuffer block_out(static_cast<uint32_t>(k));
+      TupleBuffer& out =
+          em.streaming ? block_out : partial[static_cast<size_t>(w)];
       for (size_t i = i0; i < i1; ++i) {
         const Value* left = hg.rows1_flat.data() + i * g1;
         for (size_t j = 0; j < result.w_rows; ++j) {
@@ -558,12 +696,27 @@ StarJoinResult NonMmStarJoin(const std::vector<const IndexedRelation*>& rels,
           }
         }
       }
+      if (em.streaming) em.EmitBatch(&block_out, w);
     });
     for (const auto& p : partial) result.tuples.Append(p);
     result.heavy_seconds = heavy_timer.Seconds();
   }
 
-  result.tuples.SortUnique();
+  result.heavy_blocks_executed = blocks_executed.load();
+  result.heavy_blocks_skipped = blocks_skipped.load();
+  if (em.streaming) {
+    result.tuples = std::move(em.seen);
+  } else {
+    result.tuples.SortUnique();
+    if (sink != nullptr) {
+      ResultSink::Shard& shard = sink->shard(0);
+      for (size_t i = 0; i < result.tuples.size(); ++i) {
+        if (sink->done()) break;
+        shard.OnTuple(result.tuples.Get(i));
+      }
+    }
+  }
+  if (sink != nullptr) sink->Finish();
   return result;
 }
 

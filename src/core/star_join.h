@@ -30,6 +30,8 @@
 
 namespace jpmm {
 
+class ResultSink;
+
 struct StarJoinOptions {
   Thresholds thresholds;
   int threads = 1;
@@ -48,6 +50,14 @@ struct StarJoinOptions {
   HeavyPathMode heavy_path = HeavyPathMode::kAuto;
   /// nullptr uses SparseKernelRates::Default().
   const SparseKernelRates* sparse_rates = nullptr;
+  /// Push-based tuple delivery (core/result_sink.h, OnTuple). The star
+  /// decomposition needs a global tuple dedup, so delivery is incremental
+  /// only for sinks with may_finish_early(): new (never-seen) tuples are
+  /// streamed after every light step / heavy product block, and done()
+  /// skips the remaining steps and blocks. Other sinks receive the final
+  /// sorted duplicate-free tuples after evaluation. result.tuples is
+  /// filled either way.
+  ResultSink* sink = nullptr;
 };
 
 struct StarJoinResult {
@@ -62,6 +72,12 @@ struct StarJoinResult {
   HeavyKernelCounts kernel_counts; // product blocks per kernel
   double light_seconds = 0.0;
   double heavy_seconds = 0.0;
+
+  // --- early-exit instrumentation (sink-driven runs) ---
+  uint64_t light_steps_skipped = 0;    // light decomposition steps skipped
+  uint64_t heavy_blocks_total = 0;
+  uint64_t heavy_blocks_executed = 0;
+  uint64_t heavy_blocks_skipped = 0;
 
   StarJoinResult() : tuples(1) {}
 };

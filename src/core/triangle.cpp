@@ -1,10 +1,12 @@
 #include "core/triangle.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "core/result_sink.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/matmul.h"
 #include "matrix/sparse_matrix.h"
@@ -110,11 +112,17 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
   // minimum-id light vertex. A neighbour participates only if it is heavy
   // or has a larger id (so no other light vertex claims the triangle
   // first).
+  const ResultSink* cancel = options.cancel;
+  std::atomic<uint64_t> skipped{0};
   std::vector<uint64_t> light_partial(static_cast<size_t>(threads), 0);
   // Dynamic chunks: per-vertex cost is quadratic in (skewed) degree.
   // Accumulate (+=) — a dynamic worker handles many chunks.
   ParallelForDynamic(threads, graph.num_x(), /*grain=*/512,
                      [&](size_t v0, size_t v1, int w) {
+    if (cancel != nullptr && cancel->done()) {
+      skipped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     uint64_t local = 0;
     std::vector<Value> eligible;
     for (size_t v = v0; v < v1; ++v) {
@@ -183,6 +191,10 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
                        [&](size_t b0, size_t b1, int w) {
       double local = 0.0;
       for (size_t blk = b0; blk < b1; ++blk) {
+        if (cancel != nullptr && cancel->done()) {
+          skipped.fetch_add(b1 - blk, std::memory_order_relaxed);
+          break;  // keep the trace contribution of already-run blocks
+        }
         const BlockKernelChoice& choice = choices[blk];
         const size_t r0 = choice.row_begin;
         const size_t r1 = choice.row_end;
@@ -232,6 +244,8 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
     result.heavy_triangles = static_cast<uint64_t>(trace / 6.0 + 0.5);
   }
 
+  result.blocks_skipped = skipped.load();
+  result.cancelled = result.blocks_skipped > 0;
   result.triangles = result.light_triangles + result.heavy_triangles;
   return result;
 }

@@ -18,6 +18,8 @@
 
 namespace jpmm {
 
+class ResultSink;
+
 struct TriangleCountOptions {
   /// Degree threshold; 0 = pick sqrt(|E|) (the AYZ balance point for
   /// classical multiplication).
@@ -32,6 +34,12 @@ struct TriangleCountOptions {
   HeavyPathMode heavy_path = HeavyPathMode::kAuto;
   /// nullptr uses SparseKernelRates::Default().
   const SparseKernelRates* sparse_rates = nullptr;
+  /// Cooperative cancellation: the count loops poll cancel->done() at
+  /// chunk/block granularity and stop early when it fires. A cancelled run
+  /// reports a PARTIAL count (result.cancelled is set) — triangle counting
+  /// has no per-pair output to limit, so this exists for callers that
+  /// abandon a count mid-flight, not for limit semantics.
+  const ResultSink* cancel = nullptr;
 };
 
 struct TriangleCountResult {
@@ -43,6 +51,8 @@ struct TriangleCountResult {
   uint64_t heavy_nnz = 0;          // heavy-subgraph edges (directed count)
   double heavy_density = 0.0;      // heavy_nnz / heavy_vertices^2
   HeavyKernelCounts kernel_counts; // trace blocks per kernel
+  uint64_t blocks_skipped = 0;     // chunks/blocks skipped by cancellation
+  bool cancelled = false;          // counts are partial
 };
 
 /// Counts triangles of an undirected graph given as a symmetric edge

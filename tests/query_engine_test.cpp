@@ -1,0 +1,518 @@
+// QueryEngine facade + ResultSink semantics: limit early exit mid product
+// block on every strategy, cross-thread-count determinism, TopKByCountSink
+// against a full-sort oracle, PreparedQuery reuse (plan-cache hits must
+// not change results), and structured validation errors instead of aborts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/join_project.h"
+#include "core/mm_join.h"
+#include "core/query_engine.h"
+#include "core/result_sink.h"
+#include "datagen/generators.h"
+#include "scj/mm_scj.h"
+#include "ssj/mm_ssj.h"
+#include "storage/set_family.h"
+#include "tests/test_util.h"
+
+namespace jpmm {
+namespace {
+
+using testutil::OracleTwoPath;
+using testutil::Sorted;
+
+// A skewed graph whose two-path join has a real heavy part under small
+// thresholds (four dense communities). Small enough for the O(|R|^2)
+// brute-force oracle; tests that need several product blocks shrink
+// row_block instead of growing the graph.
+BinaryRelation SkewedGraph() {
+  return CommunityGraph(/*communities=*/4, /*community_size=*/60,
+                        /*p_in=*/0.5, /*seed=*/11);
+}
+
+QueryEngine MakeEngine(const BinaryRelation& rel) {
+  QueryEngine engine;
+  engine.catalog().Put("R", rel);
+  return engine;
+}
+
+QuerySpec TwoPathSpec(Strategy strategy) {
+  QuerySpec spec;
+  spec.kind = QueryKind::kTwoPath;
+  spec.relations = {"R"};
+  spec.strategy = strategy;
+  return spec;
+}
+
+std::vector<OutPair> EngineAllPairs(QueryEngine* engine,
+                                    const QuerySpec& spec,
+                                    const ExecOptions& exec) {
+  PreparedQuery q;
+  auto st = engine->Prepare(spec, &q);
+  EXPECT_TRUE(st.ok()) << st.message();
+  VectorSink sink;
+  st = engine->Execute(q, sink, exec);
+  EXPECT_TRUE(st.ok()) << st.message();
+  return Sorted(sink.pairs());
+}
+
+// ---- VectorSink back-compat: the engine + VectorSink must reproduce the
+// pre-redesign facade results exactly, for every strategy.
+
+TEST(QueryEngine, VectorSinkMatchesOldFacade) {
+  const BinaryRelation rel = SkewedGraph();
+  QueryEngine engine = MakeEngine(rel);
+  for (Strategy s : {Strategy::kAuto, Strategy::kMmJoin, Strategy::kNonMmJoin,
+                     Strategy::kWcojFull}) {
+    JoinProjectOptions old_opts;
+    old_opts.strategy = s;
+    auto old_out = JoinProject::TwoPath(rel, rel, old_opts);
+    auto new_pairs = EngineAllPairs(&engine, TwoPathSpec(s), {});
+    EXPECT_EQ(new_pairs, Sorted(old_out.pairs)) << StrategyName(s);
+  }
+}
+
+// ---- Limit semantics: exactly min(k, |OUT|) pairs, every one a real
+// output pair, on every strategy and thread count.
+
+TEST(QueryEngine, LimitSinkEveryStrategy) {
+  const BinaryRelation rel = SkewedGraph();
+  QueryEngine engine = MakeEngine(rel);
+  const auto oracle = OracleTwoPath(rel, rel);
+  std::set<std::pair<Value, Value>> full;
+  for (const OutPair& p : oracle) full.insert({p.x, p.z});
+
+  for (Strategy s : {Strategy::kMmJoin, Strategy::kNonMmJoin,
+                     Strategy::kWcojFull}) {
+    for (int threads : {1, 3}) {
+      PreparedQuery q;
+      auto st = engine.Prepare(TwoPathSpec(s), &q);
+      ASSERT_TRUE(st.ok()) << st.message();
+      LimitSink sink(37);
+      ExecOptions exec;
+      exec.threads = threads;
+      st = engine.Execute(q, sink, exec);
+      ASSERT_TRUE(st.ok()) << st.message();
+      EXPECT_EQ(sink.pairs().size(), std::min<size_t>(37, full.size()))
+          << StrategyName(s) << " threads=" << threads;
+      for (const OutPair& p : sink.pairs()) {
+        EXPECT_TRUE(full.count({p.x, p.z})) << StrategyName(s);
+      }
+    }
+  }
+}
+
+TEST(QueryEngine, LimitLargerThanOutputDeliversEverything) {
+  const BinaryRelation rel = SkewedGraph();
+  QueryEngine engine = MakeEngine(rel);
+  const auto oracle = OracleTwoPath(rel, rel);
+  LimitSink sink(oracle.size() + 1000);
+  auto st = engine.Run(TwoPathSpec(Strategy::kAuto), sink, {});
+  ASSERT_TRUE(st.ok()) << st.message();
+  auto got = sink.pairs();
+  EXPECT_EQ(Sorted(got), oracle);
+}
+
+// The core acceptance property: a small limit on a heavy-part query stops
+// mid product pass — some planned blocks are never executed.
+
+TEST(QueryEngine, LimitSkipsHeavyProductBlocks) {
+  const BinaryRelation rel = SkewedGraph();
+  IndexedRelation idx(rel);
+
+  // Thresholds {1, 1}: everything is heavy, so the output comes from the
+  // product blocks alone (240 heavy rows = 4 blocks of 64).
+  MmJoinOptions opts;
+  opts.thresholds = {1, 1};
+  opts.row_block = 64;
+  LimitSink sink(5);
+  opts.sink = &sink;
+  auto res = MmJoinTwoPath(idx, idx, opts);
+  EXPECT_GE(res.heavy_blocks_total, 2u);
+  EXPECT_GT(res.heavy_blocks_skipped, 0u);
+  EXPECT_LT(res.heavy_blocks_executed, res.heavy_blocks_total);
+  EXPECT_EQ(res.heavy_blocks_executed + res.heavy_blocks_skipped,
+            res.heavy_blocks_total);
+  EXPECT_EQ(sink.pairs().size(), 5u);
+
+  std::set<std::pair<Value, Value>> full;
+  for (const OutPair& p : OracleTwoPath(rel, rel)) full.insert({p.x, p.z});
+  for (const OutPair& p : sink.pairs()) {
+    EXPECT_TRUE(full.count({p.x, p.z}));
+  }
+}
+
+// When the light pass alone satisfies the sink, the heavy phase is
+// skipped wholesale — no operand build, every planned block accounted as
+// skipped.
+
+TEST(QueryEngine, LimitSatisfiedByLightPassSkipsWholeHeavyPhase) {
+  // Light section: groups of 4 x values sharing one y (800 light pairs,
+  // emitted first — the x domain scan hits them before any heavy row).
+  // Heavy section: a 100 x 100 complete bipartite block (2 product blocks
+  // at row_block 64).
+  BinaryRelation rel;
+  for (Value x = 0; x < 200; ++x) rel.Add(x, 1000 + x / 4);
+  for (Value i = 0; i < 100; ++i) {
+    for (Value j = 0; j < 100; ++j) rel.Add(500 + i, 2000 + j);
+  }
+  rel.Finalize();
+  IndexedRelation idx(rel);
+
+  MmJoinOptions opts;
+  opts.thresholds = {5, 5};
+  opts.row_block = 64;
+  LimitSink sink(3);
+  opts.sink = &sink;
+  auto res = MmJoinTwoPath(idx, idx, opts);
+  ASSERT_GT(res.heavy_rows, 0u) << "test premise: heavy part must exist";
+  EXPECT_EQ(sink.pairs().size(), 3u);
+  EXPECT_EQ(res.heavy_blocks_executed, 0u);
+  EXPECT_GT(res.heavy_blocks_total, 0u);
+  EXPECT_EQ(res.heavy_blocks_skipped, res.heavy_blocks_total);
+}
+
+// ---- Determinism: sorted full output is identical at every thread
+// count; limit output count is identical at every thread count.
+
+TEST(QueryEngine, SortedOutputDeterministicAcrossThreadCounts) {
+  const BinaryRelation rel = SkewedGraph();
+  QueryEngine engine = MakeEngine(rel);
+  ExecOptions exec1;
+  exec1.threads = 1;
+  auto base = EngineAllPairs(&engine, TwoPathSpec(Strategy::kAuto), exec1);
+  for (int threads : {2, 4}) {
+    ExecOptions exec;
+    exec.threads = threads;
+    auto got = EngineAllPairs(&engine, TwoPathSpec(Strategy::kAuto), exec);
+    EXPECT_EQ(got, base) << "threads=" << threads;
+  }
+}
+
+TEST(QueryEngine, LimitCountDeterministicAcrossThreadCounts) {
+  const BinaryRelation rel = SkewedGraph();
+  QueryEngine engine = MakeEngine(rel);
+  PreparedQuery q;
+  ASSERT_TRUE(engine.Prepare(TwoPathSpec(Strategy::kMmJoin), &q).ok());
+  for (int threads : {1, 2, 4}) {
+    LimitSink sink(64);
+    ExecOptions exec;
+    exec.threads = threads;
+    ASSERT_TRUE(engine.Execute(q, sink, exec).ok());
+    EXPECT_EQ(sink.pairs().size(), 64u) << "threads=" << threads;
+  }
+}
+
+// ---- TopKByCountSink against the full-sort oracle.
+
+TEST(QueryEngine, TopKMatchesFullSortOracle) {
+  const BinaryRelation rel = SkewedGraph();
+  QueryEngine engine = MakeEngine(rel);
+  QuerySpec spec = TwoPathSpec(Strategy::kAuto);
+  spec.count_witnesses = true;
+
+  // Oracle: materialize every counted pair, full sort, take the head.
+  PreparedQuery q;
+  ASSERT_TRUE(engine.Prepare(spec, &q).ok());
+  VectorSink all;
+  ASSERT_TRUE(engine.Execute(q, all, {}).ok());
+  auto oracle = all.counted();
+  std::sort(oracle.begin(), oracle.end(),
+            [](const CountedPair& a, const CountedPair& b) {
+              if (a.count != b.count) return a.count > b.count;
+              if (a.x != b.x) return a.x < b.x;
+              return a.z < b.z;
+            });
+  const size_t k = 25;
+  oracle.resize(std::min(oracle.size(), k));
+
+  for (int threads : {1, 4}) {
+    TopKByCountSink topk(k);
+    ExecOptions exec;
+    exec.threads = threads;
+    ASSERT_TRUE(engine.Execute(q, topk, exec).ok());
+    EXPECT_EQ(topk.top(), oracle) << "threads=" << threads;
+  }
+}
+
+// ---- CountOnlySink.
+
+TEST(QueryEngine, CountOnlyMatchesMaterializedSize) {
+  const BinaryRelation rel = SkewedGraph();
+  QueryEngine engine = MakeEngine(rel);
+  const auto oracle = OracleTwoPath(rel, rel);
+  CountOnlySink counter;
+  ASSERT_TRUE(engine.Run(TwoPathSpec(Strategy::kAuto), counter, {}).ok());
+  EXPECT_EQ(counter.count(), oracle.size());
+}
+
+// ---- PreparedQuery reuse: the second execution must be a plan-cache hit
+// and return identical results.
+
+TEST(QueryEngine, PreparedReuseIsCacheHitWithIdenticalResults) {
+  const BinaryRelation rel = SkewedGraph();
+  QueryEngine engine = MakeEngine(rel);
+  PreparedQuery q;
+  ASSERT_TRUE(engine.Prepare(TwoPathSpec(Strategy::kAuto), &q).ok());
+
+  VectorSink first, second;
+  ExecStats stats1, stats2;
+  ASSERT_TRUE(engine.Execute(q, first, {}, &stats1).ok());
+  ASSERT_TRUE(engine.Execute(q, second, {}, &stats2).ok());
+  EXPECT_FALSE(stats1.plan_cache_hit);
+  EXPECT_TRUE(stats2.plan_cache_hit);
+  EXPECT_TRUE(q.has_plan());
+  EXPECT_EQ(q.executions(), 2u);
+  EXPECT_EQ(Sorted(first.pairs()), Sorted(second.pairs()));
+
+  // A thread-count change re-plans (the cost model is thread-aware), then
+  // caches again.
+  VectorSink third;
+  ExecStats stats3;
+  ExecOptions exec;
+  exec.threads = 2;
+  ASSERT_TRUE(engine.Execute(q, third, exec, &stats3).ok());
+  EXPECT_FALSE(stats3.plan_cache_hit);
+  EXPECT_EQ(Sorted(third.pairs()), Sorted(first.pairs()));
+}
+
+// ---- Structured validation errors (no aborts).
+
+TEST(QueryEngine, UnknownRelationNameIsError) {
+  QueryEngine engine = MakeEngine(SkewedGraph());
+  QuerySpec spec = TwoPathSpec(Strategy::kAuto);
+  spec.relations = {"nope"};
+  PreparedQuery q;
+  auto st = engine.Prepare(spec, &q);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unknown relation"), std::string::npos);
+}
+
+TEST(QueryEngine, MinCountWithoutWitnessesIsError) {
+  QueryEngine engine = MakeEngine(SkewedGraph());
+  QuerySpec spec = TwoPathSpec(Strategy::kAuto);
+  spec.min_count = 3;  // count_witnesses stays false
+  PreparedQuery q;
+  auto st = engine.Prepare(spec, &q);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("count_witnesses"), std::string::npos);
+}
+
+TEST(QueryEngine, NonPositiveThreadsIsError) {
+  QueryEngine engine = MakeEngine(SkewedGraph());
+  PreparedQuery q;
+  ASSERT_TRUE(engine.Prepare(TwoPathSpec(Strategy::kAuto), &q).ok());
+  VectorSink sink;
+  ExecOptions exec;
+  exec.threads = 0;
+  auto st = engine.Execute(q, sink, exec);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("threads"), std::string::npos);
+}
+
+TEST(QueryEngine, StarIntoPairOnlySinkIsError) {
+  QueryEngine engine = MakeEngine(SkewedGraph());
+  QuerySpec spec;
+  spec.kind = QueryKind::kStar;
+  spec.relations = {"R", "R"};
+  PreparedQuery q;
+  ASSERT_TRUE(engine.Prepare(spec, &q).ok());
+  TopKByCountSink topk(5);  // pair-only: would silently drop every tuple
+  auto st = engine.Execute(q, topk, {});
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("tuple"), std::string::npos);
+}
+
+TEST(QueryEngine, WrongRelationCountIsError) {
+  QueryEngine engine = MakeEngine(SkewedGraph());
+  QuerySpec spec;
+  spec.kind = QueryKind::kStar;
+  spec.relations = {"R"};  // star needs >= 2
+  PreparedQuery q;
+  EXPECT_FALSE(engine.Prepare(spec, &q).ok());
+
+  spec.kind = QueryKind::kTwoPath;
+  spec.relations = {"R", "R", "R"};  // two-path takes at most 2
+  EXPECT_FALSE(engine.Prepare(spec, &q).ok());
+}
+
+TEST(QueryEngine, ValidateJoinProjectOptionsHelper) {
+  JoinProjectOptions opts;
+  EXPECT_TRUE(ValidateJoinProjectOptions(opts).empty());
+  opts.min_count = 2;
+  EXPECT_FALSE(ValidateJoinProjectOptions(opts).empty());
+  opts.count_witnesses = true;
+  EXPECT_TRUE(ValidateJoinProjectOptions(opts).empty());
+  opts.threads = -1;
+  EXPECT_FALSE(ValidateJoinProjectOptions(opts).empty());
+}
+
+// ---- Star queries through the engine: full tuple delivery + limit.
+
+TEST(QueryEngine, StarVectorSinkMatchesFacade) {
+  const BinaryRelation rel =
+      UniformBipartite(/*num_x=*/120, /*num_y=*/40, /*num_tuples=*/700, 3);
+  QueryEngine engine;
+  engine.catalog().Put("R", rel);
+  QuerySpec spec;
+  spec.kind = QueryKind::kStar;
+  spec.relations = {"R", "R", "R"};
+
+  IndexedRelation idx(rel);
+  std::vector<const IndexedRelation*> rels{&idx, &idx, &idx};
+  auto expect = JoinProject::Star(rels, {});
+
+  VectorSink sink;
+  ExecStats stats;
+  ASSERT_TRUE(engine.Run(spec, sink, {}, &stats).ok());
+  EXPECT_EQ(sink.tuple_arity(), 3u);
+  EXPECT_EQ(sink.tuple_data(), expect.tuples.flat());
+}
+
+TEST(QueryEngine, StarLimitDeliversDistinctSubset) {
+  const BinaryRelation rel =
+      UniformBipartite(/*num_x=*/120, /*num_y=*/40, /*num_tuples=*/700, 3);
+  QueryEngine engine;
+  engine.catalog().Put("R", rel);
+  QuerySpec spec;
+  spec.kind = QueryKind::kStar;
+  spec.relations = {"R", "R"};
+
+  VectorSink all;
+  ASSERT_TRUE(engine.Run(spec, all, {}).ok());
+  const size_t total = all.tuple_data().size() / 2;
+  std::set<std::vector<Value>> full;
+  for (size_t i = 0; i < total; ++i) {
+    full.insert({all.tuple_data()[2 * i], all.tuple_data()[2 * i + 1]});
+  }
+
+  LimitSink limited(50);
+  ASSERT_TRUE(engine.Run(spec, limited, {}).ok());
+  ASSERT_EQ(limited.tuple_arity(), 2u);
+  const size_t got = limited.tuple_data().size() / 2;
+  EXPECT_EQ(got, std::min<size_t>(50, total));
+  std::set<std::vector<Value>> seen;
+  for (size_t i = 0; i < got; ++i) {
+    std::vector<Value> t{limited.tuple_data()[2 * i],
+                         limited.tuple_data()[2 * i + 1]};
+    EXPECT_TRUE(full.count(t)) << "tuple not in the full star output";
+    EXPECT_TRUE(seen.insert(t).second) << "duplicate tuple delivered";
+  }
+}
+
+// ---- SCJ / SSJ through the engine match the direct pipelines.
+
+TEST(QueryEngine, ScjMatchesMmScj) {
+  BipartiteSpec bs;
+  bs.num_sets = 300;
+  bs.dom_size = 120;
+  bs.max_set_size = 10;
+  bs.subset_fraction = 0.3;
+  const BinaryRelation rel = MakeBipartite(bs);
+  IndexedRelation idx(rel);
+  SetFamily fam(idx);
+  auto expect = MmScj(fam, {});
+
+  QueryEngine engine;
+  engine.catalog().Put("R", rel);
+  QuerySpec spec;
+  spec.kind = QueryKind::kScj;
+  spec.relations = {"R"};
+  VectorSink sink;
+  ASSERT_TRUE(engine.Run(spec, sink, {}).ok());
+
+  ScjResult got;
+  for (const OutPair& p : sink.pairs()) {
+    got.push_back(ContainmentPair{p.x, p.z});
+  }
+  CanonicalizeScj(&got);
+  EXPECT_EQ(got, expect);
+}
+
+TEST(QueryEngine, SsjMatchesMmSsj) {
+  BipartiteSpec bs;
+  bs.num_sets = 300;
+  bs.dom_size = 120;
+  bs.max_set_size = 10;
+  const BinaryRelation rel = MakeBipartite(bs);
+  IndexedRelation idx(rel);
+  SetFamily fam(idx);
+  SsjOptions so;
+  so.c = 2;
+  so.ordered = true;
+  auto expect = MmSsj(fam, so);
+
+  QueryEngine engine;
+  engine.catalog().Put("R", rel);
+  QuerySpec spec;
+  spec.kind = QueryKind::kSsj;
+  spec.relations = {"R"};
+  spec.ssj_c = 2;
+  spec.ssj_ordered = true;
+  VectorSink sink;
+  ASSERT_TRUE(engine.Run(spec, sink, {}).ok());
+
+  SsjResult got;
+  for (const CountedPair& p : sink.counted()) {
+    got.push_back(SimilarPair{p.x, p.z, p.count});
+  }
+  CanonicalizeSsj(&got, /*ordered=*/true);
+  EXPECT_EQ(got, expect);
+}
+
+// SSJ with a limit: the engine's early exit flows through the adapter to
+// the underlying two-path join.
+
+TEST(QueryEngine, SsjLimitDeliversQualifyingPairs) {
+  BipartiteSpec bs;
+  bs.num_sets = 400;
+  bs.dom_size = 100;
+  bs.max_set_size = 12;
+  const BinaryRelation rel = MakeBipartite(bs);
+  IndexedRelation idx(rel);
+  SetFamily fam(idx);
+  SsjOptions so;
+  so.c = 2;
+  auto full = MmSsj(fam, so);
+  std::set<std::pair<Value, Value>> full_set;
+  for (const SimilarPair& p : full) full_set.insert({p.a, p.b});
+
+  QueryEngine engine;
+  engine.catalog().Put("R", rel);
+  QuerySpec spec;
+  spec.kind = QueryKind::kSsj;
+  spec.relations = {"R"};
+  spec.ssj_c = 2;
+  LimitSink sink(20);
+  ASSERT_TRUE(engine.Run(spec, sink, {}).ok());
+  EXPECT_EQ(sink.pairs().size(), std::min<size_t>(20, full_set.size()));
+  for (const OutPair& p : sink.pairs()) {
+    EXPECT_TRUE(full_set.count({p.x, p.z}));
+  }
+}
+
+// ---- Triangle count through the engine.
+
+TEST(QueryEngine, TriangleCountMatchesDirect) {
+  BinaryRelation sym = CommunityGraph(3, 60, 0.5, 21);
+  IndexedRelation idx(sym);
+  auto direct = CountTrianglesMm(idx, {});
+
+  QueryEngine engine;
+  engine.catalog().Put("G", sym);
+  QuerySpec spec;
+  spec.kind = QueryKind::kTriangle;
+  spec.relations = {"G"};
+  VectorSink sink;  // no pair delivery; cancellation token only
+  ExecStats stats;
+  ASSERT_TRUE(engine.Run(spec, sink, {}, &stats).ok());
+  EXPECT_EQ(stats.triangle_count, direct.triangles);
+  EXPECT_FALSE(stats.triangle_cancelled);
+}
+
+}  // namespace
+}  // namespace jpmm

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Render the per-benchmark trajectory across a directory of BENCH_*.json
+artifacts (google-benchmark JSON, the files CI uploads on every run).
+
+    python3 tools/bench_plot.py <artifact-dir> [--out trajectory.svg]
+        [--metric real_time] [--filter REGEX]
+
+Runs are ordered by file name (fall back to mtime with --order mtime), so
+date- or run-number-stamped artifact names plot chronologically. Output is
+a self-contained SVG (no plotting library needed) with one log-scale line
+per benchmark, plus a first-vs-last delta table on stdout — the companion
+to tools/bench_compare.py, which diffs exactly two artifacts.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+# google-benchmark time_unit values, normalized to nanoseconds.
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# Repeating categorical palette for the polylines.
+_COLORS = [
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951",
+    "#ff8ab7", "#a463f2", "#97bbf5", "#9c6b4e", "#9498a0",
+]
+
+
+def load_rows(path, metric):
+    """benchmark name -> metric in ns, plain iteration rows only."""
+    with open(path) as f:
+        data = json.load(f)
+    rows = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        if metric not in b:
+            continue
+        scale = _UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+        rows[b["name"]] = float(b[metric]) * scale
+    return rows
+
+
+def fmt_ns(ns):
+    for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= div:
+            return f"{ns / div:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def svg_escape(s):
+    return s.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def render_svg(labels, series, out_path):
+    """labels: run names (x axis); series: {bench: [ns or None per run]}."""
+    width, height = 960, 540
+    ml, mr, mt, mb = 70, 260, 30, 60  # margins; right holds the legend
+    pw, ph = width - ml - mr, height - mt - mb
+
+    values = [v for pts in series.values() for v in pts if v is not None]
+    lo, hi = min(values), max(values)
+    if lo <= 0:
+        lo = min(v for v in values if v > 0)
+    llo, lhi = math.log10(lo), math.log10(hi)
+    if lhi - llo < 1e-9:
+        llo, lhi = llo - 0.5, lhi + 0.5
+    # Pad a little so the extremes don't touch the frame.
+    pad = 0.05 * (lhi - llo)
+    llo, lhi = llo - pad, lhi + pad
+
+    n = len(labels)
+    xs = [ml + (pw * i / max(1, n - 1)) for i in range(n)]
+
+    def y_of(v):
+        return mt + ph * (1.0 - (math.log10(v) - llo) / (lhi - llo))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{ml}" y="18" font-size="14" font-weight="bold">'
+        f'Benchmark trajectory ({n} runs, log time)</text>',
+    ]
+
+    # Horizontal gridlines at decade boundaries.
+    for d in range(math.floor(llo), math.ceil(lhi) + 1):
+        v = 10.0 ** d
+        if not (llo <= d <= lhi):
+            continue
+        y = y_of(v)
+        parts.append(f'<line x1="{ml}" y1="{y:.1f}" x2="{ml + pw}" '
+                     f'y2="{y:.1f}" stroke="#ddd"/>')
+        parts.append(f'<text x="{ml - 6}" y="{y + 4:.1f}" '
+                     f'text-anchor="end">{svg_escape(fmt_ns(v))}</text>')
+
+    # X labels (thinned to at most ~12).
+    step = max(1, n // 12)
+    for i in range(0, n, step):
+        parts.append(
+            f'<text x="{xs[i]:.1f}" y="{mt + ph + 16}" text-anchor="middle" '
+            f'font-size="10">{svg_escape(labels[i][:24])}</text>')
+
+    # Polylines + legend.
+    for si, (name, pts) in enumerate(sorted(series.items())):
+        color = _COLORS[si % len(_COLORS)]
+        coords = [(xs[i], y_of(v)) for i, v in enumerate(pts)
+                  if v is not None]
+        if len(coords) >= 2:
+            path = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+            parts.append(f'<polyline points="{path}" fill="none" '
+                         f'stroke="{color}" stroke-width="1.8"/>')
+        for x, y in coords:
+            parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="2.4" '
+                         f'fill="{color}"/>')
+        ly = mt + 14 * si
+        parts.append(f'<rect x="{ml + pw + 12}" y="{ly - 8}" width="10" '
+                     f'height="10" fill="{color}"/>')
+        parts.append(f'<text x="{ml + pw + 27}" y="{ly + 1}" '
+                     f'font-size="10">{svg_escape(name[:40])}</text>')
+
+    parts.append(f'<rect x="{ml}" y="{mt}" width="{pw}" height="{ph}" '
+                 f'fill="none" stroke="#999"/>')
+    parts.append("</svg>")
+    Path(out_path).write_text("\n".join(parts))
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("directory", help="directory holding BENCH_*.json files")
+    ap.add_argument("--out", default="trajectory.svg", help="output SVG path")
+    ap.add_argument("--metric", default="real_time",
+                    help="benchmark field to plot (default real_time)")
+    ap.add_argument("--filter", default=None,
+                    help="regex; only matching benchmark names are plotted")
+    ap.add_argument("--glob", default="BENCH_*.json",
+                    help="artifact file pattern (default BENCH_*.json)")
+    ap.add_argument("--order", choices=["name", "mtime"], default="name",
+                    help="run ordering (default: file name)")
+    args = ap.parse_args()
+
+    files = sorted(Path(args.directory).glob(args.glob))
+    if args.order == "mtime":
+        files.sort(key=lambda p: p.stat().st_mtime)
+    if not files:
+        print(f"no {args.glob} files in {args.directory}", file=sys.stderr)
+        return 1
+
+    labels = []
+    runs = []
+    for f in files:
+        try:
+            rows = load_rows(f, args.metric)
+        except (json.JSONDecodeError, OSError) as e:
+            print(f"skipping {f}: {e}", file=sys.stderr)
+            continue
+        labels.append(f.stem.removeprefix("BENCH_"))
+        runs.append(rows)
+    if not runs:
+        print("no readable artifacts", file=sys.stderr)
+        return 1
+
+    names = sorted({n for rows in runs for n in rows})
+    if args.filter:
+        rx = re.compile(args.filter)
+        names = [n for n in names if rx.search(n)]
+    if not names:
+        print("no benchmarks match", file=sys.stderr)
+        return 1
+
+    series = {n: [rows.get(n) for rows in runs] for n in names}
+    render_svg(labels, series, args.out)
+
+    # First-vs-last summary: the trajectory's headline per benchmark.
+    print(f"{'benchmark':<48} {'first':>10} {'last':>10} {'delta':>8}")
+    for n in names:
+        pts = [v for v in series[n] if v is not None]
+        first, last = pts[0], pts[-1]
+        delta = (last - first) / first * 100.0 if first > 0 else 0.0
+        print(f"{n:<48} {fmt_ns(first):>10} {fmt_ns(last):>10} "
+              f"{delta:>+7.1f}%")
+    print(f"\nwrote {args.out} ({len(names)} benchmarks, {len(runs)} runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

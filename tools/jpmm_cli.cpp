@@ -22,6 +22,12 @@
 //   --strategy S      auto|mm|nonmm|wcoj      (twopath, star)
 //   --counts          produce witness counts  (twopath)
 //   --min-count C     keep pairs with >= C witnesses (twopath)
+//   --limit N         stop after N results (LimitSink early exit) (twopath)
+//   --count-only      count results without materializing (twopath)
+//   --top-k N         N highest-witness-count pairs (implies counts)
+//                     (twopath)
+//   --repeat N        execute the prepared query N times (plan-cache
+//                     demo; --explain reports hit/miss per run) (twopath)
 //   --k K             star arity (default 3)  (star)
 //   --algo A          mm|sizeaware|sizeaware++ (ssj)
 //                     mm|pretti|limit|pie      (scj)
@@ -30,8 +36,9 @@
 //   --batch N         BSI batch size (default 1000)
 //   --rate B          BSI arrival rate per second (default 1000)
 //   --threads N       worker threads (default 1)
-//   --explain         print per-product-block kernel choices (dense / CSR)
-//                     and measured heavy-part density (twopath, star)
+//   --explain         print per-product-block kernel choices (dense / CSR),
+//                     measured heavy-part density, plan-cache hit/miss,
+//                     and blocks skipped by early exit (twopath, star)
 //   --heavy-path P    auto|dense|csr-dense|csr-csr kernel override
 //                     (twopath, star, triangles)
 
@@ -47,6 +54,8 @@
 #include "bsi/workload.h"
 #include "common/timer.h"
 #include "core/join_project.h"
+#include "core/query_engine.h"
+#include "core/result_sink.h"
 #include "core/triangle.h"
 #include "datagen/generators.h"
 #include "datagen/presets.h"
@@ -93,7 +102,8 @@ std::optional<Args> Parse(int argc, char** argv) {
     }
     key = key.substr(2);
     // Flags without values.
-    if (key == "counts" || key == "ordered" || key == "explain") {
+    if (key == "counts" || key == "ordered" || key == "explain" ||
+        key == "count-only") {
       args.options[key] = "1";
       continue;
     }
@@ -180,21 +190,90 @@ int RunStats(const Args& args, const BinaryRelation& rel) {
   return 0;
 }
 
-int RunTwoPath(const Args& args, const BinaryRelation& rel) {
-  JoinProjectOptions opts;
-  opts.strategy = ParseStrategy(args.Get("strategy", "auto"));
-  opts.threads = static_cast<int>(args.GetI("threads", 1));
-  opts.count_witnesses = args.Has("counts") || args.Has("min-count");
-  opts.min_count = static_cast<uint32_t>(args.GetI("min-count", 1));
-  opts.heavy_path = ParseHeavyPath(args.Get("heavy-path", "auto"));
-  WallTimer timer;
-  auto out = JoinProject::TwoPath(rel, rel, opts);
-  std::printf("plan: %s\n", out.plan.ToString().c_str());
-  std::printf("executed: %s\n", StrategyName(out.executed));
-  std::printf("output: %zu pairs in %.3f s\n", out.size(), timer.Seconds());
+int RunTwoPath(const Args& args, BinaryRelation rel) {
+  QueryEngine engine;
+  engine.catalog().Put("R", std::move(rel));
+
+  QuerySpec spec;
+  spec.kind = QueryKind::kTwoPath;
+  spec.relations = {"R"};
+  spec.strategy = ParseStrategy(args.Get("strategy", "auto"));
+  spec.count_witnesses =
+      args.Has("counts") || args.Has("min-count") || args.Has("top-k");
+  spec.min_count = static_cast<uint32_t>(args.GetI("min-count", 1));
+
+  ExecOptions exec;
+  exec.threads = static_cast<int>(args.GetI("threads", 1));
+  exec.heavy_path = ParseHeavyPath(args.Get("heavy-path", "auto"));
+
+  PreparedQuery query;
+  QueryStatus st = engine.Prepare(spec, &query);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.message().c_str());
+    return 1;
+  }
+
+  // Sink selection: --top-k > --count-only > --limit > materialize-all.
+  VectorSink all;
+  CountOnlySink count_only;
+  std::optional<LimitSink> limit;
+  std::optional<TopKByCountSink> topk;
+  ResultSink* sink = &all;
+  if (args.Has("top-k")) {
+    topk.emplace(static_cast<size_t>(args.GetI("top-k", 10)));
+    sink = &*topk;
+  } else if (args.Has("count-only")) {
+    sink = &count_only;
+  } else if (args.Has("limit")) {
+    limit.emplace(static_cast<uint64_t>(args.GetI("limit", 10)));
+    sink = &*limit;
+  }
+
+  const long repeat = std::max<long>(1, args.GetI("repeat", 1));
+  ExecStats stats;
+  for (long run = 0; run < repeat; ++run) {
+    st = engine.Execute(query, *sink, exec, &stats);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.message().c_str());
+      return 1;
+    }
+    if (run == 0) {
+      std::printf("plan: %s\n", stats.plan.ToString().c_str());
+      std::printf("executed: %s\n", StrategyName(stats.executed));
+    }
+    size_t n = 0;
+    const char* label = "pairs";
+    if (topk.has_value()) {
+      n = topk->top().size();
+      label = "top-k pairs";
+    } else if (args.Has("count-only")) {
+      n = count_only.count();
+      label = "pairs (counted only)";
+    } else if (limit.has_value()) {
+      n = limit->size();
+      label = "pairs (limited)";
+    } else {
+      n = all.size();
+    }
+    std::printf("output: %zu %s in %.3f s\n", n, label, stats.seconds);
+    if (args.Has("explain")) {
+      std::printf("plan cache: %s\n", stats.plan_cache_hit ? "hit" : "miss");
+      std::printf("early exit: light chunks skipped=%llu, heavy blocks "
+                  "executed=%llu/%llu skipped=%llu\n",
+                  static_cast<unsigned long long>(stats.light_chunks_skipped),
+                  static_cast<unsigned long long>(stats.heavy_blocks_executed),
+                  static_cast<unsigned long long>(stats.heavy_blocks_total),
+                  static_cast<unsigned long long>(stats.heavy_blocks_skipped));
+    }
+  }
+  if (topk.has_value()) {
+    for (const CountedPair& p : topk->top()) {
+      std::printf("  (%u, %u) witnesses %u\n", p.x, p.z, p.count);
+    }
+  }
   if (args.Has("explain")) {
-    PrintBlockChoices(out.kernel_counts, out.block_choices, out.m1_nnz,
-                      out.heavy_density);
+    PrintBlockChoices(stats.kernel_counts, stats.block_choices, stats.m1_nnz,
+                      stats.heavy_density);
   }
   return 0;
 }
@@ -353,7 +432,7 @@ int main(int argc, char** argv) {
   if (!rel.has_value()) return 1;
 
   if (args->command == "stats") return RunStats(*args, *rel);
-  if (args->command == "twopath") return RunTwoPath(*args, *rel);
+  if (args->command == "twopath") return RunTwoPath(*args, std::move(*rel));
   if (args->command == "star") return RunStar(*args, *rel);
   if (args->command == "ssj") return RunSsj(*args, *rel);
   if (args->command == "scj") return RunScj(*args, *rel);
