@@ -350,7 +350,10 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   // ---- Pass B: heavy rows, block by block. If the sink was satisfied by
   // the light pass alone, skip the whole heavy phase — operand build,
   // planning, and dense materialization included — and account every
-  // would-be block as skipped (the block count is just the row count).
+  // would-be block as skipped. This ceil(rows / row_block) must equal the
+  // count PlanProductBlocks would have produced, so heavy_blocks_total is
+  // identical whether the phase ran or was skipped, at every thread count
+  // (guarded by QueryEngine.DoneMidChunkSkipsIdenticalDownstreamBlocks).
   if (use_matrix && sink->done()) {
     result.heavy_blocks_total =
         (hxs.size() + opts.row_block - 1) / opts.row_block;

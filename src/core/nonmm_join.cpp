@@ -128,6 +128,11 @@ MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
   });
   result.light_seconds = light_timer.Seconds();
 
+  // The heavy "block" here is one dynamic chunk of kHeavyGrain rows: every
+  // ParallelForDynamic invocation below increments exactly one of
+  // executed/skipped, and heavy_blocks_total is derived from the same
+  // grain, so executed + skipped == total at every thread count (the
+  // chunk-claim + done() audit invariant).
   constexpr size_t kHeavyGrain = 4;
   if (use_heavy) {
     WallTimer heavy_timer;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <mutex>
 
 #include "common/timer.h"
 #include "core/optimizer.h"
@@ -122,6 +123,38 @@ PreparedQuery::~PreparedQuery() = default;
 PreparedQuery::PreparedQuery(PreparedQuery&&) noexcept = default;
 PreparedQuery& PreparedQuery::operator=(PreparedQuery&&) noexcept = default;
 
+bool PreparedQuery::has_plan() const {
+  if (state_ == nullptr) return false;
+  std::shared_lock<std::shared_mutex> lock(state_->mu);
+  return state_->plan_valid;
+}
+
+PlanChoice PreparedQuery::plan() const {
+  if (state_ == nullptr) return PlanChoice{};
+  std::shared_lock<std::shared_mutex> lock(state_->mu);
+  return state_->plan;
+}
+
+uint64_t PreparedQuery::executions() const {
+  return state_ == nullptr
+             ? 0
+             : state_->executions.load(std::memory_order_relaxed);
+}
+
+QueryStatus QueryEngine::AddRelation(const std::string& name,
+                                     BinaryRelation rel) {
+  catalog_.Put(name, std::move(rel));
+  return QueryStatus::Ok();
+}
+
+QueryStatus QueryEngine::DropRelation(const std::string& name) {
+  if (!catalog_.Drop(name)) {
+    return QueryStatus::Error("unknown relation '" + name +
+                              "' (not in the catalog)");
+  }
+  return QueryStatus::Ok();
+}
+
 QueryStatus QueryEngine::Prepare(const QuerySpec& spec, PreparedQuery* out) {
   if (out == nullptr) return QueryStatus::Error("null PreparedQuery output");
 
@@ -147,12 +180,6 @@ QueryStatus QueryEngine::Prepare(const QuerySpec& spec, PreparedQuery* out) {
         (want_max == want_min ? "" : ".." + std::to_string(want_max)) +
         " relation name(s), got " + std::to_string(spec.relations.size()));
   }
-  for (const std::string& name : spec.relations) {
-    if (!catalog_.Has(name)) {
-      return QueryStatus::Error("unknown relation '" + name +
-                                "' (not in the catalog)");
-    }
-  }
   {
     // Same rule set as the low-level facade, via the shared validator.
     JoinProjectOptions check;
@@ -170,17 +197,26 @@ QueryStatus QueryEngine::Prepare(const QuerySpec& spec, PreparedQuery* out) {
         "count_witnesses / min_count are not supported for star queries");
   }
 
-  // ---- Resolve + cache: indexes (built once, memoized in the catalog)
-  // and operand statistics (the expensive part of planning).
+  // ---- Resolve + snapshot: indexes (built once, memoized per catalog
+  // entry) and operand statistics (the expensive part of planning). The
+  // snapshot is the existence check: name resolution and entry pinning are
+  // one atomic step, so a concurrent Drop between "has" and "index" cannot
+  // slip through.
   PreparedQuery q;
   q.spec_ = spec;
   for (const std::string& name : spec.relations) {
-    q.rels_.push_back(&catalog_.Index(name));
+    std::shared_ptr<const IndexedRelation> idx = catalog_.IndexSnapshot(name);
+    if (idx == nullptr) {
+      return QueryStatus::Error("unknown relation '" + name +
+                                "' (not in the catalog)");
+    }
+    q.rels_.push_back(std::move(idx));
   }
   switch (spec.kind) {
     case QueryKind::kTwoPath: {
-      const IndexedRelation* r = q.rels_[0];
-      const IndexedRelation* s = q.rels_.size() > 1 ? q.rels_[1] : q.rels_[0];
+      const IndexedRelation* r = q.rels_[0].get();
+      const IndexedRelation* s =
+          q.rels_.size() > 1 ? q.rels_[1].get() : q.rels_[0].get();
       q.stats_ = std::make_unique<TwoPathStats>(*r, *s);
       break;
     }
@@ -193,18 +229,20 @@ QueryStatus QueryEngine::Prepare(const QuerySpec& spec, PreparedQuery* out) {
     default:
       break;
   }
+  q.state_ = std::make_unique<PreparedQuery::PlanState>();
   *out = std::move(q);
   return QueryStatus::Ok();
 }
 
 QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
                                  const ExecOptions& opts, ExecStats* stats) {
-  if (query.rels_.empty()) {
+  if (query.rels_.empty() || query.state_ == nullptr) {
     return QueryStatus::Error("PreparedQuery is empty (Prepare it first)");
   }
   if (stats != nullptr) *stats = ExecStats{};  // no cross-execution leakage
   WallTimer timer;
   const QuerySpec& spec = query.spec_;
+  PreparedQuery::PlanState& ps = *query.state_;
 
   // Every execution path funnels its option combination through the
   // shared validator — one place grows new rules for facade and engine
@@ -218,26 +256,49 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
     std::string problem = ValidateJoinProjectOptions(check);
     if (!problem.empty()) return QueryStatus::Error(problem);
   }
+  // Repeat-execution flag for the paths with no cached plan to win or
+  // lose (triangle, star with explicit thresholds). Loaded before the
+  // increment; paths that DO plan derive their hit/miss from the plan
+  // lock instead, so racing first executions report exactly one miss.
+  const bool executed_before =
+      ps.executions.load(std::memory_order_relaxed) > 0;
 
   switch (spec.kind) {
     case QueryKind::kTwoPath:
     case QueryKind::kScj:
     case QueryKind::kSsj: {
-      const IndexedRelation* r = query.rels_[0];
+      const IndexedRelation* r = query.rels_[0].get();
       const IndexedRelation* s =
-          query.rels_.size() > 1 ? query.rels_[1] : query.rels_[0];
+          query.rels_.size() > 1 ? query.rels_[1].get() : query.rels_[0].get();
 
       // Plan cache: the optimizer's choice depends on the worker count
       // (parallel efficiency is part of the cost model), so a thread-count
-      // change re-plans; anything else is a cache hit.
-      const bool cache_hit =
-          query.plan_valid_ && query.plan_threads_ == opts.threads;
+      // change re-plans; anything else is a cache hit. Concurrent first
+      // executions are single-flight: the optimizer runs under the write
+      // lock, racers block on it and then reuse the winner's plan (their
+      // stats report a cache hit — only the winner planned).
+      PlanChoice plan;
+      bool cache_hit = false;
+      {
+        std::shared_lock<std::shared_mutex> rl(ps.mu);
+        if (ps.plan_valid && ps.plan_threads == opts.threads) {
+          plan = ps.plan;
+          cache_hit = true;
+        }
+      }
       if (!cache_hit) {
-        OptimizerOptions oo;
-        oo.threads = opts.threads;
-        query.plan_ = ChooseTwoPathPlan(*r, *s, *query.stats_, oo);
-        query.plan_valid_ = true;
-        query.plan_threads_ = opts.threads;
+        std::unique_lock<std::shared_mutex> wl(ps.mu);
+        if (ps.plan_valid && ps.plan_threads == opts.threads) {
+          plan = ps.plan;  // lost the planning race; reuse the winner
+          cache_hit = true;
+        } else {
+          OptimizerOptions oo;
+          oo.threads = opts.threads;
+          plan = ChooseTwoPathPlan(*r, *s, *query.stats_, oo);
+          ps.plan = plan;
+          ps.plan_valid = true;
+          ps.plan_threads = opts.threads;
+        }
       }
 
       JoinProjectOptions jo;
@@ -254,15 +315,26 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
         jo.min_count = spec.kind == QueryKind::kSsj ? spec.ssj_c : 1;
       }
       // The combinatorial strategy balances its own thresholds; derive
-      // them once from the cached stats instead of rebuilding stats.
+      // them once from the cached stats instead of rebuilding stats
+      // (single-flight under the same plan lock).
       if (jo.strategy == Strategy::kNonMmJoin && jo.thresholds.delta1 == 0 &&
           jo.thresholds.delta2 == 0) {
-        if (!query.nonmm_thresholds_valid_) {
-          query.nonmm_thresholds_ =
-              ChooseNonMmThresholds(*r, *s, *query.stats_);
-          query.nonmm_thresholds_valid_ = true;
+        bool have = false;
+        {
+          std::shared_lock<std::shared_mutex> rl(ps.mu);
+          if (ps.nonmm_thresholds_valid) {
+            jo.thresholds = ps.nonmm_thresholds;
+            have = true;
+          }
         }
-        jo.thresholds = query.nonmm_thresholds_;
+        if (!have) {
+          std::unique_lock<std::shared_mutex> wl(ps.mu);
+          if (!ps.nonmm_thresholds_valid) {
+            ps.nonmm_thresholds = ChooseNonMmThresholds(*r, *s, *query.stats_);
+            ps.nonmm_thresholds_valid = true;
+          }
+          jo.thresholds = ps.nonmm_thresholds;
+        }
       }
 
       std::unique_ptr<FilteredAdapterSink> adapter;
@@ -278,11 +350,10 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
         jo.sink = &sink;
       }
 
-      JoinProjectOutput out =
-          JoinProject::TwoPathWithPlan(*r, *s, query.plan_, jo);
+      JoinProjectOutput out = JoinProject::TwoPathWithPlan(*r, *s, plan, jo);
       FillTwoPathStats(&out, stats);
       if (stats != nullptr) {
-        stats->plan = query.plan_;
+        stats->plan = plan;
         stats->plan_cache_hit = cache_hit;
       }
       break;
@@ -291,14 +362,41 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
       if (!sink.supports_tuples()) {
         return QueryStatus::Error(
             "this sink does not consume star tuples (supports_tuples() is "
-            "false) — use VectorSink / LimitSink / CountOnlySink or a "
-            "custom sink overriding OnTuple");
+            "false) — use VectorSink / LimitSink / PageSink / CountOnlySink "
+            "or a custom sink overriding OnTuple");
       }
-      // The thresholds sweep is the star query's "plan"; cache it so
-      // repeated executions go straight to evaluation.
-      if (!query.star_thresholds_valid_) {
-        query.star_thresholds_ = ChooseStarThresholds(query.rels_);
-        query.star_thresholds_valid_ = true;
+      std::vector<const IndexedRelation*> rels;
+      rels.reserve(query.rels_.size());
+      for (const auto& sp : query.rels_) rels.push_back(sp.get());
+
+      // The thresholds sweep is the star query's "plan"; cache it
+      // (single-flight, like the two-path plan) so repeated executions go
+      // straight to evaluation.
+      const bool explicit_thresholds =
+          opts.thresholds.delta1 != 0 || opts.thresholds.delta2 != 0;
+      Thresholds star_thresholds{0, 0};
+      // Like the two-path plan cache: hit/miss is decided under the plan
+      // lock, so exactly the thread that ran the sweep reports a miss —
+      // racers that block on the write lock find it valid and report hits.
+      bool star_cache_hit = explicit_thresholds ? executed_before : false;
+      if (!explicit_thresholds) {
+        {
+          std::shared_lock<std::shared_mutex> rl(ps.mu);
+          if (ps.star_thresholds_valid) {
+            star_thresholds = ps.star_thresholds;
+            star_cache_hit = true;
+          }
+        }
+        if (!star_cache_hit) {
+          std::unique_lock<std::shared_mutex> wl(ps.mu);
+          if (ps.star_thresholds_valid) {
+            star_cache_hit = true;  // lost the race; reuse the winner
+          } else {
+            ps.star_thresholds = ChooseStarThresholds(rels);
+            ps.star_thresholds_valid = true;
+          }
+          star_thresholds = ps.star_thresholds;
+        }
       }
       JoinProjectOptions jo;
       jo.strategy = spec.strategy;
@@ -306,17 +404,14 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
       jo.heavy_path = opts.heavy_path;
       jo.max_matrix_bytes = opts.max_matrix_bytes;
       jo.sink = &sink;
-      jo.thresholds = (opts.thresholds.delta1 != 0 ||
-                       opts.thresholds.delta2 != 0)
-                          ? opts.thresholds
-                          : query.star_thresholds_;
+      jo.thresholds = explicit_thresholds ? opts.thresholds : star_thresholds;
 
-      StarJoinResult res = JoinProject::Star(query.rels_, jo);
+      StarJoinResult res = JoinProject::Star(rels, jo);
       if (stats != nullptr) {
         stats->executed = spec.strategy == Strategy::kAuto
                               ? Strategy::kMmJoin
                               : spec.strategy;
-        stats->plan_cache_hit = query.executions_ > 0;
+        stats->plan_cache_hit = star_cache_hit;
         stats->kernel_counts = res.kernel_counts;
         stats->heavy_density = res.heavy_density;
         stats->heavy_blocks_total = res.heavy_blocks_total;
@@ -339,15 +434,16 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
         stats->triangle_count = res.triangles;
         stats->triangle_cancelled = res.cancelled;
         stats->heavy_blocks_skipped = res.blocks_skipped;
+        stats->light_chunks_skipped = res.light_chunks_skipped;
         stats->kernel_counts = res.kernel_counts;
         stats->heavy_density = res.heavy_density;
-        stats->plan_cache_hit = query.executions_ > 0;
+        stats->plan_cache_hit = executed_before;
       }
       break;
     }
   }
 
-  ++query.executions_;
+  ps.executions.fetch_add(1, std::memory_order_relaxed);
   if (stats != nullptr) stats->seconds = timer.Seconds();
   return QueryStatus::Ok();
 }

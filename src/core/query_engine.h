@@ -4,7 +4,7 @@
 // QuerySpecs (two-path | star | triangle | scj | ssj) against it:
 //
 //   QueryEngine engine;
-//   engine.catalog().Put("follows", std::move(rel));
+//   engine.AddRelation("follows", std::move(rel));
 //
 //   QuerySpec spec;
 //   spec.kind = QueryKind::kTwoPath;
@@ -14,7 +14,7 @@
 //   QueryStatus st = engine.Prepare(spec, &q);     // structured errors
 //   if (!st.ok()) { ...; }
 //
-//   LimitSink sink(10);                            // or VectorSink, ...
+//   LimitSink sink(10);                            // or PageSink, ...
 //   ExecStats stats;
 //   st = engine.Execute(q, sink, {.threads = 8}, &stats);
 //
@@ -22,19 +22,41 @@
 // the first Execute runs the cost-based optimizer and caches the
 // PlanChoice inside the PreparedQuery, so repeated executions skip
 // optimization entirely (stats.plan_cache_hit says which happened).
-// Results are pushed into a ResultSink — limit / count-only / top-k
-// consumers never pay for full materialization, and the sink's done()
-// signal short-circuits the remaining light buckets and heavy product
-// blocks (the skip counts land in ExecStats).
+// Results are pushed into a ResultSink — limit / page / count-only /
+// top-k / ordered consumers never pay for full materialization, and the
+// sink's done() signal short-circuits the remaining light buckets and
+// heavy product blocks (the skip counts land in ExecStats).
 //
 // Errors (unknown relation names, invalid option combinations) come back
 // as QueryStatus values instead of aborting — the abort-on-misuse checks
 // remain only on the low-level algorithm entry points.
+//
+// ---- Thread-safety contract (the multi-client serving mode) -------------
+//
+// One engine may be hit by many client threads at once:
+//
+//   - Catalog writers (AddRelation / DropRelation / catalog().Put) and
+//     readers (Prepare / Execute) may run concurrently. The catalog is
+//     reader-writer locked and entries are copy-on-write snapshots.
+//   - A PreparedQuery SNAPSHOTS its relations at Prepare time: replacing
+//     or dropping a catalog name mid-flight never tears an in-flight
+//     Execute — it keeps evaluating against the data it was prepared on.
+//     Re-Prepare to pick up replaced data.
+//   - Execute on one shared PreparedQuery is safe from any number of
+//     threads. The first executions racing to plan are single-flight: one
+//     thread runs the optimizer (and reports plan_cache_hit = false), the
+//     others block briefly and reuse the winner's plan.
+//   - Each concurrent Execute needs its own ResultSink and ExecStats;
+//     sinks are per-call state, not engine state.
+//   - Moving a PreparedQuery or the engine while other threads use it is
+//     a caller bug (as for any C++ object).
 
 #ifndef JPMM_CORE_QUERY_ENGINE_H_
 #define JPMM_CORE_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -134,9 +156,11 @@ struct ExecStats {
 
 /// A resolved, reusable query: operand indexes and degree statistics are
 /// cached at Prepare time, the optimizer's PlanChoice after the first
-/// Execute. Borrow semantics: a PreparedQuery points into the engine's
-/// catalog — replacing one of its relations (Catalog::Put with the same
-/// name) invalidates it; re-Prepare after reloading data.
+/// Execute. Snapshot semantics: a PreparedQuery pins the catalog entries
+/// it was prepared on — a later Put/Drop of those names does not affect
+/// it; re-Prepare to query replaced data. Execute may be called on one
+/// PreparedQuery from many threads concurrently (the plan cache is
+/// single-flight); move/destruction must still be externally quiesced.
 class PreparedQuery {
  public:
   PreparedQuery();
@@ -146,33 +170,44 @@ class PreparedQuery {
 
   const QuerySpec& spec() const { return spec_; }
   /// True once a plan has been cached (after the first Execute).
-  bool has_plan() const { return plan_valid_; }
-  const PlanChoice& plan() const { return plan_; }
+  bool has_plan() const;
+  /// A copy of the cached plan, taken under the plan-cache lock (a
+  /// reference would outlive the lock and race concurrent re-planning).
+  /// Meaningful only when has_plan(); ExecStats::plan is the
+  /// per-execution record.
+  PlanChoice plan() const;
   /// Executions served by this prepared query so far.
-  uint64_t executions() const { return executions_; }
+  uint64_t executions() const;
 
  private:
   friend class QueryEngine;
 
-  QuerySpec spec_;
-  std::vector<const IndexedRelation*> rels_;  // borrowed from the catalog
-  std::unique_ptr<TwoPathStats> stats_;       // two-path family
-  std::unique_ptr<SetFamily> family_;         // scj / ssj view
+  // Mutable per-query cache, shared by concurrent Execute calls. Lives
+  // behind a unique_ptr so PreparedQuery stays movable.
+  struct PlanState {
+    mutable std::shared_mutex mu;
+    bool plan_valid = false;
+    PlanChoice plan;
+    int plan_threads = 0;  // plan is re-derived when threads change
+    bool nonmm_thresholds_valid = false;
+    Thresholds nonmm_thresholds{0, 0};
+    bool star_thresholds_valid = false;
+    Thresholds star_thresholds{0, 0};
+    std::atomic<uint64_t> executions{0};
+  };
 
-  bool plan_valid_ = false;
-  PlanChoice plan_;
-  int plan_threads_ = 0;  // plan is re-derived when threads change
-  bool nonmm_thresholds_valid_ = false;
-  Thresholds nonmm_thresholds_{0, 0};
-  bool star_thresholds_valid_ = false;
-  Thresholds star_thresholds_{0, 0};
-  uint64_t executions_ = 0;
+  QuerySpec spec_;
+  /// Catalog snapshots: shared ownership keeps the relations alive and
+  /// immutable for this query's lifetime (see Catalog::IndexSnapshot).
+  std::vector<std::shared_ptr<const IndexedRelation>> rels_;
+  std::unique_ptr<TwoPathStats> stats_;  // two-path family
+  std::unique_ptr<SetFamily> family_;    // scj / ssj view
+  std::unique_ptr<PlanState> state_;
 };
 
-/// The facade. Owns the catalog; queries borrow from it (see
-/// PreparedQuery). Thread-compatibility: Prepare/Execute mutate cached
-/// state, so serialize calls that share an engine or a PreparedQuery;
-/// parallelism belongs inside Execute (ExecOptions::threads).
+/// The facade. Owns the catalog; queries snapshot from it (see
+/// PreparedQuery). Safe for concurrent multi-client use — see the
+/// thread-safety contract in the file header.
 class QueryEngine {
  public:
   QueryEngine() = default;
@@ -181,13 +216,24 @@ class QueryEngine {
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
 
+  /// Registers (or replaces) a relation; finalizes it if needed. In-flight
+  /// queries on a replaced name keep their snapshot. Never fails (the
+  /// status is for signature symmetry with DropRelation).
+  QueryStatus AddRelation(const std::string& name, BinaryRelation rel);
+
+  /// Unregisters a relation. Errors if the name is unknown. In-flight
+  /// queries keep their snapshot; new Prepares see the drop.
+  QueryStatus DropRelation(const std::string& name);
+
   /// Validates the spec (unknown relation names, bad option combinations
-  /// come back as errors), resolves + caches indexes and operand stats.
+  /// come back as errors), resolves + snapshots indexes and operand stats.
   QueryStatus Prepare(const QuerySpec& spec, PreparedQuery* out);
 
   /// Executes a prepared query, streaming results into `sink`. The first
   /// execution runs the optimizer and caches the plan; later executions
-  /// reuse it (stats->plan_cache_hit). `stats` may be null.
+  /// reuse it (stats->plan_cache_hit). `stats` may be null. Safe to call
+  /// concurrently on one shared PreparedQuery (each call needs its own
+  /// sink and stats).
   QueryStatus Execute(PreparedQuery& query, ResultSink& sink,
                       const ExecOptions& opts = {},
                       ExecStats* stats = nullptr);

@@ -173,6 +173,81 @@ void LimitSink::Finish() {
   shards_.clear();
 }
 
+// ---- PageSink ------------------------------------------------------------
+
+namespace {
+
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  return a > ~uint64_t{0} - b ? ~uint64_t{0} : a + b;
+}
+
+}  // namespace
+
+PageSink::PageSink(uint64_t offset, uint64_t limit)
+    : offset_(offset), end_(SaturatingAdd(offset, limit)) {}
+PageSink::~PageSink() = default;
+
+struct PageSink::PageShard : ResultSink::Shard {
+  PageShard(std::atomic<uint64_t>* accepted, uint64_t offset, uint64_t end)
+      : accepted_(accepted), offset_(offset), end_(end) {}
+
+  std::vector<OutPair> pairs;
+  std::vector<CountedPair> counted;
+  std::vector<Value> tuple_data;
+  uint32_t tuple_arity = 0;
+
+  // One fetch_add per result makes the page boundary exact across shards:
+  // result slots [0, offset) are skipped, [offset, end) land in the page.
+  bool Reserve() {
+    const uint64_t idx = accepted_->fetch_add(1, std::memory_order_relaxed);
+    return idx >= offset_ && idx < end_;
+  }
+  void OnPair(const OutPair& p) override {
+    if (Reserve()) pairs.push_back(p);
+  }
+  void OnCountedPair(const CountedPair& p) override {
+    if (Reserve()) counted.push_back(p);
+  }
+  void OnTuple(std::span<const Value> tuple) override {
+    if (Reserve()) {
+      tuple_arity = static_cast<uint32_t>(tuple.size());
+      tuple_data.insert(tuple_data.end(), tuple.begin(), tuple.end());
+    }
+  }
+
+ private:
+  std::atomic<uint64_t>* accepted_;
+  const uint64_t offset_;
+  const uint64_t end_;
+};
+
+void PageSink::Open(int num_shards) {
+  shards_.clear();
+  pairs_.clear();
+  counted_.clear();
+  tuple_data_.clear();
+  tuple_arity_ = 0;
+  accepted_.store(0, std::memory_order_relaxed);
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<PageShard>(&accepted_, offset_, end_));
+  }
+}
+
+ResultSink::Shard& PageSink::shard(int w) {
+  return *shards_[static_cast<size_t>(w)];
+}
+
+void PageSink::Finish() {
+  for (auto& s : shards_) {
+    pairs_.insert(pairs_.end(), s->pairs.begin(), s->pairs.end());
+    counted_.insert(counted_.end(), s->counted.begin(), s->counted.end());
+    tuple_data_.insert(tuple_data_.end(), s->tuple_data.begin(),
+                       s->tuple_data.end());
+    if (s->tuple_arity != 0) tuple_arity_ = s->tuple_arity;
+  }
+  shards_.clear();
+}
+
 // ---- TopKByCountSink -----------------------------------------------------
 
 namespace {
@@ -242,6 +317,114 @@ void TopKByCountSink::Finish() {
   std::sort(all.begin(), all.end(), RanksAbove);
   if (all.size() > k_) all.resize(k_);
   top_ = std::move(all);
+  shards_.clear();
+}
+
+// ---- OrderedBySink -------------------------------------------------------
+
+namespace {
+
+// "a ranks above b" under the chosen order. Both orders are strict total
+// orders over distinct (x, z) pairs, so ranked output is deterministic.
+bool OrderedRanksAbove(ResultOrder order, const CountedPair& a,
+                       const CountedPair& b) {
+  if (order == ResultOrder::kCountDescending) return RanksAbove(a, b);
+  if (a.x != b.x) return a.x < b.x;
+  return a.z < b.z;
+}
+
+}  // namespace
+
+const char* ResultOrderName(ResultOrder o) {
+  switch (o) {
+    case ResultOrder::kXzAscending:
+      return "xz-ascending";
+    case ResultOrder::kCountDescending:
+      return "count-descending";
+  }
+  return "?";
+}
+
+OrderedBySink::OrderedBySink(ResultOrder order, uint64_t limit)
+    : order_(order), limit_(limit) {}
+OrderedBySink::~OrderedBySink() = default;
+
+struct OrderedBySink::OrderedShard : ResultSink::Shard {
+  OrderedShard(ResultOrder order, uint64_t limit)
+      : order_(order), limit_(limit) {}
+
+  // Unbounded: a plain run, sorted once at Finish(). Bounded: a min-heap
+  // on the ranking (run[0] = weakest kept), so the shard never holds more
+  // than `limit` results.
+  std::vector<CountedPair> run;
+
+  void OnPair(const OutPair& p) override {
+    OnCountedPair(CountedPair{p.x, p.z, 1});
+  }
+  void OnCountedPair(const CountedPair& p) override {
+    if (limit_ == kNoLimit) {
+      run.push_back(p);
+      return;
+    }
+    auto weaker = [this](const CountedPair& a, const CountedPair& b) {
+      return OrderedRanksAbove(order_, a, b);
+    };
+    if (run.size() < limit_) {
+      run.push_back(p);
+      std::push_heap(run.begin(), run.end(), weaker);
+    } else if (!run.empty() && OrderedRanksAbove(order_, p, run.front())) {
+      std::pop_heap(run.begin(), run.end(), weaker);
+      run.back() = p;
+      std::push_heap(run.begin(), run.end(), weaker);
+    }
+  }
+
+ private:
+  const ResultOrder order_;
+  const uint64_t limit_;
+};
+
+void OrderedBySink::Open(int num_shards) {
+  shards_.clear();
+  ranked_.clear();
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<OrderedShard>(order_, limit_));
+  }
+}
+
+ResultSink::Shard& OrderedBySink::shard(int w) {
+  return *shards_[static_cast<size_t>(w)];
+}
+
+void OrderedBySink::Finish() {
+  auto above = [this](const CountedPair& a, const CountedPair& b) {
+    return OrderedRanksAbove(order_, a, b);
+  };
+  // Sort each shard run, then merge with one cursor per shard: the buffer
+  // beyond the sorted runs themselves is O(shards), and delivery streams
+  // in rank order as the merge advances.
+  size_t total = 0;
+  for (auto& s : shards_) {
+    std::sort(s->run.begin(), s->run.end(), above);
+    total += s->run.size();
+  }
+  std::vector<size_t> cursor(shards_.size(), 0);
+  const uint64_t want = std::min<uint64_t>(total, limit_);
+  ranked_.reserve(static_cast<size_t>(want));
+  while (ranked_.size() < want) {
+    size_t best = shards_.size();
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (cursor[i] >= shards_[i]->run.size()) continue;
+      if (best == shards_.size() ||
+          above(shards_[i]->run[cursor[i]], shards_[best]->run[cursor[best]])) {
+        best = i;
+      }
+    }
+    if (best == shards_.size()) break;
+    const CountedPair& next = shards_[best]->run[cursor[best]++];
+    ranked_.push_back(next);
+    if (on_result_) on_result_(next);
+  }
   shards_.clear();
 }
 

@@ -19,15 +19,18 @@
 //     accept everything. Executors apply min_count filtering BEFORE the
 //     sink, so a sink only ever sees qualifying results.
 //
-// Ships four consumers: VectorSink (materialize-everything back-compat),
-// CountOnlySink, LimitSink, and TopKByCountSink. Custom sinks implement
-// the same contract; see docs/api.md.
+// Ships six consumers: VectorSink (materialize-everything back-compat),
+// CountOnlySink, LimitSink, PageSink (offset + limit pagination),
+// TopKByCountSink, and OrderedBySink (ranked delivery per Deep, Hu &
+// Koutris 2022). Custom sinks implement the same contract; see docs/api.md.
 
 #ifndef JPMM_CORE_RESULT_SINK_H_
 #define JPMM_CORE_RESULT_SINK_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -177,6 +180,57 @@ class LimitSink : public ResultSink {
   uint32_t tuple_arity_ = 0;
 };
 
+/// One result page: skips the first `offset` results to arrive, keeps the
+/// next `limit`, then reports done() — the early exit fires as soon as the
+/// page is full, so deep heavy blocks after the page boundary are skipped.
+/// WHICH results fill the page follows the (nondeterministic) emission
+/// order; the counts are deterministic:
+///   size()    == min(limit, |OUT| - min(offset, |OUT|))
+///   skipped() == min(offset, |OUT|)   (exact skip accounting)
+/// Slots are reserved with one atomic fetch_add per result, so the skip
+/// count and page boundary are exact across any number of shards.
+class PageSink : public ResultSink {
+ public:
+  PageSink(uint64_t offset, uint64_t limit);
+  ~PageSink() override;
+
+  void Open(int num_shards) override;
+  Shard& shard(int w) override;
+  bool done() const override {
+    return accepted_.load(std::memory_order_relaxed) >= end_;
+  }
+  bool may_finish_early() const override { return true; }
+  void Finish() override;
+
+  uint64_t offset() const { return offset_; }
+  uint64_t limit() const { return end_ - offset_; }
+  /// Results skipped to reach the page: exactly min(offset, |OUT|).
+  /// Valid after Finish().
+  uint64_t skipped() const {
+    return std::min(accepted_.load(std::memory_order_relaxed), offset_);
+  }
+  const std::vector<OutPair>& pairs() const { return pairs_; }
+  const std::vector<CountedPair>& counted() const { return counted_; }
+  const std::vector<Value>& tuple_data() const { return tuple_data_; }
+  uint32_t tuple_arity() const { return tuple_arity_; }
+  size_t size() const {
+    if (!pairs_.empty()) return pairs_.size();
+    if (!counted_.empty()) return counted_.size();
+    return tuple_arity_ == 0 ? 0 : tuple_data_.size() / tuple_arity_;
+  }
+
+ private:
+  struct PageShard;
+  const uint64_t offset_;
+  const uint64_t end_;  // offset + limit, saturated
+  std::atomic<uint64_t> accepted_{0};
+  std::vector<std::unique_ptr<PageShard>> shards_;
+  std::vector<OutPair> pairs_;
+  std::vector<CountedPair> counted_;
+  std::vector<Value> tuple_data_;
+  uint32_t tuple_arity_ = 0;
+};
+
 /// The k highest-witness-count pairs, without a full sort: each shard keeps
 /// a size-k min-heap; Finish() merges them. Ordering is count descending,
 /// ties broken by (x, z) ascending, so the result is deterministic — equal
@@ -202,6 +256,57 @@ class TopKByCountSink : public ResultSink {
   const size_t k_;
   std::vector<std::unique_ptr<TopKShard>> shards_;
   std::vector<CountedPair> top_;
+};
+
+/// Ranking for OrderedBySink.
+enum class ResultOrder {
+  kXzAscending,      // (x, z) lexicographic, the enumeration order
+  kCountDescending,  // witness count desc, ties (x, z) asc (== TopK order)
+};
+
+const char* ResultOrderName(ResultOrder o);
+
+/// Ranked streaming delivery (ranked enumeration a la Deep, Hu & Koutris
+/// 2022): results arrive in an unspecified order, each shard keeps a
+/// sorted-on-demand run (bounded to `limit` by a min-heap when a limit is
+/// set, so memory is O(shards * limit) instead of O(|OUT|)), and Finish()
+/// merges the runs with a bounded cursor-per-shard merge, delivering the
+/// output in rank order — to the on_result callback as a stream, and into
+/// ranked() materialized. The order is a strict total order, so the result
+/// equals sorting the full output and (with a limit) truncating — the
+/// full-sort oracle the tests compare against — at every thread count.
+/// Never reports done() before the end: every result must be seen to rank.
+/// Plain pairs rank with implicit weight 1. Pair-only (no star tuples).
+class OrderedBySink : public ResultSink {
+ public:
+  static constexpr uint64_t kNoLimit = ~uint64_t{0};
+
+  explicit OrderedBySink(ResultOrder order, uint64_t limit = kNoLimit);
+  ~OrderedBySink() override;
+
+  void Open(int num_shards) override;
+  Shard& shard(int w) override;
+  bool supports_tuples() const override { return false; }
+  void Finish() override;
+
+  /// Streaming consumer, invoked in rank order during Finish(); set before
+  /// Execute. The materialized ranked() vector is filled either way.
+  void set_on_result(std::function<void(const CountedPair&)> fn) {
+    on_result_ = std::move(fn);
+  }
+
+  ResultOrder order() const { return order_; }
+  uint64_t limit() const { return limit_; }
+  /// The ranked output (counted; plain pairs carry count 1), best first.
+  const std::vector<CountedPair>& ranked() const { return ranked_; }
+
+ private:
+  struct OrderedShard;
+  const ResultOrder order_;
+  const uint64_t limit_;
+  std::function<void(const CountedPair&)> on_result_;
+  std::vector<std::unique_ptr<OrderedShard>> shards_;
+  std::vector<CountedPair> ranked_;
 };
 
 }  // namespace jpmm

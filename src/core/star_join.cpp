@@ -480,7 +480,10 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
   if (result.v_rows > 0 && result.w_rows > 0 && sink != nullptr &&
       sink->done()) {
     // Light steps satisfied the sink: account every planned block as
-    // skipped without building the heavy operands at all.
+    // skipped without building the heavy operands at all. ceil(v_rows /
+    // row_block) must equal PlanProductBlocks' block count so the total is
+    // the same whether the heavy phase ran or not (see the mm_join.cpp
+    // audit note).
     result.heavy_blocks_total = (result.v_rows + row_block - 1) / row_block;
     blocks_skipped.store(result.heavy_blocks_total);
   } else if (result.v_rows > 0 && result.w_rows > 0) {

@@ -113,6 +113,11 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
   // or has a larger id (so no other light vertex claims the triangle
   // first).
   const ResultSink* cancel = options.cancel;
+  // Per-phase skip counters: a chunk/block either runs or is counted
+  // skipped, never both, so executed + skipped is exact at every thread
+  // count (the chunk-claim + done() audit invariant — see
+  // QueryEngine.DoneMidChunkSkipsIdenticalDownstreamBlocks).
+  std::atomic<uint64_t> light_skipped{0};
   std::atomic<uint64_t> skipped{0};
   std::vector<uint64_t> light_partial(static_cast<size_t>(threads), 0);
   // Dynamic chunks: per-vertex cost is quadratic in (skewed) degree.
@@ -120,7 +125,7 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
   ParallelForDynamic(threads, graph.num_x(), /*grain=*/512,
                      [&](size_t v0, size_t v1, int w) {
     if (cancel != nullptr && cancel->done()) {
-      skipped.fetch_add(1, std::memory_order_relaxed);
+      light_skipped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     uint64_t local = 0;
@@ -244,8 +249,10 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
     result.heavy_triangles = static_cast<uint64_t>(trace / 6.0 + 0.5);
   }
 
+  result.light_chunks_skipped = light_skipped.load();
   result.blocks_skipped = skipped.load();
-  result.cancelled = result.blocks_skipped > 0;
+  result.cancelled =
+      result.light_chunks_skipped > 0 || result.blocks_skipped > 0;
   result.triangles = result.light_triangles + result.heavy_triangles;
   return result;
 }

@@ -51,7 +51,10 @@ struct TriangleCountResult {
   uint64_t heavy_nnz = 0;          // heavy-subgraph edges (directed count)
   double heavy_density = 0.0;      // heavy_nnz / heavy_vertices^2
   HeavyKernelCounts kernel_counts; // trace blocks per kernel
-  uint64_t blocks_skipped = 0;     // chunks/blocks skipped by cancellation
+  // Exact cancellation accounting, split by phase (light-enumeration
+  // chunks vs heavy trace blocks) so ExecStats can report both precisely.
+  uint64_t light_chunks_skipped = 0;
+  uint64_t blocks_skipped = 0;     // heavy trace blocks skipped
   bool cancelled = false;          // counts are partial
 };
 

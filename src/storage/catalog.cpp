@@ -1,41 +1,113 @@
 #include "storage/catalog.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 
 namespace jpmm {
 
+const IndexedRelation& Catalog::Entry::BuildIndex() const {
+  std::call_once(index_once,
+                 [this] { index = std::make_unique<IndexedRelation>(rel); });
+  return *index;
+}
+
+Catalog::Catalog(Catalog&& other) noexcept {
+  std::unique_lock<std::shared_mutex> lock(other.mu_);
+  entries_ = std::move(other.entries_);
+  other.entries_.clear();
+  version_.store(other.version_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+Catalog& Catalog::operator=(Catalog&& other) noexcept {
+  if (this == &other) return *this;
+  // Consistent two-lock order by address avoids a cross-assign deadlock.
+  std::shared_mutex* first = this < &other ? &mu_ : &other.mu_;
+  std::shared_mutex* second = this < &other ? &other.mu_ : &mu_;
+  std::unique_lock<std::shared_mutex> l1(*first);
+  std::unique_lock<std::shared_mutex> l2(*second);
+  entries_ = std::move(other.entries_);
+  other.entries_.clear();
+  version_.store(other.version_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  return *this;
+}
+
 void Catalog::Put(const std::string& name, BinaryRelation rel) {
+  // Finalize outside the lock: sorting a big relation must not stall
+  // readers.
   if (!rel.finalized()) rel.Finalize();
-  Entry e;
-  e.rel = std::move(rel);
-  entries_[name] = std::move(e);
+  auto entry = std::make_shared<Entry>();
+  entry->rel = std::move(rel);
+  std::shared_ptr<const Entry> replaced;  // destroyed outside the lock:
+  {                                       // freeing a big relation must not
+    std::unique_lock<std::shared_mutex> lock(mu_);  // stall readers
+    std::shared_ptr<const Entry>& slot = entries_[name];
+    replaced = std::move(slot);
+    slot = std::move(entry);
+    // Bumped inside the lock: readers that observe the new version are
+    // guaranteed to see the new table (and vice versa).
+    version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+bool Catalog::Drop(const std::string& name) {
+  std::shared_ptr<const Entry> doomed;  // destroyed outside the lock
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) return false;
+    doomed = std::move(it->second);
+    entries_.erase(it);
+    version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  return true;
+}
+
+std::shared_ptr<const Catalog::Entry> Catalog::Find(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
 }
 
 bool Catalog::Has(const std::string& name) const {
-  return entries_.count(name) > 0;
+  return Find(name) != nullptr;
 }
 
 const BinaryRelation& Catalog::Get(const std::string& name) const {
-  auto it = entries_.find(name);
-  JPMM_CHECK_MSG(it != entries_.end(), name.c_str());
-  return it->second.rel;
+  std::shared_ptr<const Entry> e = Find(name);
+  JPMM_CHECK_MSG(e != nullptr, name.c_str());
+  return e->rel;
 }
 
-const IndexedRelation& Catalog::Index(const std::string& name) {
-  auto it = entries_.find(name);
-  JPMM_CHECK_MSG(it != entries_.end(), name.c_str());
-  if (it->second.index == nullptr) {
-    it->second.index = std::make_unique<IndexedRelation>(it->second.rel);
-  }
-  return *it->second.index;
+const IndexedRelation& Catalog::Index(const std::string& name) const {
+  std::shared_ptr<const Entry> e = Find(name);
+  JPMM_CHECK_MSG(e != nullptr, name.c_str());
+  // The index build runs outside the lock (it can be expensive); the entry
+  // shared_ptr keeps it alive even if the name is replaced meanwhile.
+  return e->BuildIndex();
+}
+
+std::shared_ptr<const IndexedRelation> Catalog::IndexSnapshot(
+    const std::string& name) const {
+  std::shared_ptr<const Entry> e = Find(name);
+  if (e == nullptr) return nullptr;
+  const IndexedRelation& idx = e->BuildIndex();
+  // Aliasing constructor: the snapshot pins the whole entry (relation +
+  // index) while exposing just the index.
+  return std::shared_ptr<const IndexedRelation>(std::move(e), &idx);
 }
 
 std::vector<std::string> Catalog::Names() const {
   std::vector<std::string> names;
-  names.reserve(entries_.size());
-  for (const auto& [name, _] : entries_) names.push_back(name);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    names.reserve(entries_.size());
+    for (const auto& [name, _] : entries_) names.push_back(name);
+  }
   std::sort(names.begin(), names.end());
   return names;
 }

@@ -1,12 +1,33 @@
-// Catalog: a small named-relation registry.
+// Catalog: a concurrent named-relation registry.
 //
 // Keeps finalized relations together with their (lazily built) indexes, so
-// examples and benchmarks can share one loaded dataset across queries.
+// examples, benchmarks, and a served QueryEngine can share one loaded
+// dataset across queries.
+//
+// Thread-safety contract (the engine's multi-client foundation):
+//   - Readers (Has / Get / Index / IndexSnapshot / Names / version) and
+//     writers (Put / Drop) may run concurrently from any threads; a
+//     reader-writer lock guards the name table.
+//   - Entries are copy-on-write snapshots: Put(name, ...) installs a NEW
+//     entry and releases the old one, it never mutates a published entry in
+//     place. A query holding an IndexSnapshot keeps its relation alive and
+//     unchanged — an in-flight Execute never sees a torn catalog, no matter
+//     how many Put/Drop calls land mid-query.
+//   - Index memoization is per-entry and race-free (std::call_once): the
+//     first reader builds, concurrent readers wait and share the result.
+//
+// Reference-returning accessors (Get / Index) remain for single-threaded
+// callers and tests: the reference stays valid only while the name keeps
+// its current entry (until the next Put/Drop of that name). Concurrent
+// writers must use IndexSnapshot, which pins the entry.
 
 #ifndef JPMM_STORAGE_CATALOG_H_
 #define JPMM_STORAGE_CATALOG_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -16,30 +37,64 @@
 
 namespace jpmm {
 
-/// Owns named relations and memoizes their IndexedRelation.
+/// Owns named relations and memoizes their IndexedRelation. Safe for
+/// concurrent readers + writers; see the file header for the contract.
 class Catalog {
  public:
-  /// Registers (or replaces) a relation under `name`. Finalizes it if needed.
+  Catalog() = default;
+  // Moves transfer the name table; the source must not be in concurrent
+  // use (moving a catalog other threads are querying is a caller bug).
+  Catalog(Catalog&& other) noexcept;
+  Catalog& operator=(Catalog&& other) noexcept;
+
+  /// Registers (or replaces) a relation under `name`. Finalizes it if
+  /// needed. Replacement is copy-on-write: snapshots taken before the call
+  /// keep the old relation.
   void Put(const std::string& name, BinaryRelation rel);
+
+  /// Unregisters `name`. Returns false if it was not registered.
+  /// Snapshots taken before the call keep the dropped relation alive.
+  bool Drop(const std::string& name);
 
   /// True iff `name` is registered.
   bool Has(const std::string& name) const;
 
-  /// The relation registered under `name`. Aborts if absent.
+  /// The relation registered under `name`. Aborts if absent. The reference
+  /// is valid until the next Put/Drop of this name.
   const BinaryRelation& Get(const std::string& name) const;
 
-  /// The CSR index for `name`, built on first use. Aborts if absent.
-  const IndexedRelation& Index(const std::string& name);
+  /// The CSR index for `name`, built on first use. Aborts if absent. The
+  /// reference is valid until the next Put/Drop of this name.
+  const IndexedRelation& Index(const std::string& name) const;
+
+  /// Snapshot variant: pins the entry so the index survives any later
+  /// Put/Drop of the name. Returns nullptr when `name` is absent —
+  /// the race-free form of Has + Index for concurrent callers.
+  std::shared_ptr<const IndexedRelation> IndexSnapshot(
+      const std::string& name) const;
 
   /// Registered names, sorted.
   std::vector<std::string> Names() const;
 
+  /// Bumped by every Put/Drop; lets callers cheaply detect writer activity.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
  private:
+  // Immutable once published; the index is logically part of that immutable
+  // state and is materialized lazily under a call_once.
   struct Entry {
     BinaryRelation rel;
-    std::unique_ptr<IndexedRelation> index;
+    mutable std::once_flag index_once;
+    mutable std::unique_ptr<IndexedRelation> index;
+
+    const IndexedRelation& BuildIndex() const;
   };
-  std::unordered_map<std::string, Entry> entries_;
+
+  std::shared_ptr<const Entry> Find(const std::string& name) const;
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Entry>> entries_;
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace jpmm

@@ -1,0 +1,254 @@
+// Cross-strategy differential fuzzer — the repo's first randomized
+// property harness.
+//
+// Every iteration generates a dataset from a seeded recipe (skewed zipf /
+// uniform bipartite / community graph; self join or two distinct
+// relations; plain or counted with min_count; auto or pinned thresholds)
+// and checks that every evaluation strategy produces BYTE-IDENTICAL sorted
+// output:
+//
+//   two-path: WCOJ (threads=1) is the reference; MM (auto + forced dense /
+//             csr-dense / csr-csr heavy paths) and Non-MM must match at
+//             threads {1, 3, hw}.
+//   star:     WCOJ reference vs MM and Non-MM star joins (every 4th
+//             iteration; k in {2, 3}).
+//
+// Knobs (see docs/testing.md for the seed policy):
+//   JPMM_FUZZ_ITERS     iterations (default 50 — the fixed tier-1 budget;
+//                       nightly CI runs 500)
+//   JPMM_FUZZ_SEED      base seed (default fixed so tier-1 is reproducible;
+//                       iteration i uses base + i)
+//   JPMM_FUZZ_ARTIFACT  failing-seed repro file (default
+//                       differential_fuzz_failures.txt; one line per
+//                       mismatch, enough to rerun that exact iteration)
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/join_project.h"
+#include "datagen/generators.h"
+#include "tests/test_util.h"
+
+namespace jpmm {
+namespace {
+
+using testutil::RandomRelation;
+using testutil::ToVectors;
+
+int EnvInt(const char* name, int def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return std::atoi(v);
+}
+
+uint64_t EnvU64(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+}
+
+std::string ArtifactPath() {
+  const char* v = std::getenv("JPMM_FUZZ_ARTIFACT");
+  return (v == nullptr || *v == '\0') ? "differential_fuzz_failures.txt" : v;
+}
+
+// One iteration's full recipe — everything needed to rerun it.
+struct FuzzConfig {
+  uint64_t seed = 0;
+  int shape = 0;  // 0 zipf-skewed, 1 uniform bipartite, 2 community graph
+  bool self_join = true;
+  bool counted = false;
+  uint32_t min_count = 1;
+  Thresholds thresholds{0, 0};  // {0,0} = optimizer-chosen
+
+  std::string ToString() const {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "seed=%llu shape=%d self=%d counted=%d min_count=%u "
+                  "thresholds={%llu,%llu}",
+                  static_cast<unsigned long long>(seed), shape,
+                  self_join ? 1 : 0, counted ? 1 : 0, min_count,
+                  static_cast<unsigned long long>(thresholds.delta1),
+                  static_cast<unsigned long long>(thresholds.delta2));
+    return buf;
+  }
+};
+
+FuzzConfig MakeConfig(uint64_t seed) {
+  Rng rng(seed);
+  FuzzConfig cfg;
+  cfg.seed = seed;
+  cfg.shape = static_cast<int>(rng.Next() % 3);
+  cfg.self_join = rng.Next() % 2 == 0;
+  cfg.counted = rng.Next() % 2 == 0;
+  cfg.min_count = cfg.counted ? 1 + static_cast<uint32_t>(rng.Next() % 3) : 1;
+  // A third of the runs pin tiny thresholds so the heavy part (and the
+  // forced dense/sparse kernels) really execute on small data.
+  switch (rng.Next() % 3) {
+    case 0:
+      cfg.thresholds = Thresholds{1, 1};
+      break;
+    case 1:
+      cfg.thresholds = Thresholds{2, 4};
+      break;
+    default:
+      cfg.thresholds = Thresholds{0, 0};
+      break;
+  }
+  return cfg;
+}
+
+BinaryRelation MakeRelation(const FuzzConfig& cfg, uint64_t salt) {
+  Rng rng(cfg.seed ^ (salt * 0x9E3779B97F4A7C15ull));
+  switch (cfg.shape) {
+    case 0: {
+      const uint32_t nx = 30 + static_cast<uint32_t>(rng.Next() % 120);
+      const uint32_t ny = 30 + static_cast<uint32_t>(rng.Next() % 120);
+      const uint32_t nt = 60 + static_cast<uint32_t>(rng.Next() % 800);
+      const double skew = 0.7 + 0.1 * static_cast<double>(rng.Next() % 6);
+      return RandomRelation(nx, ny, nt, skew, rng.Next());
+    }
+    case 1: {
+      const uint32_t nx = 40 + static_cast<uint32_t>(rng.Next() % 100);
+      const uint32_t ny = 20 + static_cast<uint32_t>(rng.Next() % 60);
+      const uint32_t nt = 80 + static_cast<uint32_t>(rng.Next() % 700);
+      return UniformBipartite(nx, ny, nt, rng.Next());
+    }
+    default: {
+      const uint32_t comms = 2 + static_cast<uint32_t>(rng.Next() % 3);
+      const uint32_t size = 20 + static_cast<uint32_t>(rng.Next() % 30);
+      const double p = 0.2 + 0.1 * static_cast<double>(rng.Next() % 4);
+      return CommunityGraph(comms, size, p, rng.Next());
+    }
+  }
+}
+
+// Every two-path strategy/heavy-path variant the harness crosses. Adding a
+// strategy = adding a row here (docs/testing.md documents the recipe).
+struct Variant {
+  const char* name;
+  Strategy strategy;
+  HeavyPathMode heavy_path;
+};
+
+const Variant kTwoPathVariants[] = {
+    {"wcoj", Strategy::kWcojFull, HeavyPathMode::kAuto},
+    {"nonmm", Strategy::kNonMmJoin, HeavyPathMode::kAuto},
+    {"mm-auto", Strategy::kMmJoin, HeavyPathMode::kAuto},
+    {"mm-dense", Strategy::kMmJoin, HeavyPathMode::kForceDense},
+    {"mm-csr-dense", Strategy::kMmJoin, HeavyPathMode::kForceCsrDense},
+    {"mm-csr-csr", Strategy::kMmJoin, HeavyPathMode::kForceCsrCsr},
+};
+
+void RecordFailure(const std::string& line) {
+  std::FILE* f = std::fopen(ArtifactPath().c_str(), "a");
+  if (f != nullptr) {
+    std::fprintf(f, "%s\n", line.c_str());
+    std::fclose(f);
+  }
+}
+
+std::vector<int> ThreadCounts() {
+  std::vector<int> threads{1, 3};
+  const int hw = HardwareThreads();
+  if (hw != 1 && hw != 3) threads.push_back(hw);
+  return threads;
+}
+
+TEST(DifferentialFuzz, TwoPathCrossStrategyAgreement) {
+  const int iters = EnvInt("JPMM_FUZZ_ITERS", 50);
+  const uint64_t base = EnvU64("JPMM_FUZZ_SEED", 20260726);
+  const std::vector<int> threads = ThreadCounts();
+
+  for (int i = 0; i < iters; ++i) {
+    const FuzzConfig cfg = MakeConfig(base + static_cast<uint64_t>(i));
+    const BinaryRelation r = MakeRelation(cfg, 1);
+    const BinaryRelation s = cfg.self_join ? r : MakeRelation(cfg, 2);
+
+    // Reference: sequential WCOJ full join + dedup, sorted.
+    JoinProjectOptions ref_opts;
+    ref_opts.strategy = Strategy::kWcojFull;
+    ref_opts.threads = 1;
+    ref_opts.sorted = true;
+    ref_opts.count_witnesses = cfg.counted;
+    ref_opts.min_count = cfg.min_count;
+    const JoinProjectOutput ref = JoinProject::TwoPath(r, s, ref_opts);
+
+    for (const Variant& v : kTwoPathVariants) {
+      for (int t : threads) {
+        JoinProjectOptions opts = ref_opts;
+        opts.strategy = v.strategy;
+        opts.heavy_path = v.heavy_path;
+        opts.threads = t;
+        opts.thresholds = cfg.thresholds;
+        const JoinProjectOutput got = JoinProject::TwoPath(r, s, opts);
+
+        const bool match = cfg.counted ? got.counted == ref.counted
+                                       : got.pairs == ref.pairs;
+        if (!match) {
+          const std::string line = cfg.ToString() + " variant=" + v.name +
+                                   " threads=" + std::to_string(t) +
+                                   " got=" + std::to_string(got.size()) +
+                                   " want=" + std::to_string(ref.size());
+          RecordFailure(line);
+          ADD_FAILURE() << "cross-strategy mismatch: " << line
+                        << "\nrepro: JPMM_FUZZ_SEED="
+                        << (base + static_cast<uint64_t>(i))
+                        << " JPMM_FUZZ_ITERS=1 ./differential_fuzz_test";
+          return;  // one repro line per run is enough to bisect
+        }
+      }
+    }
+  }
+}
+
+TEST(DifferentialFuzz, StarCrossStrategyAgreement) {
+  // A quarter of the two-path budget: star instances are pricier and the
+  // strategy surface is smaller.
+  const int iters = std::max(1, EnvInt("JPMM_FUZZ_ITERS", 50) / 4);
+  const uint64_t base = EnvU64("JPMM_FUZZ_SEED", 20260726) ^ 0x57A2ull;
+
+  for (int i = 0; i < iters; ++i) {
+    FuzzConfig cfg = MakeConfig(base + static_cast<uint64_t>(i));
+    cfg.counted = false;  // stars have no counted mode
+    cfg.min_count = 1;
+    const size_t k = 2 + static_cast<size_t>(cfg.seed % 2);
+    const BinaryRelation rel = MakeRelation(cfg, 3);
+    IndexedRelation idx(rel);
+    std::vector<const IndexedRelation*> rels(k, &idx);
+
+    JoinProjectOptions ref_opts;
+    ref_opts.strategy = Strategy::kWcojFull;
+    ref_opts.threads = 1;
+    const auto ref = ToVectors(JoinProject::Star(rels, ref_opts).tuples);
+
+    for (Strategy strat : {Strategy::kMmJoin, Strategy::kNonMmJoin}) {
+      for (int t : ThreadCounts()) {
+        JoinProjectOptions opts;
+        opts.strategy = strat;
+        opts.threads = t;
+        opts.thresholds = cfg.thresholds;
+        const auto got = ToVectors(JoinProject::Star(rels, opts).tuples);
+        if (got != ref) {
+          const std::string line =
+              cfg.ToString() + " variant=star-" + StrategyName(strat) +
+              " k=" + std::to_string(k) + " threads=" + std::to_string(t) +
+              " got=" + std::to_string(got.size()) +
+              " want=" + std::to_string(ref.size());
+          RecordFailure(line);
+          ADD_FAILURE() << "star cross-strategy mismatch: " << line;
+          return;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jpmm

@@ -9,6 +9,7 @@
 #include <set>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/join_project.h"
 #include "core/mm_join.h"
 #include "core/query_engine.h"
@@ -495,7 +496,378 @@ TEST(QueryEngine, SsjLimitDeliversQualifyingPairs) {
   }
 }
 
+// ---- PageSink oracle tests: exact page size + exact skip accounting on
+// every strategy, page boundaries inside and beyond the output.
+
+TEST(QueryEngine, PageSinkEveryStrategy) {
+  const BinaryRelation rel = SkewedGraph();
+  QueryEngine engine = MakeEngine(rel);
+  const auto oracle = OracleTwoPath(rel, rel);
+  std::set<std::pair<Value, Value>> full;
+  for (const OutPair& p : oracle) full.insert({p.x, p.z});
+  const uint64_t out = full.size();
+
+  for (Strategy s : {Strategy::kMmJoin, Strategy::kNonMmJoin,
+                     Strategy::kWcojFull}) {
+    for (uint64_t offset : {uint64_t{0}, uint64_t{17}, out - 5, out,
+                            out + 100}) {
+      for (int threads : {1, 3}) {
+        PreparedQuery q;
+        ASSERT_TRUE(engine.Prepare(TwoPathSpec(s), &q).ok());
+        PageSink sink(offset, 25);
+        ExecOptions exec;
+        exec.threads = threads;
+        ASSERT_TRUE(engine.Execute(q, sink, exec).ok());
+        const uint64_t skipped = std::min(offset, out);
+        EXPECT_EQ(sink.size(), std::min<uint64_t>(25, out - skipped))
+            << StrategyName(s) << " offset=" << offset
+            << " threads=" << threads;
+        EXPECT_EQ(sink.skipped(), skipped)
+            << StrategyName(s) << " offset=" << offset
+            << " threads=" << threads;
+        std::set<std::pair<Value, Value>> seen;
+        for (const OutPair& p : sink.pairs()) {
+          EXPECT_TRUE(full.count({p.x, p.z})) << StrategyName(s);
+          EXPECT_TRUE(seen.insert({p.x, p.z}).second)
+              << "duplicate in page";
+        }
+      }
+    }
+  }
+}
+
+// A page whose boundaries land inside the heavy product pass: blocks
+// before the page fill it, blocks after the page are skipped, and the
+// executed/skipped split accounts for every planned block.
+
+TEST(QueryEngine, PageSpansHeavyProductBlockBoundary) {
+  const BinaryRelation rel = SkewedGraph();
+  IndexedRelation idx(rel);
+  std::set<std::pair<Value, Value>> full;
+  for (const OutPair& p : OracleTwoPath(rel, rel)) full.insert({p.x, p.z});
+
+  // Thresholds {1, 1}: the whole output comes from the product blocks
+  // (240 heavy rows = 4 blocks of 64), so a page deep into the output
+  // must execute more than one block and still skip the tail.
+  MmJoinOptions opts;
+  opts.thresholds = {1, 1};
+  opts.row_block = 64;
+  PageSink sink(3000, 1200);
+  opts.sink = &sink;
+  auto res = MmJoinTwoPath(idx, idx, opts);
+  ASSERT_GE(res.heavy_blocks_total, 4u);
+  EXPECT_EQ(sink.size(), std::min<uint64_t>(1200, full.size() - 3000));
+  EXPECT_EQ(sink.skipped(), 3000u);
+  EXPECT_GE(res.heavy_blocks_executed, 2u)
+      << "the page offset spans past the first product block";
+  EXPECT_GT(res.heavy_blocks_skipped, 0u)
+      << "a full page must short-circuit the remaining blocks";
+  EXPECT_EQ(res.heavy_blocks_executed + res.heavy_blocks_skipped,
+            res.heavy_blocks_total);
+  for (const OutPair& p : sink.pairs()) {
+    EXPECT_TRUE(full.count({p.x, p.z}));
+  }
+}
+
+TEST(QueryEngine, PageOffsetBeyondOutputIsEmptyWithExactSkip) {
+  const BinaryRelation rel = SkewedGraph();
+  QueryEngine engine = MakeEngine(rel);
+  std::set<std::pair<Value, Value>> full;
+  for (const OutPair& p : OracleTwoPath(rel, rel)) full.insert({p.x, p.z});
+
+  PageSink sink(full.size() + 1000, 10);
+  ASSERT_TRUE(engine.Run(TwoPathSpec(Strategy::kAuto), sink, {}).ok());
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.skipped(), full.size())
+      << "skip accounting stays exact when the page starts past the end";
+}
+
+// Pagination of star tuples: a page is a distinct subset with exact size.
+
+TEST(QueryEngine, StarPageSinkDeliversDistinctPage) {
+  const BinaryRelation rel =
+      UniformBipartite(/*num_x=*/120, /*num_y=*/40, /*num_tuples=*/700, 3);
+  QueryEngine engine;
+  engine.AddRelation("R", rel);
+  QuerySpec spec;
+  spec.kind = QueryKind::kStar;
+  spec.relations = {"R", "R"};
+
+  VectorSink all;
+  ASSERT_TRUE(engine.Run(spec, all, {}).ok());
+  const size_t total = all.tuple_data().size() / 2;
+  std::set<std::vector<Value>> full;
+  for (size_t i = 0; i < total; ++i) {
+    full.insert({all.tuple_data()[2 * i], all.tuple_data()[2 * i + 1]});
+  }
+
+  PageSink page(10, 25);
+  ASSERT_TRUE(engine.Run(spec, page, {}).ok());
+  ASSERT_EQ(page.tuple_arity(), 2u);
+  const size_t got = page.tuple_data().size() / 2;
+  EXPECT_EQ(got, std::min<size_t>(25, total - std::min<size_t>(10, total)));
+  EXPECT_EQ(page.skipped(), std::min<uint64_t>(10, total));
+  std::set<std::vector<Value>> seen;
+  for (size_t i = 0; i < got; ++i) {
+    std::vector<Value> t{page.tuple_data()[2 * i],
+                         page.tuple_data()[2 * i + 1]};
+    EXPECT_TRUE(full.count(t)) << "page tuple not in the star output";
+    EXPECT_TRUE(seen.insert(t).second) << "duplicate tuple in page";
+  }
+}
+
+// ---- OrderedBySink oracle tests: ranked delivery equals sorting the full
+// output, on every strategy and thread count, with and without a limit.
+
+TEST(QueryEngine, OrderedBySinkMatchesFullSortOracle) {
+  const BinaryRelation rel = SkewedGraph();
+  QueryEngine engine = MakeEngine(rel);
+
+  // (x, z)-ascending oracle over plain pairs.
+  const auto oracle = OracleTwoPath(rel, rel);  // already sorted
+  // count-descending oracle over counted pairs.
+  QuerySpec counted_spec = TwoPathSpec(Strategy::kAuto);
+  counted_spec.count_witnesses = true;
+  VectorSink all;
+  ASSERT_TRUE(engine.Run(counted_spec, all, {}).ok());
+  auto count_oracle = all.counted();
+  std::sort(count_oracle.begin(), count_oracle.end(),
+            [](const CountedPair& a, const CountedPair& b) {
+              if (a.count != b.count) return a.count > b.count;
+              if (a.x != b.x) return a.x < b.x;
+              return a.z < b.z;
+            });
+
+  for (Strategy s : {Strategy::kMmJoin, Strategy::kNonMmJoin,
+                     Strategy::kWcojFull}) {
+    for (int threads : {1, 3, HardwareThreads()}) {
+      ExecOptions exec;
+      exec.threads = threads;
+
+      OrderedBySink by_xz(ResultOrder::kXzAscending);
+      ASSERT_TRUE(engine.Run(TwoPathSpec(s), by_xz, exec).ok());
+      ASSERT_EQ(by_xz.ranked().size(), oracle.size())
+          << StrategyName(s) << " threads=" << threads;
+      for (size_t i = 0; i < oracle.size(); ++i) {
+        EXPECT_EQ(by_xz.ranked()[i].x, oracle[i].x);
+        EXPECT_EQ(by_xz.ranked()[i].z, oracle[i].z);
+        EXPECT_EQ(by_xz.ranked()[i].count, 1u);  // plain pairs weigh 1
+      }
+
+      QuerySpec cs = TwoPathSpec(s);
+      cs.count_witnesses = true;
+      OrderedBySink by_count(ResultOrder::kCountDescending);
+      ASSERT_TRUE(engine.Run(cs, by_count, exec).ok());
+      EXPECT_EQ(by_count.ranked(), count_oracle)
+          << StrategyName(s) << " threads=" << threads;
+
+      // Bounded merge buffer: the limited sink is the oracle's prefix.
+      OrderedBySink top(ResultOrder::kCountDescending, 23);
+      ASSERT_TRUE(engine.Run(cs, top, exec).ok());
+      auto prefix = count_oracle;
+      prefix.resize(std::min<size_t>(23, prefix.size()));
+      EXPECT_EQ(top.ranked(), prefix)
+          << StrategyName(s) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(QueryEngine, OrderedBySinkStreamsInRankOrder) {
+  const BinaryRelation rel = SkewedGraph();
+  QueryEngine engine = MakeEngine(rel);
+  OrderedBySink sink(ResultOrder::kXzAscending);
+  std::vector<CountedPair> streamed;
+  sink.set_on_result(
+      [&streamed](const CountedPair& p) { streamed.push_back(p); });
+  ASSERT_TRUE(engine.Run(TwoPathSpec(Strategy::kAuto), sink, {}).ok());
+  EXPECT_EQ(streamed, sink.ranked())
+      << "the callback must see exactly the ranked stream, in order";
+  EXPECT_TRUE(std::is_sorted(streamed.begin(), streamed.end(),
+                             [](const CountedPair& a, const CountedPair& b) {
+                               return std::make_pair(a.x, a.z) <
+                                      std::make_pair(b.x, b.z);
+                             }));
+}
+
+TEST(QueryEngine, OrderedBySinkRejectsStarQueries) {
+  QueryEngine engine = MakeEngine(SkewedGraph());
+  QuerySpec spec;
+  spec.kind = QueryKind::kStar;
+  spec.relations = {"R", "R"};
+  OrderedBySink sink(ResultOrder::kXzAscending);
+  auto st = engine.Run(spec, sink, {});
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("tuple"), std::string::npos);
+}
+
+// ---- Ordered + page sinks through the SCJ / SSJ adapters (the remaining
+// strategy emit paths).
+
+TEST(QueryEngine, ScjOrderedBySinkMatchesSortedMmScj) {
+  BipartiteSpec bs;
+  bs.num_sets = 300;
+  bs.dom_size = 120;
+  bs.max_set_size = 10;
+  bs.subset_fraction = 0.3;
+  const BinaryRelation rel = MakeBipartite(bs);
+  IndexedRelation idx(rel);
+  SetFamily fam(idx);
+  auto expect = MmScj(fam, {});
+  CanonicalizeScj(&expect);  // sorted (x, z)
+
+  QueryEngine engine;
+  engine.AddRelation("R", rel);
+  QuerySpec spec;
+  spec.kind = QueryKind::kScj;
+  spec.relations = {"R"};
+  OrderedBySink sink(ResultOrder::kXzAscending);
+  ASSERT_TRUE(engine.Run(spec, sink, {}).ok());
+  ASSERT_EQ(sink.ranked().size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(sink.ranked()[i].x, expect[i].sub);
+    EXPECT_EQ(sink.ranked()[i].z, expect[i].super);
+  }
+}
+
+TEST(QueryEngine, SsjOrderedAndPagedSinks) {
+  BipartiteSpec bs;
+  bs.num_sets = 300;
+  bs.dom_size = 120;
+  bs.max_set_size = 10;
+  const BinaryRelation rel = MakeBipartite(bs);
+  IndexedRelation idx(rel);
+  SetFamily fam(idx);
+  SsjOptions so;
+  so.c = 2;
+  so.ordered = true;
+  auto expect = MmSsj(fam, so);
+  CanonicalizeSsj(&expect, /*ordered=*/true);  // overlap desc, (a, b) asc
+
+  QueryEngine engine;
+  engine.AddRelation("R", rel);
+  QuerySpec spec;
+  spec.kind = QueryKind::kSsj;
+  spec.relations = {"R"};
+  spec.ssj_c = 2;
+  spec.ssj_ordered = true;
+
+  OrderedBySink ranked(ResultOrder::kCountDescending);
+  ASSERT_TRUE(engine.Run(spec, ranked, {}).ok());
+  ASSERT_EQ(ranked.ranked().size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(ranked.ranked()[i].count, expect[i].overlap) << "rank " << i;
+  }
+
+  // Page over the unordered SSJ pair stream: exact size + skip.
+  QuerySpec plain = spec;
+  plain.ssj_ordered = false;
+  PageSink page(7, 9);
+  ASSERT_TRUE(engine.Run(plain, page, {}).ok());
+  const uint64_t out = expect.size();
+  const uint64_t skipped = std::min<uint64_t>(7, out);
+  EXPECT_EQ(page.size(), std::min<uint64_t>(9, out - skipped));
+  EXPECT_EQ(page.skipped(), skipped);
+}
+
+// ---- ParallelForDynamic chunk-claim + done() audit regression: a sink
+// that turns done MID-CHUNK during the light pass must skip the entire
+// downstream heavy phase, and the skipped block count must be identical
+// at every thread count (threads=1's in-order inline claims and the
+// pooled path's dynamic claims account the same blocks).
+
+TEST(QueryEngine, DoneMidChunkSkipsIdenticalDownstreamBlocks) {
+  // Light section first in the x domain (800 light pairs inside the first
+  // 256-head chunk — the limit of 3 fires mid-chunk), heavy section after
+  // (100 x 100 complete bipartite block = multiple product blocks).
+  BinaryRelation rel;
+  for (Value x = 0; x < 200; ++x) rel.Add(x, 1000 + x / 4);
+  for (Value i = 0; i < 100; ++i) {
+    for (Value j = 0; j < 100; ++j) rel.Add(500 + i, 2000 + j);
+  }
+  rel.Finalize();
+  IndexedRelation idx(rel);
+
+  uint64_t mm_total = 0;
+  uint64_t nonmm_total = 0;
+  for (int threads : {1, 3, HardwareThreads()}) {
+    {
+      MmJoinOptions opts;
+      opts.thresholds = {5, 5};
+      opts.row_block = 64;
+      opts.threads = threads;
+      LimitSink sink(3);
+      opts.sink = &sink;
+      auto res = MmJoinTwoPath(idx, idx, opts);
+      ASSERT_GT(res.heavy_blocks_total, 0u);
+      EXPECT_EQ(sink.size(), 3u) << "threads=" << threads;
+      EXPECT_EQ(res.heavy_blocks_executed, 0u)
+          << "light-satisfied sink must skip the whole heavy phase at "
+             "threads="
+          << threads;
+      EXPECT_EQ(res.heavy_blocks_skipped, res.heavy_blocks_total);
+      if (mm_total == 0) mm_total = res.heavy_blocks_total;
+      EXPECT_EQ(res.heavy_blocks_total, mm_total)
+          << "planned block count must not depend on threads";
+    }
+    {
+      NonMmJoinOptions opts;
+      opts.thresholds = {5, 5};
+      opts.threads = threads;
+      LimitSink sink(3);
+      opts.sink = &sink;
+      auto res = NonMmJoinTwoPath(idx, idx, opts);
+      ASSERT_GT(res.heavy_blocks_total, 0u);
+      EXPECT_EQ(sink.size(), 3u) << "threads=" << threads;
+      EXPECT_EQ(res.heavy_blocks_executed, 0u) << "threads=" << threads;
+      EXPECT_EQ(res.heavy_blocks_skipped, res.heavy_blocks_total);
+      if (nonmm_total == 0) nonmm_total = res.heavy_blocks_total;
+      EXPECT_EQ(res.heavy_blocks_total, nonmm_total);
+    }
+    {
+      // Page variant: the page fills from the light section alone.
+      MmJoinOptions opts;
+      opts.thresholds = {5, 5};
+      opts.row_block = 64;
+      opts.threads = threads;
+      PageSink sink(5, 3);
+      opts.sink = &sink;
+      auto res = MmJoinTwoPath(idx, idx, opts);
+      EXPECT_EQ(sink.size(), 3u) << "threads=" << threads;
+      EXPECT_EQ(sink.skipped(), 5u) << "threads=" << threads;
+      EXPECT_EQ(res.heavy_blocks_executed, 0u) << "threads=" << threads;
+      EXPECT_EQ(res.heavy_blocks_skipped, res.heavy_blocks_total);
+    }
+  }
+}
+
 // ---- Triangle count through the engine.
+
+// Cancellation before any work: every light chunk and heavy block is
+// accounted skipped, split by phase, identically at every thread count.
+
+TEST(QueryEngine, TriangleCancellationSplitsSkipCountersExactly) {
+  BinaryRelation sym = CommunityGraph(3, 60, 0.5, 21);
+  QueryEngine engine;
+  engine.AddRelation("G", sym);
+  QuerySpec spec;
+  spec.kind = QueryKind::kTriangle;
+  spec.relations = {"G"};
+
+  uint64_t light_skipped = 0;
+  for (int threads : {1, 3}) {
+    LimitSink cancel(0);  // done() from the first poll
+    ExecStats stats;
+    ExecOptions exec;
+    exec.threads = threads;
+    ASSERT_TRUE(engine.Run(spec, cancel, exec, &stats).ok());
+    EXPECT_TRUE(stats.triangle_cancelled);
+    EXPECT_EQ(stats.triangle_count, 0u) << "threads=" << threads;
+    EXPECT_GT(stats.light_chunks_skipped, 0u);
+    if (light_skipped == 0) light_skipped = stats.light_chunks_skipped;
+    EXPECT_EQ(stats.light_chunks_skipped, light_skipped)
+        << "skip accounting must not depend on the thread count";
+  }
+}
 
 TEST(QueryEngine, TriangleCountMatchesDirect) {
   BinaryRelation sym = CommunityGraph(3, 60, 0.5, 21);

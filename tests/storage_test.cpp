@@ -298,6 +298,43 @@ TEST(Catalog, PutGetIndexNames) {
   EXPECT_EQ(cat.Names(), (std::vector<std::string>{"r", "s"}));
 }
 
+TEST(Catalog, DropUnregistersAndBumpsVersion) {
+  Catalog cat;
+  EXPECT_FALSE(cat.Drop("r")) << "dropping a missing name is reported";
+  const uint64_t v0 = cat.version();
+  cat.Put("r", SmallRel());
+  EXPECT_GT(cat.version(), v0);
+  const uint64_t v1 = cat.version();
+  EXPECT_TRUE(cat.Drop("r"));
+  EXPECT_GT(cat.version(), v1);
+  EXPECT_FALSE(cat.Has("r"));
+  EXPECT_EQ(cat.IndexSnapshot("r"), nullptr);
+}
+
+TEST(Catalog, IndexSnapshotPinsEntryAcrossPutAndDrop) {
+  Catalog cat;
+  cat.Put("r", SmallRel());
+  auto snap = cat.IndexSnapshot("r");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->num_tuples(), 4u);
+
+  // Replace with a different relation: the old snapshot is untouched, a
+  // fresh snapshot sees the new data (copy-on-write, not in-place).
+  BinaryRelation bigger;
+  for (Value i = 0; i < 10; ++i) bigger.Add(i, i % 3);
+  cat.Put("r", std::move(bigger));
+  EXPECT_EQ(snap->num_tuples(), 4u);
+  auto snap2 = cat.IndexSnapshot("r");
+  ASSERT_NE(snap2, nullptr);
+  EXPECT_EQ(snap2->num_tuples(), 10u);
+  EXPECT_NE(snap.get(), snap2.get());
+
+  // Drop: both snapshots stay alive and readable.
+  EXPECT_TRUE(cat.Drop("r"));
+  EXPECT_EQ(snap->num_tuples(), 4u);
+  EXPECT_EQ(snap2->num_tuples(), 10u);
+}
+
 TEST(Catalog, PutFinalizesUnfinalized) {
   Catalog cat;
   BinaryRelation raw;

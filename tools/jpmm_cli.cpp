@@ -23,11 +23,20 @@
 //   --counts          produce witness counts  (twopath)
 //   --min-count C     keep pairs with >= C witnesses (twopath)
 //   --limit N         stop after N results (LimitSink early exit) (twopath)
+//   --offset N        with --limit: return page [N, N+limit) (PageSink —
+//                     done() fires once the page is full) (twopath)
+//   --order-by O      xz|count: ranked delivery (OrderedBySink; `count`
+//                     implies --counts; --limit bounds the merge buffer)
+//                     (twopath)
 //   --count-only      count results without materializing (twopath)
 //   --top-k N         N highest-witness-count pairs (implies counts)
 //                     (twopath)
 //   --repeat N        execute the prepared query N times (plan-cache
 //                     demo; --explain reports hit/miss per run) (twopath)
+//   --clients N       concurrent driver: N client threads hammer the one
+//                     shared engine + prepared query, each running
+//                     --repeat executions with its own sink; prints
+//                     aggregate throughput (twopath)
 //   --k K             star arity (default 3)  (star)
 //   --algo A          mm|sizeaware|sizeaware++ (ssj)
 //                     mm|pretti|limit|pie      (scj)
@@ -46,8 +55,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bsi/bsi.h"
 #include "bsi/latency_sim.h"
@@ -190,21 +202,129 @@ int RunStats(const Args& args, const BinaryRelation& rel) {
   return 0;
 }
 
+// One client's sink for a twopath run, chosen from the flags. Every
+// client thread of --clients builds its own instance — sinks are per-call
+// state, the engine and PreparedQuery are the shared part.
+struct TwoPathSink {
+  enum class Kind { kAll, kCountOnly, kLimit, kPage, kTopK, kOrdered };
+
+  Kind kind = Kind::kAll;
+  std::unique_ptr<ResultSink> sink;
+
+  static TwoPathSink Make(const Args& args) {
+    TwoPathSink s;
+    if (args.Has("order-by")) {
+      const ResultOrder order = args.Get("order-by") == "count"
+                                    ? ResultOrder::kCountDescending
+                                    : ResultOrder::kXzAscending;
+      const uint64_t lim = args.Has("limit")
+                               ? static_cast<uint64_t>(args.GetI("limit", 10))
+                               : OrderedBySink::kNoLimit;
+      s.kind = Kind::kOrdered;
+      s.sink = std::make_unique<OrderedBySink>(order, lim);
+    } else if (args.Has("top-k")) {
+      s.kind = Kind::kTopK;
+      s.sink = std::make_unique<TopKByCountSink>(
+          static_cast<size_t>(args.GetI("top-k", 10)));
+    } else if (args.Has("count-only")) {
+      s.kind = Kind::kCountOnly;
+      s.sink = std::make_unique<CountOnlySink>();
+    } else if (args.Has("offset")) {
+      s.kind = Kind::kPage;
+      s.sink = std::make_unique<PageSink>(
+          static_cast<uint64_t>(args.GetI("offset", 0)),
+          static_cast<uint64_t>(args.GetI("limit", 10)));
+    } else if (args.Has("limit")) {
+      s.kind = Kind::kLimit;
+      s.sink = std::make_unique<LimitSink>(
+          static_cast<uint64_t>(args.GetI("limit", 10)));
+    } else {
+      s.kind = Kind::kAll;
+      s.sink = std::make_unique<VectorSink>();
+    }
+    return s;
+  }
+
+  size_t Count() const {
+    switch (kind) {
+      case Kind::kAll:
+        return static_cast<VectorSink*>(sink.get())->size();
+      case Kind::kCountOnly:
+        return static_cast<CountOnlySink*>(sink.get())->count();
+      case Kind::kLimit:
+        return static_cast<LimitSink*>(sink.get())->size();
+      case Kind::kPage:
+        return static_cast<PageSink*>(sink.get())->size();
+      case Kind::kTopK:
+        return static_cast<TopKByCountSink*>(sink.get())->top().size();
+      case Kind::kOrdered:
+        return static_cast<OrderedBySink*>(sink.get())->ranked().size();
+    }
+    return 0;
+  }
+
+  const char* Label() const {
+    switch (kind) {
+      case Kind::kAll:
+        return "pairs";
+      case Kind::kCountOnly:
+        return "pairs (counted only)";
+      case Kind::kLimit:
+        return "pairs (limited)";
+      case Kind::kPage:
+        return "pairs (page)";
+      case Kind::kTopK:
+        return "top-k pairs";
+      case Kind::kOrdered:
+        return "pairs (ranked)";
+    }
+    return "pairs";
+  }
+};
+
 int RunTwoPath(const Args& args, BinaryRelation rel) {
   QueryEngine engine;
-  engine.catalog().Put("R", std::move(rel));
+  engine.AddRelation("R", std::move(rel));
 
   QuerySpec spec;
   spec.kind = QueryKind::kTwoPath;
   spec.relations = {"R"};
   spec.strategy = ParseStrategy(args.Get("strategy", "auto"));
-  spec.count_witnesses =
-      args.Has("counts") || args.Has("min-count") || args.Has("top-k");
+  spec.count_witnesses = args.Has("counts") || args.Has("min-count") ||
+                         args.Has("top-k") ||
+                         args.Get("order-by") == "count";
   spec.min_count = static_cast<uint32_t>(args.GetI("min-count", 1));
 
   ExecOptions exec;
   exec.threads = static_cast<int>(args.GetI("threads", 1));
   exec.heavy_path = ParseHeavyPath(args.Get("heavy-path", "auto"));
+
+  if (args.Has("offset") && !args.Has("limit")) {
+    std::fprintf(stderr, "error: --offset requires --limit (a page needs "
+                         "both bounds)\n");
+    return 1;
+  }
+  if (args.Has("offset") && (args.Has("top-k") || args.Has("count-only") ||
+                             args.Has("order-by"))) {
+    std::fprintf(stderr, "error: --offset only pages the plain result "
+                         "stream; it cannot combine with --top-k, "
+                         "--count-only, or --order-by\n");
+    return 1;
+  }
+  if (args.Has("order-by")) {
+    const std::string order = args.Get("order-by");
+    if (order != "xz" && order != "count") {
+      std::fprintf(stderr, "error: --order-by takes xz or count, got '%s'\n",
+                   order.c_str());
+      return 1;
+    }
+    if (args.Has("top-k") || args.Has("count-only")) {
+      std::fprintf(stderr, "error: --order-by already defines the consumer; "
+                           "it cannot combine with --top-k or "
+                           "--count-only\n");
+      return 1;
+    }
+  }
 
   PreparedQuery query;
   QueryStatus st = engine.Prepare(spec, &query);
@@ -213,26 +333,60 @@ int RunTwoPath(const Args& args, BinaryRelation rel) {
     return 1;
   }
 
-  // Sink selection: --top-k > --count-only > --limit > materialize-all.
-  VectorSink all;
-  CountOnlySink count_only;
-  std::optional<LimitSink> limit;
-  std::optional<TopKByCountSink> topk;
-  ResultSink* sink = &all;
-  if (args.Has("top-k")) {
-    topk.emplace(static_cast<size_t>(args.GetI("top-k", 10)));
-    sink = &*topk;
-  } else if (args.Has("count-only")) {
-    sink = &count_only;
-  } else if (args.Has("limit")) {
-    limit.emplace(static_cast<uint64_t>(args.GetI("limit", 10)));
-    sink = &*limit;
+  const long repeat = std::max<long>(1, args.GetI("repeat", 1));
+  const long clients = std::max<long>(1, args.GetI("clients", 1));
+
+  if (clients > 1) {
+    // Concurrent driver: every client shares the engine AND the prepared
+    // query (the first executions race through the single-flight planner),
+    // each with a private sink per execution.
+    std::vector<std::thread> threads;
+    std::vector<size_t> counts(static_cast<size_t>(clients), 0);
+    std::vector<std::string> errors(static_cast<size_t>(clients));
+    WallTimer timer;
+    for (long c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (long run = 0; run < repeat; ++run) {
+          TwoPathSink client_sink = TwoPathSink::Make(args);
+          QueryStatus cst =
+              engine.Execute(query, *client_sink.sink, exec, nullptr);
+          if (!cst.ok()) {
+            errors[static_cast<size_t>(c)] = cst.message();
+            return;
+          }
+          counts[static_cast<size_t>(c)] = client_sink.Count();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double sec = timer.Seconds();
+    for (long c = 0; c < clients; ++c) {
+      if (!errors[static_cast<size_t>(c)].empty()) {
+        std::fprintf(stderr, "client %ld error: %s\n", c,
+                     errors[static_cast<size_t>(c)].c_str());
+        return 1;
+      }
+    }
+    const double total = static_cast<double>(clients * repeat);
+    std::printf("clients=%ld repeat=%ld: %.0f executions in %.3f s "
+                "(%.1f q/s aggregate)\n",
+                clients, repeat, total, sec, total / sec);
+    for (long c = 0; c < clients; ++c) {
+      if (counts[static_cast<size_t>(c)] != counts[0]) {
+        std::fprintf(stderr,
+                     "client %ld saw %zu results, client 0 saw %zu\n", c,
+                     counts[static_cast<size_t>(c)], counts[0]);
+        return 1;
+      }
+    }
+    std::printf("every client: %zu results\n", counts[0]);
+    return 0;
   }
 
-  const long repeat = std::max<long>(1, args.GetI("repeat", 1));
+  TwoPathSink out = TwoPathSink::Make(args);
   ExecStats stats;
   for (long run = 0; run < repeat; ++run) {
-    st = engine.Execute(query, *sink, exec, &stats);
+    st = engine.Execute(query, *out.sink, exec, &stats);
     if (!st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.message().c_str());
       return 1;
@@ -241,21 +395,8 @@ int RunTwoPath(const Args& args, BinaryRelation rel) {
       std::printf("plan: %s\n", stats.plan.ToString().c_str());
       std::printf("executed: %s\n", StrategyName(stats.executed));
     }
-    size_t n = 0;
-    const char* label = "pairs";
-    if (topk.has_value()) {
-      n = topk->top().size();
-      label = "top-k pairs";
-    } else if (args.Has("count-only")) {
-      n = count_only.count();
-      label = "pairs (counted only)";
-    } else if (limit.has_value()) {
-      n = limit->size();
-      label = "pairs (limited)";
-    } else {
-      n = all.size();
-    }
-    std::printf("output: %zu %s in %.3f s\n", n, label, stats.seconds);
+    std::printf("output: %zu %s in %.3f s\n", out.Count(), out.Label(),
+                stats.seconds);
     if (args.Has("explain")) {
       std::printf("plan cache: %s\n", stats.plan_cache_hit ? "hit" : "miss");
       std::printf("early exit: light chunks skipped=%llu, heavy blocks "
@@ -266,8 +407,27 @@ int RunTwoPath(const Args& args, BinaryRelation rel) {
                   static_cast<unsigned long long>(stats.heavy_blocks_skipped));
     }
   }
-  if (topk.has_value()) {
-    for (const CountedPair& p : topk->top()) {
+  if (out.kind == TwoPathSink::Kind::kTopK) {
+    for (const CountedPair& p :
+         static_cast<TopKByCountSink*>(out.sink.get())->top()) {
+      std::printf("  (%u, %u) witnesses %u\n", p.x, p.z, p.count);
+    }
+  } else if (out.kind == TwoPathSink::Kind::kPage) {
+    auto* page = static_cast<PageSink*>(out.sink.get());
+    std::printf("page [%llu, %llu): %zu results, %llu skipped exactly\n",
+                static_cast<unsigned long long>(page->offset()),
+                static_cast<unsigned long long>(page->offset() +
+                                                page->limit()),
+                page->size(),
+                static_cast<unsigned long long>(page->skipped()));
+  } else if (out.kind == TwoPathSink::Kind::kOrdered) {
+    auto* ordered = static_cast<OrderedBySink*>(out.sink.get());
+    const size_t show = std::min<size_t>(5, ordered->ranked().size());
+    std::printf("order: %s (showing %zu of %zu)\n",
+                ResultOrderName(ordered->order()), show,
+                ordered->ranked().size());
+    for (size_t i = 0; i < show; ++i) {
+      const CountedPair& p = ordered->ranked()[i];
       std::printf("  (%u, %u) witnesses %u\n", p.x, p.z, p.count);
     }
   }
