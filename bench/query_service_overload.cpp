@@ -1,0 +1,213 @@
+// QueryService overload drill — the robustness acceptance row.
+//
+// 64 and 256 simulated clients (google benchmark's ->Threads fan-out, one
+// client per benchmark thread) hammer one QueryService whose admission
+// capacity — max_inflight execution slots plus the bounded FIFO queue — is
+// provisioned at HALF the client count, i.e. the service runs at 2x
+// capacity the whole time. The service must shed the excess with
+// structured kOverloaded instead of queueing unboundedly or deadlocking.
+//
+//   ServiceOverloadDirect  every client calls Execute once per iteration
+//                          and takes kOverloaded at face value
+//   ServiceOverloadRetry   clients wrap Execute in RetryWithBackoff, so
+//                          sheds convert into eventual completions at the
+//                          cost of backoff latency
+//
+// Reported counters (per google-benchmark JSON, tracked by bench_compare):
+//   ok / shed            total completions and sheds across all clients
+//   shed_rate            average per-client shed fraction
+//   client_p50_ms/p99_ms average per-client latency percentiles — the p99
+//                        bound under 2x overload is the acceptance metric
+//
+// Every completed execution is checked against the unloaded oracle count:
+// overload may shed work, it must never corrupt it.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/query_engine.h"
+#include "core/query_service.h"
+#include "core/result_sink.h"
+#include "datagen/presets.h"
+
+using namespace jpmm;
+
+namespace {
+
+QueryEngine& SharedEngine() {
+  static QueryEngine* engine = [] {
+    auto* e = new QueryEngine();
+    e->AddRelation("R", MakePreset(DatasetPreset::kJokes,
+                                   0.25 * ScaleFromEnv(), 42));
+    return e;
+  }();
+  return *engine;
+}
+
+PreparedQuery& SharedQuery() {
+  static PreparedQuery* query = [] {
+    QuerySpec spec;
+    spec.kind = QueryKind::kTwoPath;
+    spec.relations = {"R"};
+    auto* q = new PreparedQuery();
+    QueryStatus st = SharedEngine().Prepare(spec, q);
+    if (!st.ok()) {
+      std::fprintf(stderr, "prepare failed: %s\n", st.message().c_str());
+      std::abort();
+    }
+    CountOnlySink warm;
+    SharedEngine().Execute(*q, warm, {});
+    return q;
+  }();
+  return *query;
+}
+
+// The unloaded single-client answer every completed execution must match.
+uint64_t OracleCount() {
+  static const uint64_t count = [] {
+    CountOnlySink sink;
+    QueryStatus st = SharedEngine().Execute(SharedQuery(), sink, {});
+    if (!st.ok()) std::abort();
+    return sink.count();
+  }();
+  return count;
+}
+
+// One service per client count, provisioned at half the offered load:
+// capacity = max_inflight slots + queue_depth waiters = clients / 2.
+QueryService& ServiceFor(int clients) {
+  static std::mutex mu;
+  static std::map<int, QueryService*> services;
+  std::lock_guard<std::mutex> lk(mu);
+  auto it = services.find(clients);
+  if (it == services.end()) {
+    QueryServiceOptions opt;
+    opt.max_inflight = std::max(1, clients / 4);
+    opt.queue_depth = static_cast<size_t>(std::max(1, clients / 4));
+    opt.max_queued_per_class = opt.queue_depth;
+    it = services.emplace(clients, new QueryService(&SharedEngine(), opt))
+             .first;
+  }
+  return *it->second;
+}
+
+struct ClientTally {
+  int64_t ok = 0;
+  int64_t shed = 0;
+  int64_t wrong = 0;
+  std::vector<double> latencies_ms;
+
+  double Pct(double p) {
+    if (latencies_ms.empty()) return 0.0;
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    const size_t i = std::min(
+        latencies_ms.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(latencies_ms.size())));
+    return latencies_ms[i];
+  }
+};
+
+void Report(benchmark::State& state, ClientTally& t) {
+  using benchmark::Counter;
+  state.counters["ok"] = Counter(static_cast<double>(t.ok));
+  state.counters["shed"] = Counter(static_cast<double>(t.shed));
+  state.counters["wrong"] = Counter(static_cast<double>(t.wrong));
+  const double n = static_cast<double>(t.ok + t.shed);
+  state.counters["shed_rate"] =
+      Counter(n > 0 ? static_cast<double>(t.shed) / n : 0.0,
+              Counter::kAvgThreads);
+  state.counters["client_p50_ms"] = Counter(t.Pct(0.50), Counter::kAvgThreads);
+  state.counters["client_p99_ms"] = Counter(t.Pct(0.99), Counter::kAvgThreads);
+  state.SetItemsProcessed(t.ok);
+}
+
+void BM_ServiceOverloadDirect(benchmark::State& state) {
+  QueryService& service = ServiceFor(state.threads());
+  PreparedQuery& q = SharedQuery();
+  const uint64_t oracle = OracleCount();
+  ClientTally t;
+  ServiceRequest req;
+  req.query_class =
+      state.thread_index() % 2 == 0 ? QueryClass::kInteractive
+                                    : QueryClass::kBatch;
+  req.exec.threads = 1;
+  for (auto _ : state) {
+    CountOnlySink sink;
+    const auto t0 = std::chrono::steady_clock::now();
+    QueryStatus st = service.Execute(q, sink, req);
+    const auto t1 = std::chrono::steady_clock::now();
+    t.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    if (st.ok()) {
+      ++t.ok;
+      if (sink.count() != oracle) ++t.wrong;
+    } else if (st.code() == StatusCode::kOverloaded) {
+      ++t.shed;
+    } else {
+      state.SkipWithError(st.message().c_str());
+      break;
+    }
+  }
+  Report(state, t);
+}
+BENCHMARK(BM_ServiceOverloadDirect)
+    ->Threads(64)
+    ->Threads(256)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServiceOverloadRetry(benchmark::State& state) {
+  QueryService& service = ServiceFor(state.threads());
+  PreparedQuery& q = SharedQuery();
+  const uint64_t oracle = OracleCount();
+  ClientTally t;
+  ServiceRequest req;
+  req.exec.threads = 1;
+  RetryOptions retry;
+  retry.max_attempts = 5;
+  retry.base_ms = 2;
+  retry.max_ms = 50;
+  retry.seed = 1000 + static_cast<uint64_t>(state.thread_index());
+  for (auto _ : state) {
+    uint64_t got = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    QueryStatus st = RetryWithBackoff(
+        [&] {
+          CountOnlySink sink;
+          QueryStatus s = service.Execute(q, sink, req);
+          if (s.ok()) got = sink.count();
+          return s;
+        },
+        retry);
+    const auto t1 = std::chrono::steady_clock::now();
+    t.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    if (st.ok()) {
+      ++t.ok;
+      if (got != oracle) ++t.wrong;
+    } else if (st.code() == StatusCode::kOverloaded) {
+      ++t.shed;  // retries exhausted while still overloaded
+    } else {
+      state.SkipWithError(st.message().c_str());
+      break;
+    }
+  }
+  Report(state, t);
+}
+BENCHMARK(BM_ServiceOverloadRetry)
+    ->Threads(64)
+    ->Threads(256)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+JPMM_BENCH_MAIN();

@@ -1,30 +1,59 @@
-// query_service: a service-style loop over one shared QueryEngine.
+// query_service: the overload-safe serving layer over one shared engine.
 //
-// Models the ROADMAP's "serve heavy traffic" target at example scale: one
-// engine owns the dataset, queries are prepared once at startup, and a
-// simulated request stream executes them over and over with per-request
-// sinks. Three request shapes a real endpoint would expose:
+// QueryService wraps QueryEngine with everything a real endpoint needs to
+// survive more load than it was provisioned for. This example walks the
+// whole lifecycle a request can take, in order:
 //
-//   GET /similar?limit=10       -> LimitSink       (early exit, bounded work)
-//   GET /similar/count          -> CountOnlySink   (no materialization)
-//   GET /similar/top?k=5        -> TopKByCountSink (ranked, no full sort)
+//   1. admit    — a free execution slot: runs immediately
+//   2. queue    — slots busy, bounded FIFO queue has room: waits its turn
+//   3. degrade  — admitted, but the per-query share of the memory budget
+//                 is below the MM floor: re-plans onto the combinatorial
+//                 strategy (degraded=true in ExecStats, answer unchanged)
+//   4. shed     — queue full: structured kOverloaded with the queue depth
+//                 and a retry-after hint, nothing executed
+//   5. retry    — RetryWithBackoff turns sheds into eventual completions
+//                 with jittered exponential backoff
 //
-// The point to take away: request latency after the first execution is
-// plan-cache-hit latency — the optimizer, operand stats, and indexes are
-// all reused — and limit requests additionally skip most of the heavy
-// product blocks (watch the skipped column).
+// plus the deadline path: a request whose deadline fires mid-run stops at
+// the next chunk boundary and reports exactly what it executed/skipped.
 
+#include <chrono>
 #include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "core/query_engine.h"
+#include "core/query_service.h"
 #include "core/result_sink.h"
 #include "datagen/presets.h"
 
 using namespace jpmm;
 
+namespace {
+
+const char* StatusName(const QueryStatus& st) {
+  return StatusCodeName(st.code());
+}
+
+// Counts like CountOnlySink but holds its execution slot for a fixed time
+// first, so the example's contention window is deterministic: while a slow
+// request occupies the one slot, later arrivals queue and then shed.
+class SlowStartCountSink : public CountOnlySink {
+ public:
+  explicit SlowStartCountSink(int hold_ms) : hold_ms_(hold_ms) {}
+  void Open(int num_shards) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms_));
+    CountOnlySink::Open(num_shards);
+  }
+
+ private:
+  const int hold_ms_;
+};
+
+}  // namespace
+
 int main() {
-  // Startup: load the dataset once. The "jokes" preset is dense (real
-  // heavy part), the shape under which matrix multiplication wins.
   QueryEngine engine;
   engine.catalog().Put("ratings", MakePreset(DatasetPreset::kJokes,
                                              /*scale=*/0.4, /*seed=*/42));
@@ -32,7 +61,6 @@ int main() {
   QuerySpec spec;
   spec.kind = QueryKind::kTwoPath;
   spec.relations = {"ratings"};
-  spec.count_witnesses = true;  // witness counts power top-k requests
 
   PreparedQuery query;
   QueryStatus st = engine.Prepare(spec, &query);
@@ -41,48 +69,137 @@ int main() {
     return 1;
   }
 
-  std::printf("%-22s %10s %12s %10s %s\n", "request", "results", "latency",
-              "plan", "heavy blocks run/skipped");
+  // The unloaded answer — every completed execution below must match it.
+  CountOnlySink oracle_sink;
+  engine.Execute(query, oracle_sink, {});
+  const uint64_t oracle = oracle_sink.count();
+  std::printf("oracle: %llu results\n\n",
+              static_cast<unsigned long long>(oracle));
 
-  auto report = [](const char* label, size_t results,
-                   const ExecStats& stats) {
-    std::printf("%-22s %10zu %9.3f ms %10s %llu/%llu\n", label, results,
-                stats.seconds * 1e3, stats.plan_cache_hit ? "hit" : "miss",
-                static_cast<unsigned long long>(stats.heavy_blocks_executed),
-                static_cast<unsigned long long>(stats.heavy_blocks_skipped));
-  };
+  // A deliberately tiny service: one execution slot, one queue slot. Three
+  // concurrent clients therefore exercise admit, queue, and shed at once.
+  QueryServiceOptions opt;
+  opt.max_inflight = 1;
+  opt.queue_depth = 1;
+  QueryService service(&engine, opt);
 
-  // Simulated request stream: 3 rounds of the three endpoint shapes.
-  ExecStats stats;
-  for (int round = 0; round < 3; ++round) {
-    LimitSink limit10(10);
-    st = engine.Execute(query, limit10, {}, &stats);
-    if (!st.ok()) break;
-    report("/similar?limit=10", limit10.size(), stats);
-
-    CountOnlySink counter;
-    st = engine.Execute(query, counter, {}, &stats);
-    if (!st.ok()) break;
-    report("/similar/count", static_cast<size_t>(counter.count()), stats);
-
-    TopKByCountSink top5(5);
-    st = engine.Execute(query, top5, {}, &stats);
-    if (!st.ok()) break;
-    report("/similar/top?k=5", top5.top().size(), stats);
+  // --- 1+2+4: admit / queue / shed under 3 clients -----------------------
+  std::printf("three clients, capacity 1 running + 1 queued:\n");
+  std::vector<std::thread> clients;
+  std::mutex print_mu;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      // Stagger starts so the outcome order is deterministic: client 0
+      // admits (and holds its slot for 250 ms), client 1 queues, client 2
+      // finds the queue full and sheds.
+      std::this_thread::sleep_for(std::chrono::milliseconds(40 * c));
+      SlowStartCountSink sink(c == 0 ? 250 : 0);
+      ExecStats stats;
+      ServiceRequest req;
+      QueryStatus cst = service.Execute(query, sink, req, &stats);
+      std::lock_guard<std::mutex> lk(print_mu);
+      if (cst.ok()) {
+        std::printf("  client %d: %-10s %llu results%s\n", c, StatusName(cst),
+                    static_cast<unsigned long long>(sink.count()),
+                    sink.count() == oracle ? " (== oracle)" : " (MISMATCH!)");
+      } else {
+        std::printf("  client %d: %-10s %s\n", c, StatusName(cst),
+                    cst.message().c_str());
+        if (cst.code() == StatusCode::kOverloaded) {
+          std::printf("            queue depth %llu, retry after %lld ms\n",
+                      static_cast<unsigned long long>(cst.queue_depth()),
+                      static_cast<long long>(cst.retry_after_ms()));
+        }
+      }
+    });
   }
-  if (!st.ok()) {
-    std::fprintf(stderr, "execute failed: %s\n", st.message().c_str());
-    return 1;
-  }
+  for (auto& t : clients) t.join();
 
-  // A malformed request comes back as a structured error, not an abort —
-  // the service keeps running.
-  QuerySpec bad;
-  bad.kind = QueryKind::kTwoPath;
-  bad.relations = {"no_such_table"};
-  PreparedQuery bad_query;
-  st = engine.Prepare(bad, &bad_query);
-  std::printf("\nbad request rejected: %s\n",
-              st.ok() ? "UNEXPECTEDLY ACCEPTED" : st.message().c_str());
-  return st.ok() ? 1 : 0;
+  // --- 5: the shed client's recovery path --------------------------------
+  // RetryWithBackoff re-submits on kOverloaded with jittered exponential
+  // backoff, floored at the service's retry-after hint. Re-create the
+  // burst — one slow request holding the slot, one queued — so the first
+  // attempt sheds, then watch the backoff convert the shed into a result.
+  std::printf("\nshed client retries with backoff:\n");
+  std::thread holder([&] {
+    SlowStartCountSink slow(120);
+    service.Execute(query, slow, {});
+  });
+  std::thread waiter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    CountOnlySink sink;
+    service.Execute(query, sink, {});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  uint64_t retried_count = 0;
+  int attempts = 0;
+  RetryOptions retry;
+  retry.max_attempts = 6;
+  retry.base_ms = 20;
+  retry.max_ms = 200;
+  st = RetryWithBackoff(
+      [&] {
+        ++attempts;
+        CountOnlySink sink;
+        QueryStatus s = service.Execute(query, sink, {});
+        if (s.ok()) retried_count = sink.count();
+        return s;
+      },
+      retry);
+  holder.join();
+  waiter.join();
+  std::printf("  final status %s after %d attempt%s, %llu results%s\n",
+              StatusName(st), attempts, attempts == 1 ? "" : "s",
+              static_cast<unsigned long long>(retried_count),
+              st.ok() && retried_count == oracle ? " (== oracle)" : "");
+
+  // --- 3: graceful degradation under a tight memory budget ---------------
+  // A service whose per-query share of the budget is below the MM floor
+  // re-plans MM-family queries onto the combinatorial strategy instead of
+  // thrashing. Same answer, different plan, flagged in ExecStats.
+  QueryServiceOptions tight;
+  tight.memory_budget_bytes = 1ull << 20;  // 1 MiB share
+  tight.min_mm_bytes = 1ull << 30;         // MM wants 1 GiB
+  QueryService tight_service(&engine, tight);
+  CountOnlySink degraded_sink;
+  ExecStats degraded_stats;
+  st = tight_service.Execute(query, degraded_sink, {}, &degraded_stats);
+  std::printf("\ntight memory budget: %s, degraded=%s (%s), %llu results%s\n",
+              StatusName(st), degraded_stats.degraded ? "yes" : "no",
+              DegradeReasonName(degraded_stats.degrade_reason),
+              static_cast<unsigned long long>(degraded_sink.count()),
+              degraded_sink.count() == oracle ? " (== oracle)"
+                                              : " (MISMATCH!)");
+
+  // --- deadlines: stop at the next chunk boundary, account exactly -------
+  VectorSink page;
+  ExecStats dl_stats;
+  ServiceRequest dl_req;
+  dl_req.deadline_ms = 1;  // almost certainly fires mid-run
+  st = service.Execute(query, page, dl_req, &dl_stats);
+  std::printf("\n1 ms deadline: %s\n", StatusName(st));
+  std::printf(
+      "  light chunks %llu executed + %llu skipped = %llu total; heavy "
+      "blocks %llu executed + %llu skipped = %llu total\n  the %zu "
+      "delivered results are an exact prefix of the full answer\n",
+      static_cast<unsigned long long>(dl_stats.light_chunks_executed),
+      static_cast<unsigned long long>(dl_stats.light_chunks_skipped),
+      static_cast<unsigned long long>(dl_stats.light_chunks_total),
+      static_cast<unsigned long long>(dl_stats.heavy_blocks_executed),
+      static_cast<unsigned long long>(dl_stats.heavy_blocks_skipped),
+      static_cast<unsigned long long>(dl_stats.heavy_blocks_executed +
+                                      dl_stats.heavy_blocks_skipped),
+      page.size());
+
+  ServiceStats totals = service.stats();
+  std::printf(
+      "\nservice counters: admitted=%llu completed=%llu shed=%llu "
+      "deadline=%llu degraded=%llu max-queue-depth=%llu\n",
+      static_cast<unsigned long long>(totals.admitted),
+      static_cast<unsigned long long>(totals.completed),
+      static_cast<unsigned long long>(totals.shed),
+      static_cast<unsigned long long>(totals.deadline_exceeded),
+      static_cast<unsigned long long>(totals.degraded),
+      static_cast<unsigned long long>(totals.max_queue_depth));
+  return 0;
 }

@@ -1,0 +1,177 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace jpmm {
+namespace {
+
+struct Site {
+  FailPoints::Action action = FailPoints::Action::kThrow;
+  double probability = 0.0;
+  int sleep_ms = 1;
+  std::atomic<uint64_t> triggers{0};
+};
+
+// Registry: name -> armed site. Guarded by a reader-writer lock; the macro
+// only reaches Evaluate when active_count_ > 0, so unarmed runs never take
+// the lock.
+class Registry {
+ public:
+  static Registry& Instance() {
+    static Registry* r = new Registry();  // leaked: usable during shutdown
+    return *r;
+  }
+
+  void Activate(const std::string& site, FailPoints::Action action,
+                double probability, int sleep_ms) {
+    if (probability < 0.0) probability = 0.0;
+    if (probability > 1.0) probability = 1.0;
+    std::unique_lock lock(mu_);
+    auto& slot = sites_[site];
+    if (slot == nullptr) slot = std::make_unique<Site>();
+    slot->action = action;
+    slot->probability = probability;
+    slot->sleep_ms = sleep_ms;
+    slot->triggers.store(0, std::memory_order_relaxed);
+    active_.store(sites_.size(), std::memory_order_release);
+  }
+
+  void Deactivate(const std::string& site) {
+    std::unique_lock lock(mu_);
+    sites_.erase(site);
+    active_.store(sites_.size(), std::memory_order_release);
+  }
+
+  void DeactivateAll() {
+    std::unique_lock lock(mu_);
+    sites_.clear();
+    active_.store(0, std::memory_order_release);
+  }
+
+  uint64_t TriggerCount(const std::string& site) {
+    std::shared_lock lock(mu_);
+    auto it = sites_.find(site);
+    return it == sites_.end()
+               ? 0
+               : it->second->triggers.load(std::memory_order_relaxed);
+  }
+
+  bool AnyActive() const {
+    return active_.load(std::memory_order_acquire) > 0;
+  }
+
+  void Evaluate(const char* site_name) {
+    FailPoints::Action action;
+    double probability;
+    int sleep_ms;
+    Site* site;
+    {
+      std::shared_lock lock(mu_);
+      auto it = sites_.find(site_name);
+      if (it == sites_.end()) return;
+      site = it->second.get();
+      action = site->action;
+      probability = site->probability;
+      sleep_ms = site->sleep_ms;
+    }
+    // NOTE: `site` stays valid after unlock only because Deactivate erases
+    // under the unique lock — a concurrent Deactivate during Evaluate is a
+    // test-harness bug (tests disarm only between runs).
+    if (probability < 1.0 && !ThreadRng().NextBool(probability)) return;
+    site->triggers.fetch_add(1, std::memory_order_relaxed);
+    if (action == FailPoints::Action::kSleep) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      return;
+    }
+    throw FailPointError(site_name);
+  }
+
+ private:
+  Registry() { ParseEnv(); }
+
+  // Per-thread deterministic stream: seed ^ thread ordinal. Reproducible
+  // under JPMM_FAILPOINT_SEED as long as the thread structure is stable.
+  Rng& ThreadRng() {
+    thread_local Rng rng(seed_ ^
+                         (0x9e3779b97f4a7c15ULL *
+                          (next_thread_.fetch_add(1, std::memory_order_relaxed) +
+                           1)));
+    return rng;
+  }
+
+  // JPMM_FAILPOINTS="site=throw:0.01;other=sleep:1.0:5"
+  void ParseEnv() {
+    if (const char* s = std::getenv("JPMM_FAILPOINT_SEED")) {
+      seed_ = std::strtoull(s, nullptr, 10);
+      if (seed_ == 0) seed_ = 1;
+    }
+    const char* spec = std::getenv("JPMM_FAILPOINTS");
+    if (spec == nullptr) return;
+    std::string all(spec);
+    size_t pos = 0;
+    while (pos < all.size()) {
+      size_t end = all.find(';', pos);
+      if (end == std::string::npos) end = all.size();
+      std::string item = all.substr(pos, end - pos);
+      pos = end + 1;
+      size_t eq = item.find('=');
+      if (eq == std::string::npos) continue;
+      std::string site = item.substr(0, eq);
+      std::string rest = item.substr(eq + 1);
+      size_t c1 = rest.find(':');
+      if (c1 == std::string::npos) continue;
+      std::string action_s = rest.substr(0, c1);
+      std::string prob_s = rest.substr(c1 + 1);
+      int sleep_ms = 1;
+      size_t c2 = prob_s.find(':');
+      if (c2 != std::string::npos) {
+        sleep_ms = std::atoi(prob_s.substr(c2 + 1).c_str());
+        prob_s = prob_s.substr(0, c2);
+      }
+      FailPoints::Action action = action_s == "sleep"
+                                      ? FailPoints::Action::kSleep
+                                      : FailPoints::Action::kThrow;
+      Activate(site, action, std::atof(prob_s.c_str()), sleep_ms);
+    }
+  }
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Site>> sites_;
+  std::atomic<size_t> active_{0};
+  uint64_t seed_ = 1;
+  std::atomic<uint64_t> next_thread_{0};
+};
+
+}  // namespace
+
+void FailPoints::Activate(const std::string& site, Action action,
+                          double probability, int sleep_ms) {
+  Registry::Instance().Activate(site, action, probability, sleep_ms);
+}
+
+void FailPoints::Deactivate(const std::string& site) {
+  Registry::Instance().Deactivate(site);
+}
+
+void FailPoints::DeactivateAll() { Registry::Instance().DeactivateAll(); }
+
+uint64_t FailPoints::TriggerCount(const std::string& site) {
+  return Registry::Instance().TriggerCount(site);
+}
+
+bool FailPoints::AnyActive() { return Registry::Instance().AnyActive(); }
+
+void FailPoints::Evaluate(const char* site) {
+  Registry::Instance().Evaluate(site);
+}
+
+}  // namespace jpmm

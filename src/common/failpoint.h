@@ -1,0 +1,82 @@
+// FailPoint — deterministic fault injection for robustness tests.
+//
+// A fail point is a named site in production code (e.g. "csr.build") that
+// tests can arm to throw or sleep with a given probability. Sites are
+// zero-cost when nothing is armed: the JPMM_FAIL_POINT macro guards the
+// registry lookup behind one relaxed atomic load.
+//
+// Activation:
+//   - programmatic: FailPoints::Activate("csr.build", Action::kThrow, 0.01);
+//   - environment:  JPMM_FAILPOINTS="csr.build=throw:0.01;pool.dispatch=sleep:1.0:5"
+//     parsed once at startup (format site=action:probability[:sleep_ms]).
+//
+// Randomness is reproducible: each (site, thread) pair draws from a
+// deterministic stream seeded by JPMM_FAILPOINT_SEED (default 1), so a
+// failing run can be replayed by exporting the same seed.
+//
+// Armed sites count their triggers (FailPoints::TriggerCount) so tests can
+// assert a fault actually fired. Thrown faults are FailPointError, a
+// std::runtime_error subclass, and propagate through the thread pool's
+// per-group exception capture like any task exception.
+
+#ifndef JPMM_COMMON_FAILPOINT_H_
+#define JPMM_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace jpmm {
+
+/// The exception thrown by an armed kThrow fail point.
+class FailPointError : public std::runtime_error {
+ public:
+  explicit FailPointError(const std::string& site)
+      : std::runtime_error("failpoint fired: " + site), site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+class FailPoints {
+ public:
+  enum class Action : uint8_t {
+    kThrow,  // throw FailPointError(site)
+    kSleep,  // sleep sleep_ms, then continue
+  };
+
+  /// Arms `site` to perform `action` with the given probability (clamped
+  /// to [0, 1]). Replaces any previous activation of the site.
+  static void Activate(const std::string& site, Action action,
+                       double probability, int sleep_ms = 1);
+
+  /// Disarms `site`. No-op if it was not armed.
+  static void Deactivate(const std::string& site);
+
+  /// Disarms every site and resets all trigger counts.
+  static void DeactivateAll();
+
+  /// How many times the armed site actually fired (threw or slept).
+  static uint64_t TriggerCount(const std::string& site);
+
+  /// True when at least one site is armed (the macro fast-path guard).
+  static bool AnyActive();
+
+  /// Evaluates the site: throws / sleeps when armed and the draw hits.
+  /// Called via JPMM_FAIL_POINT, not directly.
+  static void Evaluate(const char* site);
+};
+
+}  // namespace jpmm
+
+/// Drop-in site marker. Zero-cost (one relaxed atomic load) unless some
+/// fail point is armed.
+#define JPMM_FAIL_POINT(site)                                    \
+  do {                                                           \
+    if (::jpmm::FailPoints::AnyActive()) {                       \
+      ::jpmm::FailPoints::Evaluate(site);                        \
+    }                                                            \
+  } while (0)
+
+#endif  // JPMM_COMMON_FAILPOINT_H_

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace jpmm {
 namespace {
@@ -27,6 +28,7 @@ struct TaskGroup {
   // is unconditional so a throwing chunk can never strand the waiter.
   void RunChunk(const std::function<void()>& body) {
     try {
+      JPMM_FAIL_POINT("pool.dispatch");
       body();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu);

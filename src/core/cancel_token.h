@@ -1,0 +1,140 @@
+// CancelToken — a composable cancellation signal for query execution.
+//
+// Generalizes the triangle executor's ad-hoc "cancel = sink" pointer into
+// one token every strategy polls at light-chunk / product-block
+// granularity. A token fires from any of three sources:
+//
+//   - explicit cancel:   RequestCancel()            -> Reason::kCancelled
+//   - deadline:          SetDeadline/SetDeadlineAfter -> Reason::kDeadline
+//   - watched sink done: WatchSink(sink)            -> Reason::kCancelled
+//
+// plus chaining: Chain(parent) makes this token fire whenever the parent
+// has fired (copying the parent's reason). Chaining is how the engine
+// builds its per-execution token — local sink-watching composed with the
+// caller's deadline/cancel token — without mutating the caller's token.
+//
+// Fired() is const and cheap on the hot path: one relaxed atomic load when
+// nothing has fired and no deadline is set. The first observation of a
+// fired source latches the reason, so reason() is stable once Fired()
+// returns true. All methods are safe to call from any thread.
+
+#ifndef JPMM_CORE_CANCEL_TOKEN_H_
+#define JPMM_CORE_CANCEL_TOKEN_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "core/result_sink.h"
+
+namespace jpmm {
+
+class CancelToken {
+ public:
+  enum class Reason : uint8_t {
+    kNone = 0,
+    kCancelled = 1,  // explicit RequestCancel() or watched sink done()
+    kDeadline = 2,   // deadline passed
+  };
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Fires the token immediately with Reason::kCancelled.
+  void RequestCancel() { Latch(Reason::kCancelled); }
+
+  /// Arms a deadline at an absolute steady-clock time point. The token
+  /// fires with Reason::kDeadline on the first poll at or after it.
+  void SetDeadline(std::chrono::steady_clock::time_point tp) {
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            tp.time_since_epoch())
+            .count(),
+        std::memory_order_release);
+  }
+
+  /// Arms a deadline `ms` milliseconds from now. ms <= 0 fires immediately.
+  void SetDeadlineAfter(int64_t ms) {
+    SetDeadline(std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(ms));
+  }
+
+  /// Fires (Reason::kCancelled) once `sink->done()` reports true. The sink
+  /// must outlive the token's last Fired() call.
+  void WatchSink(const ResultSink* sink) {
+    sink_.store(sink, std::memory_order_release);
+  }
+
+  /// Fires whenever `parent` has fired, copying its reason. The parent
+  /// must outlive the token's last Fired() call. Pass nullptr to unchain.
+  void Chain(const CancelToken* parent) {
+    parent_.store(parent, std::memory_order_release);
+  }
+
+  /// True once any source has fired; latches the reason on first
+  /// observation. The per-poll cost when nothing fired is one or two
+  /// relaxed loads, so executors poll freely at chunk granularity.
+  bool Fired() const {
+    if (reason_.load(std::memory_order_relaxed) != Reason::kNone) return true;
+    if (const CancelToken* p = parent_.load(std::memory_order_acquire)) {
+      if (p->Fired()) {
+        Latch(p->reason());
+        return true;
+      }
+    }
+    int64_t dl = deadline_ns_.load(std::memory_order_acquire);
+    if (dl != 0 &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >= dl) {
+      Latch(Reason::kDeadline);
+      return true;
+    }
+    if (const ResultSink* s = sink_.load(std::memory_order_acquire)) {
+      if (s->done()) {
+        Latch(Reason::kCancelled);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// The latched reason; kNone until Fired() first returns true.
+  Reason reason() const { return reason_.load(std::memory_order_acquire); }
+
+  /// The armed deadline, or time_point::min() when none is set.
+  std::chrono::steady_clock::time_point deadline() const {
+    int64_t dl = deadline_ns_.load(std::memory_order_acquire);
+    if (dl == 0) return std::chrono::steady_clock::time_point::min();
+    return std::chrono::steady_clock::time_point(std::chrono::nanoseconds(dl));
+  }
+
+ private:
+  // First latch wins: a token that fired kDeadline stays kDeadline even if
+  // RequestCancel() lands later, so stats report the true stopper.
+  void Latch(Reason r) const {
+    Reason expected = Reason::kNone;
+    reason_.compare_exchange_strong(expected, r, std::memory_order_acq_rel,
+                                    std::memory_order_acquire);
+  }
+
+  mutable std::atomic<Reason> reason_{Reason::kNone};
+  std::atomic<int64_t> deadline_ns_{0};  // 0 = no deadline
+  std::atomic<const ResultSink*> sink_{nullptr};
+  std::atomic<const CancelToken*> parent_{nullptr};
+};
+
+inline const char* CancelReasonName(CancelToken::Reason r) {
+  switch (r) {
+    case CancelToken::Reason::kNone:
+      return "none";
+    case CancelToken::Reason::kCancelled:
+      return "cancelled";
+    case CancelToken::Reason::kDeadline:
+      return "deadline";
+  }
+  return "unknown";
+}
+
+}  // namespace jpmm
+
+#endif  // JPMM_CORE_CANCEL_TOKEN_H_

@@ -7,6 +7,7 @@
 #include "common/stamp_set.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/cancel_token.h"
 #include "storage/stats.h"
 
 namespace jpmm {
@@ -46,7 +47,8 @@ const char* StrategyName(Strategy s) {
 JoinProjectOutput WcojFullJoinProject(const IndexedRelation& r,
                                       const IndexedRelation& s,
                                       bool count_witnesses, uint32_t min_count,
-                                      int threads, ResultSink* caller_sink) {
+                                      int threads, ResultSink* caller_sink,
+                                      const CancelToken* cancel) {
   JoinProjectOutput out;
   out.executed = Strategy::kWcojFull;
   threads = std::max(1, threads);
@@ -62,17 +64,27 @@ JoinProjectOutput WcojFullJoinProject(const IndexedRelation& r,
   VectorSink fallback;
   ResultSink* sink = caller_sink != nullptr ? caller_sink : &fallback;
   sink->Open(threads);
+  std::atomic<uint64_t> executed{0};
   std::atomic<uint64_t> skipped{0};
+  std::atomic<bool> interrupted{false};
+  auto cancel_fired = [&]() -> bool {
+    if (cancel != nullptr && cancel->Fired()) {
+      interrupted.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
 
   // Dynamic chunking over the (possibly zipf-skewed) x domain: a hub-heavy
   // contiguous chunk no longer pins one worker (see mm_join.cpp).
   ParallelForDynamic(threads, r.num_x(), /*grain=*/256,
                      [&](size_t a0, size_t a1, int w) {
     Worker& ws = workers[static_cast<size_t>(w)];
-    if (sink->done()) {
+    if (sink->done() || cancel_fired()) {
       skipped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
+    executed.fetch_add(1, std::memory_order_relaxed);
     if (ws.shard == nullptr) ws.shard = &sink->shard(w);
     if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
     for (size_t a = a0; a < a1; ++a) {
@@ -101,7 +113,11 @@ JoinProjectOutput WcojFullJoinProject(const IndexedRelation& r,
     out.pairs = std::move(fallback.pairs());
     out.counted = std::move(fallback.counted());
   }
+  out.light_chunks_total =
+      r.num_x() == 0 ? 0 : (r.num_x() + 255) / 256;
+  out.light_chunks_executed = executed.load();
   out.light_chunks_skipped = skipped.load();
+  out.interrupted = interrupted.load();
   return out;
 }
 
@@ -126,7 +142,7 @@ JoinProjectOutput JoinProject::TwoPathWithPlan(const IndexedRelation& r,
   switch (strategy) {
     case Strategy::kWcojFull: {
       out = WcojFullJoinProject(r, s, opts.count_witnesses, opts.min_count,
-                                opts.threads, opts.sink);
+                                opts.threads, opts.sink, opts.cancel);
       break;
     }
     case Strategy::kMmJoin: {
@@ -138,6 +154,7 @@ JoinProjectOutput JoinProject::TwoPathWithPlan(const IndexedRelation& r,
       mo.heavy_path = opts.heavy_path;
       mo.max_matrix_bytes = opts.max_matrix_bytes;
       mo.sink = opts.sink;
+      mo.cancel = opts.cancel;
       MmJoinResult res = MmJoinTwoPath(r, s, mo);
       out.pairs = std::move(res.pairs);
       out.counted = std::move(res.counted);
@@ -149,7 +166,10 @@ JoinProjectOutput JoinProject::TwoPathWithPlan(const IndexedRelation& r,
       out.heavy_blocks_total = res.heavy_blocks_total;
       out.heavy_blocks_executed = res.heavy_blocks_executed;
       out.heavy_blocks_skipped = res.heavy_blocks_skipped;
+      out.light_chunks_total = res.light_chunks_total;
+      out.light_chunks_executed = res.light_chunks_executed;
       out.light_chunks_skipped = res.light_chunks_skipped;
+      out.interrupted = res.interrupted;
       out.executed = Strategy::kMmJoin;
       break;
     }
@@ -167,13 +187,17 @@ JoinProjectOutput JoinProject::TwoPathWithPlan(const IndexedRelation& r,
       no.count_witnesses = opts.count_witnesses;
       no.min_count = opts.min_count;
       no.sink = opts.sink;
+      no.cancel = opts.cancel;
       MmJoinResult res = NonMmJoinTwoPath(r, s, no);
       out.pairs = std::move(res.pairs);
       out.counted = std::move(res.counted);
       out.heavy_blocks_total = res.heavy_blocks_total;
       out.heavy_blocks_executed = res.heavy_blocks_executed;
       out.heavy_blocks_skipped = res.heavy_blocks_skipped;
+      out.light_chunks_total = res.light_chunks_total;
+      out.light_chunks_executed = res.light_chunks_executed;
       out.light_chunks_skipped = res.light_chunks_skipped;
+      out.interrupted = res.interrupted;
       out.executed = Strategy::kNonMmJoin;
       break;
     }
@@ -235,6 +259,7 @@ StarJoinResult JoinProject::Star(
   so.heavy_path = opts.heavy_path;
   so.max_matrix_bytes = opts.max_matrix_bytes;
   so.sink = opts.sink;
+  so.cancel = opts.cancel;
   if (opts.thresholds.delta1 != 0 || opts.thresholds.delta2 != 0) {
     so.thresholds = opts.thresholds;
   } else {
@@ -256,6 +281,10 @@ StarJoinResult JoinProject::Star(
         ResultSink::Shard& shard = opts.sink->shard(0);
         for (size_t i = 0; i < res.tuples.size(); ++i) {
           if (opts.sink->done()) break;
+          if (opts.cancel != nullptr && opts.cancel->Fired()) {
+            res.interrupted = true;
+            break;
+          }
           shard.OnTuple(res.tuples.Get(i));
         }
         opts.sink->Finish();

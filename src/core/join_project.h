@@ -58,6 +58,10 @@ struct JoinProjectOptions {
   /// and the sink's done() signal short-circuits the remaining light
   /// chunks / heavy product blocks (skip counts land in the output).
   ResultSink* sink = nullptr;
+  /// Cancellation token (deadline | explicit cancel) polled like the
+  /// sink's done(); a fired token truncates the run and sets
+  /// JoinProjectOutput::interrupted. See MmJoinOptions::cancel.
+  const CancelToken* cancel = nullptr;
 };
 
 struct JoinProjectOutput {
@@ -80,7 +84,12 @@ struct JoinProjectOutput {
   uint64_t heavy_blocks_total = 0;
   uint64_t heavy_blocks_executed = 0;
   uint64_t heavy_blocks_skipped = 0;
+  uint64_t light_chunks_total = 0;
+  uint64_t light_chunks_executed = 0;
   uint64_t light_chunks_skipped = 0;
+
+  /// True iff a fired CancelToken truncated the run (see MmJoinResult).
+  bool interrupted = false;
 
   size_t size() const { return pairs.empty() ? counted.size() : pairs.size(); }
 };
@@ -130,7 +139,8 @@ class JoinProject {
 JoinProjectOutput WcojFullJoinProject(const IndexedRelation& r,
                                       const IndexedRelation& s,
                                       bool count_witnesses, uint32_t min_count,
-                                      int threads, ResultSink* sink = nullptr);
+                                      int threads, ResultSink* sink = nullptr,
+                                      const CancelToken* cancel = nullptr);
 
 }  // namespace jpmm
 

@@ -8,6 +8,7 @@
 #include "common/stamp_set.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/cancel_token.h"
 #include "core/result_sink.h"
 #include "core/two_path_internal.h"
 #include "matrix/dense_matrix.h"
@@ -316,9 +317,21 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   VectorSink fallback;
   ResultSink* sink = opts.sink != nullptr ? opts.sink : &fallback;
   sink->Open(threads);
+  std::atomic<uint64_t> light_executed{0};
   std::atomic<uint64_t> light_skipped{0};
   std::atomic<uint64_t> blocks_executed{0};
   std::atomic<uint64_t> blocks_skipped{0};
+  // Latched only when a poll actually skips work: a token that fires after
+  // the last chunk completed must not mark a complete run interrupted.
+  std::atomic<bool> interrupted{false};
+  const CancelToken* cancel = opts.cancel;
+  auto cancel_fired = [&]() -> bool {
+    if (cancel != nullptr && cancel->Fired()) {
+      interrupted.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
 
   // ---- Pass A: head values with no matrix row (light part only).
   // Dynamic chunking: zipf-skewed x degrees make contiguous static chunks
@@ -328,10 +341,11 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   ParallelForDynamic(threads, r.num_x(), kHeadGrain,
                      [&](size_t a0, size_t a1, int w) {
                        WorkerState& ws = workers[static_cast<size_t>(w)];
-                       if (sink->done()) {
+                       if (sink->done() || cancel_fired()) {
                          light_skipped.fetch_add(1, std::memory_order_relaxed);
                          return;
                        }
+                       light_executed.fetch_add(1, std::memory_order_relaxed);
                        if (ws.shard == nullptr) ws.shard = &sink->shard(w);
                        if (ws.counter.universe() < num_z) {
                          ws.counter.ResizeUniverse(num_z);
@@ -354,7 +368,7 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   // count PlanProductBlocks would have produced, so heavy_blocks_total is
   // identical whether the phase ran or was skipped, at every thread count
   // (guarded by QueryEngine.DoneMidChunkSkipsIdenticalDownstreamBlocks).
-  if (use_matrix && sink->done()) {
+  if (use_matrix && (sink->done() || cancel_fired())) {
     result.heavy_blocks_total =
         (hxs.size() + opts.row_block - 1) / opts.row_block;
     blocks_skipped.store(result.heavy_blocks_total);
@@ -412,7 +426,7 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
           if (ws.shard == nullptr) ws.shard = &sink->shard(w);
           if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
           for (size_t blk = b0; blk < b1; ++blk) {
-            if (sink->done()) {
+            if (sink->done() || cancel_fired()) {
               blocks_skipped.fetch_add(b1 - blk, std::memory_order_relaxed);
               return;
             }
@@ -458,7 +472,11 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   }
   result.heavy_blocks_executed = blocks_executed.load();
   result.heavy_blocks_skipped = blocks_skipped.load();
+  result.light_chunks_total =
+      r.num_x() == 0 ? 0 : (r.num_x() + kHeadGrain - 1) / kHeadGrain;
+  result.light_chunks_executed = light_executed.load();
   result.light_chunks_skipped = light_skipped.load();
+  result.interrupted = interrupted.load();
   return result;
 }
 

@@ -35,6 +35,7 @@
 
 namespace jpmm {
 
+class CancelToken;
 class ResultSink;
 
 /// Smallest positive integer a float matrix cell (and the `v + 0.5f`
@@ -93,6 +94,12 @@ struct MmJoinOptions {
   /// what stops sparse inputs from having their thresholds over-forced by
   /// dense U*V accounting.
   uint64_t max_matrix_bytes = uint64_t{3} << 30;
+  /// Optional cancellation token (deadline | explicit cancel), polled at
+  /// the same light-chunk / product-block granularity as the sink's done()
+  /// signal. A fired token skips the remaining work (skips counted like
+  /// sink-driven early exit) and sets MmJoinResult::interrupted; partial
+  /// results already delivered stay valid.
+  const CancelToken* cancel = nullptr;
 };
 
 struct MmJoinResult {
@@ -119,7 +126,15 @@ struct MmJoinResult {
                                        // chunks for the combinatorial path)
   uint64_t heavy_blocks_executed = 0;  // blocks actually run
   uint64_t heavy_blocks_skipped = 0;   // blocks skipped after sink done()
+  uint64_t light_chunks_total = 0;     // planned light-part chunks
+  uint64_t light_chunks_executed = 0;  // light-part chunks actually run
   uint64_t light_chunks_skipped = 0;   // light-part chunks skipped
+
+  /// True iff a fired CancelToken (not sink done()) cut the run short:
+  /// some planned work was skipped because the token fired. A token that
+  /// fires after the last chunk completes does NOT mark the run
+  /// interrupted — the output is complete.
+  bool interrupted = false;
 
   size_t size() const { return pairs.empty() ? counted.size() : pairs.size(); }
 };

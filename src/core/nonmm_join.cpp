@@ -7,6 +7,7 @@
 #include "common/stamp_set.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/cancel_token.h"
 #include "core/result_sink.h"
 #include "core/two_path_internal.h"
 #include "join/intersection.h"
@@ -69,9 +70,19 @@ MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
   VectorSink fallback;
   ResultSink* sink = opts.sink != nullptr ? opts.sink : &fallback;
   sink->Open(threads);
+  std::atomic<uint64_t> light_executed{0};
   std::atomic<uint64_t> light_skipped{0};
   std::atomic<uint64_t> heavy_executed{0};
   std::atomic<uint64_t> heavy_skipped{0};
+  std::atomic<bool> interrupted{false};
+  const CancelToken* cancel = opts.cancel;
+  auto cancel_fired = [&]() -> bool {
+    if (cancel != nullptr && cancel->Fired()) {
+      interrupted.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
 
   auto emit_head = [&](Value a, bool with_heavy, Worker* ws) {
     ws->counter.NewEpoch();
@@ -113,10 +124,11 @@ MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
   ParallelForDynamic(threads, r.num_x(), /*grain=*/256,
                      [&](size_t a0, size_t a1, int w) {
     Worker& ws = workers[static_cast<size_t>(w)];
-    if (sink->done()) {
+    if (sink->done() || cancel_fired()) {
       light_skipped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
+    light_executed.fetch_add(1, std::memory_order_relaxed);
     if (ws.shard == nullptr) ws.shard = &sink->shard(w);
     if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
     for (size_t a = a0; a < a1; ++a) {
@@ -139,7 +151,7 @@ MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
     ParallelForDynamic(threads, hxs.size(), kHeavyGrain,
                        [&](size_t i0, size_t i1, int w) {
       Worker& ws = workers[static_cast<size_t>(w)];
-      if (sink->done()) {
+      if (sink->done() || cancel_fired()) {
         heavy_skipped.fetch_add(1, std::memory_order_relaxed);
         return;
       }
@@ -160,7 +172,11 @@ MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
       use_heavy ? (hxs.size() + kHeavyGrain - 1) / kHeavyGrain : 0;
   result.heavy_blocks_executed = heavy_executed.load();
   result.heavy_blocks_skipped = heavy_skipped.load();
+  result.light_chunks_total =
+      r.num_x() == 0 ? 0 : (r.num_x() + 255) / 256;
+  result.light_chunks_executed = light_executed.load();
   result.light_chunks_skipped = light_skipped.load();
+  result.interrupted = interrupted.load();
   return result;
 }
 

@@ -24,6 +24,8 @@ struct NonMmJoinOptions {
   /// The "heavy blocks" counted for early-exit instrumentation are the
   /// dynamic chunks of heavy x values.
   ResultSink* sink = nullptr;
+  /// Cancellation token polled like the sink's done(); see MmJoinOptions.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Runs the combinatorial join. Result fields mirror MmJoinTwoPath

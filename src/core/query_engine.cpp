@@ -97,10 +97,83 @@ void FillTwoPathStats(JoinProjectOutput* out, ExecStats* stats) {
   stats->heavy_blocks_total = out->heavy_blocks_total;
   stats->heavy_blocks_executed = out->heavy_blocks_executed;
   stats->heavy_blocks_skipped = out->heavy_blocks_skipped;
+  stats->light_chunks_total = out->light_chunks_total;
+  stats->light_chunks_executed = out->light_chunks_executed;
   stats->light_chunks_skipped = out->light_chunks_skipped;
+  stats->interrupted = out->interrupted;
+}
+
+InterruptReason MapInterruptReason(CancelToken::Reason r) {
+  switch (r) {
+    case CancelToken::Reason::kDeadline:
+      return InterruptReason::kDeadline;
+    case CancelToken::Reason::kCancelled:
+      return InterruptReason::kCancelled;
+    case CancelToken::Reason::kNone:
+      break;
+  }
+  return InterruptReason::kNone;
+}
+
+// Sets interrupt_reason from the token that truncated the run; only
+// meaningful once stats->interrupted is set.
+void FillInterruptReason(const CancelToken* token, ExecStats* stats) {
+  if (stats == nullptr || !stats->interrupted) return;
+  stats->interrupt_reason = token != nullptr
+                                ? MapInterruptReason(token->reason())
+                                : InterruptReason::kCancelled;
+  if (stats->interrupt_reason == InterruptReason::kNone) {
+    // The token un-latched is impossible once a poll observed it fired;
+    // defensive default.
+    stats->interrupt_reason = InterruptReason::kCancelled;
+  }
 }
 
 }  // namespace
+
+const char* StatusCodeName(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kOverloaded:
+      return "overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+const char* InterruptReasonName(InterruptReason r) {
+  switch (r) {
+    case InterruptReason::kNone:
+      return "none";
+    case InterruptReason::kCancelled:
+      return "cancelled";
+    case InterruptReason::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
+const char* DegradeReasonName(DegradeReason r) {
+  switch (r) {
+    case DegradeReason::kNone:
+      return "none";
+    case DegradeReason::kMemoryCap:
+      return "memory-cap";
+    case DegradeReason::kAdmissionPressure:
+      return "admission-pressure";
+  }
+  return "?";
+}
 
 const char* QueryKindName(QueryKind k) {
   switch (k) {
@@ -149,8 +222,8 @@ QueryStatus QueryEngine::AddRelation(const std::string& name,
 
 QueryStatus QueryEngine::DropRelation(const std::string& name) {
   if (!catalog_.Drop(name)) {
-    return QueryStatus::Error("unknown relation '" + name +
-                              "' (not in the catalog)");
+    return QueryStatus::NotFound("unknown relation '" + name +
+                                 "' (not in the catalog)");
   }
   return QueryStatus::Ok();
 }
@@ -207,8 +280,8 @@ QueryStatus QueryEngine::Prepare(const QuerySpec& spec, PreparedQuery* out) {
   for (const std::string& name : spec.relations) {
     std::shared_ptr<const IndexedRelation> idx = catalog_.IndexSnapshot(name);
     if (idx == nullptr) {
-      return QueryStatus::Error("unknown relation '" + name +
-                                "' (not in the catalog)");
+      return QueryStatus::NotFound("unknown relation '" + name +
+                                   "' (not in the catalog)");
     }
     q.rels_.push_back(std::move(idx));
   }
@@ -302,11 +375,12 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
       }
 
       JoinProjectOptions jo;
-      jo.strategy = spec.strategy;
+      jo.strategy = opts.strategy_override.value_or(spec.strategy);
       jo.threads = opts.threads;
       jo.thresholds = opts.thresholds;
       jo.heavy_path = opts.heavy_path;
       jo.max_matrix_bytes = opts.max_matrix_bytes;
+      jo.cancel = opts.cancel;
       if (spec.kind == QueryKind::kTwoPath) {
         jo.count_witnesses = spec.count_witnesses;
         jo.min_count = spec.min_count;
@@ -355,6 +429,7 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
       if (stats != nullptr) {
         stats->plan = plan;
         stats->plan_cache_hit = cache_hit;
+        FillInterruptReason(opts.cancel, stats);
       }
       break;
     }
@@ -398,46 +473,64 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
           star_thresholds = ps.star_thresholds;
         }
       }
+      const Strategy star_strategy =
+          opts.strategy_override.value_or(spec.strategy);
       JoinProjectOptions jo;
-      jo.strategy = spec.strategy;
+      jo.strategy = star_strategy;
       jo.threads = opts.threads;
       jo.heavy_path = opts.heavy_path;
       jo.max_matrix_bytes = opts.max_matrix_bytes;
       jo.sink = &sink;
+      jo.cancel = opts.cancel;
       jo.thresholds = explicit_thresholds ? opts.thresholds : star_thresholds;
 
       StarJoinResult res = JoinProject::Star(rels, jo);
       if (stats != nullptr) {
-        stats->executed = spec.strategy == Strategy::kAuto
+        stats->executed = star_strategy == Strategy::kAuto
                               ? Strategy::kMmJoin
-                              : spec.strategy;
+                              : star_strategy;
         stats->plan_cache_hit = star_cache_hit;
         stats->kernel_counts = res.kernel_counts;
         stats->heavy_density = res.heavy_density;
         stats->heavy_blocks_total = res.heavy_blocks_total;
         stats->heavy_blocks_executed = res.heavy_blocks_executed;
         stats->heavy_blocks_skipped = res.heavy_blocks_skipped;
+        // Star light work is step-granular; the chunk counters carry the
+        // step accounting so executed + skipped == total reads uniformly.
+        stats->light_chunks_total = res.light_steps_total;
+        stats->light_chunks_executed = res.light_steps_executed;
+        stats->light_chunks_skipped = res.light_steps_skipped;
         stats->light_steps_skipped = res.light_steps_skipped;
+        stats->interrupted = res.interrupted;
+        FillInterruptReason(opts.cancel, stats);
       }
       break;
     }
     case QueryKind::kTriangle: {
       // A count query: the result is ExecStats::triangle_count, not a pair
-      // stream. The sink serves as the cancellation token only.
+      // stream. The sink still cancels the count when its done() flips (the
+      // historical contract), via a local token that also chains the
+      // caller's deadline/cancel token without mutating it.
+      CancelToken tri_cancel;
+      tri_cancel.WatchSink(&sink);
+      if (opts.cancel != nullptr) tri_cancel.Chain(opts.cancel);
       TriangleCountOptions to;
       to.threads = opts.threads;
       to.heavy_path = opts.heavy_path;
       to.max_matrix_bytes = opts.max_matrix_bytes;
-      to.cancel = &sink;
+      to.cancel = &tri_cancel;
       TriangleCountResult res = CountTrianglesMm(*query.rels_[0], to);
       if (stats != nullptr) {
         stats->triangle_count = res.triangles;
-        stats->triangle_cancelled = res.cancelled;
+        stats->interrupted = res.cancelled;
         stats->heavy_blocks_skipped = res.blocks_skipped;
+        stats->light_chunks_total = res.light_chunks_total;
+        stats->light_chunks_executed = res.light_chunks_executed;
         stats->light_chunks_skipped = res.light_chunks_skipped;
         stats->kernel_counts = res.kernel_counts;
         stats->heavy_density = res.heavy_density;
         stats->plan_cache_hit = executed_before;
+        FillInterruptReason(&tri_cancel, stats);
       }
       break;
     }

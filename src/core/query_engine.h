@@ -56,10 +56,12 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "core/cancel_token.h"
 #include "core/join_project.h"
 #include "core/result_sink.h"
 #include "core/triangle.h"
@@ -69,21 +71,75 @@
 
 namespace jpmm {
 
-/// Structured success-or-error result of an engine call.
+/// Machine-readable outcome classes for QueryStatus. kOk is success;
+/// kOverloaded / kDeadlineExceeded / kCancelled are the service-layer
+/// robustness outcomes (retryable or caller-initiated, not bugs); the rest
+/// are caller or internal errors.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // bad spec / option combination
+  kNotFound,          // unknown relation name
+  kOverloaded,        // admission queue full; retry after a backoff
+  kDeadlineExceeded,  // the per-query deadline fired mid-execution
+  kCancelled,         // the caller's CancelToken fired mid-execution
+  kInternal,          // unexpected execution failure (e.g. injected fault)
+};
+
+const char* StatusCodeName(StatusCode c);
+
+/// Structured success-or-error result of an engine call. Carries a code
+/// for dispatch plus a human-readable message; kOverloaded additionally
+/// carries the observed queue depth and a retry-after hint for backoff.
 class QueryStatus {
  public:
   static QueryStatus Ok() { return QueryStatus(); }
+  /// Back-compat error factory: an invalid-argument failure.
   static QueryStatus Error(std::string message) {
+    return Make(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static QueryStatus InvalidArgument(std::string message) {
+    return Make(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static QueryStatus NotFound(std::string message) {
+    return Make(StatusCode::kNotFound, std::move(message));
+  }
+  static QueryStatus Overloaded(std::string message, uint64_t queue_depth,
+                                int64_t retry_after_ms) {
+    QueryStatus s = Make(StatusCode::kOverloaded, std::move(message));
+    s.queue_depth_ = queue_depth;
+    s.retry_after_ms_ = retry_after_ms;
+    return s;
+  }
+  static QueryStatus DeadlineExceeded(std::string message) {
+    return Make(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static QueryStatus Cancelled(std::string message) {
+    return Make(StatusCode::kCancelled, std::move(message));
+  }
+  static QueryStatus Internal(std::string message) {
+    return Make(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  /// kOverloaded only: admission queue depth at rejection time.
+  uint64_t queue_depth() const { return queue_depth_; }
+  /// kOverloaded only: suggested wait before retrying, in milliseconds.
+  int64_t retry_after_ms() const { return retry_after_ms_; }
+
+ private:
+  static QueryStatus Make(StatusCode code, std::string message) {
     QueryStatus s;
+    s.code_ = code;
     s.message_ = std::move(message);
     return s;
   }
 
-  bool ok() const { return message_.empty(); }
-  const std::string& message() const { return message_; }
-
- private:
+  StatusCode code_ = StatusCode::kOk;
   std::string message_;
+  uint64_t queue_depth_ = 0;
+  int64_t retry_after_ms_ = 0;
 };
 
 enum class QueryKind {
@@ -124,7 +180,37 @@ struct ExecOptions {
   HeavyPathMode heavy_path = HeavyPathMode::kAuto;
   /// Heavy-part memory cap (see MmJoinOptions::max_matrix_bytes).
   uint64_t max_matrix_bytes = uint64_t{3} << 30;
+  /// Optional cancellation token (deadline | explicit cancel), polled by
+  /// every strategy at light-chunk / product-block granularity. A fired
+  /// token truncates the run: Execute still returns Ok (the partial
+  /// results already delivered are exact), with stats->interrupted set and
+  /// the reason recorded. The QueryService layer maps interruption onto
+  /// kDeadlineExceeded / kCancelled statuses.
+  const CancelToken* cancel = nullptr;
+  /// When set, overrides the spec's strategy for this execution only —
+  /// the degradation hook (QueryService re-plans an MM query onto
+  /// kNonMmJoin under memory/admission pressure without touching the
+  /// shared PreparedQuery).
+  std::optional<Strategy> strategy_override;
 };
+
+/// Why an execution was cut short (ExecStats::interrupt_reason).
+enum class InterruptReason : uint8_t {
+  kNone = 0,
+  kCancelled,  // explicit CancelToken::RequestCancel (or watched sink)
+  kDeadline,   // the token's deadline fired
+};
+
+/// Why an execution was re-planned onto a cheaper strategy
+/// (ExecStats::degrade_reason).
+enum class DegradeReason : uint8_t {
+  kNone = 0,
+  kMemoryCap,          // per-query memory share below the MM floor
+  kAdmissionPressure,  // admission queue backed up past the threshold
+};
+
+const char* InterruptReasonName(InterruptReason r);
+const char* DegradeReasonName(DegradeReason r);
 
 /// Execution record: what ran, what the plan was, and what early exit
 /// saved. Counters that do not apply to a query kind stay zero.
@@ -134,12 +220,30 @@ struct ExecStats {
   bool plan_cache_hit = false;  // true: optimization was skipped
   double seconds = 0.0;
 
-  // Early-exit record (sink done() short-circuit).
+  // Early-exit record (sink done() / cancel-token short-circuit). The
+  // light counters are chunk-granular for the pair strategies and
+  // step-granular for stars (executed + skipped == total either way).
   uint64_t heavy_blocks_total = 0;
   uint64_t heavy_blocks_executed = 0;
   uint64_t heavy_blocks_skipped = 0;
+  uint64_t light_chunks_total = 0;
+  uint64_t light_chunks_executed = 0;
   uint64_t light_chunks_skipped = 0;
-  uint64_t light_steps_skipped = 0;  // star decomposition steps
+  uint64_t light_steps_skipped = 0;  // star decomposition steps (== the
+                                     // chunk counters above for kStar)
+
+  /// True iff a fired CancelToken truncated this execution (every strategy,
+  /// unifying the old triangle-only `triangle_cancelled`). The results
+  /// delivered before the interruption are exact; the run is partial.
+  /// A token that fires after the last chunk completes does not set this.
+  bool interrupted = false;
+  InterruptReason interrupt_reason = InterruptReason::kNone;
+
+  /// True iff the service layer re-planned this execution onto a cheaper
+  /// strategy instead of rejecting it (graceful degradation); `executed`
+  /// holds the strategy that actually ran.
+  bool degraded = false;
+  DegradeReason degrade_reason = DegradeReason::kNone;
 
   // Heavy-part record (MM strategies), as in JoinProjectOutput.
   uint64_t m1_nnz = 0;
@@ -148,10 +252,9 @@ struct ExecStats {
   HeavyKernelCounts kernel_counts;
   std::vector<BlockKernelChoice> block_choices;
 
-  /// kTriangle only: the (possibly partial, see triangle_cancelled)
-  /// triangle count — triangle queries deliver through stats, not pairs.
+  /// kTriangle only: the (possibly partial, see `interrupted`) triangle
+  /// count — triangle queries deliver through stats, not pairs.
   uint64_t triangle_count = 0;
-  bool triangle_cancelled = false;
 };
 
 /// A resolved, reusable query: operand indexes and degree statistics are

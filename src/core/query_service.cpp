@@ -1,0 +1,312 @@
+#include "core/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace jpmm {
+namespace {
+
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::min();
+
+// Queue-wait poll slice: a token can fire from sources that do not notify
+// the service's condition variable (explicit RequestCancel, a chained
+// parent), so waiters re-check it at least this often.
+constexpr std::chrono::milliseconds kQueuePollSlice{5};
+
+QueryStatus TokenStatus(const CancelToken* token, const char* where) {
+  if (token != nullptr && token->reason() == CancelToken::Reason::kDeadline) {
+    return QueryStatus::DeadlineExceeded(std::string("deadline expired ") +
+                                         where);
+  }
+  return QueryStatus::Cancelled(std::string("cancelled ") + where);
+}
+
+}  // namespace
+
+const char* QueryClassName(QueryClass c) {
+  switch (c) {
+    case QueryClass::kInteractive:
+      return "interactive";
+    case QueryClass::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+QueryService::QueryService(QueryEngine* engine, QueryServiceOptions options)
+    : engine_(engine), options_(options) {}
+
+QueryStatus QueryService::Admit(const ServiceRequest& req,
+                                const CancelToken* token,
+                                size_t* waiters_at_admit) {
+  const size_t cls = static_cast<size_t>(req.query_class) & 1;
+  const size_t class_cap =
+      std::min(options_.max_queued_per_class, options_.queue_depth);
+  std::unique_lock<std::mutex> lk(mu_);
+
+  // Fast path: nobody waiting and a slot is free — FIFO order is trivially
+  // preserved, skip the ticket machinery.
+  if (queue_.empty() && inflight_ < options_.max_inflight) {
+    ++inflight_;
+    *waiters_at_admit = 0;
+    return QueryStatus::Ok();
+  }
+
+  if (queue_.size() >= options_.queue_depth ||
+      queued_per_class_[cls] >= class_cap) {
+    const uint64_t depth = queue_.size();
+    lk.unlock();
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    // Hint scales with the backlog: a deeper queue needs a longer backoff
+    // before a retry has any chance of finding a slot.
+    const int64_t retry_after = static_cast<int64_t>(5 * (depth + 1));
+    return QueryStatus::Overloaded(
+        "admission queue full (" + std::to_string(depth) + " waiting, cap " +
+            std::to_string(options_.queue_depth) + ", class " +
+            QueryClassName(req.query_class) + " cap " +
+            std::to_string(class_cap) + ") — retry after backoff",
+        depth, retry_after);
+  }
+
+  const uint64_t ticket = next_ticket_++;
+  queue_.push_back(ticket);
+  ++queued_per_class_[cls];
+  uint64_t depth = queue_.size();
+  uint64_t prev = max_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > prev && !max_queue_depth_.compare_exchange_weak(
+                             prev, depth, std::memory_order_relaxed)) {
+  }
+
+  const auto my_turn = [&] {
+    return !queue_.empty() && queue_.front() == ticket &&
+           inflight_ < options_.max_inflight;
+  };
+  while (!my_turn()) {
+    if (token != nullptr && token->Fired()) {
+      // Abandon the ticket so the requests behind it keep their FIFO slot.
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (*it == ticket) {
+          queue_.erase(it);
+          break;
+        }
+      }
+      --queued_per_class_[cls];
+      lk.unlock();
+      cv_.notify_all();  // our departure may make the new head admittable
+      queue_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      return TokenStatus(token,
+                         "while queued for admission (nothing executed)");
+    }
+    if (token == nullptr) {
+      cv_.wait(lk);
+    } else {
+      auto wake = std::chrono::steady_clock::now() + kQueuePollSlice;
+      const auto dl = token->deadline();
+      if (dl != kNoDeadline) wake = std::min(wake, dl);
+      cv_.wait_until(lk, wake);
+    }
+  }
+  queue_.pop_front();
+  --queued_per_class_[cls];
+  *waiters_at_admit = queue_.size();
+  ++inflight_;
+  lk.unlock();
+  // More than one slot can free at once; the new head may be admittable
+  // right now.
+  cv_.notify_all();
+  return QueryStatus::Ok();
+}
+
+void QueryService::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    --inflight_;
+  }
+  cv_.notify_all();
+}
+
+QueryStatus QueryService::Execute(PreparedQuery& query, ResultSink& sink,
+                                  const ServiceRequest& req, ExecStats* stats) {
+  ExecStats local_stats;
+  ExecStats* out = stats != nullptr ? stats : &local_stats;
+  *out = ExecStats{};
+
+  // Compose the effective token: the deadline_ms convenience chains on top
+  // of the caller's token (either alone works too). The deadline clock
+  // starts here, so queue wait counts against it.
+  CancelToken deadline_token;
+  const CancelToken* token = req.exec.cancel;
+  if (req.deadline_ms > 0) {
+    deadline_token.SetDeadlineAfter(req.deadline_ms);
+    if (token != nullptr) deadline_token.Chain(token);
+    token = &deadline_token;
+  }
+
+  size_t waiters_at_admit = 0;
+  QueryStatus admit = Admit(req, token, &waiters_at_admit);
+  if (!admit.ok()) return admit;
+  struct SlotGuard {
+    QueryService* s;
+    ~SlotGuard() { s->ReleaseSlot(); }
+  } guard{this};
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // The token may have fired between the admission wake-up and here; bail
+  // before doing any work so the "nothing executed" contract holds.
+  if (token != nullptr && token->Fired()) {
+    if (token->reason() == CancelToken::Reason::kDeadline) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return TokenStatus(token, "before execution started (nothing executed)");
+  }
+
+  // ---- Graceful degradation ---------------------------------------------
+  // Budget split: every in-flight query gets an even share of the heavy-
+  // part memory budget. When the share falls below the MM floor, or the
+  // admission queue is backed up, an MM-family query re-plans onto the
+  // combinatorial strategy instead of thrashing (or being shed).
+  ExecOptions eo = req.exec;
+  eo.cancel = token;
+  int inflight_now;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    inflight_now = inflight_;
+  }
+  const uint64_t share =
+      options_.memory_budget_bytes / static_cast<uint64_t>(std::max(
+                                         1, inflight_now));
+  eo.max_matrix_bytes = std::min(eo.max_matrix_bytes, share);
+
+  const QuerySpec& spec = query.spec();
+  const Strategy effective = eo.strategy_override.value_or(spec.strategy);
+  const bool mm_family =
+      spec.kind == QueryKind::kTriangle
+          ? eo.heavy_path != HeavyPathMode::kForceCsrCsr
+          : (effective == Strategy::kAuto || effective == Strategy::kMmJoin);
+  DegradeReason degrade = DegradeReason::kNone;
+  if (mm_family) {
+    if (options_.degrade_queue_threshold > 0 &&
+        waiters_at_admit >= options_.degrade_queue_threshold) {
+      degrade = DegradeReason::kAdmissionPressure;
+    } else if (share < options_.min_mm_bytes) {
+      degrade = DegradeReason::kMemoryCap;
+    }
+  }
+  if (degrade != DegradeReason::kNone) {
+    if (spec.kind == QueryKind::kTriangle) {
+      eo.heavy_path = HeavyPathMode::kForceCsrCsr;
+    } else {
+      eo.strategy_override = Strategy::kNonMmJoin;
+    }
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  QueryStatus st;
+  try {
+    st = engine_->Execute(query, sink, eo, out);
+  } catch (const std::exception& e) {
+    internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    return QueryStatus::Internal(std::string("execution failed: ") + e.what());
+  }
+  // Execute resets *out, so the degradation record lands afterwards.
+  out->degraded = degrade != DegradeReason::kNone;
+  out->degrade_reason = degrade;
+  if (!st.ok()) return st;
+  if (out->interrupted) {
+    if (out->interrupt_reason == InterruptReason::kDeadline) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      return QueryStatus::DeadlineExceeded(
+          "deadline fired mid-execution; delivered results are an exact "
+          "prefix of the full answer (see ExecStats skip counters)");
+    }
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    return QueryStatus::Cancelled(
+        "cancelled mid-execution; delivered results are an exact prefix of "
+        "the full answer (see ExecStats skip counters)");
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  return QueryStatus::Ok();
+}
+
+QueryStatus QueryService::Run(const QuerySpec& spec, ResultSink& sink,
+                              const ServiceRequest& req, ExecStats* stats) {
+  PreparedQuery q;
+  QueryStatus st;
+  try {
+    st = engine_->Prepare(spec, &q);
+  } catch (const std::exception& e) {
+    internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    return QueryStatus::Internal(std::string("prepare failed: ") + e.what());
+  }
+  if (!st.ok()) return st;
+  return Execute(q, sink, req, stats);
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.queue_timeouts = queue_timeouts_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.internal_errors = internal_errors_.load(std::memory_order_relaxed);
+  s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  return s;
+}
+
+int QueryService::inflight() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return inflight_;
+}
+
+size_t QueryService::queued() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+QueryStatus RetryWithBackoff(const std::function<QueryStatus()>& attempt,
+                             const RetryOptions& options,
+                             const CancelToken* cancel) {
+  Rng rng(options.seed != 0 ? options.seed : 1);
+  const int attempts = std::max(1, options.max_attempts);
+  double backoff = static_cast<double>(std::max<int64_t>(1, options.base_ms));
+  QueryStatus st = QueryStatus::Ok();
+  for (int a = 0; a < attempts; ++a) {
+    if (cancel != nullptr && cancel->Fired()) {
+      return TokenStatus(cancel, "before the retry attempt");
+    }
+    st = attempt();
+    if (st.code() != StatusCode::kOverloaded) return st;
+    if (a + 1 >= attempts) break;
+    // Jittered exponential backoff, floored at the service's retry-after
+    // hint: uniform in [b/2, b].
+    int64_t b = std::max<int64_t>(static_cast<int64_t>(backoff),
+                                  st.retry_after_ms());
+    b = std::min(std::max<int64_t>(1, b), std::max<int64_t>(1, options.max_ms));
+    const int64_t lo = b / 2;
+    const int64_t sleep_ms =
+        lo + static_cast<int64_t>(rng.NextBounded(
+                 static_cast<uint64_t>(b - lo + 1)));
+    const auto wake = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(sleep_ms);
+    while (std::chrono::steady_clock::now() < wake) {
+      if (cancel != nullptr && cancel->Fired()) {
+        return TokenStatus(cancel, "while backing off between retries");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    backoff = std::min(static_cast<double>(options.max_ms),
+                       backoff * std::max(1.0, options.multiplier));
+  }
+  return st;
+}
+
+}  // namespace jpmm

@@ -1,0 +1,192 @@
+// QueryService — the overload-safe serving layer over QueryEngine.
+//
+// The engine executes one query as fast as it can; the service decides
+// WHETHER and HOW a query runs when many clients hit the process at once:
+//
+//   - Admission control: at most max_inflight executions run concurrently;
+//     excess requests wait in a bounded FIFO queue (with a per-class cap so
+//     batch traffic cannot starve interactive traffic out of the queue).
+//     When the queue is full the request is shed immediately with
+//     StatusCode::kOverloaded, carrying the observed queue depth and a
+//     retry-after hint — clients back off instead of piling on.
+//   - Deadlines & cancellation: a request's CancelToken (or the
+//     deadline_ms convenience) is honoured while QUEUED (a request whose
+//     deadline fires before admission returns kDeadlineExceeded without
+//     executing) and while RUNNING (every strategy polls the token at
+//     light-chunk / product-block granularity; a truncated run returns
+//     kDeadlineExceeded / kCancelled with exact partial results and
+//     executed + skipped == total accounting in ExecStats).
+//   - Graceful degradation: instead of letting an MM-strategy query blow
+//     the shared memory budget under load, the service re-plans it onto
+//     the combinatorial strategy (kNonMmJoin; triangle degrades its heavy
+//     path to the CSR x CSR trace) and marks ExecStats::degraded with the
+//     reason. Results stay exact — degradation trades speed, never
+//     correctness.
+//   - Fault containment: an exception escaping execution (e.g. an injected
+//     FailPoint) is caught, the admission slot is released, and the caller
+//     sees StatusCode::kInternal — one poisoned query never wedges the
+//     service.
+//
+//   QueryService service(&engine, {.max_inflight = 4, .queue_depth = 16});
+//   ServiceRequest req;
+//   req.deadline_ms = 50;
+//   QueryStatus st = service.Run(spec, sink, req, &stats);
+//   if (st.code() == StatusCode::kOverloaded) { /* back off, retry */ }
+//
+// RetryWithBackoff() is the matching client-side helper: it retries ONLY
+// kOverloaded outcomes, sleeping a jittered exponential backoff that
+// respects the service's retry-after hint.
+//
+// Thread-safety: all methods may be called from any number of threads.
+// The admission state is a mutex + condition variable (waiters sleep, the
+// release path notifies); counters are atomics read via stats().
+
+#ifndef JPMM_CORE_QUERY_SERVICE_H_
+#define JPMM_CORE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "core/query_engine.h"
+
+namespace jpmm {
+
+/// Scheduling class of a request. The admission queue is FIFO across
+/// classes, but each class has its own occupancy cap inside the queue so
+/// one class cannot consume every waiting slot.
+enum class QueryClass : uint8_t {
+  kInteractive = 0,  // latency-sensitive (default)
+  kBatch = 1,        // throughput traffic; first to be capped under load
+};
+
+const char* QueryClassName(QueryClass c);
+
+struct QueryServiceOptions {
+  /// Max concurrently executing queries (the semaphore width).
+  int max_inflight = 4;
+  /// Bounded FIFO admission queue: total waiters across classes. A request
+  /// arriving when the queue is full is shed with kOverloaded.
+  size_t queue_depth = 16;
+  /// Per-class occupancy cap within the queue (<= queue_depth).
+  size_t max_queued_per_class = 12;
+  /// Shared heavy-part memory budget, divided evenly among in-flight
+  /// queries; each execution's max_matrix_bytes is capped to its share.
+  uint64_t memory_budget_bytes = uint64_t{3} << 30;
+  /// Waiting-queue length at admission time at or above which MM-strategy
+  /// queries are degraded to the combinatorial strategy
+  /// (DegradeReason::kAdmissionPressure). 0 disables.
+  size_t degrade_queue_threshold = 8;
+  /// Minimum per-query memory share for which the MM strategies are still
+  /// worth running; below it they degrade (DegradeReason::kMemoryCap).
+  uint64_t min_mm_bytes = 64ull << 20;
+};
+
+/// Cumulative service counters (one snapshot; see QueryService::stats()).
+struct ServiceStats {
+  uint64_t admitted = 0;           // passed admission (fast path or queue)
+  uint64_t completed = 0;          // executed to completion, status Ok
+  uint64_t shed = 0;               // rejected kOverloaded (queue full)
+  uint64_t queue_timeouts = 0;     // token fired while waiting in queue
+  uint64_t deadline_exceeded = 0;  // deadline truncated a running query
+  uint64_t cancelled = 0;          // explicit cancel truncated a running query
+  uint64_t degraded = 0;           // re-planned onto a cheaper strategy
+  uint64_t internal_errors = 0;    // exceptions contained as kInternal
+  uint64_t max_queue_depth = 0;    // high-water mark of waiting requests
+};
+
+/// Per-request serving knobs, wrapping the engine's ExecOptions.
+struct ServiceRequest {
+  QueryClass query_class = QueryClass::kInteractive;
+  /// Convenience deadline: > 0 arms a token `deadline_ms` from the moment
+  /// Run/Execute is entered (queue wait included), chained with exec.cancel
+  /// if both are set.
+  int64_t deadline_ms = 0;
+  /// Engine knobs. exec.cancel is honoured queued and running;
+  /// exec.strategy_override is overwritten when the service degrades.
+  ExecOptions exec;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(QueryEngine* engine, QueryServiceOptions options = {});
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Prepare + Execute under admission control. Statuses:
+  ///   Ok                -- ran to completion; results are exact.
+  ///   kOverloaded       -- shed before queueing (queue full); retry later.
+  ///   kDeadlineExceeded -- deadline fired queued (nothing executed) or
+  ///                        running (partial results delivered are exact;
+  ///                        *stats has the executed/skipped split).
+  ///   kCancelled        -- same, for an explicit cancel.
+  ///   kInternal         -- execution threw; the service kept serving.
+  ///   others            -- Prepare-time validation errors.
+  QueryStatus Run(const QuerySpec& spec, ResultSink& sink,
+                  const ServiceRequest& req, ExecStats* stats = nullptr);
+
+  /// Execute a prepared query under admission control (same statuses).
+  QueryStatus Execute(PreparedQuery& query, ResultSink& sink,
+                      const ServiceRequest& req, ExecStats* stats = nullptr);
+
+  QueryEngine& engine() { return *engine_; }
+  const QueryServiceOptions& options() const { return options_; }
+
+  /// Snapshot of the cumulative counters.
+  ServiceStats stats() const;
+  /// Currently executing queries (<= options().max_inflight).
+  int inflight() const;
+  /// Currently queued (admitted-pending) requests.
+  size_t queued() const;
+
+ private:
+  QueryStatus Admit(const ServiceRequest& req, const CancelToken* token,
+                    size_t* waiters_at_admit);
+  void ReleaseSlot();
+
+  QueryEngine* const engine_;
+  const QueryServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int inflight_ = 0;                // guarded by mu_
+  std::deque<uint64_t> queue_;      // FIFO of waiter tickets
+  uint64_t next_ticket_ = 0;        // guarded by mu_
+  size_t queued_per_class_[2] = {0, 0};
+
+  // Counters are atomics so stats() never contends with serving.
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> queue_timeouts_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> internal_errors_{0};
+  std::atomic<uint64_t> max_queue_depth_{0};
+};
+
+/// Client-side retry helper for kOverloaded. Calls `attempt` up to
+/// max_attempts times; any status other than kOverloaded returns
+/// immediately. Between attempts it sleeps a jittered exponential backoff:
+/// uniform in [b/2, b] where b = min(max_ms, max(retry-after hint,
+/// base_ms * multiplier^attempt)). The optional token is polled during the
+/// sleep so a deadline/cancel aborts the retry loop promptly.
+struct RetryOptions {
+  int max_attempts = 4;
+  int64_t base_ms = 5;
+  int64_t max_ms = 200;
+  double multiplier = 2.0;
+  uint64_t seed = 1;  // jitter RNG seed (deterministic tests)
+};
+
+QueryStatus RetryWithBackoff(const std::function<QueryStatus()>& attempt,
+                             const RetryOptions& options = {},
+                             const CancelToken* cancel = nullptr);
+
+}  // namespace jpmm
+
+#endif  // JPMM_CORE_QUERY_SERVICE_H_

@@ -12,6 +12,7 @@
 #include "common/hash.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/cancel_token.h"
 #include "core/mm_join.h"
 #include "core/result_sink.h"
 #include "join/intersection.h"
@@ -132,7 +133,9 @@ struct StarContext {
 //   - A y light in *every* relation satisfies step 2's condition for every
 //     j; it is claimed by j = 0 alone to avoid k identical enumerations.
 TupleBuffer LightSteps(const StarContext& ctx, int threads, StarEmitter* em,
-                       uint64_t* steps_skipped) {
+                       const CancelToken* cancel, uint64_t* steps_total,
+                       uint64_t* steps_executed, uint64_t* steps_skipped,
+                       bool* interrupted) {
   const size_t k = ctx.rels.size();
   TupleBuffer out(static_cast<uint32_t>(k));
 
@@ -141,6 +144,7 @@ TupleBuffer LightSteps(const StarContext& ctx, int threads, StarEmitter* em,
     any_shared_heavy = ctx.heavy_cnt[b] >= 2;
   }
   const uint64_t steps_per_j = any_shared_heavy ? 2 : 1;
+  *steps_total = k * steps_per_j;
 
   auto deliver = [&](TupleBuffer* part) {
     if (em->streaming) {
@@ -149,12 +153,19 @@ TupleBuffer LightSteps(const StarContext& ctx, int threads, StarEmitter* em,
       out.Append(*part);
     }
   };
+  auto cancel_fired = [&]() -> bool {
+    if (cancel != nullptr && cancel->Fired()) {
+      *interrupted = true;
+      return true;
+    }
+    return false;
+  };
 
   for (size_t j = 0; j < k; ++j) {
     // Cooperative early exit between light steps (a "light bucket" here is
-    // one decomposition step): once the sink is satisfied, the remaining
-    // steps are skipped and counted.
-    if (em->sink != nullptr && em->sink->done()) {
+    // one decomposition step): once the sink is satisfied — or the cancel
+    // token fires — the remaining steps are skipped and counted.
+    if ((em->sink != nullptr && em->sink->done()) || cancel_fired()) {
       *steps_skipped += (k - j) * steps_per_j;
       break;
     }
@@ -168,6 +179,13 @@ TupleBuffer LightSteps(const StarContext& ctx, int threads, StarEmitter* em,
           },
           [&ctx](Value b) { return ctx.heavy_cnt[b] >= 2; }, threads);
       deliver(&part);
+      ++*steps_executed;
+      // Mid-iteration token poll: a deadline can fire between step 1-j and
+      // step 2-j, not just between j iterations.
+      if (cancel_fired()) {
+        *steps_skipped += (k - j) * steps_per_j - 1;
+        break;
+      }
     }
 
     // Step 2-j: substitute R<>j — only y values light in all other
@@ -180,6 +198,7 @@ TupleBuffer LightSteps(const StarContext& ctx, int threads, StarEmitter* em,
         },
         threads);
     deliver(&part2);
+    ++*steps_executed;
   }
   return out;
 }
@@ -470,15 +489,28 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
   em.streaming = sink != nullptr && sink->may_finish_early();
   std::atomic<uint64_t> blocks_executed{0};
   std::atomic<uint64_t> blocks_skipped{0};
+  std::atomic<bool> interrupted{false};
+  const CancelToken* cancel = options.cancel;
+  auto cancel_fired = [&]() -> bool {
+    if (cancel != nullptr && cancel->Fired()) {
+      interrupted.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
 
   WallTimer light_timer;
-  TupleBuffer light =
-      LightSteps(*ctx, threads, &em, &result.light_steps_skipped);
+  bool light_interrupted = false;
+  TupleBuffer light = LightSteps(
+      *ctx, threads, &em, cancel, &result.light_steps_total,
+      &result.light_steps_executed, &result.light_steps_skipped,
+      &light_interrupted);
+  if (light_interrupted) interrupted.store(true, std::memory_order_relaxed);
   result.tuples.Append(light);
   result.light_seconds = light_timer.Seconds();
 
-  if (result.v_rows > 0 && result.w_rows > 0 && sink != nullptr &&
-      sink->done()) {
+  if (result.v_rows > 0 && result.w_rows > 0 &&
+      ((sink != nullptr && sink->done()) || cancel_fired())) {
     // Light steps satisfied the sink: account every planned block as
     // skipped without building the heavy operands at all. ceil(v_rows /
     // row_block) must equal PlanProductBlocks' block count so the total is
@@ -561,7 +593,7 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
         out.Add(tuple);
       };
       for (size_t blk = b0; blk < b1; ++blk) {
-        if (sink != nullptr && sink->done()) {
+        if ((sink != nullptr && sink->done()) || cancel_fired()) {
           blocks_skipped.fetch_add(b1 - blk, std::memory_order_relaxed);
           return;
         }
@@ -603,6 +635,7 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
 
   result.heavy_blocks_executed = blocks_executed.load();
   result.heavy_blocks_skipped = blocks_skipped.load();
+  result.interrupted = interrupted.load();
   if (em.streaming) {
     // seen is the sorted duplicate-free union of everything delivered.
     result.tuples = std::move(em.seen);
@@ -612,6 +645,10 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
       ResultSink::Shard& shard = sink->shard(0);
       for (size_t i = 0; i < result.tuples.size(); ++i) {
         if (sink->done()) break;
+        if (cancel_fired()) {
+          result.interrupted = true;
+          break;
+        }
         shard.OnTuple(result.tuples.Get(i));
       }
     }
@@ -651,16 +688,29 @@ StarJoinResult NonMmStarJoin(const std::vector<const IndexedRelation*>& rels,
   em.streaming = sink != nullptr && sink->may_finish_early();
   std::atomic<uint64_t> blocks_executed{0};
   std::atomic<uint64_t> blocks_skipped{0};
+  std::atomic<bool> interrupted{false};
+  const CancelToken* cancel = options.cancel;
+  auto cancel_fired = [&]() -> bool {
+    if (cancel != nullptr && cancel->Fired()) {
+      interrupted.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
 
   WallTimer light_timer;
-  TupleBuffer light =
-      LightSteps(ctx, threads, &em, &result.light_steps_skipped);
+  bool light_interrupted = false;
+  TupleBuffer light = LightSteps(
+      ctx, threads, &em, cancel, &result.light_steps_total,
+      &result.light_steps_executed, &result.light_steps_skipped,
+      &light_interrupted);
+  if (light_interrupted) interrupted.store(true, std::memory_order_relaxed);
   result.tuples.Append(light);
   result.light_seconds = light_timer.Seconds();
 
   constexpr size_t kComboGrain = 16;
-  if (result.v_rows > 0 && result.w_rows > 0 && sink != nullptr &&
-      sink->done()) {
+  if (result.v_rows > 0 && result.w_rows > 0 &&
+      ((sink != nullptr && sink->done()) || cancel_fired())) {
     result.heavy_blocks_total =
         (result.v_rows + kComboGrain - 1) / kComboGrain;
     blocks_skipped.store(result.heavy_blocks_total);
@@ -679,7 +729,7 @@ StarJoinResult NonMmStarJoin(const std::vector<const IndexedRelation*>& rels,
     // Witness-list lengths vary per combo; dynamic chunks absorb the skew.
     ParallelForDynamic(threads, result.v_rows, kComboGrain,
                        [&](size_t i0, size_t i1, int w) {
-      if (sink != nullptr && sink->done()) {
+      if ((sink != nullptr && sink->done()) || cancel_fired()) {
         blocks_skipped.fetch_add(1, std::memory_order_relaxed);
         return;
       }
@@ -707,6 +757,7 @@ StarJoinResult NonMmStarJoin(const std::vector<const IndexedRelation*>& rels,
 
   result.heavy_blocks_executed = blocks_executed.load();
   result.heavy_blocks_skipped = blocks_skipped.load();
+  result.interrupted = interrupted.load();
   if (em.streaming) {
     result.tuples = std::move(em.seen);
   } else {
@@ -715,6 +766,10 @@ StarJoinResult NonMmStarJoin(const std::vector<const IndexedRelation*>& rels,
       ResultSink::Shard& shard = sink->shard(0);
       for (size_t i = 0; i < result.tuples.size(); ++i) {
         if (sink->done()) break;
+        if (cancel_fired()) {
+          result.interrupted = true;
+          break;
+        }
         shard.OnTuple(result.tuples.Get(i));
       }
     }

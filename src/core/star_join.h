@@ -30,6 +30,7 @@
 
 namespace jpmm {
 
+class CancelToken;
 class ResultSink;
 
 struct StarJoinOptions {
@@ -58,6 +59,10 @@ struct StarJoinOptions {
   /// sorted duplicate-free tuples after evaluation. result.tuples is
   /// filled either way.
   ResultSink* sink = nullptr;
+  /// Cancellation token polled between light decomposition steps and at
+  /// heavy product-block granularity; a fired token truncates the run and
+  /// sets StarJoinResult::interrupted. See MmJoinOptions::cancel.
+  const CancelToken* cancel = nullptr;
 };
 
 struct StarJoinResult {
@@ -74,10 +79,15 @@ struct StarJoinResult {
   double heavy_seconds = 0.0;
 
   // --- early-exit instrumentation (sink-driven runs) ---
+  uint64_t light_steps_total = 0;      // planned light decomposition steps
+  uint64_t light_steps_executed = 0;   // light steps actually run
   uint64_t light_steps_skipped = 0;    // light decomposition steps skipped
   uint64_t heavy_blocks_total = 0;
   uint64_t heavy_blocks_executed = 0;
   uint64_t heavy_blocks_skipped = 0;
+
+  /// True iff a fired CancelToken truncated the run (see MmJoinResult).
+  bool interrupted = false;
 
   StarJoinResult() : tuples(1) {}
 };

@@ -6,7 +6,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
-#include "core/result_sink.h"
+#include "core/cancel_token.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/matmul.h"
 #include "matrix/sparse_matrix.h"
@@ -112,11 +112,12 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
   // minimum-id light vertex. A neighbour participates only if it is heavy
   // or has a larger id (so no other light vertex claims the triangle
   // first).
-  const ResultSink* cancel = options.cancel;
+  const CancelToken* cancel = options.cancel;
   // Per-phase skip counters: a chunk/block either runs or is counted
   // skipped, never both, so executed + skipped is exact at every thread
   // count (the chunk-claim + done() audit invariant — see
   // QueryEngine.DoneMidChunkSkipsIdenticalDownstreamBlocks).
+  std::atomic<uint64_t> light_executed{0};
   std::atomic<uint64_t> light_skipped{0};
   std::atomic<uint64_t> skipped{0};
   std::vector<uint64_t> light_partial(static_cast<size_t>(threads), 0);
@@ -124,10 +125,11 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
   // Accumulate (+=) — a dynamic worker handles many chunks.
   ParallelForDynamic(threads, graph.num_x(), /*grain=*/512,
                      [&](size_t v0, size_t v1, int w) {
-    if (cancel != nullptr && cancel->done()) {
+    if (cancel != nullptr && cancel->Fired()) {
       light_skipped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
+    light_executed.fetch_add(1, std::memory_order_relaxed);
     uint64_t local = 0;
     std::vector<Value> eligible;
     for (size_t v = v0; v < v1; ++v) {
@@ -196,7 +198,7 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
                        [&](size_t b0, size_t b1, int w) {
       double local = 0.0;
       for (size_t blk = b0; blk < b1; ++blk) {
-        if (cancel != nullptr && cancel->done()) {
+        if (cancel != nullptr && cancel->Fired()) {
           skipped.fetch_add(b1 - blk, std::memory_order_relaxed);
           break;  // keep the trace contribution of already-run blocks
         }
@@ -249,6 +251,9 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
     result.heavy_triangles = static_cast<uint64_t>(trace / 6.0 + 0.5);
   }
 
+  result.light_chunks_total =
+      graph.num_x() == 0 ? 0 : (graph.num_x() + 511) / 512;
+  result.light_chunks_executed = light_executed.load();
   result.light_chunks_skipped = light_skipped.load();
   result.blocks_skipped = skipped.load();
   result.cancelled =

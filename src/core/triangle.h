@@ -18,7 +18,7 @@
 
 namespace jpmm {
 
-class ResultSink;
+class CancelToken;
 
 struct TriangleCountOptions {
   /// Degree threshold; 0 = pick sqrt(|E|) (the AYZ balance point for
@@ -34,12 +34,14 @@ struct TriangleCountOptions {
   HeavyPathMode heavy_path = HeavyPathMode::kAuto;
   /// nullptr uses SparseKernelRates::Default().
   const SparseKernelRates* sparse_rates = nullptr;
-  /// Cooperative cancellation: the count loops poll cancel->done() at
-  /// chunk/block granularity and stop early when it fires. A cancelled run
-  /// reports a PARTIAL count (result.cancelled is set) — triangle counting
-  /// has no per-pair output to limit, so this exists for callers that
-  /// abandon a count mid-flight, not for limit semantics.
-  const ResultSink* cancel = nullptr;
+  /// Cooperative cancellation: the count loops poll cancel->Fired() at
+  /// chunk/block granularity and stop early when it fires (deadline,
+  /// explicit cancel, or a watched sink's done() — see
+  /// core/cancel_token.h). A cancelled run reports a PARTIAL count
+  /// (result.cancelled is set) — triangle counting has no per-pair output
+  /// to limit, so this exists for callers that abandon a count mid-flight,
+  /// not for limit semantics.
+  const CancelToken* cancel = nullptr;
 };
 
 struct TriangleCountResult {
@@ -53,6 +55,8 @@ struct TriangleCountResult {
   HeavyKernelCounts kernel_counts; // trace blocks per kernel
   // Exact cancellation accounting, split by phase (light-enumeration
   // chunks vs heavy trace blocks) so ExecStats can report both precisely.
+  uint64_t light_chunks_total = 0;
+  uint64_t light_chunks_executed = 0;
   uint64_t light_chunks_skipped = 0;
   uint64_t blocks_skipped = 0;     // heavy trace blocks skipped
   bool cancelled = false;          // counts are partial

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 
 namespace jpmm {
@@ -198,6 +199,7 @@ void ScalarKernelRowRange(const Matrix& a, const Matrix& b, size_t r0,
 }  // namespace
 
 PackedB::PackedB(const Matrix& b, int threads) {
+  JPMM_FAIL_POINT("matmul.pack");
   rows_ = b.rows();
   cols_ = b.cols();
   if (empty()) return;

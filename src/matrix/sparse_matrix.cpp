@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 
 namespace jpmm {
@@ -10,6 +11,7 @@ namespace jpmm {
 CsrMatrix CsrMatrix::FromRows(
     size_t rows, size_t cols, int threads,
     const std::function<void(size_t, std::vector<uint32_t>*)>& fill) {
+  JPMM_FAIL_POINT("csr.build");
   CsrMatrix m(cols);
   m.offsets_.assign(rows + 1, 0);
   threads = std::max(1, threads);
@@ -47,6 +49,7 @@ CsrMatrix CsrMatrix::FromRows(
 CsrMatrix CsrMatrix::FromEntries(
     size_t rows, size_t cols,
     std::span<const std::pair<Value, Value>> entries, bool swapped) {
+  JPMM_FAIL_POINT("csr.build");
   CsrMatrix m(cols);
   m.offsets_.assign(rows + 1, 0);
   for (const auto& [a, b] : entries) {

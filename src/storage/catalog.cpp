@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace jpmm {
 
@@ -36,6 +37,9 @@ Catalog& Catalog::operator=(Catalog&& other) noexcept {
 }
 
 void Catalog::Put(const std::string& name, BinaryRelation rel) {
+  // Before any mutation: an injected fault leaves the catalog unchanged
+  // (strong exception safety).
+  JPMM_FAIL_POINT("catalog.put");
   // Finalize outside the lock: sorting a big relation must not stall
   // readers.
   if (!rel.finalized()) rel.Finalize();

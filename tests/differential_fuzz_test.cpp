@@ -24,14 +24,21 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "core/cancel_token.h"
 #include "core/join_project.h"
+#include "core/query_engine.h"
+#include "core/result_sink.h"
 #include "datagen/generators.h"
 #include "tests/test_util.h"
 
@@ -203,6 +210,154 @@ TEST(DifferentialFuzz, TwoPathCrossStrategyAgreement) {
                         << " JPMM_FUZZ_ITERS=1 ./differential_fuzz_test";
           return;  // one repro line per run is enough to bisect
         }
+      }
+    }
+  }
+}
+
+// ---- Random-deadline recipe ---------------------------------------------
+//
+// Truncation must never corrupt: under a randomly placed deadline (from
+// pre-expired to generous) every delivered pair is a REAL output pair with
+// its EXACT witness count, delivered at most once; an un-interrupted run
+// is byte-identical to the oracle; a paginated consumer sees a truncated
+// page, never a wrong one. Triangle is excluded (it delivers a count, not
+// pairs — its partial-count exactness is covered by query_deadline_test).
+
+TEST(DifferentialFuzz, RandomDeadlineTruncationIsNeverWrong) {
+  const int iters = EnvInt("JPMM_FUZZ_ITERS", 50);
+  const uint64_t base = EnvU64("JPMM_FUZZ_SEED", 20260726) ^ 0xDEADull;
+  const std::vector<int> threads = ThreadCounts();
+
+  for (int i = 0; i < iters; ++i) {
+    const FuzzConfig cfg = MakeConfig(base + static_cast<uint64_t>(i));
+    const BinaryRelation r = MakeRelation(cfg, 1);
+    const BinaryRelation s = cfg.self_join ? r : MakeRelation(cfg, 2);
+    Rng rng(cfg.seed ^ 0xD1A5ull);
+
+    // Oracle: reference run, no token.
+    JoinProjectOptions ref_opts;
+    ref_opts.strategy = Strategy::kWcojFull;
+    ref_opts.threads = 1;
+    ref_opts.sorted = true;
+    ref_opts.count_witnesses = cfg.counted;
+    ref_opts.min_count = cfg.min_count;
+    const JoinProjectOutput ref = JoinProject::TwoPath(r, s, ref_opts);
+    std::map<std::pair<Value, Value>, uint32_t> oracle;
+    if (cfg.counted) {
+      for (const CountedPair& p : ref.counted) oracle[{p.x, p.z}] = p.count;
+    } else {
+      for (const OutPair& p : ref.pairs) oracle[{p.x, p.z}] = 1;
+    }
+
+    for (const Variant& v : kTwoPathVariants) {
+      for (int t : threads) {
+        // Deadline placement: a third pre-expired, a third microscopic
+        // (fires mid-run on most machines), a third generous.
+        CancelToken token;
+        switch (rng.Next() % 3) {
+          case 0:
+            token.SetDeadlineAfter(0);
+            break;
+          case 1:
+            token.SetDeadline(std::chrono::steady_clock::now() +
+                              std::chrono::microseconds(rng.Next() % 500));
+            break;
+          default:
+            token.SetDeadlineAfter(60 * 1000);
+            break;
+        }
+        JoinProjectOptions opts = ref_opts;
+        opts.strategy = v.strategy;
+        opts.heavy_path = v.heavy_path;
+        opts.threads = t;
+        opts.thresholds = cfg.thresholds;
+        opts.sorted = false;
+        opts.cancel = &token;
+        const JoinProjectOutput got = JoinProject::TwoPath(r, s, opts);
+
+        std::string problem;
+        std::set<std::pair<Value, Value>> seen;
+        const size_t n = cfg.counted ? got.counted.size() : got.pairs.size();
+        for (size_t j = 0; j < n && problem.empty(); ++j) {
+          const Value x = cfg.counted ? got.counted[j].x : got.pairs[j].x;
+          const Value z = cfg.counted ? got.counted[j].z : got.pairs[j].z;
+          if (!seen.insert({x, z}).second) problem = "duplicate pair";
+          auto it = oracle.find({x, z});
+          if (it == oracle.end()) {
+            problem = "phantom pair";
+          } else if (cfg.counted && got.counted[j].count != it->second) {
+            problem = "wrong witness count";  // truncated != approximated
+          }
+        }
+        if (problem.empty() && !got.interrupted && n != oracle.size()) {
+          problem = "un-interrupted run incomplete";
+        }
+        if (problem.empty() &&
+            got.light_chunks_executed + got.light_chunks_skipped !=
+                got.light_chunks_total) {
+          problem = "light accounting broken";
+        }
+        if (!problem.empty()) {
+          const std::string line = cfg.ToString() + " variant=" + v.name +
+                                   " threads=" + std::to_string(t) +
+                                   " deadline-recipe " + problem;
+          RecordFailure(line);
+          ADD_FAILURE() << "random-deadline violation: " << line;
+          return;
+        }
+      }
+    }
+
+    // Paginated consumer through the engine: a deadline may SHORTEN the
+    // page, never corrupt it.
+    {
+      QueryEngine engine;
+      engine.catalog().Put("R", r);
+      if (!cfg.self_join) engine.catalog().Put("S", s);
+      QuerySpec spec;
+      spec.kind = QueryKind::kTwoPath;
+      spec.relations = cfg.self_join ? std::vector<std::string>{"R"}
+                                     : std::vector<std::string>{"R", "S"};
+      spec.count_witnesses = cfg.counted;
+      spec.min_count = cfg.min_count;
+      const uint64_t offset = rng.Next() % 20;
+      const uint64_t limit = 1 + rng.Next() % 30;
+      CancelToken token;
+      if (rng.Next() % 2 == 0) {
+        token.SetDeadline(std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(rng.Next() % 300));
+      } else {
+        token.SetDeadlineAfter(60 * 1000);
+      }
+      PageSink sink(offset, limit);
+      ExecStats stats;
+      ExecOptions exec;
+      exec.threads = threads.back();
+      exec.cancel = &token;
+      const QueryStatus st = engine.Run(spec, sink, exec, &stats);
+      ASSERT_TRUE(st.ok()) << st.message();
+      const uint64_t total = oracle.size();
+      const uint64_t want_page =
+          std::min<uint64_t>(limit, total > offset ? total - offset : 0);
+      std::string problem;
+      if (stats.interrupted) {
+        if (sink.size() > want_page) problem = "page too long";
+      } else if (sink.size() != want_page) {
+        problem = "wrong page size";
+      }
+      std::set<std::pair<Value, Value>> seen;
+      for (const OutPair& p : sink.pairs()) {
+        if (!oracle.count({p.x, p.z})) problem = "phantom page entry";
+        if (!seen.insert({p.x, p.z}).second) problem = "duplicate page entry";
+      }
+      if (!problem.empty()) {
+        const std::string line = cfg.ToString() + " page offset=" +
+                                 std::to_string(offset) + " limit=" +
+                                 std::to_string(limit) + " " + problem;
+        RecordFailure(line);
+        ADD_FAILURE() << "random-deadline page violation: " << line;
+        return;
       }
     }
   }

@@ -860,7 +860,8 @@ TEST(QueryEngine, TriangleCancellationSplitsSkipCountersExactly) {
     ExecOptions exec;
     exec.threads = threads;
     ASSERT_TRUE(engine.Run(spec, cancel, exec, &stats).ok());
-    EXPECT_TRUE(stats.triangle_cancelled);
+    EXPECT_TRUE(stats.interrupted);
+    EXPECT_EQ(stats.interrupt_reason, InterruptReason::kCancelled);
     EXPECT_EQ(stats.triangle_count, 0u) << "threads=" << threads;
     EXPECT_GT(stats.light_chunks_skipped, 0u);
     if (light_skipped == 0) light_skipped = stats.light_chunks_skipped;
@@ -883,7 +884,7 @@ TEST(QueryEngine, TriangleCountMatchesDirect) {
   ExecStats stats;
   ASSERT_TRUE(engine.Run(spec, sink, {}, &stats).ok());
   EXPECT_EQ(stats.triangle_count, direct.triangles);
-  EXPECT_FALSE(stats.triangle_cancelled);
+  EXPECT_FALSE(stats.interrupted);
 }
 
 }  // namespace

@@ -37,6 +37,17 @@
 //                     shared engine + prepared query, each running
 //                     --repeat executions with its own sink; prints
 //                     aggregate throughput (twopath)
+//   --deadline-ms D   per-query deadline: the run is truncated (exact
+//                     partial results) once D ms elapse, queue wait
+//                     included; routes through QueryService (twopath)
+//   --max-inflight N  QueryService admission width: at most N concurrent
+//                     executions (requires --clients > 1) (twopath)
+//   --queue-depth N   QueryService admission queue bound; arrivals beyond
+//                     it are shed with `overloaded` (requires
+//                     --clients > 1) (twopath)
+//   --retry           retry shed (`overloaded`) executions with jittered
+//                     exponential backoff honouring the service's
+//                     retry-after hint (requires --clients > 1) (twopath)
 //   --k K             star arity (default 3)  (star)
 //   --algo A          mm|sizeaware|sizeaware++ (ssj)
 //                     mm|pretti|limit|pie      (scj)
@@ -51,11 +62,13 @@
 //   --heavy-path P    auto|dense|csr-dense|csr-csr kernel override
 //                     (twopath, star, triangles)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -67,6 +80,7 @@
 #include "common/timer.h"
 #include "core/join_project.h"
 #include "core/query_engine.h"
+#include "core/query_service.h"
 #include "core/result_sink.h"
 #include "core/triangle.h"
 #include "datagen/generators.h"
@@ -115,7 +129,7 @@ std::optional<Args> Parse(int argc, char** argv) {
     key = key.substr(2);
     // Flags without values.
     if (key == "counts" || key == "ordered" || key == "explain" ||
-        key == "count-only") {
+        key == "count-only" || key == "retry") {
       args.options[key] = "1";
       continue;
     }
@@ -282,6 +296,169 @@ struct TwoPathSink {
   }
 };
 
+// The overload-safe driver: any of --deadline-ms / --max-inflight /
+// --queue-depth / --retry routes execution through QueryService. With
+// --clients > 1 the drill reports per-status outcomes and the latency
+// distribution; a single client demonstrates the deadline alone.
+int RunTwoPathService(const Args& args, QueryEngine& engine,
+                      PreparedQuery& query, const ExecOptions& exec) {
+  QueryServiceOptions so;
+  so.max_inflight = static_cast<int>(args.GetI("max-inflight", 4));
+  so.queue_depth = static_cast<size_t>(args.GetI("queue-depth", 16));
+  QueryService service(&engine, so);
+
+  ServiceRequest base_req;
+  base_req.deadline_ms = args.GetI("deadline-ms", 0);
+  base_req.exec = exec;
+
+  const long repeat = std::max<long>(1, args.GetI("repeat", 1));
+  const long clients = std::max<long>(1, args.GetI("clients", 1));
+
+  if (clients == 1) {
+    TwoPathSink out = TwoPathSink::Make(args);
+    ExecStats stats;
+    for (long run = 0; run < repeat; ++run) {
+      QueryStatus st = service.Execute(query, *out.sink, base_req, &stats);
+      const bool truncated = st.code() == StatusCode::kDeadlineExceeded ||
+                             st.code() == StatusCode::kCancelled;
+      if (!st.ok() && !truncated) {
+        std::fprintf(stderr, "error: %s\n", st.message().c_str());
+        return 1;
+      }
+      std::printf("status: %s%s — %zu %s in %.3f s\n",
+                  StatusCodeName(st.code()),
+                  stats.degraded ? " (degraded)" : "", out.Count(),
+                  out.Label(), stats.seconds);
+      if (truncated) {
+        std::printf("truncated exactly: light chunks %llu/%llu, heavy blocks "
+                    "%llu/%llu (skipped work is accounted, delivered results "
+                    "are exact)\n",
+                    static_cast<unsigned long long>(
+                        stats.light_chunks_executed),
+                    static_cast<unsigned long long>(stats.light_chunks_total),
+                    static_cast<unsigned long long>(
+                        stats.heavy_blocks_executed),
+                    static_cast<unsigned long long>(stats.heavy_blocks_total));
+      }
+    }
+    return 0;
+  }
+
+  struct Tally {
+    uint64_t ok = 0, shed = 0, deadline = 0, cancelled = 0, degraded = 0;
+    std::string fatal;
+  };
+  std::vector<Tally> tallies(static_cast<size_t>(clients));
+  std::vector<double> latencies;  // seconds, every finished attempt chain
+  std::vector<size_t> ok_counts;  // result counts of un-truncated runs
+  std::mutex agg_mu;
+
+  std::vector<std::thread> threads;
+  WallTimer drill;
+  for (long c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Tally& tally = tallies[static_cast<size_t>(c)];
+      for (long run = 0; run < repeat; ++run) {
+        TwoPathSink client_sink = TwoPathSink::Make(args);
+        ExecStats stats;
+        WallTimer t;
+        QueryStatus st;
+        if (args.Has("retry")) {
+          RetryOptions ro;
+          ro.seed = 0x9e3779b9u + static_cast<uint64_t>(c) * 131 +
+                    static_cast<uint64_t>(run);
+          st = RetryWithBackoff(
+              [&] {
+                return service.Execute(query, *client_sink.sink, base_req,
+                                       &stats);
+              },
+              ro);
+        } else {
+          st = service.Execute(query, *client_sink.sink, base_req, &stats);
+        }
+        const double sec = t.Seconds();
+        switch (st.code()) {
+          case StatusCode::kOk:
+            ++tally.ok;
+            break;
+          case StatusCode::kOverloaded:
+            ++tally.shed;
+            break;
+          case StatusCode::kDeadlineExceeded:
+            ++tally.deadline;
+            break;
+          case StatusCode::kCancelled:
+            ++tally.cancelled;
+            break;
+          default:
+            tally.fatal = st.message();
+            return;
+        }
+        if (stats.degraded) ++tally.degraded;
+        std::lock_guard<std::mutex> lk(agg_mu);
+        latencies.push_back(sec);
+        if (st.ok()) ok_counts.push_back(client_sink.Count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double sec = drill.Seconds();
+
+  for (long c = 0; c < clients; ++c) {
+    if (!tallies[static_cast<size_t>(c)].fatal.empty()) {
+      std::fprintf(stderr, "client %ld error: %s\n", c,
+                   tallies[static_cast<size_t>(c)].fatal.c_str());
+      return 1;
+    }
+  }
+  Tally total;
+  for (const Tally& t : tallies) {
+    total.ok += t.ok;
+    total.shed += t.shed;
+    total.deadline += t.deadline;
+    total.cancelled += t.cancelled;
+    total.degraded += t.degraded;
+  }
+  // Correctness cross-check: every un-truncated execution saw the same
+  // result count, loaded or not.
+  for (size_t n : ok_counts) {
+    if (n != ok_counts[0]) {
+      std::fprintf(stderr, "result divergence: %zu vs %zu\n", n,
+                   ok_counts[0]);
+      return 1;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double p) {
+    if (latencies.empty()) return 0.0;
+    size_t i = static_cast<size_t>(p * static_cast<double>(latencies.size()));
+    return latencies[std::min(i, latencies.size() - 1)] * 1e3;
+  };
+  std::printf("clients=%ld repeat=%ld max-inflight=%d queue-depth=%zu%s%s: "
+              "%.3f s\n",
+              clients, repeat, so.max_inflight, so.queue_depth,
+              base_req.deadline_ms > 0 ? " deadline" : "",
+              args.Has("retry") ? " retry" : "", sec);
+  std::printf("outcomes: ok=%llu shed=%llu deadline=%llu cancelled=%llu "
+              "degraded=%llu\n",
+              static_cast<unsigned long long>(total.ok),
+              static_cast<unsigned long long>(total.shed),
+              static_cast<unsigned long long>(total.deadline),
+              static_cast<unsigned long long>(total.cancelled),
+              static_cast<unsigned long long>(total.degraded));
+  const ServiceStats ss = service.stats();
+  std::printf("service: admitted=%llu queue-timeouts=%llu "
+              "max-queue-depth=%llu\n",
+              static_cast<unsigned long long>(ss.admitted),
+              static_cast<unsigned long long>(ss.queue_timeouts),
+              static_cast<unsigned long long>(ss.max_queue_depth));
+  std::printf("latency: p50=%.2f ms p99=%.2f ms\n", pct(0.50), pct(0.99));
+  if (!ok_counts.empty()) {
+    std::printf("every completed execution: %zu results\n", ok_counts[0]);
+  }
+  return 0;
+}
+
 int RunTwoPath(const Args& args, BinaryRelation rel) {
   QueryEngine engine;
   engine.AddRelation("R", std::move(rel));
@@ -326,6 +503,37 @@ int RunTwoPath(const Args& args, BinaryRelation rel) {
     }
   }
 
+  const long repeat = std::max<long>(1, args.GetI("repeat", 1));
+  const long clients = std::max<long>(1, args.GetI("clients", 1));
+  const bool use_service = args.Has("deadline-ms") ||
+                           args.Has("max-inflight") ||
+                           args.Has("queue-depth") || args.Has("retry");
+  if (args.Has("deadline-ms") && args.GetI("deadline-ms", 0) <= 0) {
+    std::fprintf(stderr, "error: --deadline-ms takes a positive number of "
+                         "milliseconds\n");
+    return 1;
+  }
+  if (args.Has("max-inflight") && args.GetI("max-inflight", 0) < 1) {
+    std::fprintf(stderr, "error: --max-inflight must be >= 1 (the service "
+                         "needs at least one execution slot)\n");
+    return 1;
+  }
+  if (args.Has("queue-depth") && args.GetI("queue-depth", 0) < 0) {
+    std::fprintf(stderr, "error: --queue-depth must be >= 0\n");
+    return 1;
+  }
+  if ((args.Has("max-inflight") || args.Has("queue-depth")) && clients <= 1) {
+    std::fprintf(stderr, "error: --max-inflight / --queue-depth shape the "
+                         "admission of concurrent clients; combine with "
+                         "--clients > 1\n");
+    return 1;
+  }
+  if (args.Has("retry") && clients <= 1) {
+    std::fprintf(stderr, "error: --retry only retries overloaded rejections, "
+                         "which need contention; combine with --clients > 1\n");
+    return 1;
+  }
+
   PreparedQuery query;
   QueryStatus st = engine.Prepare(spec, &query);
   if (!st.ok()) {
@@ -333,8 +541,7 @@ int RunTwoPath(const Args& args, BinaryRelation rel) {
     return 1;
   }
 
-  const long repeat = std::max<long>(1, args.GetI("repeat", 1));
-  const long clients = std::max<long>(1, args.GetI("clients", 1));
+  if (use_service) return RunTwoPathService(args, engine, query, exec);
 
   if (clients > 1) {
     // Concurrent driver: every client shares the engine AND the prepared
@@ -588,16 +795,23 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
-  auto rel = LoadDataset(*args);
-  if (!rel.has_value()) return 1;
+  // Execution failures — including FailPoints armed via JPMM_FAILPOINTS —
+  // come back as a structured error line, not an abort.
+  try {
+    auto rel = LoadDataset(*args);
+    if (!rel.has_value()) return 1;
 
-  if (args->command == "stats") return RunStats(*args, *rel);
-  if (args->command == "twopath") return RunTwoPath(*args, std::move(*rel));
-  if (args->command == "star") return RunStar(*args, *rel);
-  if (args->command == "ssj") return RunSsj(*args, *rel);
-  if (args->command == "scj") return RunScj(*args, *rel);
-  if (args->command == "bsi") return RunBsi(*args, *rel);
-  if (args->command == "triangles") return RunTriangles(*args, *rel);
+    if (args->command == "stats") return RunStats(*args, *rel);
+    if (args->command == "twopath") return RunTwoPath(*args, std::move(*rel));
+    if (args->command == "star") return RunStar(*args, *rel);
+    if (args->command == "ssj") return RunSsj(*args, *rel);
+    if (args->command == "scj") return RunScj(*args, *rel);
+    if (args->command == "bsi") return RunBsi(*args, *rel);
+    if (args->command == "triangles") return RunTriangles(*args, *rel);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   PrintUsage();
   return 2;
 }
