@@ -87,6 +87,8 @@ std::vector<BlockKernelChoice> PlanProductBlocks(
     c.row_begin = static_cast<uint32_t>(blk * row_block);
     c.row_end = static_cast<uint32_t>(
         std::min(rows, static_cast<size_t>(c.row_begin) + row_block));
+    c.col_begin = 0;
+    c.col_end = static_cast<uint32_t>(b.cols());
     c.nnz = a.RowRangeNnz(c.row_begin, c.row_end);
     const double cells = static_cast<double>(c.row_end - c.row_begin) *
                          static_cast<double>(a.cols());

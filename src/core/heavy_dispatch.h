@@ -49,10 +49,15 @@ const char* ProductKernelName(ProductKernel k);
 const char* HeavyPathModeName(HeavyPathMode m);
 
 /// One product block's dispatch decision (surfaced through the result
-/// structs and jpmm_cli --explain).
+/// structs and jpmm_cli --explain). Uniform row-block plans span the full
+/// output column range; density-adaptive grids (core/density_partition.h)
+/// emit one choice per scheduled row-band x column-band cell, with ranges
+/// in remapped coordinates.
 struct BlockKernelChoice {
   uint32_t row_begin = 0;
   uint32_t row_end = 0;
+  uint32_t col_begin = 0;
+  uint32_t col_end = 0;
   uint64_t nnz = 0;      // A-operand nnz inside the block
   double density = 0.0;  // nnz / (rows * inner dim)
   ProductKernel kernel = ProductKernel::kDenseGemm;

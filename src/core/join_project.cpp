@@ -152,6 +152,7 @@ JoinProjectOutput JoinProject::TwoPathWithPlan(const IndexedRelation& r,
       mo.count_witnesses = opts.count_witnesses;
       mo.min_count = opts.min_count;
       mo.heavy_path = opts.heavy_path;
+      mo.partition = opts.partition;
       mo.max_matrix_bytes = opts.max_matrix_bytes;
       mo.sink = opts.sink;
       mo.cancel = opts.cancel;
@@ -163,6 +164,12 @@ JoinProjectOutput JoinProject::TwoPathWithPlan(const IndexedRelation& r,
       out.heavy_density = res.heavy_density;
       out.kernel_counts = res.kernel_counts;
       out.block_choices = std::move(res.block_choices);
+      out.partition_used = res.partition_used;
+      out.partition_row_bands = res.partition_row_bands;
+      out.partition_col_bands = res.partition_col_bands;
+      out.partition_blocks_scheduled = res.partition_blocks_scheduled;
+      out.partition_blocks_pruned = res.partition_blocks_pruned;
+      out.partition_signature = std::move(res.partition_signature);
       out.heavy_blocks_total = res.heavy_blocks_total;
       out.heavy_blocks_executed = res.heavy_blocks_executed;
       out.heavy_blocks_skipped = res.heavy_blocks_skipped;
@@ -257,6 +264,7 @@ StarJoinResult JoinProject::Star(
   StarJoinOptions so;
   so.threads = opts.threads;
   so.heavy_path = opts.heavy_path;
+  so.partition = opts.partition;
   so.max_matrix_bytes = opts.max_matrix_bytes;
   so.sink = opts.sink;
   so.cancel = opts.cancel;

@@ -15,6 +15,7 @@
 #ifndef JPMM_CORE_JOIN_PROJECT_H_
 #define JPMM_CORE_JOIN_PROJECT_H_
 
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -49,6 +50,12 @@ struct JoinProjectOptions {
   bool sorted = false;
   /// Heavy-part kernel override (kAuto = per-block density dispatch).
   HeavyPathMode heavy_path = HeavyPathMode::kAuto;
+  /// Density-adaptive heavy-product decomposition
+  /// (core/density_partition.h): kAuto engages the degree-remapped grid
+  /// when it prices cheaper than the uniform row-block plan, kOff never,
+  /// kForce whenever a heavy product exists. Outputs are identical in
+  /// every mode.
+  PartitionMode partition = PartitionMode::kAuto;
   /// Heavy-part memory cap (see MmJoinOptions::max_matrix_bytes).
   uint64_t max_matrix_bytes = uint64_t{3} << 30;
   OptimizerOptions optimizer;
@@ -79,6 +86,14 @@ struct JoinProjectOutput {
   double heavy_density = 0.0;
   HeavyKernelCounts kernel_counts;
   std::vector<BlockKernelChoice> block_choices;
+
+  /// Density-adaptive partitioning record (see MmJoinResult).
+  bool partition_used = false;
+  uint64_t partition_row_bands = 0;
+  uint64_t partition_col_bands = 0;
+  uint64_t partition_blocks_scheduled = 0;
+  uint64_t partition_blocks_pruned = 0;
+  std::string partition_signature = "off";
 
   /// Early-exit record (sink-driven runs; see MmJoinResult).
   uint64_t heavy_blocks_total = 0;

@@ -27,6 +27,9 @@ struct WorkerState {
   std::vector<float> block;                 // matrix row-block buffer
   CsrScratch csr_scratch;                   // CSR x CSR stamp scratch
   SparseRowBlock sparse_block;              // CSR x CSR block output
+  // Density-adaptive gather: per-row (z, count) heavy contributions of the
+  // current chunk, collected across its column-band kernels.
+  std::vector<std::vector<CountedPair>> row_entries;
   ResultSink::Shard* shard = nullptr;       // this worker's emission handle
 };
 
@@ -54,6 +57,35 @@ class TwoPathRunner {
       EmitHeadStamp(a, cols, counts, ws);
     } else {
       EmitHeadSort(a, cols, counts, ws);
+    }
+  }
+
+  // Gathered-entry variant for the density-adaptive path: the heavy
+  // contributions of one head value arrive as (z, count) entries collected
+  // across several column-band kernels, in no particular z order (each z
+  // appears at most once — a column lives in exactly one band).
+  void EmitHeadEntries(Value a, std::vector<CountedPair>* entries,
+                       WorkerState* ws) const {
+    if (opts_.dedup == DedupImpl::kStampArray) {
+      ws->counter.NewEpoch();
+      ws->touched.clear();
+      ctx_.AccumulateLight(a, &ws->counter, &ws->touched);
+      for (const CountedPair& e : *entries) {
+        if (ws->counter.Add(e.z, e.count) == 0) ws->touched.push_back(e.z);
+      }
+      EmitRow(a, ws);
+    } else {
+      ws->witness_buf.clear();
+      ctx_.AccumulateLightToVector(a, &ws->witness_buf);
+      std::sort(ws->witness_buf.begin(), ws->witness_buf.end());
+      // MergeAndEmit requires z-ascending matrix entries; the band gather
+      // interleaves bands, so sort here.
+      std::sort(entries->begin(), entries->end(),
+                [](const CountedPair& l, const CountedPair& r) {
+                  return l.z < r.z;
+                });
+      ws->matrix_entries.assign(entries->begin(), entries->end());
+      MergeAndEmit(a, ws);
     }
   }
 
@@ -240,6 +272,7 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   uint64_t m2_nnz = 0;
   bool allow_dense = true;
   bool allow_csr_dense = true;
+  uint64_t heavy_bytes = 0;  // accepted uniform-plan working set
   for (;;) {
     ctx = std::make_unique<internal::TwoPathContext>(r, s, t);
     const uint64_t hx = ctx->part.heavy_x().size();
@@ -284,6 +317,7 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
                                   : csr + stamp;
         break;
     }
+    heavy_bytes = bytes;
     if (bytes <= opts.max_matrix_bytes) break;
     t.delta1 *= 2;
     t.delta2 *= 2;
@@ -396,65 +430,259 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
         });
 
     const size_t row_block = opts.row_block;
-    result.block_choices = PlanProductBlocks(
-        csr1, csr2, row_block, opts.heavy_path, opts.sparse_rates,
-        allow_dense, allow_csr_dense, &result.kernel_counts);
-    const bool any_dense = result.kernel_counts.dense > 0;
-    const bool any_float = any_dense || result.kernel_counts.csr_dense > 0;
-    // Heavy witness counts on the float paths accumulate in float cells and
-    // are read back with an integer cast; both are exact only below 2^24
-    // (see mm_join.h). The per-cell maximum is the inner dimension. The
-    // CSR x CSR path counts in uint32 and has no such bound.
-    if (any_float) {
-      JPMM_CHECK_MSG(hys.size() < kMaxExactFloatCount,
-                     "heavy inner dimension exceeds exact float count range");
+    const size_t num_chunks = (hxs.size() + row_block - 1) / row_block;
+    result.heavy_blocks_total = num_chunks;
+
+    // Density-adaptive decomposition (core/density_partition.h): kForce
+    // engages the grid whenever a heavy product exists; kAuto only when the
+    // priced grid beats the uniform plan AND the permuted operands + band
+    // slices fit what remains of the memory cap. Work units stay the same
+    // ceil(rows / row_block) chunks as the uniform plan, so the early-exit
+    // accounting (executed + skipped == total) is mode-invariant.
+    DensityGrid grid;
+    bool density = false;
+    if (opts.partition != PartitionMode::kOff) {
+      DensityGridOptions go;
+      go.row_block = row_block;
+      go.mode = opts.heavy_path;
+      go.rates = opts.sparse_rates;
+      go.allow_dense = allow_dense;
+      go.allow_csr_dense = allow_csr_dense;
+      grid = BuildDensityGrid(csr1, csr2, go);
+      density = opts.partition == PartitionMode::kForce || grid.beneficial;
+      if (density) {
+        bool grid_dense = false;
+        bool grid_float = false;
+        for (const BlockKernelChoice& blk : grid.blocks) {
+          grid_dense |= blk.kernel == ProductKernel::kDenseGemm;
+          grid_float |= blk.kernel != ProductKernel::kCsrCsr;
+        }
+        // Extra working set of the remapped execution: a permuted copy of
+        // M1 (CSR; dense too when some block runs the GEMM) and per-band M2
+        // slices (CSR always; the dense + packed band slices are bounded by
+        // the full dense forms when float kernels run).
+        uint64_t extra =
+            CsrBytes(hxs.size(), m1_nnz) + CsrBytes(hys.size(), m2_nnz) +
+            8 * static_cast<uint64_t>(grid.num_col_bands()) * (hys.size() + 1);
+        if (grid_float) extra += 4 * hys.size() * hzs.size();
+        if (grid_dense) {
+          extra += 4 * hxs.size() * hys.size() +
+                   PackedBBytes(hys.size(), hzs.size());
+        }
+        if (heavy_bytes + extra > opts.max_matrix_bytes) density = false;
+      }
     }
 
-    // Dense representations only for the blocks that want them.
-    Matrix m1, m2;
-    PackedB packed_m2;
-    if (any_dense) m1 = csr1.ToDense(threads);
-    if (any_float) m2 = csr2.ToDense(threads);
-    if (any_dense) packed_m2 = PackedB(m2, threads);
+    if (density) {
+      result.partition_used = true;
+      result.partition_row_bands = grid.num_row_bands();
+      result.partition_col_bands = grid.num_col_bands();
+      result.partition_blocks_scheduled = grid.blocks.size();
+      result.partition_blocks_pruned = grid.pruned_blocks;
+      result.partition_signature = grid.Signature();
+      result.block_choices = grid.blocks;
+      bool any_dense = false;
+      bool any_float = false;
+      for (const BlockKernelChoice& blk : grid.blocks) {
+        switch (blk.kernel) {
+          case ProductKernel::kDenseGemm:
+            ++result.kernel_counts.dense;
+            any_dense = true;
+            any_float = true;
+            break;
+          case ProductKernel::kCsrDense:
+            ++result.kernel_counts.csr_dense;
+            any_float = true;
+            break;
+          case ProductKernel::kCsrCsr:
+            ++result.kernel_counts.csr_csr;
+            break;
+        }
+      }
+      // Same float-exactness bound as the uniform plan (see mm_join.h).
+      if (any_float) {
+        JPMM_CHECK_MSG(hys.size() < kMaxExactFloatCount,
+                       "heavy inner dimension exceeds exact float count range");
+      }
 
-    // Blocks are claimed dynamically: emit cost per block tracks the output
-    // skew, not just the flops.
-    const size_t num_blocks = result.block_choices.size();
-    ParallelForDynamic(
-        threads, num_blocks, /*grain=*/1, [&](size_t b0, size_t b1, int w) {
-          WorkerState& ws = workers[static_cast<size_t>(w)];
-          if (ws.shard == nullptr) ws.shard = &sink->shard(w);
-          if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
-          for (size_t blk = b0; blk < b1; ++blk) {
-            if (sink->done() || cancel_fired()) {
-              blocks_skipped.fetch_add(b1 - blk, std::memory_order_relaxed);
-              return;
-            }
-            blocks_executed.fetch_add(1, std::memory_order_relaxed);
-            const BlockKernelChoice& choice = result.block_choices[blk];
-            const size_t r0 = choice.row_begin;
-            const size_t r1 = choice.row_end;
-            if (choice.kernel == ProductKernel::kCsrCsr) {
-              CsrCsrRowRange(csr1, csr2, r0, r1, &ws.csr_scratch,
-                             &ws.sparse_block);
-              for (size_t i = r0; i < r1; ++i) {
-                runner.EmitHead(hxs[i], ws.sparse_block.RowCols(i - r0),
-                                ws.sparse_block.RowCounts(i - r0), &ws);
+      // Permuted operands: M1 with its rows in remapped order, M2 sliced
+      // into one matrix per column band with band-local column ids. The
+      // inner dimension is shared and unpermuted, so every existing kernel
+      // runs unchanged on the slices.
+      const CsrMatrix csr1r = CsrMatrix::FromRows(
+          hxs.size(), hys.size(), threads,
+          [&](size_t i, std::vector<uint32_t>* out) {
+            for (uint32_t c : csr1.Row(grid.row_perm[i])) out->push_back(c);
+          });
+      std::vector<uint32_t> inv_col(hzs.size());
+      for (size_t k = 0; k < grid.col_perm.size(); ++k) {
+        inv_col[grid.col_perm[k]] = static_cast<uint32_t>(k);
+      }
+      const size_t ncb = grid.num_col_bands();
+      // Scheduled (choice, column-band) pairs per row band, plus which
+      // representations each column band actually needs.
+      std::vector<std::vector<std::pair<const BlockKernelChoice*, size_t>>>
+          band_blocks(grid.num_row_bands());
+      std::vector<uint8_t> band_any(ncb, 0);
+      std::vector<uint8_t> band_float(ncb, 0);
+      std::vector<uint8_t> band_dense(ncb, 0);
+      for (const BlockKernelChoice& blk : result.block_choices) {
+        size_t bi = 0;
+        while (grid.row_bands[bi] != blk.row_begin) ++bi;
+        size_t bj = 0;
+        while (grid.col_bands[bj] != blk.col_begin) ++bj;
+        band_blocks[bi].emplace_back(&blk, bj);
+        band_any[bj] = 1;
+        if (blk.kernel != ProductKernel::kCsrCsr) band_float[bj] = 1;
+        if (blk.kernel == ProductKernel::kDenseGemm) band_dense[bj] = 1;
+      }
+      std::vector<CsrMatrix> csr2_band(ncb);
+      std::vector<Matrix> m2_band(ncb);
+      std::vector<PackedB> packed_band(ncb);
+      for (size_t j = 0; j < ncb; ++j) {
+        if (!band_any[j]) continue;
+        const uint32_t cb0 = grid.col_bands[j];
+        const uint32_t cb1 = grid.col_bands[j + 1];
+        csr2_band[j] = CsrMatrix::FromRows(
+            hys.size(), cb1 - cb0, threads,
+            [&](size_t y, std::vector<uint32_t>* out) {
+              for (uint32_t c : csr2.Row(y)) {
+                const uint32_t k = inv_col[c];
+                if (k >= cb0 && k < cb1) out->push_back(k - cb0);
               }
-              continue;
+            });
+        if (band_float[j]) m2_band[j] = csr2_band[j].ToDense(threads);
+        if (band_dense[j]) packed_band[j] = PackedB(m2_band[j], threads);
+      }
+      Matrix m1r;
+      if (any_dense) m1r = csr1r.ToDense(threads);
+
+      // Chunks are the claimed work units (same accounting as the uniform
+      // plan); each lies inside exactly one row band (bands are snapped to
+      // row_block multiples) and runs that band's scheduled column-band
+      // blocks, gathering (z, count) entries per row. Emission applies the
+      // inverse remap, so the output is byte-identical to the uniform plan.
+      ParallelForDynamic(
+          threads, num_chunks, /*grain=*/1, [&](size_t c0, size_t c1, int w) {
+            WorkerState& ws = workers[static_cast<size_t>(w)];
+            if (ws.shard == nullptr) ws.shard = &sink->shard(w);
+            if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
+            for (size_t ci = c0; ci < c1; ++ci) {
+              if (sink->done() || cancel_fired()) {
+                blocks_skipped.fetch_add(c1 - ci, std::memory_order_relaxed);
+                return;
+              }
+              blocks_executed.fetch_add(1, std::memory_order_relaxed);
+              const size_t r0 = ci * row_block;
+              const size_t r1 = std::min(hxs.size(), r0 + row_block);
+              const size_t nrows = r1 - r0;
+              size_t bi = grid.num_row_bands() - 1;
+              while (grid.row_bands[bi] > r0) --bi;
+              if (ws.row_entries.size() < nrows) ws.row_entries.resize(nrows);
+              for (size_t li = 0; li < nrows; ++li) ws.row_entries[li].clear();
+              for (const auto& [blk, j] : band_blocks[bi]) {
+                const uint32_t cb0 = blk->col_begin;
+                const size_t bw = blk->col_end - cb0;
+                if (blk->kernel == ProductKernel::kCsrCsr) {
+                  CsrCsrRowRange(csr1r, csr2_band[j], r0, r1, &ws.csr_scratch,
+                                 &ws.sparse_block);
+                  for (size_t li = 0; li < nrows; ++li) {
+                    const auto cols = ws.sparse_block.RowCols(li);
+                    const auto counts = ws.sparse_block.RowCounts(li);
+                    for (size_t e = 0; e < cols.size(); ++e) {
+                      ws.row_entries[li].push_back(CountedPair{
+                          0, hzs[grid.col_perm[cb0 + cols[e]]], counts[e]});
+                    }
+                  }
+                } else {
+                  ws.block.resize(row_block * bw);
+                  std::span<float> out(ws.block.data(), nrows * bw);
+                  if (blk->kernel == ProductKernel::kDenseGemm) {
+                    MultiplyRowRange(m1r, packed_band[j], r0, r1, out);
+                  } else {
+                    CsrDenseRowRange(csr1r, m2_band[j], r0, r1, out);
+                  }
+                  for (size_t li = 0; li < nrows; ++li) {
+                    const float* prow = ws.block.data() + li * bw;
+                    for (size_t jj = 0; jj < bw; ++jj) {
+                      const float v = prow[jj];
+                      if (v > 0.5f) {
+                        ws.row_entries[li].push_back(
+                            CountedPair{0, hzs[grid.col_perm[cb0 + jj]],
+                                        static_cast<uint32_t>(v + 0.5f)});
+                      }
+                    }
+                  }
+                }
+              }
+              for (size_t li = 0; li < nrows; ++li) {
+                runner.EmitHeadEntries(hxs[grid.row_perm[r0 + li]],
+                                       &ws.row_entries[li], &ws);
+              }
             }
-            ws.block.resize(row_block * hzs.size());
-            if (choice.kernel == ProductKernel::kDenseGemm) {
-              MultiplyRowRange(m1, packed_m2, r0, r1, ws.block);
-            } else {
-              CsrDenseRowRange(csr1, m2, r0, r1, ws.block);
+          });
+    } else {
+      result.partition_signature = "uniform";
+      result.block_choices = PlanProductBlocks(
+          csr1, csr2, row_block, opts.heavy_path, opts.sparse_rates,
+          allow_dense, allow_csr_dense, &result.kernel_counts);
+      const bool any_dense = result.kernel_counts.dense > 0;
+      const bool any_float = any_dense || result.kernel_counts.csr_dense > 0;
+      // Heavy witness counts on the float paths accumulate in float cells
+      // and are read back with an integer cast; both are exact only below
+      // 2^24 (see mm_join.h). The per-cell maximum is the inner dimension.
+      // The CSR x CSR path counts in uint32 and has no such bound.
+      if (any_float) {
+        JPMM_CHECK_MSG(hys.size() < kMaxExactFloatCount,
+                       "heavy inner dimension exceeds exact float count range");
+      }
+
+      // Dense representations only for the blocks that want them.
+      Matrix m1, m2;
+      PackedB packed_m2;
+      if (any_dense) m1 = csr1.ToDense(threads);
+      if (any_float) m2 = csr2.ToDense(threads);
+      if (any_dense) packed_m2 = PackedB(m2, threads);
+
+      // Blocks are claimed dynamically: emit cost per block tracks the
+      // output skew, not just the flops.
+      const size_t num_blocks = result.block_choices.size();
+      ParallelForDynamic(
+          threads, num_blocks, /*grain=*/1, [&](size_t b0, size_t b1, int w) {
+            WorkerState& ws = workers[static_cast<size_t>(w)];
+            if (ws.shard == nullptr) ws.shard = &sink->shard(w);
+            if (ws.counter.universe() < num_z) ws.counter.ResizeUniverse(num_z);
+            for (size_t blk = b0; blk < b1; ++blk) {
+              if (sink->done() || cancel_fired()) {
+                blocks_skipped.fetch_add(b1 - blk, std::memory_order_relaxed);
+                return;
+              }
+              blocks_executed.fetch_add(1, std::memory_order_relaxed);
+              const BlockKernelChoice& choice = result.block_choices[blk];
+              const size_t r0 = choice.row_begin;
+              const size_t r1 = choice.row_end;
+              if (choice.kernel == ProductKernel::kCsrCsr) {
+                CsrCsrRowRange(csr1, csr2, r0, r1, &ws.csr_scratch,
+                               &ws.sparse_block);
+                for (size_t i = r0; i < r1; ++i) {
+                  runner.EmitHead(hxs[i], ws.sparse_block.RowCols(i - r0),
+                                  ws.sparse_block.RowCounts(i - r0), &ws);
+                }
+                continue;
+              }
+              ws.block.resize(row_block * hzs.size());
+              if (choice.kernel == ProductKernel::kDenseGemm) {
+                MultiplyRowRange(m1, packed_m2, r0, r1, ws.block);
+              } else {
+                CsrDenseRowRange(csr1, m2, r0, r1, ws.block);
+              }
+              for (size_t i = r0; i < r1; ++i) {
+                runner.EmitHead(hxs[i],
+                                ws.block.data() + (i - r0) * hzs.size(), &ws);
+              }
             }
-            for (size_t i = r0; i < r1; ++i) {
-              runner.EmitHead(hxs[i], ws.block.data() + (i - r0) * hzs.size(),
-                              &ws);
-            }
-          }
-        });
+          });
+    }
     result.heavy_seconds = heavy_timer.Seconds();
   }
 
@@ -466,9 +694,6 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   if (opts.sink == nullptr) {
     result.pairs = std::move(fallback.pairs());
     result.counted = std::move(fallback.counted());
-  }
-  if (!result.block_choices.empty()) {
-    result.heavy_blocks_total = result.block_choices.size();
   }
   result.heavy_blocks_executed = blocks_executed.load();
   result.heavy_blocks_skipped = blocks_skipped.load();

@@ -26,9 +26,11 @@
 #define JPMM_CORE_MM_JOIN_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "core/density_partition.h"
 #include "core/heavy_dispatch.h"
 #include "core/thresholds.h"
 #include "storage/index.h"
@@ -75,6 +77,14 @@ struct MmJoinOptions {
   /// SparseKernelRates::Default() (measured once per process, and only when
   /// a heavy part actually exists under kAuto).
   const SparseKernelRates* sparse_rates = nullptr;
+  /// Density-adaptive heavy-part decomposition (core/density_partition.h):
+  /// degree-remapped row/column bands with per-block kernels and pruned
+  /// provably-empty blocks. kAuto engages the grid when its priced cost
+  /// beats the uniform row-block plan and the band slices fit the memory
+  /// cap; kForce engages it whenever a heavy product exists (fuzzer /
+  /// equivalence tests); kOff always runs the uniform plan. Outputs are
+  /// byte-identical either way — the remap is inverted at emit time.
+  PartitionMode partition = PartitionMode::kAuto;
   /// Push-based result delivery (core/result_sink.h). When set, results
   /// stream into the sink (min_count filtering still applies first) and
   /// MmJoinResult::pairs / counted stay empty; the sink's done() signal is
@@ -120,6 +130,17 @@ struct MmJoinResult {
   std::vector<BlockKernelChoice> block_choices;  // per-block dispatch record
   double light_seconds = 0.0;
   double heavy_seconds = 0.0;      // matrix build + multiply + scan
+
+  // --- density-adaptive partitioning (core/density_partition.h) ---
+  bool partition_used = false;         // grid engaged on the heavy product
+  uint64_t partition_row_bands = 0;    // grid shape actually executed
+  uint64_t partition_col_bands = 0;
+  uint64_t partition_blocks_scheduled = 0;  // grid cells with work
+  uint64_t partition_blocks_pruned = 0;     // cells with a zero nnz bound
+  /// Stable fingerprint of the executed decomposition ("off", "uniform", or
+  /// DensityGrid::Signature()). Identical across re-executions of one plan
+  /// against an unchanged catalog, at every thread count.
+  std::string partition_signature = "off";
 
   // --- early-exit instrumentation (sink-driven runs) ---
   uint64_t heavy_blocks_total = 0;     // planned product blocks (or heavy

@@ -23,6 +23,8 @@ struct CostBreakdown {
   double heavy = 0.0;
   ProductKernel heavy_kernel = ProductKernel::kDenseGemm;
   double heavy_density = 0.0;
+  bool density_adaptive = false;
+  uint64_t partition_bands = 0;
   double total() const { return light + heavy; }
 };
 
@@ -97,6 +99,60 @@ CostBreakdown EvaluateCost(const TwoPathStats& stats, Thresholds t,
       cost.heavy = csr_csr_sec;
       cost.heavy_kernel = ProductKernel::kCsrCsr;
     }
+
+    // Density-adaptive alternative (core/density_partition.h): the degree
+    // remap splits the product into B x B bands whose per-band nnz the
+    // degree CDFs bound without touching the tuples (HeavyXBandNnz /
+    // HeavyZBandNnz). Skew concentrates nnz in the leading bands; trailing
+    // bands go ultra-sparse and win on CSR x CSR, so the sum of per-cell
+    // minima can beat every whole-matrix kernel choice. CSR builds plus
+    // the remap passes are charged up front; execution re-decides from
+    // exact nnz under PartitionMode::kAuto.
+    for (uint64_t bc : {2ull, 4ull, 8ull}) {
+      if (u < bc || w < bc) break;
+      const size_t bands = static_cast<size_t>(bc);
+      const std::vector<double> row_nnz = stats.HeavyXBandNnz(t.delta2, bands);
+      const std::vector<double> col_nnz = stats.HeavyZBandNnz(t.delta2, bands);
+      const double remap = consts.ts * 2.0 * (nnz1 + nnz2);
+      double total = csr_build + remap;
+      for (size_t i = 0; i < bands; ++i) {
+        const uint64_t ui = (u + bc - 1) / bc;
+        const double cell_nnz = std::min(
+            row_nnz[i], static_cast<double>(ui) * static_cast<double>(v));
+        const double cell_density = std::clamp(
+            cell_nnz / std::max(1.0, static_cast<double>(ui) *
+                                         static_cast<double>(v)),
+            0.0, 1.0);
+        for (size_t j = 0; j < bands; ++j) {
+          const uint64_t wj = (w + bc - 1) / bc;
+          const double cell_scan =
+              consts.ts * static_cast<double>(ui) * static_cast<double>(wj);
+          const double d_cell =
+              cal.EstimateSeconds(ui, v, wj, co) +
+              consts.ts * (static_cast<double>(ui) * v +
+                           static_cast<double>(v) * wj) +
+              cell_scan;
+          const double sd_cell =
+              consts.ts * static_cast<double>(v) * wj +
+              SparseProductSeconds(
+                  SparseProductOps(static_cast<uint64_t>(cell_nnz), ui, wj),
+                  srates.CsrDenseRate(cell_density)) /
+                  co +
+              cell_scan;
+          const double cc_cell =
+              SparseProductSeconds(
+                  row_nnz[i] * (col_nnz[j] / static_cast<double>(v)),
+                  srates.CsrCsrRate(cell_density)) /
+              co;
+          total += std::min({d_cell, sd_cell, cc_cell});
+        }
+      }
+      if (total < cost.heavy) {
+        cost.heavy = total;
+        cost.density_adaptive = true;
+        cost.partition_bands = bc;
+      }
+    }
   }
   return cost;
 }
@@ -114,6 +170,9 @@ std::string PlanChoice::ToString() const {
        << " est_heavy=" << est_heavy_seconds
        << " heavy_kernel=" << ProductKernelName(heavy_kernel)
        << " est_density=" << est_heavy_density;
+    if (density_adaptive) {
+      os << " partition=density-adaptive bands=" << partition_bands;
+    }
   }
   return os.str();
 }
@@ -176,6 +235,8 @@ PlanChoice ChooseTwoPathPlan(const IndexedRelation& r,
   plan.est_heavy_seconds = best_breakdown.heavy;
   plan.heavy_kernel = best_breakdown.heavy_kernel;
   plan.est_heavy_density = best_breakdown.heavy_density;
+  plan.density_adaptive = best_breakdown.density_adaptive;
+  plan.partition_bands = best_breakdown.partition_bands;
   return plan;
 }
 

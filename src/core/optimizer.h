@@ -62,6 +62,14 @@ struct PlanChoice {
   /// it was derived from.
   ProductKernel heavy_kernel = ProductKernel::kDenseGemm;
   double est_heavy_density = 0.0;
+  /// True when the density-adaptive decomposition (degree-remapped row x
+  /// column bands with per-band kernels, core/density_partition.h) priced
+  /// cheaper than every single-kernel heavy estimate at the chosen
+  /// thresholds, with the predicted band count. Execution re-decides from
+  /// exact nnz (PartitionMode::kAuto); this is the plan-level prediction
+  /// jpmm_cli --explain surfaces.
+  bool density_adaptive = false;
+  uint64_t partition_bands = 0;
 
   std::string ToString() const;
 };

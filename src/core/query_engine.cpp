@@ -94,6 +94,12 @@ void FillTwoPathStats(JoinProjectOutput* out, ExecStats* stats) {
   stats->heavy_density = out->heavy_density;
   stats->kernel_counts = out->kernel_counts;
   stats->block_choices = std::move(out->block_choices);
+  stats->partition_used = out->partition_used;
+  stats->partition_row_bands = out->partition_row_bands;
+  stats->partition_col_bands = out->partition_col_bands;
+  stats->partition_blocks_scheduled = out->partition_blocks_scheduled;
+  stats->partition_blocks_pruned = out->partition_blocks_pruned;
+  stats->partition_signature = std::move(out->partition_signature);
   stats->heavy_blocks_total = out->heavy_blocks_total;
   stats->heavy_blocks_executed = out->heavy_blocks_executed;
   stats->heavy_blocks_skipped = out->heavy_blocks_skipped;
@@ -379,6 +385,7 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
       jo.threads = opts.threads;
       jo.thresholds = opts.thresholds;
       jo.heavy_path = opts.heavy_path;
+      jo.partition = opts.partition;
       jo.max_matrix_bytes = opts.max_matrix_bytes;
       jo.cancel = opts.cancel;
       if (spec.kind == QueryKind::kTwoPath) {
@@ -479,6 +486,7 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
       jo.strategy = star_strategy;
       jo.threads = opts.threads;
       jo.heavy_path = opts.heavy_path;
+      jo.partition = opts.partition;
       jo.max_matrix_bytes = opts.max_matrix_bytes;
       jo.sink = &sink;
       jo.cancel = opts.cancel;
@@ -492,6 +500,12 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
         stats->plan_cache_hit = star_cache_hit;
         stats->kernel_counts = res.kernel_counts;
         stats->heavy_density = res.heavy_density;
+        stats->partition_used = res.partition_used;
+        stats->partition_row_bands = res.partition_row_bands;
+        stats->partition_col_bands = res.partition_col_bands;
+        stats->partition_blocks_scheduled = res.partition_blocks_scheduled;
+        stats->partition_blocks_pruned = res.partition_blocks_pruned;
+        stats->partition_signature = res.partition_signature;
         stats->heavy_blocks_total = res.heavy_blocks_total;
         stats->heavy_blocks_executed = res.heavy_blocks_executed;
         stats->heavy_blocks_skipped = res.heavy_blocks_skipped;

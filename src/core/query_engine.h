@@ -178,6 +178,12 @@ struct ExecOptions {
   Thresholds thresholds{0, 0};
   /// Heavy-part kernel override (kAuto = per-block density dispatch).
   HeavyPathMode heavy_path = HeavyPathMode::kAuto;
+  /// Density-adaptive heavy-product decomposition (degree-remapped block
+  /// grid, core/density_partition.h): kAuto engages it when it prices
+  /// cheaper than the uniform row-block plan, kOff never, kForce whenever
+  /// a heavy product exists. Outputs are identical in every mode; the
+  /// decision lands in ExecStats::partition_*.
+  PartitionMode partition = PartitionMode::kAuto;
   /// Heavy-part memory cap (see MmJoinOptions::max_matrix_bytes).
   uint64_t max_matrix_bytes = uint64_t{3} << 30;
   /// Optional cancellation token (deadline | explicit cancel), polled by
@@ -251,6 +257,19 @@ struct ExecStats {
   double heavy_density = 0.0;
   HeavyKernelCounts kernel_counts;
   std::vector<BlockKernelChoice> block_choices;
+
+  /// Density-adaptive partitioning record (see MmJoinResult): whether the
+  /// degree-remapped block grid ran the heavy product, its shape, and the
+  /// scheduled/pruned block split. `partition_signature` is a compact
+  /// "RxC/sK/pJ" fingerprint ("off"/"uniform" when the grid did not run);
+  /// it is deterministic for a given operand pair + options, so repeated
+  /// executions of one PreparedQuery report the same signature.
+  bool partition_used = false;
+  uint64_t partition_row_bands = 0;
+  uint64_t partition_col_bands = 0;
+  uint64_t partition_blocks_scheduled = 0;
+  uint64_t partition_blocks_pruned = 0;
+  std::string partition_signature = "off";
 
   /// kTriangle only: the (possibly partial, see `interrupted`) triangle
   /// count — triangle queries deliver through stats, not pairs.

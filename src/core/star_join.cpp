@@ -550,85 +550,277 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
       allow_csr_dense =
           csr_bytes + wt_dense + acc <= options.max_matrix_bytes;
     }
-    const std::vector<BlockKernelChoice> choices = PlanProductBlocks(
-        csr_v, csr_wt, row_block, options.heavy_path, options.sparse_rates,
-        allow_dense, allow_csr_dense, &result.kernel_counts);
-    const bool any_dense = result.kernel_counts.dense > 0;
-    const bool any_float = any_dense || result.kernel_counts.csr_dense > 0;
-    if (any_float) {
-      // Witness counts accumulate in float cells on those paths; a cell's
-      // maximum is the shared-column count, which must stay in exact
-      // integer float range.
-      JPMM_CHECK_MSG(cols_n < kMaxExactFloatCount,
-                     "heavy inner dimension exceeds exact float count range");
-    }
-    Matrix v, wt;
-    PackedB packed_wt;
-    if (any_dense) v = csr_v.ToDense(threads);
-    if (any_float) wt = csr_wt.ToDense(threads);
-    if (any_dense) packed_wt = PackedB(wt, threads);
-
-    // Workers claim product blocks dynamically (per-block emit cost follows
-    // the output distribution).
-    result.heavy_blocks_total = choices.size();
+    // Work units are ceil(v_rows / row_block) chunks whether the product
+    // runs the uniform plan or the density-adaptive grid, so the early-exit
+    // accounting (executed + skipped == total) is mode-invariant.
+    const size_t num_chunks = static_cast<size_t>(blocks64);
+    result.heavy_blocks_total = num_chunks;
     std::vector<TupleBuffer> partial(static_cast<size_t>(threads),
                                      TupleBuffer(static_cast<uint32_t>(k)));
     std::vector<std::vector<float>> bufs(static_cast<size_t>(threads));
     std::vector<CsrScratch> scratch(static_cast<size_t>(threads));
     std::vector<SparseRowBlock> sparse_blocks(static_cast<size_t>(threads));
-    ParallelForDynamic(threads, choices.size(), /*grain=*/1, [&](size_t b0,
-                                                                 size_t b1,
-                                                                 int w) {
-      std::vector<Value> tuple(k);
-      // Streaming sinks get each block's tuples as one dedup'd batch; the
-      // materializing path appends to the per-worker buffer as before.
-      TupleBuffer block_out(static_cast<uint32_t>(k));
-      TupleBuffer& out =
-          em.streaming ? block_out : partial[static_cast<size_t>(w)];
-      auto emit = [&](size_t i, size_t j) {
-        const Value* left = hg.rows1_flat.data() + i * g1;
-        std::copy(left, left + g1, tuple.begin());
-        const Value* right = hg.rows2_flat.data() + j * g2;
-        std::copy(right, right + g2, tuple.begin() + g1);
-        out.Add(tuple);
-      };
-      for (size_t blk = b0; blk < b1; ++blk) {
-        if ((sink != nullptr && sink->done()) || cancel_fired()) {
-          blocks_skipped.fetch_add(b1 - blk, std::memory_order_relaxed);
-          return;
+
+    // Density-adaptive decomposition (core/density_partition.h), as in
+    // mm_join.cpp: kForce engages the grid whenever a heavy product exists,
+    // kAuto only when the priced grid beats the uniform plan AND the
+    // permuted operands + band slices fit the memory cap.
+    DensityGrid grid;
+    bool density = false;
+    if (options.partition != PartitionMode::kOff) {
+      DensityGridOptions go;
+      go.row_block = row_block;
+      go.mode = options.heavy_path;
+      go.rates = options.sparse_rates;
+      go.allow_dense = allow_dense;
+      go.allow_csr_dense = allow_csr_dense;
+      grid = BuildDensityGrid(csr_v, csr_wt, go);
+      density =
+          options.partition == PartitionMode::kForce || grid.beneficial;
+      if (density) {
+        bool grid_dense = false;
+        bool grid_float = false;
+        for (const BlockKernelChoice& blk : grid.blocks) {
+          grid_dense |= blk.kernel == ProductKernel::kDenseGemm;
+          grid_float |= blk.kernel != ProductKernel::kCsrCsr;
         }
-        blocks_executed.fetch_add(1, std::memory_order_relaxed);
-        const BlockKernelChoice& choice = choices[blk];
-        const size_t r0 = choice.row_begin;
-        const size_t r1 = choice.row_end;
-        if (choice.kernel == ProductKernel::kCsrCsr) {
-          auto& sblk = sparse_blocks[static_cast<size_t>(w)];
-          CsrCsrRowRange(csr_v, csr_wt, r0, r1,
-                         &scratch[static_cast<size_t>(w)], &sblk);
-          for (size_t i = r0; i < r1; ++i) {
-            for (uint32_t j : sblk.RowCols(i - r0)) emit(i, j);
-          }
-        } else {
-          std::vector<float>& buf = bufs[static_cast<size_t>(w)];
-          buf.resize(row_block * result.w_rows);
-          if (choice.kernel == ProductKernel::kDenseGemm) {
-            MultiplyRowRange(v, packed_wt, r0, r1, buf);
-          } else {
-            CsrDenseRowRange(csr_v, wt, r0, r1, buf);
-          }
-          for (size_t i = r0; i < r1; ++i) {
-            const float* prow = buf.data() + (i - r0) * result.w_rows;
-            for (size_t j = 0; j < result.w_rows; ++j) {
-              if (prow[j] > 0.5f) emit(i, j);
-            }
-          }
+        uint64_t extra =
+            CsrBytes(result.v_rows, result.v_nnz) +
+            CsrBytes(cols_n, result.w_nnz) +
+            8 * static_cast<uint64_t>(grid.num_col_bands()) * (cols_n + 1);
+        if (grid_float) extra += wt_dense + acc;
+        if (grid_dense) {
+          extra += 4 * result.v_rows * cols_n +
+                   PackedBBytes(cols_n, result.w_rows);
         }
-        if (em.streaming) {
-          em.EmitBatch(&block_out, w);
-          block_out = TupleBuffer(static_cast<uint32_t>(k));
+        if (csr_bytes + extra > options.max_matrix_bytes) density = false;
+      }
+    }
+
+    if (density) {
+      result.partition_used = true;
+      result.partition_row_bands = grid.num_row_bands();
+      result.partition_col_bands = grid.num_col_bands();
+      result.partition_blocks_scheduled = grid.blocks.size();
+      result.partition_blocks_pruned = grid.pruned_blocks;
+      result.partition_signature = grid.Signature();
+      bool any_dense = false;
+      bool any_float = false;
+      for (const BlockKernelChoice& blk : grid.blocks) {
+        switch (blk.kernel) {
+          case ProductKernel::kDenseGemm:
+            ++result.kernel_counts.dense;
+            any_dense = true;
+            any_float = true;
+            break;
+          case ProductKernel::kCsrDense:
+            ++result.kernel_counts.csr_dense;
+            any_float = true;
+            break;
+          case ProductKernel::kCsrCsr:
+            ++result.kernel_counts.csr_csr;
+            break;
         }
       }
-    });
+      if (any_float) {
+        JPMM_CHECK_MSG(cols_n < kMaxExactFloatCount,
+                       "heavy inner dimension exceeds exact float count range");
+      }
+
+      // Permuted operands: V with its rows in remapped order, W^T sliced
+      // into one matrix per column band with band-local column ids (the
+      // shared inner dimension is unpermuted), so every existing kernel
+      // runs unchanged on the slices.
+      const CsrMatrix csr_vr = CsrMatrix::FromRows(
+          result.v_rows, cols_n, threads,
+          [&](size_t i, std::vector<uint32_t>* out) {
+            for (uint32_t c : csr_v.Row(grid.row_perm[i])) out->push_back(c);
+          });
+      std::vector<uint32_t> inv_col(result.w_rows);
+      for (size_t p = 0; p < grid.col_perm.size(); ++p) {
+        inv_col[grid.col_perm[p]] = static_cast<uint32_t>(p);
+      }
+      const size_t ncb = grid.num_col_bands();
+      std::vector<std::vector<std::pair<const BlockKernelChoice*, size_t>>>
+          band_blocks(grid.num_row_bands());
+      std::vector<uint8_t> band_any(ncb, 0);
+      std::vector<uint8_t> band_float(ncb, 0);
+      std::vector<uint8_t> band_dense(ncb, 0);
+      for (const BlockKernelChoice& blk : grid.blocks) {
+        size_t bi = 0;
+        while (grid.row_bands[bi] != blk.row_begin) ++bi;
+        size_t bj = 0;
+        while (grid.col_bands[bj] != blk.col_begin) ++bj;
+        band_blocks[bi].emplace_back(&blk, bj);
+        band_any[bj] = 1;
+        if (blk.kernel != ProductKernel::kCsrCsr) band_float[bj] = 1;
+        if (blk.kernel == ProductKernel::kDenseGemm) band_dense[bj] = 1;
+      }
+      std::vector<CsrMatrix> wt_band(ncb);
+      std::vector<Matrix> wt_band_dense(ncb);
+      std::vector<PackedB> packed_band(ncb);
+      for (size_t j = 0; j < ncb; ++j) {
+        if (!band_any[j]) continue;
+        const uint32_t cb0 = grid.col_bands[j];
+        const uint32_t cb1 = grid.col_bands[j + 1];
+        wt_band[j] = CsrMatrix::FromRows(
+            cols_n, cb1 - cb0, threads,
+            [&](size_t y, std::vector<uint32_t>* out) {
+              for (uint32_t c : csr_wt.Row(y)) {
+                const uint32_t p = inv_col[c];
+                if (p >= cb0 && p < cb1) out->push_back(p - cb0);
+              }
+              std::sort(out->begin(), out->end());
+            });
+        if (band_float[j]) wt_band_dense[j] = wt_band[j].ToDense(threads);
+        if (band_dense[j]) packed_band[j] = PackedB(wt_band_dense[j], threads);
+      }
+      Matrix vr;
+      if (any_dense) vr = csr_vr.ToDense(threads);
+
+      // Chunks are the claimed work units; each lies inside exactly one row
+      // band (bands snap to row_block multiples) and runs that band's
+      // scheduled column-band blocks. Emission applies the inverse remap,
+      // so tuples are identical to the uniform plan's.
+      ParallelForDynamic(threads, num_chunks, /*grain=*/1, [&](size_t c0,
+                                                               size_t c1,
+                                                               int w) {
+        std::vector<Value> tuple(k);
+        TupleBuffer block_out(static_cast<uint32_t>(k));
+        TupleBuffer& out =
+            em.streaming ? block_out : partial[static_cast<size_t>(w)];
+        auto emit = [&](size_t i, size_t j) {
+          const Value* left = hg.rows1_flat.data() + i * g1;
+          std::copy(left, left + g1, tuple.begin());
+          const Value* right = hg.rows2_flat.data() + j * g2;
+          std::copy(right, right + g2, tuple.begin() + g1);
+          out.Add(tuple);
+        };
+        for (size_t ci = c0; ci < c1; ++ci) {
+          if ((sink != nullptr && sink->done()) || cancel_fired()) {
+            blocks_skipped.fetch_add(c1 - ci, std::memory_order_relaxed);
+            return;
+          }
+          blocks_executed.fetch_add(1, std::memory_order_relaxed);
+          const size_t r0 = ci * row_block;
+          const size_t r1 =
+              std::min(static_cast<size_t>(result.v_rows), r0 + row_block);
+          const size_t nrows = r1 - r0;
+          size_t bi = grid.num_row_bands() - 1;
+          while (grid.row_bands[bi] > r0) --bi;
+          for (const auto& [blk, j] : band_blocks[bi]) {
+            const uint32_t cb0 = blk->col_begin;
+            const size_t bw = blk->col_end - cb0;
+            if (blk->kernel == ProductKernel::kCsrCsr) {
+              auto& sblk = sparse_blocks[static_cast<size_t>(w)];
+              CsrCsrRowRange(csr_vr, wt_band[j], r0, r1,
+                             &scratch[static_cast<size_t>(w)], &sblk);
+              for (size_t li = 0; li < nrows; ++li) {
+                for (uint32_t col : sblk.RowCols(li)) {
+                  emit(grid.row_perm[r0 + li], grid.col_perm[cb0 + col]);
+                }
+              }
+            } else {
+              std::vector<float>& buf = bufs[static_cast<size_t>(w)];
+              buf.resize(row_block * bw);
+              std::span<float> prod(buf.data(), nrows * bw);
+              if (blk->kernel == ProductKernel::kDenseGemm) {
+                MultiplyRowRange(vr, packed_band[j], r0, r1, prod);
+              } else {
+                CsrDenseRowRange(csr_vr, wt_band_dense[j], r0, r1, prod);
+              }
+              for (size_t li = 0; li < nrows; ++li) {
+                const float* prow = buf.data() + li * bw;
+                for (size_t jj = 0; jj < bw; ++jj) {
+                  if (prow[jj] > 0.5f) {
+                    emit(grid.row_perm[r0 + li], grid.col_perm[cb0 + jj]);
+                  }
+                }
+              }
+            }
+          }
+          if (em.streaming) {
+            em.EmitBatch(&block_out, w);
+            block_out = TupleBuffer(static_cast<uint32_t>(k));
+          }
+        }
+      });
+    } else {
+      result.partition_signature = "uniform";
+      const std::vector<BlockKernelChoice> choices = PlanProductBlocks(
+          csr_v, csr_wt, row_block, options.heavy_path, options.sparse_rates,
+          allow_dense, allow_csr_dense, &result.kernel_counts);
+      const bool any_dense = result.kernel_counts.dense > 0;
+      const bool any_float = any_dense || result.kernel_counts.csr_dense > 0;
+      if (any_float) {
+        // Witness counts accumulate in float cells on those paths; a cell's
+        // maximum is the shared-column count, which must stay in exact
+        // integer float range.
+        JPMM_CHECK_MSG(cols_n < kMaxExactFloatCount,
+                       "heavy inner dimension exceeds exact float count range");
+      }
+      Matrix v, wt;
+      PackedB packed_wt;
+      if (any_dense) v = csr_v.ToDense(threads);
+      if (any_float) wt = csr_wt.ToDense(threads);
+      if (any_dense) packed_wt = PackedB(wt, threads);
+
+      // Workers claim product blocks dynamically (per-block emit cost follows
+      // the output distribution).
+      ParallelForDynamic(threads, choices.size(), /*grain=*/1, [&](size_t b0,
+                                                                   size_t b1,
+                                                                   int w) {
+        std::vector<Value> tuple(k);
+        // Streaming sinks get each block's tuples as one dedup'd batch; the
+        // materializing path appends to the per-worker buffer as before.
+        TupleBuffer block_out(static_cast<uint32_t>(k));
+        TupleBuffer& out =
+            em.streaming ? block_out : partial[static_cast<size_t>(w)];
+        auto emit = [&](size_t i, size_t j) {
+          const Value* left = hg.rows1_flat.data() + i * g1;
+          std::copy(left, left + g1, tuple.begin());
+          const Value* right = hg.rows2_flat.data() + j * g2;
+          std::copy(right, right + g2, tuple.begin() + g1);
+          out.Add(tuple);
+        };
+        for (size_t blk = b0; blk < b1; ++blk) {
+          if ((sink != nullptr && sink->done()) || cancel_fired()) {
+            blocks_skipped.fetch_add(b1 - blk, std::memory_order_relaxed);
+            return;
+          }
+          blocks_executed.fetch_add(1, std::memory_order_relaxed);
+          const BlockKernelChoice& choice = choices[blk];
+          const size_t r0 = choice.row_begin;
+          const size_t r1 = choice.row_end;
+          if (choice.kernel == ProductKernel::kCsrCsr) {
+            auto& sblk = sparse_blocks[static_cast<size_t>(w)];
+            CsrCsrRowRange(csr_v, csr_wt, r0, r1,
+                           &scratch[static_cast<size_t>(w)], &sblk);
+            for (size_t i = r0; i < r1; ++i) {
+              for (uint32_t j : sblk.RowCols(i - r0)) emit(i, j);
+            }
+          } else {
+            std::vector<float>& buf = bufs[static_cast<size_t>(w)];
+            buf.resize(row_block * result.w_rows);
+            if (choice.kernel == ProductKernel::kDenseGemm) {
+              MultiplyRowRange(v, packed_wt, r0, r1, buf);
+            } else {
+              CsrDenseRowRange(csr_v, wt, r0, r1, buf);
+            }
+            for (size_t i = r0; i < r1; ++i) {
+              const float* prow = buf.data() + (i - r0) * result.w_rows;
+              for (size_t j = 0; j < result.w_rows; ++j) {
+                if (prow[j] > 0.5f) emit(i, j);
+              }
+            }
+          }
+          if (em.streaming) {
+            em.EmitBatch(&block_out, w);
+            block_out = TupleBuffer(static_cast<uint32_t>(k));
+          }
+        }
+      });
+    }
     for (const auto& p : partial) result.tuples.Append(p);
     result.heavy_seconds = heavy_timer.Seconds();
   }

@@ -21,8 +21,10 @@
 #ifndef JPMM_CORE_STAR_JOIN_H_
 #define JPMM_CORE_STAR_JOIN_H_
 
+#include <string>
 #include <vector>
 
+#include "core/density_partition.h"
 #include "core/heavy_dispatch.h"
 #include "core/thresholds.h"
 #include "join/star_wcoj.h"
@@ -51,6 +53,12 @@ struct StarJoinOptions {
   HeavyPathMode heavy_path = HeavyPathMode::kAuto;
   /// nullptr uses SparseKernelRates::Default().
   const SparseKernelRates* sparse_rates = nullptr;
+  /// Density-adaptive decomposition of the V * W^T product, as in
+  /// MmJoinOptions::partition: kAuto engages the degree-remapped grid when
+  /// it prices cheaper than the uniform row-block plan and fits the cap,
+  /// kForce whenever a heavy product exists, kOff never. Tuples are
+  /// identical either way (the remap is inverted at emit time).
+  PartitionMode partition = PartitionMode::kAuto;
   /// Push-based tuple delivery (core/result_sink.h, OnTuple). The star
   /// decomposition needs a global tuple dedup, so delivery is incremental
   /// only for sinks with may_finish_early(): new (never-seen) tuples are
@@ -77,6 +85,15 @@ struct StarJoinResult {
   HeavyKernelCounts kernel_counts; // product blocks per kernel
   double light_seconds = 0.0;
   double heavy_seconds = 0.0;
+
+  // --- density-adaptive partitioning (core/density_partition.h) ---
+  bool partition_used = false;
+  uint64_t partition_row_bands = 0;
+  uint64_t partition_col_bands = 0;
+  uint64_t partition_blocks_scheduled = 0;
+  uint64_t partition_blocks_pruned = 0;
+  /// "off", "uniform", or DensityGrid::Signature() — see MmJoinResult.
+  std::string partition_signature = "off";
 
   // --- early-exit instrumentation (sink-driven runs) ---
   uint64_t light_steps_total = 0;      // planned light decomposition steps

@@ -19,7 +19,7 @@
 
 #include "common/stamp_set.h"
 #include "common/types.h"
-#include "core/partition.h"
+#include "core/density_partition.h"
 #include "storage/index.h"
 
 namespace jpmm::internal {

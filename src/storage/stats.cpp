@@ -1,6 +1,7 @@
 #include "storage/stats.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/check.h"
@@ -46,6 +47,39 @@ double DegreeCdf::WeightAtMost(uint64_t delta) const {
   auto it = std::upper_bound(degrees_.begin(), degrees_.end(), delta);
   if (it == degrees_.begin()) return 0.0;
   return weights_[static_cast<size_t>(it - degrees_.begin()) - 1];
+}
+
+std::vector<double> DegreeCdf::HeavyBandWeights(uint64_t delta,
+                                                size_t bands) const {
+  bands = std::max<size_t>(1, bands);
+  std::vector<double> out(bands, 0.0);
+  const uint64_t heavy_cnt = total_count() - CountAtMost(delta);
+  if (heavy_cnt == 0) return out;
+  const double per_band = static_cast<double>(heavy_cnt) / bands;
+  const size_t first = static_cast<size_t>(
+      std::upper_bound(degrees_.begin(), degrees_.end(), delta) -
+      degrees_.begin());
+  // Walk distinct degrees from the highest down, filling bands in order and
+  // splitting a degree group across a band boundary pro rata.
+  uint64_t taken = 0;
+  for (size_t g = degrees_.size(); g-- > first;) {
+    const uint64_t g_cnt = counts_[g] - (g > 0 ? counts_[g - 1] : 0);
+    const double g_w = weights_[g] - (g > 0 ? weights_[g - 1] : 0.0);
+    const double w_per_entry = g_w / static_cast<double>(g_cnt);
+    uint64_t left = g_cnt;
+    while (left > 0) {
+      const size_t band = std::min(
+          bands - 1, static_cast<size_t>(static_cast<double>(taken) / per_band));
+      const double boundary = per_band * static_cast<double>(band + 1);
+      uint64_t take = static_cast<uint64_t>(
+          std::ceil(boundary - static_cast<double>(taken)));
+      take = std::max<uint64_t>(1, std::min(take, left));
+      out[band] += w_per_entry * static_cast<double>(take);
+      taken += take;
+      left -= take;
+    }
+  }
+  return out;
 }
 
 TwoPathStats::TwoPathStats(const IndexedRelation& r, const IndexedRelation& s) {

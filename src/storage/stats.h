@@ -41,6 +41,16 @@ class DegreeCdf {
   /// Sum of weights over entries with degree <= delta.
   double WeightAtMost(uint64_t delta) const;
 
+  /// Per-band weight sums of the heavy entries (degree > delta) under the
+  /// degree-descending remap the density-adaptive partitioner applies
+  /// (core/density_partition.h): entries are ordered by descending degree
+  /// and split into `bands` equal-count bands; band 0 holds the highest
+  /// degrees. Within one distinct degree the weight is apportioned
+  /// uniformly (entries of equal degree are interchangeable under the
+  /// remap). Always returns exactly `bands` entries; trailing bands are
+  /// zero when fewer heavy entries exist.
+  std::vector<double> HeavyBandWeights(uint64_t delta, size_t bands) const;
+
   /// Total number of (non-zero-degree) entries.
   uint64_t total_count() const {
     return degrees_.empty() ? 0 : counts_.back();
@@ -93,6 +103,19 @@ class TwoPathStats {
   /// #S-tuples whose z value has degree <= delta (symmetric bound for M2).
   double SumDegZAtMost(uint64_t delta) const {
     return zdeg_cdf_.WeightAtMost(delta);
+  }
+
+  /// Per-band nnz bounds of the heavy-x adjacency M1 under the degree
+  /// remap: heavy x values (deg > delta2) sorted by descending degree,
+  /// split into `bands` equal-count row bands, returning each band's
+  /// summed degree (= its matrix nnz bound). Feeds the optimizer's
+  /// density-adaptive costing without touching the tuples.
+  std::vector<double> HeavyXBandNnz(uint64_t delta2, size_t bands) const {
+    return xdeg_cdf_.HeavyBandWeights(delta2, bands);
+  }
+  /// Symmetric per-band nnz bounds of M2 by heavy-z column bands.
+  std::vector<double> HeavyZBandNnz(uint64_t delta2, size_t bands) const {
+    return zdeg_cdf_.HeavyBandWeights(delta2, bands);
   }
 
   uint64_t num_tuples_r() const { return num_tuples_r_; }

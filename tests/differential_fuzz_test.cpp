@@ -8,10 +8,10 @@
 // output:
 //
 //   two-path: WCOJ (threads=1) is the reference; MM (auto + forced dense /
-//             csr-dense / csr-csr heavy paths) and Non-MM must match at
-//             threads {1, 3, hw}.
-//   star:     WCOJ reference vs MM and Non-MM star joins (every 4th
-//             iteration; k in {2, 3}).
+//             csr-dense / csr-csr heavy paths + forced density-partitioned
+//             grid) and Non-MM must match at threads {1, 3, hw}.
+//   star:     WCOJ reference vs MM (uniform + forced density grid) and
+//             Non-MM star joins (every 4th iteration; k in {2, 3}).
 //
 // Knobs (see docs/testing.md for the seed policy):
 //   JPMM_FUZZ_ITERS     iterations (default 50 — the fixed tier-1 budget;
@@ -142,6 +142,7 @@ struct Variant {
   const char* name;
   Strategy strategy;
   HeavyPathMode heavy_path;
+  PartitionMode partition = PartitionMode::kOff;
 };
 
 const Variant kTwoPathVariants[] = {
@@ -151,6 +152,10 @@ const Variant kTwoPathVariants[] = {
     {"mm-dense", Strategy::kMmJoin, HeavyPathMode::kForceDense},
     {"mm-csr-dense", Strategy::kMmJoin, HeavyPathMode::kForceCsrDense},
     {"mm-csr-csr", Strategy::kMmJoin, HeavyPathMode::kForceCsrCsr},
+    // Density-adaptive decomposition forced on: the degree-remapped block
+    // grid must stay byte-identical to every uniform-plan variant.
+    {"mm-density", Strategy::kMmJoin, HeavyPathMode::kAuto,
+     PartitionMode::kForce},
 };
 
 void RecordFailure(const std::string& line) {
@@ -192,6 +197,7 @@ TEST(DifferentialFuzz, TwoPathCrossStrategyAgreement) {
         JoinProjectOptions opts = ref_opts;
         opts.strategy = v.strategy;
         opts.heavy_path = v.heavy_path;
+        opts.partition = v.partition;
         opts.threads = t;
         opts.thresholds = cfg.thresholds;
         const JoinProjectOutput got = JoinProject::TwoPath(r, s, opts);
@@ -270,6 +276,7 @@ TEST(DifferentialFuzz, RandomDeadlineTruncationIsNeverWrong) {
         JoinProjectOptions opts = ref_opts;
         opts.strategy = v.strategy;
         opts.heavy_path = v.heavy_path;
+        opts.partition = v.partition;
         opts.threads = t;
         opts.thresholds = cfg.thresholds;
         opts.sorted = false;
@@ -383,16 +390,27 @@ TEST(DifferentialFuzz, StarCrossStrategyAgreement) {
     ref_opts.threads = 1;
     const auto ref = ToVectors(JoinProject::Star(rels, ref_opts).tuples);
 
-    for (Strategy strat : {Strategy::kMmJoin, Strategy::kNonMmJoin}) {
+    struct StarVariant {
+      const char* name;
+      Strategy strategy;
+      PartitionMode partition;
+    };
+    const StarVariant star_variants[] = {
+        {"star-mmjoin", Strategy::kMmJoin, PartitionMode::kOff},
+        {"star-mm-density", Strategy::kMmJoin, PartitionMode::kForce},
+        {"star-nonmm", Strategy::kNonMmJoin, PartitionMode::kOff},
+    };
+    for (const StarVariant& sv : star_variants) {
       for (int t : ThreadCounts()) {
         JoinProjectOptions opts;
-        opts.strategy = strat;
+        opts.strategy = sv.strategy;
+        opts.partition = sv.partition;
         opts.threads = t;
         opts.thresholds = cfg.thresholds;
         const auto got = ToVectors(JoinProject::Star(rels, opts).tuples);
         if (got != ref) {
           const std::string line =
-              cfg.ToString() + " variant=star-" + StrategyName(strat) +
+              cfg.ToString() + " variant=" + sv.name +
               " k=" + std::to_string(k) + " threads=" + std::to_string(t) +
               " got=" + std::to_string(got.size()) +
               " want=" + std::to_string(ref.size());

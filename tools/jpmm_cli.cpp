@@ -61,6 +61,11 @@
 //                     and blocks skipped by early exit (twopath, star)
 //   --heavy-path P    auto|dense|csr-dense|csr-csr kernel override
 //                     (twopath, star, triangles)
+//   --partition P     auto|off|force: density-adaptive heavy-product
+//                     decomposition (degree-remapped block grid); auto
+//                     engages it when it prices cheaper, force whenever a
+//                     heavy product exists. --explain prints the block
+//                     grid + its signature (twopath, star)
 
 #include <algorithm>
 #include <cstdio>
@@ -178,6 +183,30 @@ HeavyPathMode ParseHeavyPath(const std::string& s) {
   return HeavyPathMode::kAuto;
 }
 
+PartitionMode ParsePartitionMode(const std::string& s) {
+  if (s == "off") return PartitionMode::kOff;
+  if (s == "force") return PartitionMode::kForce;
+  return PartitionMode::kAuto;
+}
+
+// --explain: the density-adaptive partitioning decision for the heavy
+// product. The signature ("RxC/sK/pJ", or "off"/"uniform") is stable
+// across re-executions of the same query + options.
+void PrintPartitionRecord(bool used, uint64_t row_bands, uint64_t col_bands,
+                          uint64_t scheduled, uint64_t pruned,
+                          const std::string& signature) {
+  if (used) {
+    std::printf("partition: density grid %llu x %llu bands, blocks "
+                "scheduled=%llu pruned=%llu (signature %s)\n",
+                static_cast<unsigned long long>(row_bands),
+                static_cast<unsigned long long>(col_bands),
+                static_cast<unsigned long long>(scheduled),
+                static_cast<unsigned long long>(pruned), signature.c_str());
+  } else {
+    std::printf("partition: %s\n", signature.c_str());
+  }
+}
+
 // --explain: the per-block dispatch record of the heavy product.
 void PrintBlockChoices(const HeavyKernelCounts& counts,
                        const std::vector<BlockKernelChoice>& choices,
@@ -195,9 +224,9 @@ void PrintBlockChoices(const HeavyKernelCounts& counts,
       break;
     }
     const BlockKernelChoice& c = choices[i];
-    std::printf("  block %zu rows [%u, %u): nnz=%llu density=%.3g "
-                "kernel=%s\n",
-                i, c.row_begin, c.row_end,
+    std::printf("  block %zu rows [%u, %u) cols [%u, %u): nnz=%llu "
+                "density=%.3g kernel=%s\n",
+                i, c.row_begin, c.row_end, c.col_begin, c.col_end,
                 static_cast<unsigned long long>(c.nnz), c.density,
                 ProductKernelName(c.kernel));
   }
@@ -475,6 +504,7 @@ int RunTwoPath(const Args& args, BinaryRelation rel) {
   ExecOptions exec;
   exec.threads = static_cast<int>(args.GetI("threads", 1));
   exec.heavy_path = ParseHeavyPath(args.Get("heavy-path", "auto"));
+  exec.partition = ParsePartitionMode(args.Get("partition", "auto"));
 
   if (args.Has("offset") && !args.Has("limit")) {
     std::fprintf(stderr, "error: --offset requires --limit (a page needs "
@@ -639,6 +669,11 @@ int RunTwoPath(const Args& args, BinaryRelation rel) {
     }
   }
   if (args.Has("explain")) {
+    PrintPartitionRecord(stats.partition_used, stats.partition_row_bands,
+                         stats.partition_col_bands,
+                         stats.partition_blocks_scheduled,
+                         stats.partition_blocks_pruned,
+                         stats.partition_signature);
     PrintBlockChoices(stats.kernel_counts, stats.block_choices, stats.m1_nnz,
                       stats.heavy_density);
   }
@@ -657,6 +692,7 @@ int RunStar(const Args& args, const BinaryRelation& rel) {
   opts.strategy = ParseStrategy(args.Get("strategy", "auto"));
   opts.threads = static_cast<int>(args.GetI("threads", 1));
   opts.heavy_path = ParseHeavyPath(args.Get("heavy-path", "auto"));
+  opts.partition = ParsePartitionMode(args.Get("partition", "auto"));
   WallTimer timer;
   auto res = JoinProject::Star(rels, opts);
   std::printf("star k=%ld: %zu tuples in %.3f s (light %.3f s, heavy %.3f s, "
@@ -674,6 +710,11 @@ int RunStar(const Args& args, const BinaryRelation& rel) {
                 static_cast<unsigned long long>(res.kernel_counts.dense),
                 static_cast<unsigned long long>(res.kernel_counts.csr_dense),
                 static_cast<unsigned long long>(res.kernel_counts.csr_csr));
+    PrintPartitionRecord(res.partition_used, res.partition_row_bands,
+                         res.partition_col_bands,
+                         res.partition_blocks_scheduled,
+                         res.partition_blocks_pruned,
+                         res.partition_signature);
   }
   return 0;
 }
