@@ -17,12 +17,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "datagen/presets.h"
 #include "matrix/calibration.h"
 #include "storage/index.h"
@@ -78,6 +80,40 @@ inline const Dataset& CachedPreset(DatasetPreset p, double extra_scale = 1.0) {
              .first;
   }
   return *it->second;
+}
+
+/// Emits one latency HistogramSnapshot (milliseconds) into the benchmark's
+/// counters, flattened into BENCH_*.json:
+///
+///   <prefix>_p50_ms / <prefix>_p99_ms   percentile estimates, averaged
+///                                       across benchmark threads
+///   <prefix>_lat_count                  total recorded samples (summed)
+///   <prefix>_lat_le_<bound>             non-empty bucket counts (summed),
+///                                       Prometheus `le` semantics; the
+///                                       overflow bucket is _le_inf
+///
+/// tools/bench_compare.py reconstructs and diffs the full latency
+/// distribution from the _lat_le_* keys, not just the midpoint.
+inline void ReportLatency(benchmark::State& state, const HistogramSnapshot& s,
+                          const std::string& prefix = "client") {
+  using benchmark::Counter;
+  state.counters[prefix + "_p50_ms"] =
+      Counter(s.Percentile(50.0), Counter::kAvgThreads);
+  state.counters[prefix + "_p99_ms"] =
+      Counter(s.Percentile(99.0), Counter::kAvgThreads);
+  state.counters[prefix + "_lat_count"] =
+      Counter(static_cast<double>(s.count));
+  for (size_t i = 0; i < s.counts.size(); ++i) {
+    if (s.counts[i] == 0) continue;
+    char key[80];
+    if (i < s.bounds.size()) {
+      std::snprintf(key, sizeof(key), "%s_lat_le_%g", prefix.c_str(),
+                    s.bounds[i]);
+    } else {
+      std::snprintf(key, sizeof(key), "%s_lat_le_inf", prefix.c_str());
+    }
+    state.counters[key] = Counter(static_cast<double>(s.counts[i]));
+  }
 }
 
 /// Warm the matrix-multiplication calibration singleton so its one-time

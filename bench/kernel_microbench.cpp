@@ -13,6 +13,9 @@
 //           blocked GEMM on the same operands; BM_SparseCrossover emits the
 //           measured dense/sparse crossover density into the bench JSON;
 //   transpose : 64x64 word-block bit transpose vs the seed per-bit scatter.
+//   metrics overhead : the same instrumented join executed with metrics on
+//           vs JPMM_METRICS=off in one process; the overhead_pct counter is
+//           the observability acceptance row (CI asserts < 2%).
 // Every timed kernel is verified against its reference once at setup, so a
 // reported speedup can never come from computing something different.
 //
@@ -24,6 +27,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <functional>
@@ -32,7 +36,11 @@
 
 #include "bench/bench_util.h"
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "core/query_engine.h"
+#include "core/result_sink.h"
+#include "datagen/presets.h"
 #include "matrix/bool_matrix.h"
 #include "matrix/calibration.h"
 #include "matrix/cost_model.h"
@@ -424,6 +432,56 @@ void BM_TransposeScatter(benchmark::State& state) {
   state.counters["dim"] = static_cast<double>(dim);
 }
 
+// ---- Instrumentation overhead --------------------------------------------
+
+// The observability acceptance row: the same prepared two-path join
+// executed with the metrics registry enabled vs disabled
+// (SetMetricsEnabled, the runtime form of JPMM_METRICS=off), alternating
+// within every iteration so clock drift and cache warmth cancel. Emits
+//
+//   overhead_pct = (time_on / time_off - 1) * 100
+//
+// which CI's bench smoke asserts stays under 2. Tracing stays off on both
+// sides — no TraceRecorder is attached — so the row isolates the always-on
+// counter/histogram cost, which is what production pays.
+void BM_MetricsOverhead(benchmark::State& state) {
+  static QueryEngine* engine = [] {
+    auto* e = new QueryEngine();
+    e->AddRelation("R", MakePreset(DatasetPreset::kJokes,
+                                   0.2 * ScaleFromEnv(), 42));
+    return e;
+  }();
+  static PreparedQuery* query = [] {
+    QuerySpec spec;
+    spec.kind = QueryKind::kTwoPath;
+    spec.relations = {"R"};
+    auto* q = new PreparedQuery();
+    JPMM_CHECK(engine->Prepare(spec, q).ok());
+    CountOnlySink warm;  // warm the plan cache outside the timed region
+    JPMM_CHECK(engine->Execute(*q, warm, {}).ok());
+    return q;
+  }();
+  using clock = std::chrono::steady_clock;
+  double on_s = 0.0, off_s = 0.0;
+  for (auto _ : state) {
+    SetMetricsEnabled(true);
+    auto t0 = clock::now();
+    CountOnlySink a;
+    JPMM_CHECK(engine->Execute(*query, a, {}).ok());
+    on_s += std::chrono::duration<double>(clock::now() - t0).count();
+
+    SetMetricsEnabled(false);
+    t0 = clock::now();
+    CountOnlySink b;
+    JPMM_CHECK(engine->Execute(*query, b, {}).ok());
+    off_s += std::chrono::duration<double>(clock::now() - t0).count();
+    benchmark::DoNotOptimize(a.count() + b.count());
+  }
+  SetMetricsEnabled(true);  // leave the process instrumented
+  state.counters["overhead_pct"] =
+      off_s > 0.0 ? (on_s / off_s - 1.0) * 100.0 : 0.0;
+}
+
 // ---- Calibration feed-through --------------------------------------------
 
 // Sanity row: the measured boolean word rate (what the cost model consumes)
@@ -515,6 +573,11 @@ BENCHMARK(BM_SparseCrossover)->Arg(1024)->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_TransposeBlocked)->Arg(4096)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TransposeScatter)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_MetricsOverhead)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(2.0)
+    ->UseRealTime();
 
 BENCHMARK(BM_BoolRateCalibration)->Unit(benchmark::kMillisecond);
 

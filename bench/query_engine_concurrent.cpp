@@ -17,7 +17,14 @@
 // the row still guards against lock regressions: a serialized engine would
 // scale *below* 1x).
 
+// Each row additionally reports its per-request latency distribution
+// (client_p50_ms / client_p99_ms / client_lat_le_* bucket counters) via
+// the shared Histogram type, so bench_compare.py can diff tail latency,
+// not just throughput.
+
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 #include "bench/bench_util.h"
 #include "core/query_engine.h"
@@ -27,6 +34,24 @@
 using namespace jpmm;
 
 namespace {
+
+// Times one client's requests into the shared histogram type. One
+// standalone (ungated) instance per benchmark thread; ReportLatency sums
+// the buckets across threads and averages the percentiles.
+struct LatencyProbe {
+  Histogram hist{DefaultLatencyBoundsMs()};
+  std::chrono::steady_clock::time_point t0;
+
+  void Start() { t0 = std::chrono::steady_clock::now(); }
+  void Stop() {
+    hist.Record(std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+  }
+  void Report(benchmark::State& state) {
+    benchutil::ReportLatency(state, hist.Snapshot());
+  }
+};
 
 // Shared across all benchmark threads: the serving topology under test is
 // many clients -> one engine -> one catalog.
@@ -62,12 +87,16 @@ PreparedQuery& SharedQuery() {
 
 void BM_SharedEngineExecute(benchmark::State& state) {
   PreparedQuery& q = SharedQuery();
+  LatencyProbe lat;
   for (auto _ : state) {
     CountOnlySink sink;
+    lat.Start();
     QueryStatus st = SharedEngine().Execute(q, sink, {});
+    lat.Stop();
     if (!st.ok()) state.SkipWithError(st.message().c_str());
     benchmark::DoNotOptimize(sink.count());
   }
+  lat.Report(state);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SharedEngineExecute)
@@ -79,12 +108,16 @@ BENCHMARK(BM_SharedEngineExecute)
 
 void BM_SharedEngineLimit10(benchmark::State& state) {
   PreparedQuery& q = SharedQuery();
+  LatencyProbe lat;
   for (auto _ : state) {
     LimitSink sink(10);
+    lat.Start();
     QueryStatus st = SharedEngine().Execute(q, sink, {});
+    lat.Stop();
     if (!st.ok()) state.SkipWithError(st.message().c_str());
     benchmark::DoNotOptimize(sink.size());
   }
+  lat.Report(state);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SharedEngineLimit10)
@@ -96,12 +129,16 @@ BENCHMARK(BM_SharedEngineLimit10)
 
 void BM_SharedEnginePage(benchmark::State& state) {
   PreparedQuery& q = SharedQuery();
+  LatencyProbe lat;
   for (auto _ : state) {
     PageSink sink(100, 25);
+    lat.Start();
     QueryStatus st = SharedEngine().Execute(q, sink, {});
+    lat.Stop();
     if (!st.ok()) state.SkipWithError(st.message().c_str());
     benchmark::DoNotOptimize(sink.size());
   }
+  lat.Report(state);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SharedEnginePage)
@@ -116,15 +153,19 @@ void BM_SharedEngineMixedPrepare(benchmark::State& state) {
   QuerySpec spec;
   spec.kind = QueryKind::kTwoPath;
   spec.relations = {"R"};
+  LatencyProbe lat;
   for (auto _ : state) {
+    lat.Start();
     PreparedQuery q;
     QueryStatus st = SharedEngine().Prepare(spec, &q);
     if (!st.ok()) state.SkipWithError(st.message().c_str());
     LimitSink sink(10);
     st = SharedEngine().Execute(q, sink, {});
+    lat.Stop();
     if (!st.ok()) state.SkipWithError(st.message().c_str());
     benchmark::DoNotOptimize(sink.size());
   }
+  lat.Report(state);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SharedEngineMixedPrepare)

@@ -18,6 +18,9 @@
 //   shed_rate            average per-client shed fraction
 //   client_p50_ms/p99_ms average per-client latency percentiles — the p99
 //                        bound under 2x overload is the acceptance metric
+//   client_lat_le_*      latency histogram buckets (shared Histogram type,
+//                        summed across clients) so bench_compare.py can
+//                        diff the whole distribution
 //
 // Every completed execution is checked against the unloaded oracle count:
 // overload may shed work, it must never corrupt it.
@@ -30,7 +33,6 @@
 #include <cstdio>
 #include <map>
 #include <mutex>
-#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/query_engine.h"
@@ -99,20 +101,15 @@ QueryService& ServiceFor(int clients) {
   return *it->second;
 }
 
+// Per-client tally. Latencies go through the shared sharded Histogram (one
+// standalone, ungated instance per client) instead of a sort-the-vector
+// percentile: same type the service exports, so bench rows and production
+// metrics bucket identically.
 struct ClientTally {
   int64_t ok = 0;
   int64_t shed = 0;
   int64_t wrong = 0;
-  std::vector<double> latencies_ms;
-
-  double Pct(double p) {
-    if (latencies_ms.empty()) return 0.0;
-    std::sort(latencies_ms.begin(), latencies_ms.end());
-    const size_t i = std::min(
-        latencies_ms.size() - 1,
-        static_cast<size_t>(p * static_cast<double>(latencies_ms.size())));
-    return latencies_ms[i];
-  }
+  Histogram latency_ms{DefaultLatencyBoundsMs()};
 };
 
 void Report(benchmark::State& state, ClientTally& t) {
@@ -124,8 +121,7 @@ void Report(benchmark::State& state, ClientTally& t) {
   state.counters["shed_rate"] =
       Counter(n > 0 ? static_cast<double>(t.shed) / n : 0.0,
               Counter::kAvgThreads);
-  state.counters["client_p50_ms"] = Counter(t.Pct(0.50), Counter::kAvgThreads);
-  state.counters["client_p99_ms"] = Counter(t.Pct(0.99), Counter::kAvgThreads);
+  benchutil::ReportLatency(state, t.latency_ms.Snapshot());
   state.SetItemsProcessed(t.ok);
 }
 
@@ -144,7 +140,7 @@ void BM_ServiceOverloadDirect(benchmark::State& state) {
     const auto t0 = std::chrono::steady_clock::now();
     QueryStatus st = service.Execute(q, sink, req);
     const auto t1 = std::chrono::steady_clock::now();
-    t.latencies_ms.push_back(
+    t.latency_ms.Record(
         std::chrono::duration<double, std::milli>(t1 - t0).count());
     if (st.ok()) {
       ++t.ok;
@@ -188,7 +184,7 @@ void BM_ServiceOverloadRetry(benchmark::State& state) {
         },
         retry);
     const auto t1 = std::chrono::steady_clock::now();
-    t.latencies_ms.push_back(
+    t.latency_ms.Record(
         std::chrono::duration<double, std::milli>(t1 - t0).count());
     if (st.ok()) {
       ++t.ok;

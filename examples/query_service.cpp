@@ -15,7 +15,10 @@
 //                 with jittered exponential backoff
 //
 // plus the deadline path: a request whose deadline fires mid-run stops at
-// the next chunk boundary and reports exactly what it executed/skipped.
+// the next chunk boundary and reports exactly what it executed/skipped —
+// and the observability exports an embedder wires to its dashboards: a
+// per-request stage trace (TraceRecorder) and the process-wide metrics
+// registry (QueryService::MetricsSnapshot / PrometheusText).
 
 #include <chrono>
 #include <cstdio>
@@ -23,9 +26,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/query_engine.h"
 #include "core/query_service.h"
 #include "core/result_sink.h"
+#include "core/trace.h"
 #include "datagen/presets.h"
 
 using namespace jpmm;
@@ -201,5 +206,35 @@ int main() {
       static_cast<unsigned long long>(totals.deadline_exceeded),
       static_cast<unsigned long long>(totals.degraded),
       static_cast<unsigned long long>(totals.max_queue_depth));
+
+  // --- observability: per-query trace + process-wide metrics -------------
+  // Attaching a TraceRecorder to one request yields its stage tree: queue
+  // wait next to plan, light pass, per-block heavy kernels, sink finish.
+  TraceRecorder trace;
+  ServiceRequest traced_req;
+  traced_req.exec.trace = &trace;
+  CountOnlySink traced_sink;
+  st = service.Execute(query, traced_sink, traced_req);
+  std::printf("\none traced request (%s):\n%s", StatusName(st),
+              trace.Render().c_str());
+
+  // MetricsSnapshot() is the embedder-facing registry view — cumulative
+  // counters/gauges/histograms from every subsystem in the process (pool,
+  // kernels, engine, service). A /metrics scrape endpoint would serve
+  // MetricsRegistry::Global().PrometheusText() instead.
+  const MetricsSnapshot snap = service.MetricsSnapshot();
+  std::printf(
+      "\nmetrics registry: %zu counters, %zu gauges, %zu histograms\n",
+      snap.counters.size(), snap.gauges.size(), snap.histograms.size());
+  const HistogramSnapshot& wait =
+      snap.histograms.at("jpmm_service_queue_wait_ms");
+  std::printf(
+      "  jpmm_service_admitted_total = %llu\n"
+      "  jpmm_service_queue_wait_ms: p50=%.2f ms p99=%.2f ms over %llu "
+      "requests\n",
+      static_cast<unsigned long long>(
+          snap.counters.at("jpmm_service_admitted_total")),
+      wait.Percentile(50.0), wait.Percentile(99.0),
+      static_cast<unsigned long long>(wait.count));
   return 0;
 }

@@ -9,10 +9,24 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 
 namespace jpmm {
 namespace {
+
+// Fault-injection observability: how many sites are currently armed, and
+// how many times any site actually fired. Cached refs — registry lookup is
+// a lock.
+Gauge& ArmedGauge() {
+  static Gauge& g = MetricsRegistry::Global().GetGauge("jpmm_failpoint_armed");
+  return g;
+}
+Counter& TripsCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("jpmm_failpoint_trips_total");
+  return c;
+}
 
 struct Site {
   FailPoints::Action action = FailPoints::Action::kThrow;
@@ -43,18 +57,21 @@ class Registry {
     slot->sleep_ms = sleep_ms;
     slot->triggers.store(0, std::memory_order_relaxed);
     active_.store(sites_.size(), std::memory_order_release);
+    ArmedGauge().Set(static_cast<int64_t>(sites_.size()));
   }
 
   void Deactivate(const std::string& site) {
     std::unique_lock lock(mu_);
     sites_.erase(site);
     active_.store(sites_.size(), std::memory_order_release);
+    ArmedGauge().Set(static_cast<int64_t>(sites_.size()));
   }
 
   void DeactivateAll() {
     std::unique_lock lock(mu_);
     sites_.clear();
     active_.store(0, std::memory_order_release);
+    ArmedGauge().Set(0);
   }
 
   uint64_t TriggerCount(const std::string& site) {
@@ -88,6 +105,7 @@ class Registry {
     // test-harness bug (tests disarm only between runs).
     if (probability < 1.0 && !ThreadRng().NextBool(probability)) return;
     site->triggers.fetch_add(1, std::memory_order_relaxed);
+    TripsCounter().Add();
     if (action == FailPoints::Action::kSleep) {
       std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
       return;

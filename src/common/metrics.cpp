@@ -1,0 +1,255 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace jpmm {
+namespace {
+
+bool EnabledFromEnv() {
+  const char* v = std::getenv("JPMM_METRICS");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{EnabledFromEnv()};
+  return enabled;
+}
+
+// Stable per-thread shard index. One global assignment counter is enough:
+// all that matters is that concurrent recorders usually land on different
+// shards, and that one thread always lands on the same shard.
+int ShardIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t idx = next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(idx % Histogram::kShards);
+}
+
+void AtomicAddDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+// Compact decimal formatting for bucket bounds and JSON values: no
+// trailing zeros, no locale dependence.
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  // Rank of the target observation, 1-based; interpolate within the bucket
+  // that contains it, assuming uniform spread between the bucket's bounds.
+  const double rank = p / 100.0 * static_cast<double>(count);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t prev = cum;
+    cum += counts[i];
+    if (static_cast<double>(cum) >= rank && counts[i] > 0) {
+      if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac =
+          (rank - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> bounds, bool gated)
+    : bounds_(std::move(bounds)), gated_(gated) {
+  JPMM_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    JPMM_CHECK(bounds_[i] > bounds_[i - 1]);
+  }
+  // Round the per-shard row up to a whole cache line of u64s so shards
+  // never share a line.
+  const size_t row = bounds_.size() + 1;
+  stride_ = (row + 7) / 8 * 8;
+  buckets_ = std::vector<std::atomic<uint64_t>>(kShards * stride_);
+  sums_ = std::vector<ShardSum>(kShards);
+}
+
+void Histogram::Record(double value) {
+  if (gated_ && !MetricsEnabled()) return;
+  const size_t shard = static_cast<size_t>(ShardIndex());
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  buckets_[shard * stride_ + bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sums_[shard].sum, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (int s = 0; s < kShards; ++s) {
+    for (size_t b = 0; b < snap.counts.size(); ++b) {
+      snap.counts[b] += buckets_[s * stride_ + b].load(std::memory_order_relaxed);
+    }
+    snap.sum += sums_[s].sum.load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.counts) snap.count += c;
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  for (auto& s : sums_) s.sum.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> ExponentialBounds(double first, double factor, int count) {
+  JPMM_CHECK(first > 0 && factor > 1 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double v = first;
+  for (int i = 0; i < count; ++i, v *= factor) bounds.push_back(v);
+  return bounds;
+}
+
+const std::vector<double>& DefaultLatencyBoundsMs() {
+  static const std::vector<double> bounds = ExponentialBounds(0.01, 2.0, 24);
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>(/*gated=*/true);
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>(/*gated=*/true);
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(bounds, /*gated=*/true);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->Snapshot();
+  return snap;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::ostringstream os;
+  for (const auto& [name, v] : snap.counters) {
+    os << "# TYPE " << name << " counter\n" << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    os << "# TYPE " << name << " gauge\n" << name << " " << v << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    os << "# TYPE " << name << " histogram\n";
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += h.counts[i];
+      os << name << "_bucket{le=\"" << FormatDouble(h.bounds[i]) << "\"} "
+         << cum << "\n";
+    }
+    cum += h.counts.back();
+    os << name << "_bucket{le=\"+Inf\"} " << cum << "\n";
+    os << name << "_sum " << FormatDouble(h.sum) << "\n";
+    os << name << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::JsonText() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << v;
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << v;
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": {\"bounds\": [";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      os << (i ? ", " : "") << FormatDouble(h.bounds[i]);
+    }
+    os << "], \"counts\": [";
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      os << (i ? ", " : "") << h.counts[i];
+    }
+    os << "], \"sum\": " << FormatDouble(h.sum) << ", \"count\": " << h.count
+       << "}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace jpmm

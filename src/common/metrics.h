@@ -1,0 +1,197 @@
+// Process-wide metrics registry: named counters, gauges, and per-thread
+// sharded fixed-boundary histograms.
+//
+// The paper's premise is output-sensitive cost, so the system needs to
+// answer "which stage — pack, light pass, heavy block, sink merge, queue
+// wait — ate the budget" without perturbing the stages it measures. Design
+// rules:
+//
+//   - Hot path is relaxed atomics only. A Counter::Add is one relaxed
+//     fetch_add; a Histogram::Record is two (bucket + count) plus a CAS-add
+//     on the shard-local sum. No locks, no allocation, no syscalls.
+//   - Histograms are sharded kShards ways by a thread-local shard index, so
+//     concurrent recorders from the pool don't bounce one cache line.
+//     Shards are merged only at Snapshot() time; merged bucket counts are
+//     order-independent sums, so snapshots are deterministic for a given
+//     multiset of recorded values regardless of thread count.
+//   - Instrumentation can be disabled process-wide (JPMM_METRICS=off, or
+//     SetMetricsEnabled(false)): registry-owned instruments become no-ops
+//     behind a single relaxed bool load, which is what the kernel
+//     microbench overhead row measures against.
+//
+// Registry lookups (GetCounter etc.) take a shared_mutex and are NOT for
+// hot paths: call sites cache the returned reference in a function-local
+// static. Returned references stay valid for the life of the process;
+// instruments are never removed (ResetForTest zeroes values in place).
+//
+// Naming convention (docs/observability.md): jpmm_<subsystem>_<name> with
+// snake_case, unit-suffixed (_total for counters, _ms/_us/_bytes where the
+// unit is not obvious), matching Prometheus exposition rules.
+
+#ifndef JPMM_COMMON_METRICS_H_
+#define JPMM_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace jpmm {
+
+/// Process-wide instrumentation switch. Initialized once from the
+/// JPMM_METRICS environment variable ("off"/"0"/"false" disable, anything
+/// else — including unset — enables). Only registry-owned instruments are
+/// gated; standalone Histogram/Counter instances (bench tallies) always
+/// record.
+bool MetricsEnabled();
+
+/// Overrides the JPMM_METRICS setting at runtime. Test/bench hook — the
+/// overhead microbench flips this to measure on-vs-off in one process.
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonic counter. Relaxed fetch_add on Add; relaxed load on value().
+class Counter {
+ public:
+  explicit Counter(bool gated = false) : gated_(gated) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) {
+    if (gated_ && !MetricsEnabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+  const bool gated_;
+};
+
+/// Up/down gauge (e.g. workers currently busy, requests in flight).
+class Gauge {
+ public:
+  explicit Gauge(bool gated = false) : gated_(gated) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Add(int64_t n = 1) {
+    if (gated_ && !MetricsEnabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Sub(int64_t n = 1) { Add(-n); }
+  void Set(int64_t v) {
+    if (gated_ && !MetricsEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  const bool gated_;
+};
+
+/// Point-in-time merged view of one Histogram. counts has bounds.size()+1
+/// entries; the last is the overflow (+Inf) bucket.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  double sum = 0.0;
+  uint64_t count = 0;
+
+  /// Percentile estimate (p in [0, 100]) by linear interpolation inside the
+  /// containing bucket. Values in the overflow bucket report the largest
+  /// finite bound. Returns 0 for an empty histogram.
+  double Percentile(double p) const;
+};
+
+/// Fixed-boundary histogram, sharded kShards ways to keep concurrent
+/// Record() calls off each other's cache lines. Bounds are strictly
+/// increasing upper bucket bounds (Prometheus `le` semantics): a value v
+/// lands in the first bucket with v <= bounds[i], else overflow.
+class Histogram {
+ public:
+  static constexpr int kShards = 16;
+
+  explicit Histogram(std::vector<double> bounds, bool gated = false);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+
+  /// Merges all shards. Deterministic for a given multiset of recorded
+  /// values regardless of which threads recorded them (sums commute).
+  HistogramSnapshot Snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  void Reset();
+
+ private:
+  struct alignas(64) ShardSum {
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  size_t stride_;  // bounds_.size()+1 rounded up to a cache line of u64s
+  std::vector<std::atomic<uint64_t>> buckets_;  // kShards * stride_
+  std::vector<ShardSum> sums_;                  // kShards
+  const bool gated_;
+};
+
+/// `count` exponentially spaced bounds: first, first*factor, ... Useful for
+/// latency histograms spanning several orders of magnitude.
+std::vector<double> ExponentialBounds(double first, double factor, int count);
+
+/// Default latency bounds in milliseconds: 0.01ms .. ~84s, factor 2.
+/// Shared by every *_ms histogram so cross-metric bucket rows line up.
+const std::vector<double>& DefaultLatencyBoundsMs();
+
+/// Everything in the registry at one point in time.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Process-wide named-instrument registry. Get* registers on first use and
+/// returns a stable reference; repeat calls with the same name return the
+/// same instrument (a histogram's bounds are fixed by the first caller).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Prometheus text exposition format: counter/gauge/histogram TYPE lines,
+  /// cumulative `le` buckets, _sum and _count series.
+  std::string PrometheusText() const;
+
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {bounds, counts, sum, count}}}.
+  std::string JsonText() const;
+
+  /// Zeroes every registered instrument in place (references stay valid).
+  /// Tests only — production counters are cumulative by contract.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace jpmm
+
+#endif  // JPMM_COMMON_METRICS_H_

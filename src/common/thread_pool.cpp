@@ -2,14 +2,29 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 
 namespace jpmm {
 namespace {
 
 std::atomic<size_t> g_threads_spawned{0};
+
+// Registry handles cached once: Get* takes a shared_mutex, so it must stay
+// off the per-task path.
+struct PoolMetrics {
+  Counter& tasks = MetricsRegistry::Global().GetCounter("jpmm_pool_tasks_total");
+  Gauge& busy = MetricsRegistry::Global().GetGauge("jpmm_pool_workers_busy");
+  Histogram& dispatch_us = MetricsRegistry::Global().GetHistogram(
+      "jpmm_pool_dispatch_us", ExponentialBounds(1.0, 2.0, 16));
+  static PoolMetrics& Get() {
+    static PoolMetrics m;
+    return m;
+  }
+};
 
 // Set for the lifetime of one task execution; nested ParallelFor calls use
 // it to fall back to inline execution instead of re-entering the pool.
@@ -75,6 +90,20 @@ int ThreadPool::num_threads() const {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Dispatch latency = submit-to-start queue time. The timestamp capture is
+  // skipped entirely when metrics are off, so the disabled hot path is the
+  // pre-instrumentation code.
+  if (MetricsEnabled()) {
+    PoolMetrics& m = PoolMetrics::Get();
+    m.tasks.Add();
+    const auto t0 = std::chrono::steady_clock::now();
+    task = [t0, inner = std::move(task), &m] {
+      m.dispatch_us.Record(std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+      inner();
+    };
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push(std::move(task));
@@ -110,13 +139,18 @@ void ThreadPool::WorkerLoop() {
     }
     // The decrement must happen whether or not task() throws — a leaked
     // count would deadlock WaitIdle() forever — so it lives after the
-    // catch, on every path out of the try.
+    // catch, on every path out of the try. The occupancy gauge follows the
+    // same rule: Sub sits after the catch so a throwing task can't leave a
+    // phantom busy worker.
+    Gauge& busy = PoolMetrics::Get().busy;
+    busy.Add(1);
     try {
       task();
     } catch (...) {
       std::unique_lock<std::mutex> lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
+    busy.Sub(1);
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) idle_cv_.notify_all();

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "matrix/cost_model.h"
 
 namespace jpmm {
@@ -216,6 +217,9 @@ std::string DensityGrid::Signature() const {
 DensityGrid BuildDensityGrid(const CsrMatrix& a, const CsrMatrix& b,
                              const DensityGridOptions& opts) {
   JPMM_CHECK(a.cols() == b.rows());
+  static Counter& grids_built =
+      MetricsRegistry::Global().GetCounter("jpmm_partition_grids_built_total");
+  grids_built.Add();
   DensityGrid g;
   const size_t rows = a.rows();
   const size_t inner = a.cols();

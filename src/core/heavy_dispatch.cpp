@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "matrix/cost_model.h"
 
 namespace jpmm {
@@ -17,6 +18,18 @@ const char* ProductKernelName(ProductKernel k) {
       return "csr-csr";
   }
   return "?";
+}
+
+const char* BlockSpanName(ProductKernel k) {
+  switch (k) {
+    case ProductKernel::kDenseGemm:
+      return "block:dense";
+    case ProductKernel::kCsrDense:
+      return "block:csr-dense";
+    case ProductKernel::kCsrCsr:
+      return "block:csr-csr";
+  }
+  return "block:?";
 }
 
 const char* HeavyPathModeName(HeavyPathMode m) {
@@ -80,6 +93,9 @@ std::vector<BlockKernelChoice> PlanProductBlocks(
   }
   const size_t rows = a.rows();
   const size_t num_blocks = (rows + row_block - 1) / row_block;
+  static Counter& blocks_planned = MetricsRegistry::Global().GetCounter(
+      "jpmm_dispatch_blocks_planned_total");
+  blocks_planned.Add(num_blocks);
   std::vector<BlockKernelChoice> choices;
   choices.reserve(num_blocks);
   for (size_t blk = 0; blk < num_blocks; ++blk) {

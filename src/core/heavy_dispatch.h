@@ -46,6 +46,12 @@ enum class ProductKernel {
 };
 
 const char* ProductKernelName(ProductKernel k);
+
+/// Trace span name for a product block running kernel `k` ("block:dense",
+/// "block:csr-dense", "block:csr-csr") — static literals, so TraceSpan can
+/// hold them without allocation. Span counts per name are what `--trace`
+/// cross-checks against the per-kernel block counts in `--explain`.
+const char* BlockSpanName(ProductKernel k);
 const char* HeavyPathModeName(HeavyPathMode m);
 
 /// One product block's dispatch decision (surfaced through the result

@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/cancel_token.h"
+#include "core/trace.h"
 #include "storage/stats.h"
 
 namespace jpmm {
@@ -141,6 +142,8 @@ JoinProjectOutput JoinProject::TwoPathWithPlan(const IndexedRelation& r,
   JoinProjectOutput out;
   switch (strategy) {
     case Strategy::kWcojFull: {
+      TraceRecorder::Scope wcoj_scope(opts.trace, "wcoj-full",
+                                      opts.trace_parent);
       out = WcojFullJoinProject(r, s, opts.count_witnesses, opts.min_count,
                                 opts.threads, opts.sink, opts.cancel);
       break;
@@ -156,6 +159,8 @@ JoinProjectOutput JoinProject::TwoPathWithPlan(const IndexedRelation& r,
       mo.max_matrix_bytes = opts.max_matrix_bytes;
       mo.sink = opts.sink;
       mo.cancel = opts.cancel;
+      mo.trace = opts.trace;
+      mo.trace_parent = opts.trace_parent;
       MmJoinResult res = MmJoinTwoPath(r, s, mo);
       out.pairs = std::move(res.pairs);
       out.counted = std::move(res.counted);
@@ -195,6 +200,8 @@ JoinProjectOutput JoinProject::TwoPathWithPlan(const IndexedRelation& r,
       no.min_count = opts.min_count;
       no.sink = opts.sink;
       no.cancel = opts.cancel;
+      no.trace = opts.trace;
+      no.trace_parent = opts.trace_parent;
       MmJoinResult res = NonMmJoinTwoPath(r, s, no);
       out.pairs = std::move(res.pairs);
       out.counted = std::move(res.counted);
@@ -268,6 +275,8 @@ StarJoinResult JoinProject::Star(
   so.max_matrix_bytes = opts.max_matrix_bytes;
   so.sink = opts.sink;
   so.cancel = opts.cancel;
+  so.trace = opts.trace;
+  so.trace_parent = opts.trace_parent;
   if (opts.thresholds.delta1 != 0 || opts.thresholds.delta2 != 0) {
     so.thresholds = opts.thresholds;
   } else {
@@ -280,7 +289,11 @@ StarJoinResult JoinProject::Star(
     case Strategy::kWcojFull: {
       StarJoinResult res;
       WallTimer timer;
-      res.tuples = WcojStarJoin(rels, opts.threads);
+      {
+        TraceRecorder::Scope wcoj_scope(opts.trace, "wcoj-full",
+                                        opts.trace_parent);
+        res.tuples = WcojStarJoin(rels, opts.threads);
+      }
       res.light_seconds = timer.Seconds();
       // The reference baseline materializes first; sinks get one
       // post-evaluation stream (no early production exit on this path).

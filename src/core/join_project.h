@@ -69,6 +69,11 @@ struct JoinProjectOptions {
   /// sink's done(); a fired token truncates the run and sets
   /// JoinProjectOutput::interrupted. See MmJoinOptions::cancel.
   const CancelToken* cancel = nullptr;
+  /// Optional per-query stage tracing (core/trace.h): stage spans are
+  /// recorded into the caller's recorder under `trace_parent`, at every
+  /// strategy. Null = zero cost.
+  TraceRecorder* trace = nullptr;
+  int32_t trace_parent = -1;  // TraceRecorder::kNoParent
 };
 
 struct JoinProjectOutput {

@@ -5,11 +5,13 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/stamp_set.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/cancel_token.h"
 #include "core/result_sink.h"
+#include "core/trace.h"
 #include "core/two_path_internal.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/matmul.h"
@@ -17,6 +19,38 @@
 
 namespace jpmm {
 namespace {
+
+// Process-wide join metrics (shared names with star_join.cpp — the registry
+// returns the same instruments). Cached once: Get* takes a lock.
+struct JoinMetrics {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& light_executed =
+      reg.GetCounter("jpmm_join_light_chunks_executed_total");
+  Counter& light_skipped =
+      reg.GetCounter("jpmm_join_light_chunks_skipped_total");
+  Counter& blocks_executed =
+      reg.GetCounter("jpmm_join_heavy_blocks_executed_total");
+  Counter& blocks_skipped =
+      reg.GetCounter("jpmm_join_heavy_blocks_skipped_total");
+  Counter& kernel_dense = reg.GetCounter("jpmm_join_kernel_dense_blocks_total");
+  Counter& kernel_csr_dense =
+      reg.GetCounter("jpmm_join_kernel_csr_dense_blocks_total");
+  Counter& kernel_csr_csr =
+      reg.GetCounter("jpmm_join_kernel_csr_csr_blocks_total");
+  Counter& operand_bytes = reg.GetCounter("jpmm_join_heavy_operand_bytes_total");
+  Counter& partition_engaged =
+      reg.GetCounter("jpmm_partition_engaged_total");
+  Counter& partition_pruned =
+      reg.GetCounter("jpmm_partition_blocks_pruned_total");
+  Histogram& light_ms = reg.GetHistogram("jpmm_join_light_pass_ms",
+                                         DefaultLatencyBoundsMs());
+  Histogram& heavy_ms = reg.GetHistogram("jpmm_join_heavy_pass_ms",
+                                         DefaultLatencyBoundsMs());
+  static JoinMetrics& Get() {
+    static JoinMetrics m;
+    return m;
+  }
+};
 
 // Per-worker scratch + output shard.
 struct WorkerState {
@@ -267,6 +301,9 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   // expensive representations are gated off instead of doubling thresholds
   // — the CSR floor is what must fit (the old accounting charged sparse
   // inputs dense U*V bytes and over-forced their thresholds).
+  TraceRecorder* const trace = opts.trace;
+  const TraceRecorder::SpanId tparent = opts.trace_parent;
+  TraceRecorder::Scope fit_scope(trace, "threshold-fit", tparent);
   std::unique_ptr<internal::TwoPathContext> ctx;
   uint64_t m1_nnz = 0;
   uint64_t m2_nnz = 0;
@@ -322,6 +359,7 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
     t.delta1 *= 2;
     t.delta2 *= 2;
   }
+  fit_scope.Close();
 
   MmJoinResult result;
   result.adjusted_thresholds = t;
@@ -372,6 +410,7 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   // wildly unbalanced (one worker can own all the hubs).
   WallTimer light_timer;
   constexpr size_t kHeadGrain = 256;
+  const TraceRecorder::SpanId light_span = TraceBegin(trace, "light-pass", tparent);
   ParallelForDynamic(threads, r.num_x(), kHeadGrain,
                      [&](size_t a0, size_t a1, int w) {
                        WorkerState& ws = workers[static_cast<size_t>(w)];
@@ -379,6 +418,8 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
                          light_skipped.fetch_add(1, std::memory_order_relaxed);
                          return;
                        }
+                       TraceRecorder::Scope chunk_scope(trace, "light-chunk",
+                                                        light_span);
                        light_executed.fetch_add(1, std::memory_order_relaxed);
                        if (ws.shard == nullptr) ws.shard = &sink->shard(w);
                        if (ws.counter.universe() < num_z) {
@@ -393,6 +434,7 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
                          runner.EmitHead(av, nullptr, &ws);
                        }
                      });
+  TraceEnd(trace, light_span);
   result.light_seconds = light_timer.Seconds();
 
   // ---- Pass B: heavy rows, block by block. If the sink was satisfied by
@@ -408,10 +450,14 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
     blocks_skipped.store(result.heavy_blocks_total);
   } else if (use_matrix) {
     WallTimer heavy_timer;
+    TraceRecorder::Scope heavy_scope(trace, "heavy", tparent);
+    const TraceRecorder::SpanId heavy_id = heavy_scope.id();
     // CSR operands straight from the heavy adjacency lists — no dense
     // materialization pass. Column ids ascend within each row because the
     // index's adjacency lists are sorted and heavy ids are assigned in
     // ascending value order.
+    const TraceRecorder::SpanId csr_span =
+        TraceBegin(trace, "csr-build", heavy_id);
     const CsrMatrix csr1 = CsrMatrix::FromRows(
         hxs.size(), hys.size(), threads,
         [&](size_t i, std::vector<uint32_t>* out) {
@@ -428,6 +474,7 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
             if (id != kInvalidValue) out->push_back(id);
           }
         });
+    TraceEnd(trace, csr_span);
 
     const size_t row_block = opts.row_block;
     const size_t num_chunks = (hxs.size() + row_block - 1) / row_block;
@@ -448,7 +495,10 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
       go.rates = opts.sparse_rates;
       go.allow_dense = allow_dense;
       go.allow_csr_dense = allow_csr_dense;
+      const TraceRecorder::SpanId remap_span =
+          TraceBegin(trace, "degree-remap", heavy_id);
       grid = BuildDensityGrid(csr1, csr2, go);
+      TraceEnd(trace, remap_span);
       density = opts.partition == PartitionMode::kForce || grid.beneficial;
       if (density) {
         bool grid_dense = false;
@@ -509,6 +559,8 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
       // into one matrix per column band with band-local column ids. The
       // inner dimension is shared and unpermuted, so every existing kernel
       // runs unchanged on the slices.
+      const TraceRecorder::SpanId pack_span =
+          TraceBegin(trace, "pack", heavy_id);
       const CsrMatrix csr1r = CsrMatrix::FromRows(
           hxs.size(), hys.size(), threads,
           [&](size_t i, std::vector<uint32_t>* out) {
@@ -556,6 +608,7 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
       }
       Matrix m1r;
       if (any_dense) m1r = csr1r.ToDense(threads);
+      TraceEnd(trace, pack_span);
 
       // Chunks are the claimed work units (same accounting as the uniform
       // plan); each lies inside exactly one row band (bands are snapped to
@@ -581,6 +634,8 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
               if (ws.row_entries.size() < nrows) ws.row_entries.resize(nrows);
               for (size_t li = 0; li < nrows; ++li) ws.row_entries[li].clear();
               for (const auto& [blk, j] : band_blocks[bi]) {
+                TraceRecorder::Scope block_scope(
+                    trace, BlockSpanName(blk->kernel), heavy_id);
                 const uint32_t cb0 = blk->col_begin;
                 const size_t bw = blk->col_end - cb0;
                 if (blk->kernel == ProductKernel::kCsrCsr) {
@@ -615,6 +670,8 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
                   }
                 }
               }
+              TraceRecorder::Scope emit_scope(trace, "emit-inverse-remap",
+                                              heavy_id);
               for (size_t li = 0; li < nrows; ++li) {
                 runner.EmitHeadEntries(hxs[grid.row_perm[r0 + li]],
                                        &ws.row_entries[li], &ws);
@@ -638,11 +695,14 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
       }
 
       // Dense representations only for the blocks that want them.
+      const TraceRecorder::SpanId pack_span =
+          TraceBegin(trace, "pack", heavy_id);
       Matrix m1, m2;
       PackedB packed_m2;
       if (any_dense) m1 = csr1.ToDense(threads);
       if (any_float) m2 = csr2.ToDense(threads);
       if (any_dense) packed_m2 = PackedB(m2, threads);
+      TraceEnd(trace, pack_span);
 
       // Blocks are claimed dynamically: emit cost per block tracks the
       // output skew, not just the flops.
@@ -659,6 +719,8 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
               }
               blocks_executed.fetch_add(1, std::memory_order_relaxed);
               const BlockKernelChoice& choice = result.block_choices[blk];
+              TraceRecorder::Scope block_scope(
+                  trace, BlockSpanName(choice.kernel), heavy_id);
               const size_t r0 = choice.row_begin;
               const size_t r1 = choice.row_end;
               if (choice.kernel == ProductKernel::kCsrCsr) {
@@ -690,7 +752,10 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   // run-dependent (the header documents it as unspecified); the pair SET is
   // deterministic at every thread count. With a caller sink the results
   // already live there; otherwise move the fallback's merged vectors out.
-  sink->Finish();
+  {
+    TraceRecorder::Scope finish_scope(trace, "sink-finish", tparent);
+    sink->Finish();
+  }
   if (opts.sink == nullptr) {
     result.pairs = std::move(fallback.pairs());
     result.counted = std::move(fallback.counted());
@@ -702,6 +767,22 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
   result.light_chunks_executed = light_executed.load();
   result.light_chunks_skipped = light_skipped.load();
   result.interrupted = interrupted.load();
+
+  if (MetricsEnabled()) {
+    JoinMetrics& jm = JoinMetrics::Get();
+    jm.light_executed.Add(result.light_chunks_executed);
+    jm.light_skipped.Add(result.light_chunks_skipped);
+    jm.blocks_executed.Add(result.heavy_blocks_executed);
+    jm.blocks_skipped.Add(result.heavy_blocks_skipped);
+    jm.kernel_dense.Add(result.kernel_counts.dense);
+    jm.kernel_csr_dense.Add(result.kernel_counts.csr_dense);
+    jm.kernel_csr_csr.Add(result.kernel_counts.csr_csr);
+    jm.operand_bytes.Add(heavy_bytes);
+    if (result.partition_used) jm.partition_engaged.Add();
+    jm.partition_pruned.Add(result.partition_blocks_pruned);
+    jm.light_ms.Record(result.light_seconds * 1e3);
+    if (use_matrix) jm.heavy_ms.Record(result.heavy_seconds * 1e3);
+  }
   return result;
 }
 

@@ -39,6 +39,7 @@ namespace jpmm {
 
 class CancelToken;
 class ResultSink;
+class TraceRecorder;
 
 /// Smallest positive integer a float matrix cell (and the `v + 0.5f`
 /// integer read-back) can NOT represent exactly: 2^24. Witness counts are
@@ -110,6 +111,13 @@ struct MmJoinOptions {
   /// sink-driven early exit) and sets MmJoinResult::interrupted; partial
   /// results already delivered stay valid.
   const CancelToken* cancel = nullptr;
+  /// Optional per-query stage tracing (core/trace.h). Stage spans
+  /// (threshold-fit, light-pass + chunks, heavy: csr-build / degree-remap /
+  /// pack / per-block kernels, sink-finish) are recorded under
+  /// `trace_parent`. Null = zero cost. Every opened span is closed on every
+  /// exit path, including cancel / sink-done early exits.
+  TraceRecorder* trace = nullptr;
+  int32_t trace_parent = -1;  // TraceRecorder::kNoParent
 };
 
 struct MmJoinResult {

@@ -4,11 +4,13 @@
 #include <atomic>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/stamp_set.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/cancel_token.h"
 #include "core/result_sink.h"
+#include "core/trace.h"
 #include "core/two_path_internal.h"
 #include "join/intersection.h"
 
@@ -119,8 +121,13 @@ MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
     }
   };
 
+  TraceRecorder* const trace = opts.trace;
+  const TraceRecorder::SpanId tparent = opts.trace_parent;
+
   // Dynamic chunking over the (zipf-skewed) x domain — see mm_join.cpp.
   WallTimer light_timer;
+  const TraceRecorder::SpanId light_span =
+      TraceBegin(trace, "light-pass", tparent);
   ParallelForDynamic(threads, r.num_x(), /*grain=*/256,
                      [&](size_t a0, size_t a1, int w) {
     Worker& ws = workers[static_cast<size_t>(w)];
@@ -138,6 +145,7 @@ MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
       emit_head(av, false, &ws);
     }
   });
+  TraceEnd(trace, light_span);
   result.light_seconds = light_timer.Seconds();
 
   // The heavy "block" here is one dynamic chunk of kHeavyGrain rows: every
@@ -148,6 +156,7 @@ MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
   constexpr size_t kHeavyGrain = 4;
   if (use_heavy) {
     WallTimer heavy_timer;
+    TraceRecorder::Scope heavy_scope(trace, "heavy", tparent);
     ParallelForDynamic(threads, hxs.size(), kHeavyGrain,
                        [&](size_t i0, size_t i1, int w) {
       Worker& ws = workers[static_cast<size_t>(w)];
@@ -163,7 +172,10 @@ MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
     result.heavy_seconds = heavy_timer.Seconds();
   }
 
-  sink->Finish();
+  {
+    TraceRecorder::Scope finish_scope(trace, "sink-finish", tparent);
+    sink->Finish();
+  }
   if (opts.sink == nullptr) {
     result.pairs = std::move(fallback.pairs());
     result.counted = std::move(fallback.counted());
@@ -177,6 +189,26 @@ MmJoinResult NonMmJoinTwoPath(const IndexedRelation& r,
   result.light_chunks_executed = light_executed.load();
   result.light_chunks_skipped = light_skipped.load();
   result.interrupted = interrupted.load();
+  if (MetricsEnabled()) {
+    static Counter& lc_exec = MetricsRegistry::Global().GetCounter(
+        "jpmm_join_light_chunks_executed_total");
+    static Counter& lc_skip = MetricsRegistry::Global().GetCounter(
+        "jpmm_join_light_chunks_skipped_total");
+    static Counter& hb_exec = MetricsRegistry::Global().GetCounter(
+        "jpmm_join_heavy_blocks_executed_total");
+    static Counter& hb_skip = MetricsRegistry::Global().GetCounter(
+        "jpmm_join_heavy_blocks_skipped_total");
+    static Histogram& light_ms = MetricsRegistry::Global().GetHistogram(
+        "jpmm_join_light_pass_ms", DefaultLatencyBoundsMs());
+    static Histogram& heavy_ms = MetricsRegistry::Global().GetHistogram(
+        "jpmm_join_heavy_pass_ms", DefaultLatencyBoundsMs());
+    lc_exec.Add(result.light_chunks_executed);
+    lc_skip.Add(result.light_chunks_skipped);
+    hb_exec.Add(result.heavy_blocks_executed);
+    hb_skip.Add(result.heavy_blocks_skipped);
+    light_ms.Record(result.light_seconds * 1e3);
+    if (use_heavy) heavy_ms.Record(result.heavy_seconds * 1e3);
+  }
   return result;
 }
 

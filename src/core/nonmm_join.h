@@ -26,6 +26,10 @@ struct NonMmJoinOptions {
   ResultSink* sink = nullptr;
   /// Cancellation token polled like the sink's done(); see MmJoinOptions.
   const CancelToken* cancel = nullptr;
+  /// Optional per-query stage tracing under `trace_parent`; null = zero
+  /// cost. See MmJoinOptions::trace.
+  TraceRecorder* trace = nullptr;
+  int32_t trace_parent = -1;  // TraceRecorder::kNoParent
 };
 
 /// Runs the combinatorial join. Result fields mirror MmJoinTwoPath

@@ -4,11 +4,31 @@
 #include <functional>
 #include <mutex>
 
+#include "common/metrics.h"
 #include "common/timer.h"
 #include "core/optimizer.h"
 
 namespace jpmm {
 namespace {
+
+// Process-wide engine metrics (see docs/observability.md). Resolved once;
+// the registry returns stable references.
+struct EngineMetrics {
+  Counter& prepares = MetricsRegistry::Global().GetCounter(
+      "jpmm_engine_prepare_total");
+  Counter& executes = MetricsRegistry::Global().GetCounter(
+      "jpmm_engine_execute_total");
+  Counter& plan_hits = MetricsRegistry::Global().GetCounter(
+      "jpmm_engine_plan_cache_hits_total");
+  Counter& plan_misses = MetricsRegistry::Global().GetCounter(
+      "jpmm_engine_plan_cache_misses_total");
+  Histogram& execute_ms = MetricsRegistry::Global().GetHistogram(
+      "jpmm_engine_execute_ms", DefaultLatencyBoundsMs());
+  static EngineMetrics& Get() {
+    static EngineMetrics m;
+    return m;
+  }
+};
 
 // ---- SCJ / SSJ adapter sink ---------------------------------------------
 //
@@ -310,6 +330,7 @@ QueryStatus QueryEngine::Prepare(const QuerySpec& spec, PreparedQuery* out) {
   }
   q.state_ = std::make_unique<PreparedQuery::PlanState>();
   *out = std::move(q);
+  if (MetricsEnabled()) EngineMetrics::Get().prepares.Add();
   return QueryStatus::Ok();
 }
 
@@ -342,6 +363,12 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
   const bool executed_before =
       ps.executions.load(std::memory_order_relaxed) > 0;
 
+  // Root span of this execution's stage tree: everything downstream hangs
+  // under it (the recorder belongs to this call, like the sink).
+  TraceRecorder::Scope exec_scope(opts.trace, "execute", opts.trace_parent);
+  const TraceRecorder::SpanId exec_id = exec_scope.id();
+  bool plan_hit = false;
+
   switch (spec.kind) {
     case QueryKind::kTwoPath:
     case QueryKind::kScj:
@@ -359,26 +386,31 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
       PlanChoice plan;
       bool cache_hit = false;
       {
-        std::shared_lock<std::shared_mutex> rl(ps.mu);
-        if (ps.plan_valid && ps.plan_threads == opts.threads) {
-          plan = ps.plan;
-          cache_hit = true;
+        TraceRecorder::Scope plan_scope(opts.trace, "plan", exec_id);
+        {
+          std::shared_lock<std::shared_mutex> rl(ps.mu);
+          if (ps.plan_valid && ps.plan_threads == opts.threads) {
+            plan = ps.plan;
+            cache_hit = true;
+          }
         }
-      }
-      if (!cache_hit) {
-        std::unique_lock<std::shared_mutex> wl(ps.mu);
-        if (ps.plan_valid && ps.plan_threads == opts.threads) {
-          plan = ps.plan;  // lost the planning race; reuse the winner
-          cache_hit = true;
-        } else {
-          OptimizerOptions oo;
-          oo.threads = opts.threads;
-          plan = ChooseTwoPathPlan(*r, *s, *query.stats_, oo);
-          ps.plan = plan;
-          ps.plan_valid = true;
-          ps.plan_threads = opts.threads;
+        if (!cache_hit) {
+          std::unique_lock<std::shared_mutex> wl(ps.mu);
+          if (ps.plan_valid && ps.plan_threads == opts.threads) {
+            plan = ps.plan;  // lost the planning race; reuse the winner
+            cache_hit = true;
+          } else {
+            OptimizerOptions oo;
+            oo.threads = opts.threads;
+            plan = ChooseTwoPathPlan(*r, *s, *query.stats_, oo);
+            ps.plan = plan;
+            ps.plan_valid = true;
+            ps.plan_threads = opts.threads;
+          }
         }
+        plan_scope.Close(cache_hit ? "cache-hit" : "cache-miss");
       }
+      plan_hit = cache_hit;
 
       JoinProjectOptions jo;
       jo.strategy = opts.strategy_override.value_or(spec.strategy);
@@ -388,6 +420,8 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
       jo.partition = opts.partition;
       jo.max_matrix_bytes = opts.max_matrix_bytes;
       jo.cancel = opts.cancel;
+      jo.trace = opts.trace;
+      jo.trace_parent = exec_id;
       if (spec.kind == QueryKind::kTwoPath) {
         jo.count_witnesses = spec.count_witnesses;
         jo.min_count = spec.min_count;
@@ -462,6 +496,7 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
       // racers that block on the write lock find it valid and report hits.
       bool star_cache_hit = explicit_thresholds ? executed_before : false;
       if (!explicit_thresholds) {
+        TraceRecorder::Scope plan_scope(opts.trace, "plan", exec_id);
         {
           std::shared_lock<std::shared_mutex> rl(ps.mu);
           if (ps.star_thresholds_valid) {
@@ -479,7 +514,9 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
           }
           star_thresholds = ps.star_thresholds;
         }
+        plan_scope.Close(star_cache_hit ? "cache-hit" : "cache-miss");
       }
+      plan_hit = star_cache_hit;
       const Strategy star_strategy =
           opts.strategy_override.value_or(spec.strategy);
       JoinProjectOptions jo;
@@ -490,6 +527,8 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
       jo.max_matrix_bytes = opts.max_matrix_bytes;
       jo.sink = &sink;
       jo.cancel = opts.cancel;
+      jo.trace = opts.trace;
+      jo.trace_parent = exec_id;
       jo.thresholds = explicit_thresholds ? opts.thresholds : star_thresholds;
 
       StarJoinResult res = JoinProject::Star(rels, jo);
@@ -533,6 +572,9 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
       to.heavy_path = opts.heavy_path;
       to.max_matrix_bytes = opts.max_matrix_bytes;
       to.cancel = &tri_cancel;
+      to.trace = opts.trace;
+      to.trace_parent = exec_id;
+      plan_hit = executed_before;
       TriangleCountResult res = CountTrianglesMm(*query.rels_[0], to);
       if (stats != nullptr) {
         stats->triangle_count = res.triangles;
@@ -551,7 +593,20 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
   }
 
   ps.executions.fetch_add(1, std::memory_order_relaxed);
-  if (stats != nullptr) stats->seconds = timer.Seconds();
+  // Close the root before copying so the returned tree is fully closed
+  // (the AllClosed invariant holds on the copy too).
+  exec_scope.Close();
+  if (opts.trace != nullptr && stats != nullptr) {
+    stats->trace_spans = opts.trace->spans();
+  }
+  const double seconds = timer.Seconds();
+  if (stats != nullptr) stats->seconds = seconds;
+  if (MetricsEnabled()) {
+    EngineMetrics& em = EngineMetrics::Get();
+    em.executes.Add();
+    (plan_hit ? em.plan_hits : em.plan_misses).Add();
+    em.execute_ms.Record(seconds * 1e3);
+  }
   return QueryStatus::Ok();
 }
 

@@ -64,6 +64,7 @@
 #include "core/cancel_token.h"
 #include "core/join_project.h"
 #include "core/result_sink.h"
+#include "core/trace.h"
 #include "core/triangle.h"
 #include "storage/catalog.h"
 #include "storage/set_family.h"
@@ -198,6 +199,15 @@ struct ExecOptions {
   /// kNonMmJoin under memory/admission pressure without touching the
   /// shared PreparedQuery).
   std::optional<Strategy> strategy_override;
+  /// Optional per-query stage tracing (core/trace.h): Execute opens an
+  /// "execute" root span under `trace_parent` and records the stage tree
+  /// (plan → light-pass chunks → heavy per-block kernels → sink finish)
+  /// into the recorder; a copy of the spans also lands in
+  /// ExecStats::trace_spans. Null (the default) costs nothing. The
+  /// recorder is per-execution state, like the sink — do not share one
+  /// recorder across concurrent Execute calls you want to tell apart.
+  TraceRecorder* trace = nullptr;
+  int32_t trace_parent = -1;  // TraceRecorder::kNoParent
 };
 
 /// Why an execution was cut short (ExecStats::interrupt_reason).
@@ -274,6 +284,13 @@ struct ExecStats {
   /// kTriangle only: the (possibly partial, see `interrupted`) triangle
   /// count — triangle queries deliver through stats, not pairs.
   uint64_t triangle_count = 0;
+
+  /// Copy of the span tree recorded during this execution, when
+  /// ExecOptions::trace was set (empty otherwise) — embedders get the
+  /// trace without holding the recorder. Indices are recorder-relative:
+  /// TraceSpan::parent refers to positions in the recorder's full vector,
+  /// which equals this vector when the recorder was fresh for this call.
+  std::vector<TraceSpan> trace_spans;
 };
 
 /// A resolved, reusable query: operand indexes and degree statistics are

@@ -6,11 +6,46 @@
 #include <thread>
 
 #include "common/rng.h"
+#include "common/timer.h"
+#include "core/trace.h"
 
 namespace jpmm {
 namespace {
 
 constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::min();
+
+// Process-wide service metrics, incremented alongside the per-service
+// atomics (the atomics stay: stats() is per-service, the registry is
+// process-wide and exportable).
+struct ServiceMetrics {
+  Counter& admitted = MetricsRegistry::Global().GetCounter(
+      "jpmm_service_admitted_total");
+  Counter& completed = MetricsRegistry::Global().GetCounter(
+      "jpmm_service_completed_total");
+  Counter& shed =
+      MetricsRegistry::Global().GetCounter("jpmm_service_shed_total");
+  Counter& queue_timeouts = MetricsRegistry::Global().GetCounter(
+      "jpmm_service_queue_timeouts_total");
+  Counter& deadline_exceeded = MetricsRegistry::Global().GetCounter(
+      "jpmm_service_deadline_exceeded_total");
+  Counter& cancelled = MetricsRegistry::Global().GetCounter(
+      "jpmm_service_cancelled_total");
+  Counter& degraded = MetricsRegistry::Global().GetCounter(
+      "jpmm_service_degraded_total");
+  Counter& internal_errors = MetricsRegistry::Global().GetCounter(
+      "jpmm_service_internal_errors_total");
+  Counter& retries = MetricsRegistry::Global().GetCounter(
+      "jpmm_service_retries_total");
+  Gauge& inflight =
+      MetricsRegistry::Global().GetGauge("jpmm_service_inflight");
+  Gauge& queued = MetricsRegistry::Global().GetGauge("jpmm_service_queued");
+  Histogram& queue_wait_ms = MetricsRegistry::Global().GetHistogram(
+      "jpmm_service_queue_wait_ms", DefaultLatencyBoundsMs());
+  static ServiceMetrics& Get() {
+    static ServiceMetrics m;
+    return m;
+  }
+};
 
 // Queue-wait poll slice: a token can fire from sources that do not notify
 // the service's condition variable (explicit RequestCancel, a chained
@@ -52,6 +87,7 @@ QueryStatus QueryService::Admit(const ServiceRequest& req,
   // preserved, skip the ticket machinery.
   if (queue_.empty() && inflight_ < options_.max_inflight) {
     ++inflight_;
+    ServiceMetrics::Get().inflight.Add();
     *waiters_at_admit = 0;
     return QueryStatus::Ok();
   }
@@ -60,7 +96,8 @@ QueryStatus QueryService::Admit(const ServiceRequest& req,
       queued_per_class_[cls] >= class_cap) {
     const uint64_t depth = queue_.size();
     lk.unlock();
-    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_release);
+    ServiceMetrics::Get().shed.Add();
     // Hint scales with the backlog: a deeper queue needs a longer backoff
     // before a retry has any chance of finding a slot.
     const int64_t retry_after = static_cast<int64_t>(5 * (depth + 1));
@@ -75,6 +112,7 @@ QueryStatus QueryService::Admit(const ServiceRequest& req,
   const uint64_t ticket = next_ticket_++;
   queue_.push_back(ticket);
   ++queued_per_class_[cls];
+  ServiceMetrics::Get().queued.Add();
   uint64_t depth = queue_.size();
   uint64_t prev = max_queue_depth_.load(std::memory_order_relaxed);
   while (depth > prev && !max_queue_depth_.compare_exchange_weak(
@@ -97,7 +135,9 @@ QueryStatus QueryService::Admit(const ServiceRequest& req,
       --queued_per_class_[cls];
       lk.unlock();
       cv_.notify_all();  // our departure may make the new head admittable
-      queue_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      queue_timeouts_.fetch_add(1, std::memory_order_release);
+      ServiceMetrics::Get().queued.Sub();
+      ServiceMetrics::Get().queue_timeouts.Add();
       return TokenStatus(token,
                          "while queued for admission (nothing executed)");
     }
@@ -114,6 +154,8 @@ QueryStatus QueryService::Admit(const ServiceRequest& req,
   --queued_per_class_[cls];
   *waiters_at_admit = queue_.size();
   ++inflight_;
+  ServiceMetrics::Get().queued.Sub();
+  ServiceMetrics::Get().inflight.Add();
   lk.unlock();
   // More than one slot can free at once; the new head may be admittable
   // right now.
@@ -126,6 +168,7 @@ void QueryService::ReleaseSlot() {
     std::lock_guard<std::mutex> lk(mu_);
     --inflight_;
   }
+  ServiceMetrics::Get().inflight.Sub();
   cv_.notify_all();
 }
 
@@ -146,23 +189,51 @@ QueryStatus QueryService::Execute(PreparedQuery& query, ResultSink& sink,
     token = &deadline_token;
   }
 
+  // Root span of this request's stage tree. The engine's "execute" span
+  // nests under it, so a service-level trace shows queue wait alongside
+  // the execution stages.
+  TraceRecorder::Scope request_scope(req.exec.trace, "request",
+                                     req.exec.trace_parent);
+  const TraceRecorder::SpanId request_id = request_scope.id();
+
   size_t waiters_at_admit = 0;
-  QueryStatus admit = Admit(req, token, &waiters_at_admit);
-  if (!admit.ok()) return admit;
+  WallTimer queue_timer;
+  QueryStatus admit;
+  {
+    TraceRecorder::Scope wait_scope(req.exec.trace, "queue-wait", request_id);
+    admit = Admit(req, token, &waiters_at_admit);
+  }
+  if (MetricsEnabled()) {
+    ServiceMetrics::Get().queue_wait_ms.Record(queue_timer.Seconds() * 1e3);
+  }
+  // Every exit path — shed, queued-deadline, completion — closes the root
+  // and hands the (fully closed) span tree back through ExecStats.
+  auto finish_trace = [&] {
+    request_scope.Close();
+    if (req.exec.trace != nullptr) out->trace_spans = req.exec.trace->spans();
+  };
+  if (!admit.ok()) {
+    finish_trace();
+    return admit;
+  }
   struct SlotGuard {
     QueryService* s;
     ~SlotGuard() { s->ReleaseSlot(); }
   } guard{this};
   admitted_.fetch_add(1, std::memory_order_relaxed);
+  ServiceMetrics::Get().admitted.Add();
 
   // The token may have fired between the admission wake-up and here; bail
   // before doing any work so the "nothing executed" contract holds.
   if (token != nullptr && token->Fired()) {
     if (token->reason() == CancelToken::Reason::kDeadline) {
-      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      deadline_exceeded_.fetch_add(1, std::memory_order_release);
+      ServiceMetrics::Get().deadline_exceeded.Add();
     } else {
-      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      cancelled_.fetch_add(1, std::memory_order_release);
+      ServiceMetrics::Get().cancelled.Add();
     }
+    finish_trace();
     return TokenStatus(token, "before execution started (nothing executed)");
   }
 
@@ -204,33 +275,46 @@ QueryStatus QueryService::Execute(PreparedQuery& query, ResultSink& sink,
     } else {
       eo.strategy_override = Strategy::kNonMmJoin;
     }
-    degraded_.fetch_add(1, std::memory_order_relaxed);
+    degraded_.fetch_add(1, std::memory_order_release);
+    ServiceMetrics::Get().degraded.Add();
   }
+  // Nest the engine's stage tree under this request's root span.
+  eo.trace = req.exec.trace;
+  eo.trace_parent = request_id;
 
   QueryStatus st;
   try {
     st = engine_->Execute(query, sink, eo, out);
   } catch (const std::exception& e) {
-    internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    internal_errors_.fetch_add(1, std::memory_order_release);
+    ServiceMetrics::Get().internal_errors.Add();
+    finish_trace();
     return QueryStatus::Internal(std::string("execution failed: ") + e.what());
   }
   // Execute resets *out, so the degradation record lands afterwards.
   out->degraded = degrade != DegradeReason::kNone;
   out->degrade_reason = degrade;
+  // Close the request root, then re-copy the spans: the engine copied them
+  // while this root was still open, and the returned tree should be fully
+  // closed (the AllClosed invariant).
+  finish_trace();
   if (!st.ok()) return st;
   if (out->interrupted) {
     if (out->interrupt_reason == InterruptReason::kDeadline) {
-      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      deadline_exceeded_.fetch_add(1, std::memory_order_release);
+      ServiceMetrics::Get().deadline_exceeded.Add();
       return QueryStatus::DeadlineExceeded(
           "deadline fired mid-execution; delivered results are an exact "
           "prefix of the full answer (see ExecStats skip counters)");
     }
-    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    cancelled_.fetch_add(1, std::memory_order_release);
+    ServiceMetrics::Get().cancelled.Add();
     return QueryStatus::Cancelled(
         "cancelled mid-execution; delivered results are an exact prefix of "
         "the full answer (see ExecStats skip counters)");
   }
-  completed_.fetch_add(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_release);
+  ServiceMetrics::Get().completed.Add();
   return QueryStatus::Ok();
 }
 
@@ -248,18 +332,49 @@ QueryStatus QueryService::Run(const QuerySpec& spec, ResultSink& sink,
   return Execute(q, sink, req, stats);
 }
 
+std::string ServiceStats::ToString() const {
+  std::string s;
+  s.reserve(160);
+  auto field = [&s](const char* name, uint64_t v) {
+    if (!s.empty()) s += ' ';
+    s += name;
+    s += '=';
+    s += std::to_string(v);
+  };
+  field("admitted", admitted);
+  field("completed", completed);
+  field("shed", shed);
+  field("queue_timeouts", queue_timeouts);
+  field("deadline_exceeded", deadline_exceeded);
+  field("cancelled", cancelled);
+  field("degraded", degraded);
+  field("internal_errors", internal_errors);
+  field("max_queue_depth", max_queue_depth);
+  return s;
+}
+
 ServiceStats QueryService::stats() const {
+  // One acquire pass over the outcome counters FIRST: each outcome
+  // increment is a release that happened after its request's admitted_
+  // increment, so reading outcomes before admitted_ guarantees
+  //   admitted >= completed + deadline_exceeded + cancelled +
+  //   internal_errors
+  // in every snapshot (see the ServiceStats doc comment).
   ServiceStats s;
-  s.admitted = admitted_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_relaxed);
-  s.shed = shed_.load(std::memory_order_relaxed);
-  s.queue_timeouts = queue_timeouts_.load(std::memory_order_relaxed);
-  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
-  s.cancelled = cancelled_.load(std::memory_order_relaxed);
-  s.degraded = degraded_.load(std::memory_order_relaxed);
-  s.internal_errors = internal_errors_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_acquire);
+  s.shed = shed_.load(std::memory_order_acquire);
+  s.queue_timeouts = queue_timeouts_.load(std::memory_order_acquire);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_acquire);
+  s.cancelled = cancelled_.load(std::memory_order_acquire);
+  s.degraded = degraded_.load(std::memory_order_acquire);
+  s.internal_errors = internal_errors_.load(std::memory_order_acquire);
+  s.admitted = admitted_.load(std::memory_order_acquire);
   s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
   return s;
+}
+
+MetricsSnapshot QueryService::MetricsSnapshot() const {
+  return MetricsRegistry::Global().Snapshot();
 }
 
 int QueryService::inflight() const {
@@ -283,6 +398,7 @@ QueryStatus RetryWithBackoff(const std::function<QueryStatus()>& attempt,
     if (cancel != nullptr && cancel->Fired()) {
       return TokenStatus(cancel, "before the retry attempt");
     }
+    if (a > 0) ServiceMetrics::Get().retries.Add();
     st = attempt();
     if (st.code() != StatusCode::kOverloaded) return st;
     if (a + 1 >= attempts) break;

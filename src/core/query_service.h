@@ -50,7 +50,9 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 
+#include "common/metrics.h"
 #include "core/query_engine.h"
 
 namespace jpmm {
@@ -86,6 +88,17 @@ struct QueryServiceOptions {
 };
 
 /// Cumulative service counters (one snapshot; see QueryService::stats()).
+///
+/// Consistency guarantee: outcome counters are published with release
+/// ordering and stats() reads them in one acquire pass BEFORE `admitted`,
+/// so every snapshot satisfies
+///
+///   admitted >= completed + deadline_exceeded + cancelled + internal_errors
+///
+/// (a request's outcome is never visible in a snapshot that has not yet
+/// counted its admission). The snapshot is still not a global atomic cut —
+/// concurrent requests may be admitted-but-unresolved, which is exactly the
+/// slack the inequality expresses.
 struct ServiceStats {
   uint64_t admitted = 0;           // passed admission (fast path or queue)
   uint64_t completed = 0;          // executed to completion, status Ok
@@ -96,6 +109,10 @@ struct ServiceStats {
   uint64_t degraded = 0;           // re-planned onto a cheaper strategy
   uint64_t internal_errors = 0;    // exceptions contained as kInternal
   uint64_t max_queue_depth = 0;    // high-water mark of waiting requests
+
+  /// One-line debug rendering, "admitted=5 completed=3 ..." — the
+  /// StatusCodeName-style human form for logs and test failure messages.
+  std::string ToString() const;
 };
 
 /// Per-request serving knobs, wrapping the engine's ExecOptions.
@@ -137,6 +154,11 @@ class QueryService {
 
   /// Snapshot of the cumulative counters.
   ServiceStats stats() const;
+  /// Snapshot of the process-wide metrics registry (counters, gauges,
+  /// histograms) — the embedder-facing export, equivalent to
+  /// MetricsRegistry::Global().Snapshot(). Process-wide by design: one
+  /// registry serves every service/engine in the process.
+  struct MetricsSnapshot MetricsSnapshot() const;
   /// Currently executing queries (<= options().max_inflight).
   int inflight() const;
   /// Currently queued (admitted-pending) requests.

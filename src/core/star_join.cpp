@@ -10,11 +10,13 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/cancel_token.h"
 #include "core/mm_join.h"
 #include "core/result_sink.h"
+#include "core/trace.h"
 #include "join/intersection.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/matmul.h"
@@ -449,6 +451,9 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
   // registration must always fit, and the dense representations must fit
   // whenever a forced mode will unconditionally materialize them (under
   // kAuto they are gated off per block instead — see below).
+  TraceRecorder* const trace = options.trace;
+  const TraceRecorder::SpanId tparent = options.trace_parent;
+  TraceRecorder::Scope fit_scope(trace, "threshold-fit", tparent);
   const size_t row_block = std::max<size_t>(1, options.row_block);
   std::unique_ptr<StarContext> ctx;
   HeavyGroups hg;
@@ -477,6 +482,7 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
     t.delta1 *= 2;
     t.delta2 *= 2;
   }
+  fit_scope.Close();
   result.adjusted_thresholds = t;
   result.v_rows = hg.map1.size();
   result.w_rows = hg.map2.size();
@@ -501,10 +507,12 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
 
   WallTimer light_timer;
   bool light_interrupted = false;
+  TraceRecorder::Scope light_scope(trace, "light-pass", tparent);
   TupleBuffer light = LightSteps(
       *ctx, threads, &em, cancel, &result.light_steps_total,
       &result.light_steps_executed, &result.light_steps_skipped,
       &light_interrupted);
+  light_scope.Close();
   if (light_interrupted) interrupted.store(true, std::memory_order_relaxed);
   result.tuples.Append(light);
   result.light_seconds = light_timer.Seconds();
@@ -520,14 +528,19 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
     blocks_skipped.store(result.heavy_blocks_total);
   } else if (result.v_rows > 0 && result.w_rows > 0) {
     WallTimer heavy_timer;
+    TraceRecorder::Scope heavy_scope(trace, "heavy", tparent);
+    const TraceRecorder::SpanId heavy_id = heavy_scope.id();
     // CSR operands first (they are just the registered incidences, row
     // offsets + column ids); dense V / W^T only materialize if the
     // per-block dispatch sends some block to a float kernel.
+    const TraceRecorder::SpanId csr_span =
+        TraceBegin(trace, "csr-build", heavy_id);
     const size_t cols_n = hg.cols.size();
     const CsrMatrix csr_v =
         CsrMatrix::FromEntries(result.v_rows, cols_n, hg.entries1);
     const CsrMatrix csr_wt = CsrMatrix::FromEntries(
         cols_n, result.w_rows, hg.entries2, /*swapped=*/true);
+    TraceEnd(trace, csr_span);
     result.v_nnz = csr_v.nnz();
     result.w_nnz = csr_wt.nnz();
     result.heavy_density = csr_v.Density();
@@ -574,7 +587,10 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
       go.rates = options.sparse_rates;
       go.allow_dense = allow_dense;
       go.allow_csr_dense = allow_csr_dense;
+      const TraceRecorder::SpanId remap_span =
+          TraceBegin(trace, "degree-remap", heavy_id);
       grid = BuildDensityGrid(csr_v, csr_wt, go);
+      TraceEnd(trace, remap_span);
       density =
           options.partition == PartitionMode::kForce || grid.beneficial;
       if (density) {
@@ -631,6 +647,8 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
       // into one matrix per column band with band-local column ids (the
       // shared inner dimension is unpermuted), so every existing kernel
       // runs unchanged on the slices.
+      const TraceRecorder::SpanId pack_span =
+          TraceBegin(trace, "pack", heavy_id);
       const CsrMatrix csr_vr = CsrMatrix::FromRows(
           result.v_rows, cols_n, threads,
           [&](size_t i, std::vector<uint32_t>* out) {
@@ -677,6 +695,7 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
       }
       Matrix vr;
       if (any_dense) vr = csr_vr.ToDense(threads);
+      TraceEnd(trace, pack_span);
 
       // Chunks are the claimed work units; each lies inside exactly one row
       // band (bands snap to row_block multiples) and runs that band's
@@ -709,6 +728,8 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
           size_t bi = grid.num_row_bands() - 1;
           while (grid.row_bands[bi] > r0) --bi;
           for (const auto& [blk, j] : band_blocks[bi]) {
+            TraceRecorder::Scope block_scope(
+                trace, BlockSpanName(blk->kernel), heavy_id);
             const uint32_t cb0 = blk->col_begin;
             const size_t bw = blk->col_end - cb0;
             if (blk->kernel == ProductKernel::kCsrCsr) {
@@ -759,11 +780,14 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
         JPMM_CHECK_MSG(cols_n < kMaxExactFloatCount,
                        "heavy inner dimension exceeds exact float count range");
       }
+      const TraceRecorder::SpanId pack_span =
+          TraceBegin(trace, "pack", heavy_id);
       Matrix v, wt;
       PackedB packed_wt;
       if (any_dense) v = csr_v.ToDense(threads);
       if (any_float) wt = csr_wt.ToDense(threads);
       if (any_dense) packed_wt = PackedB(wt, threads);
+      TraceEnd(trace, pack_span);
 
       // Workers claim product blocks dynamically (per-block emit cost follows
       // the output distribution).
@@ -790,6 +814,8 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
           }
           blocks_executed.fetch_add(1, std::memory_order_relaxed);
           const BlockKernelChoice& choice = choices[blk];
+          TraceRecorder::Scope block_scope(trace, BlockSpanName(choice.kernel),
+                                           heavy_id);
           const size_t r0 = choice.row_begin;
           const size_t r1 = choice.row_end;
           if (choice.kernel == ProductKernel::kCsrCsr) {
@@ -828,6 +854,7 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
   result.heavy_blocks_executed = blocks_executed.load();
   result.heavy_blocks_skipped = blocks_skipped.load();
   result.interrupted = interrupted.load();
+  TraceRecorder::Scope finish_scope(trace, "sink-finish", tparent);
   if (em.streaming) {
     // seen is the sorted duplicate-free union of everything delivered.
     result.tuples = std::move(em.seen);
@@ -846,6 +873,44 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
     }
   }
   if (sink != nullptr) sink->Finish();
+  finish_scope.Close();
+
+  if (MetricsEnabled()) {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static Counter& steps_executed =
+        reg.GetCounter("jpmm_star_light_steps_executed_total");
+    static Counter& steps_skipped =
+        reg.GetCounter("jpmm_star_light_steps_skipped_total");
+    static Counter& blocks_exec =
+        reg.GetCounter("jpmm_join_heavy_blocks_executed_total");
+    static Counter& blocks_skip =
+        reg.GetCounter("jpmm_join_heavy_blocks_skipped_total");
+    static Counter& kernel_dense =
+        reg.GetCounter("jpmm_join_kernel_dense_blocks_total");
+    static Counter& kernel_csr_dense =
+        reg.GetCounter("jpmm_join_kernel_csr_dense_blocks_total");
+    static Counter& kernel_csr_csr =
+        reg.GetCounter("jpmm_join_kernel_csr_csr_blocks_total");
+    static Counter& partition_engaged =
+        reg.GetCounter("jpmm_partition_engaged_total");
+    static Counter& partition_pruned =
+        reg.GetCounter("jpmm_partition_blocks_pruned_total");
+    static Histogram& light_ms =
+        reg.GetHistogram("jpmm_join_light_pass_ms", DefaultLatencyBoundsMs());
+    static Histogram& heavy_ms =
+        reg.GetHistogram("jpmm_join_heavy_pass_ms", DefaultLatencyBoundsMs());
+    steps_executed.Add(result.light_steps_executed);
+    steps_skipped.Add(result.light_steps_skipped);
+    blocks_exec.Add(result.heavy_blocks_executed);
+    blocks_skip.Add(result.heavy_blocks_skipped);
+    kernel_dense.Add(result.kernel_counts.dense);
+    kernel_csr_dense.Add(result.kernel_counts.csr_dense);
+    kernel_csr_csr.Add(result.kernel_counts.csr_csr);
+    if (result.partition_used) partition_engaged.Add();
+    partition_pruned.Add(result.partition_blocks_pruned);
+    light_ms.Record(result.light_seconds * 1e3);
+    if (result.heavy_seconds > 0) heavy_ms.Record(result.heavy_seconds * 1e3);
+  }
   return result;
 }
 
@@ -890,12 +955,16 @@ StarJoinResult NonMmStarJoin(const std::vector<const IndexedRelation*>& rels,
     return false;
   };
 
+  TraceRecorder* const trace = options.trace;
+  const TraceRecorder::SpanId tparent = options.trace_parent;
   WallTimer light_timer;
   bool light_interrupted = false;
+  TraceRecorder::Scope light_scope(trace, "light-pass", tparent);
   TupleBuffer light = LightSteps(
       ctx, threads, &em, cancel, &result.light_steps_total,
       &result.light_steps_executed, &result.light_steps_skipped,
       &light_interrupted);
+  light_scope.Close();
   if (light_interrupted) interrupted.store(true, std::memory_order_relaxed);
   result.tuples.Append(light);
   result.light_seconds = light_timer.Seconds();
@@ -908,6 +977,7 @@ StarJoinResult NonMmStarJoin(const std::vector<const IndexedRelation*>& rels,
     blocks_skipped.store(result.heavy_blocks_total);
   } else if (result.v_rows > 0 && result.w_rows > 0) {
     WallTimer heavy_timer;
+    TraceRecorder::Scope heavy_scope(trace, "heavy", tparent);
     // Witness (column) lists per heavy combo, ascending because entries are
     // produced in ascending column order.
     std::vector<std::vector<Value>> wit1(result.v_rows), wit2(result.w_rows);
@@ -950,6 +1020,7 @@ StarJoinResult NonMmStarJoin(const std::vector<const IndexedRelation*>& rels,
   result.heavy_blocks_executed = blocks_executed.load();
   result.heavy_blocks_skipped = blocks_skipped.load();
   result.interrupted = interrupted.load();
+  TraceRecorder::Scope finish_scope(trace, "sink-finish", tparent);
   if (em.streaming) {
     result.tuples = std::move(em.seen);
   } else {

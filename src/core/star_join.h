@@ -34,6 +34,7 @@ namespace jpmm {
 
 class CancelToken;
 class ResultSink;
+class TraceRecorder;
 
 struct StarJoinOptions {
   Thresholds thresholds;
@@ -71,6 +72,10 @@ struct StarJoinOptions {
   /// heavy product-block granularity; a fired token truncates the run and
   /// sets StarJoinResult::interrupted. See MmJoinOptions::cancel.
   const CancelToken* cancel = nullptr;
+  /// Optional per-query stage tracing under `trace_parent`; null = zero
+  /// cost. See MmJoinOptions::trace.
+  TraceRecorder* trace = nullptr;
+  int32_t trace_parent = -1;  // TraceRecorder::kNoParent
 };
 
 struct StarJoinResult {

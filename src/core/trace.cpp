@@ -1,0 +1,189 @@
+#include "core/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
+
+#include "common/check.h"
+
+namespace jpmm {
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceRecorder::Now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+TraceRecorder::SpanId TraceRecorder::Begin(const char* name, SpanId parent) {
+  const double t = Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  JPMM_CHECK(parent >= kNoParent &&
+             parent < static_cast<SpanId>(spans_.size()));
+  TraceSpan span;
+  span.name = name;
+  span.parent = parent;
+  span.begin_s = t;
+  spans_.push_back(std::move(span));
+  return static_cast<SpanId>(spans_.size() - 1);
+}
+
+void TraceRecorder::End(SpanId id) {
+  const double t = Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  JPMM_CHECK(id >= 0 && id < static_cast<SpanId>(spans_.size()));
+  spans_[static_cast<size_t>(id)].end_s = t;
+}
+
+void TraceRecorder::End(SpanId id, std::string detail) {
+  const double t = Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  JPMM_CHECK(id >= 0 && id < static_cast<SpanId>(spans_.size()));
+  spans_[static_cast<size_t>(id)].end_s = t;
+  spans_[static_cast<size_t>(id)].detail = std::move(detail);
+}
+
+void TraceRecorder::Annotate(SpanId id, std::string detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  JPMM_CHECK(id >= 0 && id < static_cast<SpanId>(spans_.size()));
+  spans_[static_cast<size_t>(id)].detail = std::move(detail);
+}
+
+bool TraceRecorder::AllClosed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TraceSpan& s : spans_) {
+    if (s.end_s < 0) return false;
+  }
+  return true;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<TraceSpan> TraceRecorder::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t TraceRecorder::CountNamed(const char* name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const TraceSpan& s : spans_) {
+    if (std::string_view(s.name) == name) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+// Children of each span, in recording order.
+std::vector<std::vector<size_t>> ChildIndex(const std::vector<TraceSpan>& spans) {
+  std::vector<std::vector<size_t>> children(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const int32_t p = spans[i].parent;
+    if (p >= 0) children[static_cast<size_t>(p)].push_back(i);
+  }
+  return children;
+}
+
+int32_t FirstRoot(const std::vector<TraceSpan>& spans) {
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent == TraceRecorder::kNoParent) {
+      return static_cast<int32_t>(i);
+    }
+  }
+  return -1;
+}
+
+struct NameGroup {
+  const char* name;
+  size_t count = 0;
+  double seconds = 0.0;
+  size_t first = 0;  // first span index, for detail + recursion
+};
+
+// Aggregates sibling spans by name, preserving first-seen order. Repeated
+// names (light chunks, heavy blocks) collapse to one "name xN" line.
+std::vector<NameGroup> GroupByName(const std::vector<TraceSpan>& spans,
+                                   const std::vector<size_t>& sibs) {
+  std::vector<NameGroup> groups;
+  for (size_t idx : sibs) {
+    const TraceSpan& s = spans[idx];
+    NameGroup* g = nullptr;
+    for (NameGroup& cand : groups) {
+      if (std::string_view(cand.name) == s.name) {
+        g = &cand;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      groups.push_back(NameGroup{s.name, 0, 0.0, idx});
+      g = &groups.back();
+    }
+    ++g->count;
+    g->seconds += s.Seconds();
+  }
+  return groups;
+}
+
+void RenderNode(const std::vector<TraceSpan>& spans,
+                const std::vector<std::vector<size_t>>& children, size_t idx,
+                int depth, double root_seconds, std::string* out) {
+  const TraceSpan& s = spans[idx];
+  char line[256];
+  const std::string label(s.name);
+  const double ms = s.Seconds() * 1e3;
+  const double pct = root_seconds > 0 ? 100.0 * s.Seconds() / root_seconds : 0;
+  std::snprintf(line, sizeof(line), "%-*s%-*s %9.3f ms %5.1f%%%s%s%s\n",
+                depth * 2, "", std::max(1, 40 - depth * 2), label.c_str(), ms,
+                pct, s.detail.empty() ? "" : "  [", s.detail.c_str(),
+                s.detail.empty() ? "" : "]");
+  *out += line;
+  for (const NameGroup& g : GroupByName(spans, children[idx])) {
+    if (g.count == 1) {
+      RenderNode(spans, children, g.first, depth + 1, root_seconds, out);
+    } else {
+      const double gms = g.seconds * 1e3;
+      const double gpct =
+          root_seconds > 0 ? 100.0 * g.seconds / root_seconds : 0;
+      std::snprintf(line, sizeof(line), "%-*s%s x%zu", (depth + 1) * 2, "",
+                    g.name, g.count);
+      std::string label2(line);
+      std::snprintf(line, sizeof(line), "%-*s %9.3f ms %5.1f%%\n",
+                    std::max<int>(40, static_cast<int>(label2.size())),
+                    label2.c_str(), gms, gpct);
+      *out += line;
+    }
+  }
+}
+
+}  // namespace
+
+double TraceRecorder::ChildCoverage() const {
+  const std::vector<TraceSpan> snap = spans();
+  const int32_t root = FirstRoot(snap);
+  if (root < 0 || snap[static_cast<size_t>(root)].Seconds() <= 0) return 0.0;
+  double covered = 0.0;
+  for (const TraceSpan& s : snap) {
+    if (s.parent == root) covered += s.Seconds();
+  }
+  return covered / snap[static_cast<size_t>(root)].Seconds();
+}
+
+std::string TraceRecorder::Render() const {
+  const std::vector<TraceSpan> snap = spans();
+  if (snap.empty()) return "(no spans)\n";
+  const std::vector<std::vector<size_t>> children = ChildIndex(snap);
+  std::string out;
+  for (size_t i = 0; i < snap.size(); ++i) {
+    if (snap[i].parent != kNoParent) continue;
+    const double root_seconds = snap[i].Seconds();
+    RenderNode(snap, children, i, 0, root_seconds, &out);
+  }
+  return out;
+}
+
+}  // namespace jpmm

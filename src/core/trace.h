@@ -1,0 +1,133 @@
+// Per-query stage tracing: a TraceRecorder collects a tree of timed spans
+// (admission/queue-wait → prepare → plan → degree-remap → pack → light-pass
+// chunks → per-heavy-block kernel → emit → sink finish) for ONE query
+// execution.
+//
+// Unlike the process-wide MetricsRegistry (cumulative, cross-query), a
+// recorder is owned by the caller and passed down by pointer through
+// ExecOptions / MmJoinOptions / StarJoinOptions. A null recorder is the
+// default and costs nothing: every instrumentation site goes through
+// TraceRecorder::Scope or the null-safe free functions, which do no work
+// when the recorder is null. With a recorder attached, Begin/End take one
+// short mutex hold each — spans are recorded at chunk/block granularity
+// (never per output pair), so the lock is off the inner loops.
+//
+// Invariant (tested): every opened span is closed by the time the query
+// returns, on every exit path — cancel, limit short-circuit, deadline,
+// memory-cap refusal. Scope is RAII precisely so early returns can't leak
+// an open span.
+
+#ifndef JPMM_CORE_TRACE_H_
+#define JPMM_CORE_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace jpmm {
+
+/// One timed stage. `name` must be a string literal (spans are recorded on
+/// hot-ish paths; no allocation for the common case). `parent` indexes into
+/// the recorder's span vector, -1 for a root. Times are seconds relative to
+/// the recorder's construction; end_s < 0 marks a still-open span.
+struct TraceSpan {
+  const char* name = "";
+  int32_t parent = -1;
+  double begin_s = 0.0;
+  double end_s = -1.0;
+  std::string detail;  // optional: "kernel=csr-csr rows=[0,256)"
+
+  double Seconds() const { return end_s < 0 ? 0.0 : end_s - begin_s; }
+};
+
+/// Collects the span tree for one query. Thread-safe: light-pass chunks and
+/// heavy blocks open spans from pool workers concurrently.
+class TraceRecorder {
+ public:
+  using SpanId = int32_t;
+  static constexpr SpanId kNoParent = -1;
+
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  SpanId Begin(const char* name, SpanId parent = kNoParent);
+  void End(SpanId id);
+  /// End + attach a detail string in one lock hold.
+  void End(SpanId id, std::string detail);
+  void Annotate(SpanId id, std::string detail);
+
+  /// True when every opened span has been closed (the balance invariant).
+  bool AllClosed() const;
+
+  size_t size() const;
+  std::vector<TraceSpan> spans() const;
+
+  /// Number of spans named `name` (exact match) — tests cross-check
+  /// per-kernel block spans against ExecStats block accounting.
+  size_t CountNamed(const char* name) const;
+
+  /// Fraction of the first root span's wall time covered by its direct
+  /// children (1.0 = fully attributed). 0 if there is no closed root.
+  double ChildCoverage() const;
+
+  /// Pretty tree: one line per distinct child name per parent, sibling
+  /// spans with the same name aggregated as "name xN", with milliseconds
+  /// and % of the first root's wall time.
+  std::string Render() const;
+
+  /// RAII span: closes on scope exit, null-recorder safe. Move-only.
+  class Scope {
+   public:
+    Scope(TraceRecorder* rec, const char* name, SpanId parent = kNoParent)
+        : rec_(rec), id_(rec ? rec->Begin(name, parent) : kNoParent) {}
+    ~Scope() { Close(); }
+    Scope(Scope&& o) noexcept : rec_(o.rec_), id_(o.id_) { o.rec_ = nullptr; }
+    Scope& operator=(Scope&&) = delete;
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    SpanId id() const { return id_; }
+    /// Closes early (idempotent), optionally attaching a detail string.
+    void Close() {
+      if (rec_ != nullptr) rec_->End(id_);
+      rec_ = nullptr;
+    }
+    void Close(std::string detail) {
+      if (rec_ != nullptr) rec_->End(id_, std::move(detail));
+      rec_ = nullptr;
+    }
+
+   private:
+    TraceRecorder* rec_;
+    SpanId id_;
+  };
+
+ private:
+  double Now() const;
+
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Null-safe helpers for call sites where RAII scoping doesn't fit the
+/// control flow (e.g. a span closed with a computed detail string).
+inline TraceRecorder::SpanId TraceBegin(
+    TraceRecorder* rec, const char* name,
+    TraceRecorder::SpanId parent = TraceRecorder::kNoParent) {
+  return rec == nullptr ? TraceRecorder::kNoParent : rec->Begin(name, parent);
+}
+inline void TraceEnd(TraceRecorder* rec, TraceRecorder::SpanId id) {
+  if (rec != nullptr) rec->End(id);
+}
+inline void TraceEnd(TraceRecorder* rec, TraceRecorder::SpanId id,
+                     std::string detail) {
+  if (rec != nullptr) rec->End(id, std::move(detail));
+}
+
+}  // namespace jpmm
+
+#endif  // JPMM_CORE_TRACE_H_

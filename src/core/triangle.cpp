@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "core/cancel_token.h"
+#include "core/trace.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/matmul.h"
 #include "matrix/sparse_matrix.h"
@@ -121,6 +122,10 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
   std::atomic<uint64_t> light_skipped{0};
   std::atomic<uint64_t> skipped{0};
   std::vector<uint64_t> light_partial(static_cast<size_t>(threads), 0);
+  TraceRecorder* const trace_rec = options.trace;
+  const TraceRecorder::SpanId tparent = options.trace_parent;
+  const TraceRecorder::SpanId light_span =
+      TraceBegin(trace_rec, "light-pass", tparent);
   // Dynamic chunks: per-vertex cost is quadratic in (skewed) degree.
   // Accumulate (+=) — a dynamic worker handles many chunks.
   ParallelForDynamic(threads, graph.num_x(), /*grain=*/512,
@@ -148,6 +153,7 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
     }
     light_partial[static_cast<size_t>(w)] += local;
   });
+  TraceEnd(trace_rec, light_span);
   for (uint64_t c : light_partial) result.light_triangles += c;
 
   // Heavy part: trace(A_H^3) / 6. A_H is symmetric, so
@@ -158,6 +164,7 @@ TriangleCountResult CountTrianglesMm(const IndexedRelation& graph,
   // dense dot, a CSR-indexed gather, or a sorted-merge intersection
   // respectively.
   if (heavy.size() >= 3) {
+    TraceRecorder::Scope heavy_scope(trace_rec, "heavy", tparent);
     const size_t h = heavy.size();
     const CsrMatrix csr_a = CsrMatrix::FromRows(
         h, h, threads, [&](size_t i, std::vector<uint32_t>* out) {

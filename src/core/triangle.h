@@ -19,6 +19,7 @@
 namespace jpmm {
 
 class CancelToken;
+class TraceRecorder;
 
 struct TriangleCountOptions {
   /// Degree threshold; 0 = pick sqrt(|E|) (the AYZ balance point for
@@ -42,6 +43,10 @@ struct TriangleCountOptions {
   /// to limit, so this exists for callers that abandon a count mid-flight,
   /// not for limit semantics.
   const CancelToken* cancel = nullptr;
+  /// Optional per-query stage tracing under `trace_parent`; null = zero
+  /// cost. See MmJoinOptions::trace.
+  TraceRecorder* trace = nullptr;
+  int32_t trace_parent = -1;  // TraceRecorder::kNoParent
 };
 
 struct TriangleCountResult {

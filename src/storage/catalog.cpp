@@ -5,8 +5,29 @@
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 
 namespace jpmm {
+namespace {
+
+// Catalog mutation + snapshot-pin metrics (see docs/observability.md).
+Counter& PutsCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("jpmm_catalog_puts_total");
+  return c;
+}
+Counter& DropsCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("jpmm_catalog_drops_total");
+  return c;
+}
+Counter& PinsCounter() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "jpmm_catalog_snapshot_pins_total");
+  return c;
+}
+
+}  // namespace
 
 const IndexedRelation& Catalog::Entry::BuildIndex() const {
   std::call_once(index_once,
@@ -55,6 +76,7 @@ void Catalog::Put(const std::string& name, BinaryRelation rel) {
     // guaranteed to see the new table (and vice versa).
     version_.fetch_add(1, std::memory_order_acq_rel);
   }
+  PutsCounter().Add();
 }
 
 bool Catalog::Drop(const std::string& name) {
@@ -67,6 +89,7 @@ bool Catalog::Drop(const std::string& name) {
     entries_.erase(it);
     version_.fetch_add(1, std::memory_order_acq_rel);
   }
+  DropsCounter().Add();
   return true;
 }
 
@@ -100,6 +123,7 @@ std::shared_ptr<const IndexedRelation> Catalog::IndexSnapshot(
   std::shared_ptr<const Entry> e = Find(name);
   if (e == nullptr) return nullptr;
   const IndexedRelation& idx = e->BuildIndex();
+  PinsCounter().Add();
   // Aliasing constructor: the snapshot pins the whole entry (relation +
   // index) while exposing just the index.
   return std::shared_ptr<const IndexedRelation>(std::move(e), &idx);

@@ -11,10 +11,17 @@ trajectory artifacts CI uploads on every run:
 Benchmarks present in only one file are reported but never fail the
 comparison (new rows appear whenever a kernel family is added). Aggregate
 rows (mean/median/stddev) are skipped — only plain iteration rows compare.
+
+Rows that carry latency-histogram bucket counters (the `*_lat_le_<bound>`
+keys emitted by bench_util.h's ReportLatency) additionally get a latency-
+distribution section: p50/p99 are reconstructed from the buckets on each
+side and diffed. Informational by default; --latency-threshold N makes a
+p99 slowdown above N% fail the comparison too.
 """
 
 import argparse
 import json
+import re
 import sys
 
 # google-benchmark time_unit values, normalized to nanoseconds.
@@ -35,6 +42,85 @@ def load_rows(path, metric):
     return rows
 
 
+_LAT_KEY = re.compile(r"^(?P<prefix>.+)_lat_le_(?P<bound>inf|[0-9.eE+-]+)$")
+
+
+def load_latency(path):
+    """Returns {benchmark_name: {prefix: [(bound, count), ...]}} from the
+    *_lat_le_* bucket counters (bound is float('inf') for the overflow
+    bucket). Buckets absent from the JSON recorded zero samples."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        hists = {}
+        for key, value in b.items():
+            m = _LAT_KEY.match(key)
+            if not m:
+                continue
+            bound = (float("inf") if m.group("bound") == "inf"
+                     else float(m.group("bound")))
+            hists.setdefault(m.group("prefix"), []).append(
+                (bound, float(value)))
+        for prefix, buckets in hists.items():
+            buckets.sort()
+            out.setdefault(b["name"], {})[prefix] = buckets
+    return out
+
+
+def hist_percentile(buckets, p):
+    """Percentile from [(upper_bound, count)] buckets — same linear
+    interpolation as HistogramSnapshot::Percentile in common/metrics.h."""
+    total = sum(c for _, c in buckets)
+    if total <= 0:
+        return 0.0
+    rank = p / 100.0 * total
+    cum = 0.0
+    finite = [b for b, _ in buckets if b != float("inf")]
+    for i, (bound, count) in enumerate(buckets):
+        prev = cum
+        cum += count
+        if cum >= rank and count > 0:
+            if bound == float("inf"):
+                return finite[-1] if finite else 0.0
+            lo = 0.0 if i == 0 else buckets[i - 1][0]
+            frac = min(1.0, max(0.0, (rank - prev) / count))
+            return lo + (bound - lo) * frac
+    return finite[-1] if finite else 0.0
+
+
+def compare_latency(old_lat, new_lat, threshold):
+    """Prints the latency-distribution section; returns the list of
+    (row, p99_delta) pairs exceeding the threshold (empty if threshold
+    is 0 = informational)."""
+    shared = sorted(set(old_lat) & set(new_lat))
+    rows = []
+    for name in shared:
+        for prefix in sorted(set(old_lat[name]) & set(new_lat[name])):
+            rows.append((f"{name} [{prefix}]",
+                         old_lat[name][prefix], new_lat[name][prefix]))
+    if not rows:
+        return []
+    width = max(len(r[0]) for r in rows)
+    print(f"\nlatency distributions (reconstructed from _lat_le_* buckets):")
+    print(f"{'row':<{width}}  {'p50 old':>9}  {'p50 new':>9}  "
+          f"{'p99 old':>9}  {'p99 new':>9}  {'p99 delta':>9}")
+    offenders = []
+    for label, ob, nb in rows:
+        op50, np50 = hist_percentile(ob, 50), hist_percentile(nb, 50)
+        op99, np99 = hist_percentile(ob, 99), hist_percentile(nb, 99)
+        delta = (np99 - op99) / op99 * 100.0 if op99 > 0 else 0.0
+        flag = ""
+        if threshold > 0 and delta > threshold:
+            offenders.append((label, delta))
+            flag = "  << REGRESSION"
+        print(f"{label:<{width}}  {op50:>7.2f}ms  {np50:>7.2f}ms  "
+              f"{op99:>7.2f}ms  {np99:>7.2f}ms  {delta:>+8.1f}%{flag}")
+    return offenders
+
+
 def fmt_ns(ns):
     for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
         if ns >= div:
@@ -51,6 +137,9 @@ def main():
                          "this percentage (default 15)")
     ap.add_argument("--metric", default="real_time",
                     choices=["real_time", "cpu_time"])
+    ap.add_argument("--latency-threshold", type=float, default=0.0,
+                    help="fail when a reconstructed p99 slows down by more "
+                         "than this percentage (0 = report only, default)")
     args = ap.parse_args()
 
     old = load_rows(args.baseline, args.metric)
@@ -79,6 +168,16 @@ def main():
     for name in sorted(set(old) - set(new)):
         print(f"{name:<{width}}  {fmt_ns(old[name]):>10}  {'-':>10}  "
               f"removed")
+
+    lat_offenders = compare_latency(load_latency(args.baseline),
+                                    load_latency(args.candidate),
+                                    args.latency_threshold)
+    if lat_offenders:
+        print(f"\n{len(lat_offenders)} latency distribution(s) regressed "
+              f"p99 more than {args.latency_threshold:.0f}%:")
+        for label, delta in lat_offenders:
+            print(f"  {label}: {delta:+.1f}%")
+        return 1
 
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than "

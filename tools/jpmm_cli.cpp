@@ -66,6 +66,13 @@
 //                     engages it when it prices cheaper, force whenever a
 //                     heavy product exists. --explain prints the block
 //                     grid + its signature (twopath, star)
+//   --trace           record + print the per-query stage span tree
+//                     (core/trace.h): queue wait, plan, light chunks,
+//                     per-heavy-block kernels, sink finish, with ms and
+//                     %-of-wall per stage (twopath, star, triangles)
+//   --metrics[=FILE]  after the command, dump the process-wide metrics
+//                     registry in Prometheus text format to stdout (or
+//                     FILE) (every command)
 
 #include <algorithm>
 #include <cstdio>
@@ -82,7 +89,9 @@
 #include "bsi/bsi.h"
 #include "bsi/latency_sim.h"
 #include "bsi/workload.h"
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "core/trace.h"
 #include "core/join_project.h"
 #include "core/query_engine.h"
 #include "core/query_service.h"
@@ -132,9 +141,16 @@ std::optional<Args> Parse(int argc, char** argv) {
       return std::nullopt;
     }
     key = key.substr(2);
+    // --key=value form (e.g. --metrics=FILE).
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      args.options[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
     // Flags without values.
     if (key == "counts" || key == "ordered" || key == "explain" ||
-        key == "count-only" || key == "retry") {
+        key == "count-only" || key == "retry" || key == "metrics" ||
+        key == "trace") {
       args.options[key] = "1";
       continue;
     }
@@ -230,6 +246,35 @@ void PrintBlockChoices(const HeavyKernelCounts& counts,
                 static_cast<unsigned long long>(c.nnz), c.density,
                 ProductKernelName(c.kernel));
   }
+}
+
+// --trace: the recorded span tree plus its attribution summary. Coverage
+// is the fraction of the first root span's wall time covered by its direct
+// children — the acceptance bar is >= 95% on a two-path query.
+void PrintTrace(const TraceRecorder& trace) {
+  std::printf("%s", trace.Render().c_str());
+  std::printf("trace: %zu spans, %.1f%% of wall attributed to stages%s\n",
+              trace.size(), trace.ChildCoverage() * 100.0,
+              trace.AllClosed() ? "" : " (UNBALANCED: open spans leaked)");
+}
+
+// --metrics[=FILE]: Prometheus-text dump of the process-wide registry.
+int DumpMetrics(const std::string& target) {
+  const std::string text = MetricsRegistry::Global().PrometheusText();
+  if (target.empty() || target == "1") {
+    std::printf("%s", text.c_str());
+    return 0;
+  }
+  std::FILE* f = std::fopen(target.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                 target.c_str());
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("metrics written to %s\n", target.c_str());
+  return 0;
 }
 
 int RunStats(const Args& args, const BinaryRelation& rel) {
@@ -347,7 +392,10 @@ int RunTwoPathService(const Args& args, QueryEngine& engine,
     TwoPathSink out = TwoPathSink::Make(args);
     ExecStats stats;
     for (long run = 0; run < repeat; ++run) {
-      QueryStatus st = service.Execute(query, *out.sink, base_req, &stats);
+      TraceRecorder trace;
+      ServiceRequest run_req = base_req;
+      if (args.Has("trace")) run_req.exec.trace = &trace;
+      QueryStatus st = service.Execute(query, *out.sink, run_req, &stats);
       const bool truncated = st.code() == StatusCode::kDeadlineExceeded ||
                              st.code() == StatusCode::kCancelled;
       if (!st.ok() && !truncated) {
@@ -369,6 +417,7 @@ int RunTwoPathService(const Args& args, QueryEngine& engine,
                         stats.heavy_blocks_executed),
                     static_cast<unsigned long long>(stats.heavy_blocks_total));
       }
+      if (args.Has("trace")) PrintTrace(trace);
     }
     return 0;
   }
@@ -378,7 +427,10 @@ int RunTwoPathService(const Args& args, QueryEngine& engine,
     std::string fatal;
   };
   std::vector<Tally> tallies(static_cast<size_t>(clients));
-  std::vector<double> latencies;  // seconds, every finished attempt chain
+  // Shared sharded histogram (common/metrics.h): every finished attempt
+  // chain records its latency concurrently; p50/p99 come from the merged
+  // snapshot — the same type the service exports process-wide.
+  Histogram latency_ms(DefaultLatencyBoundsMs());
   std::vector<size_t> ok_counts;  // result counts of un-truncated runs
   std::mutex agg_mu;
 
@@ -424,9 +476,11 @@ int RunTwoPathService(const Args& args, QueryEngine& engine,
             return;
         }
         if (stats.degraded) ++tally.degraded;
-        std::lock_guard<std::mutex> lk(agg_mu);
-        latencies.push_back(sec);
-        if (st.ok()) ok_counts.push_back(client_sink.Count());
+        latency_ms.Record(sec * 1e3);
+        if (st.ok()) {
+          std::lock_guard<std::mutex> lk(agg_mu);
+          ok_counts.push_back(client_sink.Count());
+        }
       }
     });
   }
@@ -457,12 +511,7 @@ int RunTwoPathService(const Args& args, QueryEngine& engine,
       return 1;
     }
   }
-  std::sort(latencies.begin(), latencies.end());
-  const auto pct = [&](double p) {
-    if (latencies.empty()) return 0.0;
-    size_t i = static_cast<size_t>(p * static_cast<double>(latencies.size()));
-    return latencies[std::min(i, latencies.size() - 1)] * 1e3;
-  };
+  const HistogramSnapshot lat = latency_ms.Snapshot();
   std::printf("clients=%ld repeat=%ld max-inflight=%d queue-depth=%zu%s%s: "
               "%.3f s\n",
               clients, repeat, so.max_inflight, so.queue_depth,
@@ -475,13 +524,10 @@ int RunTwoPathService(const Args& args, QueryEngine& engine,
               static_cast<unsigned long long>(total.deadline),
               static_cast<unsigned long long>(total.cancelled),
               static_cast<unsigned long long>(total.degraded));
-  const ServiceStats ss = service.stats();
-  std::printf("service: admitted=%llu queue-timeouts=%llu "
-              "max-queue-depth=%llu\n",
-              static_cast<unsigned long long>(ss.admitted),
-              static_cast<unsigned long long>(ss.queue_timeouts),
-              static_cast<unsigned long long>(ss.max_queue_depth));
-  std::printf("latency: p50=%.2f ms p99=%.2f ms\n", pct(0.50), pct(0.99));
+  std::printf("service: %s\n", service.stats().ToString().c_str());
+  std::printf("latency: p50=%.2f ms p99=%.2f ms (%llu samples)\n",
+              lat.Percentile(50.0), lat.Percentile(99.0),
+              static_cast<unsigned long long>(lat.count));
   if (!ok_counts.empty()) {
     std::printf("every completed execution: %zu results\n", ok_counts[0]);
   }
@@ -623,7 +669,10 @@ int RunTwoPath(const Args& args, BinaryRelation rel) {
   TwoPathSink out = TwoPathSink::Make(args);
   ExecStats stats;
   for (long run = 0; run < repeat; ++run) {
-    st = engine.Execute(query, *out.sink, exec, &stats);
+    TraceRecorder trace;
+    ExecOptions run_exec = exec;
+    if (args.Has("trace")) run_exec.trace = &trace;
+    st = engine.Execute(query, *out.sink, run_exec, &stats);
     if (!st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.message().c_str());
       return 1;
@@ -643,6 +692,7 @@ int RunTwoPath(const Args& args, BinaryRelation rel) {
                   static_cast<unsigned long long>(stats.heavy_blocks_total),
                   static_cast<unsigned long long>(stats.heavy_blocks_skipped));
     }
+    if (args.Has("trace")) PrintTrace(trace);
   }
   if (out.kind == TwoPathSink::Kind::kTopK) {
     for (const CountedPair& p :
@@ -693,8 +743,16 @@ int RunStar(const Args& args, const BinaryRelation& rel) {
   opts.threads = static_cast<int>(args.GetI("threads", 1));
   opts.heavy_path = ParseHeavyPath(args.Get("heavy-path", "auto"));
   opts.partition = ParsePartitionMode(args.Get("partition", "auto"));
+  TraceRecorder trace;
+  std::optional<TraceRecorder::Scope> root;
+  if (args.Has("trace")) {
+    opts.trace = &trace;
+    root.emplace(&trace, "star");
+    opts.trace_parent = root->id();
+  }
   WallTimer timer;
   auto res = JoinProject::Star(rels, opts);
+  if (root.has_value()) root->Close();
   std::printf("star k=%ld: %zu tuples in %.3f s (light %.3f s, heavy %.3f s, "
               "V %llu x %llu x W %llu)\n",
               k, res.tuples.size(), timer.Seconds(), res.light_seconds,
@@ -716,6 +774,7 @@ int RunStar(const Args& args, const BinaryRelation& rel) {
                          res.partition_blocks_pruned,
                          res.partition_signature);
   }
+  if (args.Has("trace")) PrintTrace(trace);
   return 0;
 }
 
@@ -809,8 +868,16 @@ int RunTriangles(const Args& args, const BinaryRelation& rel) {
   TriangleCountOptions opts;
   opts.threads = static_cast<int>(args.GetI("threads", 1));
   opts.heavy_path = ParseHeavyPath(args.Get("heavy-path", "auto"));
+  TraceRecorder trace;
+  std::optional<TraceRecorder::Scope> root;
+  if (args.Has("trace")) {
+    opts.trace = &trace;
+    root.emplace(&trace, "triangles");
+    opts.trace_parent = root->id();
+  }
   WallTimer timer;
   auto res = CountTrianglesMm(idx, opts);
+  if (root.has_value()) root->Close();
   std::printf("triangles: %llu (light %llu, heavy %llu; delta %llu) in "
               "%.3f s\n",
               static_cast<unsigned long long>(res.triangles),
@@ -818,6 +885,7 @@ int RunTriangles(const Args& args, const BinaryRelation& rel) {
               static_cast<unsigned long long>(res.heavy_triangles),
               static_cast<unsigned long long>(res.delta_used),
               timer.Seconds());
+  if (args.Has("trace")) PrintTrace(trace);
   return 0;
 }
 
@@ -842,13 +910,23 @@ int main(int argc, char** argv) {
     auto rel = LoadDataset(*args);
     if (!rel.has_value()) return 1;
 
-    if (args->command == "stats") return RunStats(*args, *rel);
-    if (args->command == "twopath") return RunTwoPath(*args, std::move(*rel));
-    if (args->command == "star") return RunStar(*args, *rel);
-    if (args->command == "ssj") return RunSsj(*args, *rel);
-    if (args->command == "scj") return RunScj(*args, *rel);
-    if (args->command == "bsi") return RunBsi(*args, *rel);
-    if (args->command == "triangles") return RunTriangles(*args, *rel);
+    int rc = -1;
+    if (args->command == "stats") rc = RunStats(*args, *rel);
+    else if (args->command == "twopath")
+      rc = RunTwoPath(*args, std::move(*rel));
+    else if (args->command == "star") rc = RunStar(*args, *rel);
+    else if (args->command == "ssj") rc = RunSsj(*args, *rel);
+    else if (args->command == "scj") rc = RunScj(*args, *rel);
+    else if (args->command == "bsi") rc = RunBsi(*args, *rel);
+    else if (args->command == "triangles") rc = RunTriangles(*args, *rel);
+    if (rc >= 0) {
+      // Dump after the command so the registry holds this run's counters.
+      if (args->Has("metrics") && rc == 0) {
+        const int mrc = DumpMetrics(args->Get("metrics"));
+        if (mrc != 0) return mrc;
+      }
+      return rc;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
