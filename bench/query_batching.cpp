@@ -1,0 +1,216 @@
+// Multi-query batching drill — the coalescing acceptance row.
+//
+// N identical clients (1 / 16 / 64) repeatedly execute ONE shared
+// PreparedQuery against the same QueryService, the dashboard / replicated-
+// poller workload the batching subsystem exists for. Three service
+// configurations run the same offered load:
+//
+//   ServiceUnbatched   every request is its own engine execution (the
+//                      pre-batching baseline)
+//   ServiceBatched     requests coalescing within the batch window share
+//                      one leader execution whose results fan out
+//   ServiceCached      batching plus the versioned result cache; repeat
+//                      requests replay without executing at all
+//
+// Unlike query_service_overload.cpp this bench spawns its client threads
+// INSIDE each iteration rather than via benchmark's ->Threads() fan-out:
+// one iteration = every client issuing kRequestsPerClient requests against
+// a fresh service, so the leader-execution count per iteration is an exact
+// PreparedQuery::executions() delta, not a racy mid-run snapshot.
+//
+// Reported counters (per google-benchmark JSON, tracked by bench_compare):
+//   ok / wrong           completed requests and oracle mismatches (wrong
+//                        must be 0: coalescing may share work, never
+//                        corrupt it)
+//   leader_execs         engine executions actually run for the iteration's
+//                        ok requests — the work-sharing numerator
+//   share_factor         ok / leader_execs, >= 1; 1.0 when unbatched
+//   client_p50_ms/p99_ms per-request latency percentiles via the shared
+//                        Histogram type (batching trades p50 — the window
+//                        wait — for aggregate throughput)
+//
+// The acceptance row is ServiceBatched/64: aggregate q/s (items_per_second)
+// at least 8x ServiceUnbatched/64, with leader_execs a small fraction of ok.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/query_engine.h"
+#include "core/query_service.h"
+#include "core/result_sink.h"
+#include "datagen/presets.h"
+
+using namespace jpmm;
+
+namespace {
+
+constexpr int kRequestsPerClient = 4;
+
+QueryEngine& SharedEngine() {
+  static QueryEngine* engine = [] {
+    auto* e = new QueryEngine();
+    // Scaled so one execution costs tens of milliseconds: batching's win is
+    // proportional to execution cost, and a trivial query would measure the
+    // fixed per-request bookkeeping instead of the work sharing.
+    e->AddRelation("R", MakePreset(DatasetPreset::kJokes,
+                                   2.0 * ScaleFromEnv(), 7));
+    return e;
+  }();
+  return *engine;
+}
+
+PreparedQuery& SharedQuery() {
+  static PreparedQuery* query = [] {
+    QuerySpec spec;
+    spec.kind = QueryKind::kTwoPath;
+    spec.relations = {"R"};
+    auto* q = new PreparedQuery();
+    QueryStatus st = SharedEngine().Prepare(spec, q);
+    if (!st.ok()) {
+      std::fprintf(stderr, "prepare failed: %s\n", st.message().c_str());
+      std::abort();
+    }
+    CountOnlySink warm;
+    SharedEngine().Execute(*q, warm, {});
+    return q;
+  }();
+  return *query;
+}
+
+// The single-client answer every completed request must match.
+uint64_t OracleCount() {
+  static const uint64_t count = [] {
+    CountOnlySink sink;
+    QueryStatus st = SharedEngine().Execute(SharedQuery(), sink, {});
+    if (!st.ok()) std::abort();
+    return sink.count();
+  }();
+  return count;
+}
+
+enum class Mode { kUnbatched, kBatched, kCached };
+
+QueryServiceOptions OptionsFor(Mode mode, int clients) {
+  QueryServiceOptions opt;
+  // Provisioned so admission never sheds: this bench measures coalescing,
+  // not overload (query_service_overload.cpp owns that row).
+  opt.max_inflight = 4;
+  opt.queue_depth = static_cast<size_t>(clients) * kRequestsPerClient + 1;
+  opt.max_queued_per_class = opt.queue_depth;
+  if (mode != Mode::kUnbatched) {
+    opt.enable_batching = true;
+    opt.batch_window_ms = 4;
+  }
+  if (mode == Mode::kCached) {
+    opt.enable_result_cache = true;
+  }
+  return opt;
+}
+
+struct Tally {
+  int64_t ok = 0;
+  int64_t wrong = 0;
+  int64_t leader_execs = 0;
+  Histogram latency_ms{DefaultLatencyBoundsMs()};
+};
+
+void RunClients(Mode mode, int clients, Tally& t) {
+  QueryService service(&SharedEngine(), OptionsFor(mode, clients));
+  PreparedQuery& q = SharedQuery();
+  const uint64_t oracle = OracleCount();
+  const uint64_t execs_before = q.executions();
+  std::vector<int64_t> ok(static_cast<size_t>(clients), 0);
+  std::vector<int64_t> wrong(static_cast<size_t>(clients), 0);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ServiceRequest req;
+      req.exec.threads = 1;
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        CountOnlySink sink;
+        const auto t0 = std::chrono::steady_clock::now();
+        QueryStatus st = service.Execute(q, sink, req);
+        const auto t1 = std::chrono::steady_clock::now();
+        t.latency_ms.Record(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        if (st.ok()) {
+          ++ok[static_cast<size_t>(c)];
+          if (sink.count() != oracle) ++wrong[static_cast<size_t>(c)];
+        } else {
+          ++wrong[static_cast<size_t>(c)];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int c = 0; c < clients; ++c) {
+    t.ok += ok[static_cast<size_t>(c)];
+    t.wrong += wrong[static_cast<size_t>(c)];
+  }
+  t.leader_execs += static_cast<int64_t>(q.executions() - execs_before);
+}
+
+void Report(benchmark::State& state, const Tally& t) {
+  using benchmark::Counter;
+  state.counters["ok"] = Counter(static_cast<double>(t.ok));
+  state.counters["wrong"] = Counter(static_cast<double>(t.wrong));
+  state.counters["leader_execs"] = Counter(static_cast<double>(t.leader_execs));
+  state.counters["share_factor"] =
+      Counter(t.leader_execs > 0
+                  ? static_cast<double>(t.ok) /
+                        static_cast<double>(t.leader_execs)
+                  : static_cast<double>(t.ok));
+  benchutil::ReportLatency(state, t.latency_ms.Snapshot());
+  state.SetItemsProcessed(t.ok);
+}
+
+void RunMode(benchmark::State& state, Mode mode) {
+  const int clients = static_cast<int>(state.range(0));
+  OracleCount();  // warm engine + oracle outside the timed region
+  Tally t;
+  for (auto _ : state) {
+    RunClients(mode, clients, t);
+  }
+  Report(state, t);
+}
+
+void BM_ServiceUnbatched(benchmark::State& state) {
+  RunMode(state, Mode::kUnbatched);
+}
+BENCHMARK(BM_ServiceUnbatched)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(64)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServiceBatched(benchmark::State& state) {
+  RunMode(state, Mode::kBatched);
+}
+BENCHMARK(BM_ServiceBatched)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(64)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServiceCached(benchmark::State& state) {
+  RunMode(state, Mode::kCached);
+}
+BENCHMARK(BM_ServiceCached)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(64)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+JPMM_BENCH_MAIN();

@@ -156,6 +156,7 @@ JoinProjectOutput JoinProject::TwoPathWithPlan(const IndexedRelation& r,
       mo.min_count = opts.min_count;
       mo.heavy_path = opts.heavy_path;
       mo.partition = opts.partition;
+      mo.grid_cache = opts.grid_cache;
       mo.max_matrix_bytes = opts.max_matrix_bytes;
       mo.sink = opts.sink;
       mo.cancel = opts.cancel;
@@ -175,6 +176,7 @@ JoinProjectOutput JoinProject::TwoPathWithPlan(const IndexedRelation& r,
       out.partition_blocks_scheduled = res.partition_blocks_scheduled;
       out.partition_blocks_pruned = res.partition_blocks_pruned;
       out.partition_signature = std::move(res.partition_signature);
+      out.partition_cache_hit = res.partition_cache_hit;
       out.heavy_blocks_total = res.heavy_blocks_total;
       out.heavy_blocks_executed = res.heavy_blocks_executed;
       out.heavy_blocks_skipped = res.heavy_blocks_skipped;
@@ -272,6 +274,7 @@ StarJoinResult JoinProject::Star(
   so.threads = opts.threads;
   so.heavy_path = opts.heavy_path;
   so.partition = opts.partition;
+  so.grid_cache = opts.grid_cache;
   so.max_matrix_bytes = opts.max_matrix_bytes;
   so.sink = opts.sink;
   so.cancel = opts.cancel;

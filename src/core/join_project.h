@@ -56,6 +56,10 @@ struct JoinProjectOptions {
   /// kForce whenever a heavy product exists. Outputs are identical in
   /// every mode.
   PartitionMode partition = PartitionMode::kAuto;
+  /// Optional cross-execution grid memo threaded down to MmJoinOptions /
+  /// StarJoinOptions (see DensityGridCache); a PreparedQuery's PlanState
+  /// owns one per heavy product. Null = always rebuild.
+  DensityGridCache* grid_cache = nullptr;
   /// Heavy-part memory cap (see MmJoinOptions::max_matrix_bytes).
   uint64_t max_matrix_bytes = uint64_t{3} << 30;
   OptimizerOptions optimizer;
@@ -99,6 +103,7 @@ struct JoinProjectOutput {
   uint64_t partition_blocks_scheduled = 0;
   uint64_t partition_blocks_pruned = 0;
   std::string partition_signature = "off";
+  bool partition_cache_hit = false;
 
   /// Early-exit record (sink-driven runs; see MmJoinResult).
   uint64_t heavy_blocks_total = 0;

@@ -42,6 +42,8 @@ struct JoinMetrics {
       reg.GetCounter("jpmm_partition_engaged_total");
   Counter& partition_pruned =
       reg.GetCounter("jpmm_partition_blocks_pruned_total");
+  Counter& partition_grid_cache_hits =
+      reg.GetCounter("jpmm_partition_grid_cache_hits_total");
   Histogram& light_ms = reg.GetHistogram("jpmm_join_light_pass_ms",
                                          DefaultLatencyBoundsMs());
   Histogram& heavy_ms = reg.GetHistogram("jpmm_join_heavy_pass_ms",
@@ -495,10 +497,33 @@ MmJoinResult MmJoinTwoPath(const IndexedRelation& r, const IndexedRelation& s,
       go.rates = opts.sparse_rates;
       go.allow_dense = allow_dense;
       go.allow_csr_dense = allow_csr_dense;
+      // Cross-execution memo (satellite of the batching subsystem): one
+      // PreparedQuery re-running against its immutable snapshots would
+      // rebuild the identical grid, so PlanState hands us a DensityGridCache
+      // keyed on everything the build reads — the ADJUSTED thresholds `t`
+      // plus the DensityGridOptions fields.
       const TraceRecorder::SpanId remap_span =
           TraceBegin(trace, "degree-remap", heavy_id);
-      grid = BuildDensityGrid(csr1, csr2, go);
-      TraceEnd(trace, remap_span);
+      std::shared_ptr<const DensityGrid> memo =
+          opts.grid_cache == nullptr
+              ? nullptr
+              : opts.grid_cache->Lookup(t, row_block, opts.heavy_path,
+                                        allow_dense, allow_csr_dense,
+                                        opts.sparse_rates);
+      if (memo != nullptr) {
+        grid = *memo;
+        result.partition_cache_hit = true;
+        if (MetricsEnabled()) JoinMetrics::Get().partition_grid_cache_hits.Add();
+      } else {
+        grid = BuildDensityGrid(csr1, csr2, go);
+        if (opts.grid_cache != nullptr) {
+          opts.grid_cache->Store(t, row_block, opts.heavy_path, allow_dense,
+                                 allow_csr_dense, opts.sparse_rates,
+                                 std::make_shared<DensityGrid>(grid));
+        }
+      }
+      TraceEnd(trace, remap_span,
+               result.partition_cache_hit ? "cache-hit" : "cache-miss");
       density = opts.partition == PartitionMode::kForce || grid.beneficial;
       if (density) {
         bool grid_dense = false;

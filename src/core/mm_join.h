@@ -86,6 +86,11 @@ struct MmJoinOptions {
   /// equivalence tests); kOff always runs the uniform plan. Outputs are
   /// byte-identical either way — the remap is inverted at emit time.
   PartitionMode partition = PartitionMode::kAuto;
+  /// Optional cross-execution grid memo owned by the caller's plan state
+  /// (see DensityGridCache). On a key match the degree-remap rebuild is
+  /// skipped; the hit is recorded in MmJoinResult::partition_cache_hit and
+  /// the "degree-remap" trace span's detail. Null = always rebuild.
+  DensityGridCache* grid_cache = nullptr;
   /// Push-based result delivery (core/result_sink.h). When set, results
   /// stream into the sink (min_count filtering still applies first) and
   /// MmJoinResult::pairs / counted stay empty; the sink's done() signal is
@@ -149,6 +154,10 @@ struct MmJoinResult {
   /// DensityGrid::Signature()). Identical across re-executions of one plan
   /// against an unchanged catalog, at every thread count.
   std::string partition_signature = "off";
+  /// True iff the grid came from MmJoinOptions::grid_cache instead of a
+  /// fresh BuildDensityGrid (identical grid either way — the cache key
+  /// covers every input the build reads).
+  bool partition_cache_hit = false;
 
   // --- early-exit instrumentation (sink-driven runs) ---
   uint64_t heavy_blocks_total = 0;     // planned product blocks (or heavy

@@ -4,6 +4,7 @@
 #include <functional>
 #include <mutex>
 
+#include "common/hash.h"
 #include "common/metrics.h"
 #include "common/timer.h"
 #include "core/optimizer.h"
@@ -127,6 +128,26 @@ void FillTwoPathStats(JoinProjectOutput* out, ExecStats* stats) {
   stats->light_chunks_executed = out->light_chunks_executed;
   stats->light_chunks_skipped = out->light_chunks_skipped;
   stats->interrupted = out->interrupted;
+  stats->partition_cache_hit = out->partition_cache_hit;
+}
+
+// Stable per-process hash of the spec's WHAT-fields — the coalescing /
+// result-cache key component (see PreparedQuery::spec_fingerprint). HOW
+// knobs (threads, kernels, thresholds) are excluded on purpose: the result
+// set is invariant across them.
+uint64_t SpecFingerprint(const QuerySpec& spec) {
+  size_t h = 0x9e3779b97f4a7c15ull;  // arbitrary non-zero seed
+  HashCombine(&h, static_cast<uint64_t>(spec.kind));
+  HashCombine(&h, spec.relations.size());
+  for (const std::string& name : spec.relations) {
+    HashCombine(&h, std::hash<std::string>{}(name));
+  }
+  HashCombine(&h, static_cast<uint64_t>(spec.strategy));
+  HashCombine(&h, spec.count_witnesses ? 1 : 0);
+  HashCombine(&h, spec.min_count);
+  HashCombine(&h, spec.ssj_c);
+  HashCombine(&h, spec.ssj_ordered ? 1 : 0);
+  return Mix64(h);
 }
 
 InterruptReason MapInterruptReason(CancelToken::Reason r) {
@@ -297,20 +318,23 @@ QueryStatus QueryEngine::Prepare(const QuerySpec& spec, PreparedQuery* out) {
   }
 
   // ---- Resolve + snapshot: indexes (built once, memoized per catalog
-  // entry) and operand statistics (the expensive part of planning). The
-  // snapshot is the existence check: name resolution and entry pinning are
-  // one atomic step, so a concurrent Drop between "has" and "index" cannot
-  // slip through.
+  // entry) and operand statistics (the expensive part of planning). ALL
+  // names are pinned under one catalog lock hold (Catalog::SnapshotAll),
+  // so a multi-relation query sees a consistent cut — a concurrent Put
+  // landing between two names can no longer produce a mixed-version view,
+  // and the recorded version identifies the cut for the service layer's
+  // batching / result-cache coalescing key.
   PreparedQuery q;
   q.spec_ = spec;
-  for (const std::string& name : spec.relations) {
-    std::shared_ptr<const IndexedRelation> idx = catalog_.IndexSnapshot(name);
-    if (idx == nullptr) {
-      return QueryStatus::NotFound("unknown relation '" + name +
+  {
+    std::string missing;
+    if (!catalog_.SnapshotAll(spec.relations, &q.rels_, &q.prepared_version_,
+                              &missing)) {
+      return QueryStatus::NotFound("unknown relation '" + missing +
                                    "' (not in the catalog)");
     }
-    q.rels_.push_back(std::move(idx));
   }
+  q.fingerprint_ = SpecFingerprint(spec);
   switch (spec.kind) {
     case QueryKind::kTwoPath: {
       const IndexedRelation* r = q.rels_[0].get();
@@ -418,6 +442,7 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
       jo.thresholds = opts.thresholds;
       jo.heavy_path = opts.heavy_path;
       jo.partition = opts.partition;
+      jo.grid_cache = &ps.two_path_grid;
       jo.max_matrix_bytes = opts.max_matrix_bytes;
       jo.cancel = opts.cancel;
       jo.trace = opts.trace;
@@ -524,6 +549,7 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
       jo.threads = opts.threads;
       jo.heavy_path = opts.heavy_path;
       jo.partition = opts.partition;
+      jo.grid_cache = &ps.star_grid;
       jo.max_matrix_bytes = opts.max_matrix_bytes;
       jo.sink = &sink;
       jo.cancel = opts.cancel;
@@ -545,6 +571,7 @@ QueryStatus QueryEngine::Execute(PreparedQuery& query, ResultSink& sink,
         stats->partition_blocks_scheduled = res.partition_blocks_scheduled;
         stats->partition_blocks_pruned = res.partition_blocks_pruned;
         stats->partition_signature = res.partition_signature;
+        stats->partition_cache_hit = res.partition_cache_hit;
         stats->heavy_blocks_total = res.heavy_blocks_total;
         stats->heavy_blocks_executed = res.heavy_blocks_executed;
         stats->heavy_blocks_skipped = res.heavy_blocks_skipped;

@@ -281,6 +281,25 @@ struct ExecStats {
   uint64_t partition_blocks_pruned = 0;
   std::string partition_signature = "off";
 
+  /// True iff the density-grid remap was reused from the PreparedQuery's
+  /// plan state instead of rebuilt (partition runs only; the grid is
+  /// identical either way — see DensityGridCache).
+  bool partition_cache_hit = false;
+
+  /// --- Multi-query batching / result cache (QueryService layer; the
+  /// engine itself never sets these) -----------------------------------
+  /// True iff this request shared one execution with concurrent identical
+  /// requests: the leader ran the single pass into a FanoutSink, followers
+  /// received the same stream in their own sinks.
+  bool batched = false;
+  bool batch_leader = false;    // this request ran the shared pass
+  bool batch_follower = false;  // this request received the fan-out
+  uint32_t batch_group_size = 0;  // client sinks served by the shared pass
+  /// True iff the result was replayed from the service's versioned result
+  /// cache without executing; the counters above describe the cached run,
+  /// `seconds` the replay.
+  bool result_cache_hit = false;
+
   /// kTriangle only: the (possibly partial, see `interrupted`) triangle
   /// count — triangle queries deliver through stats, not pairs.
   uint64_t triangle_count = 0;
@@ -318,6 +337,18 @@ class PreparedQuery {
   /// Executions served by this prepared query so far.
   uint64_t executions() const;
 
+  /// Catalog::version() at Prepare time — identifies the consistent
+  /// multi-relation cut this query's snapshots came from (SnapshotAll).
+  /// The batching / result-cache coalescing key is (prepared_version,
+  /// spec_fingerprint).
+  uint64_t prepared_version() const { return prepared_version_; }
+  /// Stable hash of every WHAT-field of the spec (kind, relation names,
+  /// strategy, count_witnesses, min_count, ssj knobs). Execution knobs are
+  /// deliberately excluded: the result SET is invariant across strategies,
+  /// kernels, and thread counts (the differential fuzzer's core property),
+  /// so requests differing only in HOW coalesce safely.
+  uint64_t spec_fingerprint() const { return fingerprint_; }
+
  private:
   friend class QueryEngine;
 
@@ -333,9 +364,17 @@ class PreparedQuery {
     bool star_thresholds_valid = false;
     Thresholds star_thresholds{0, 0};
     std::atomic<uint64_t> executions{0};
+    /// Cross-execution density-grid memos (core/density_partition.h): the
+    /// operand snapshots are immutable, so the remap/grid from one
+    /// execution is valid for every later one with the same adjusted
+    /// thresholds + gates. One slot per heavy-product shape.
+    DensityGridCache two_path_grid;
+    DensityGridCache star_grid;
   };
 
   QuerySpec spec_;
+  uint64_t prepared_version_ = 0;
+  uint64_t fingerprint_ = 0;
   /// Catalog snapshots: shared ownership keeps the relations alive and
   /// immutable for this query's lifetime (see Catalog::IndexSnapshot).
   std::vector<std::shared_ptr<const IndexedRelation>> rels_;

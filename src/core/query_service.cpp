@@ -73,7 +73,19 @@ const char* QueryClassName(QueryClass c) {
 }
 
 QueryService::QueryService(QueryEngine* engine, QueryServiceOptions options)
-    : engine_(engine), options_(options) {}
+    : engine_(engine), options_(options) {
+  if (options_.enable_batching) {
+    QueryBatcher::Options bo;
+    bo.window_ms = std::max<int64_t>(0, options_.batch_window_ms);
+    batcher_ = std::make_unique<QueryBatcher>(bo);
+  }
+  if (options_.enable_result_cache) {
+    ResultCache::Options co;
+    co.max_bytes = options_.result_cache_bytes;
+    co.max_entry_bytes = options_.result_cache_max_entry_bytes;
+    cache_ = std::make_unique<ResultCache>(co);
+  }
+}
 
 QueryStatus QueryService::Admit(const ServiceRequest& req,
                                 const CancelToken* token,
@@ -196,6 +208,97 @@ QueryStatus QueryService::Execute(PreparedQuery& query, ResultSink& sink,
                                      req.exec.trace_parent);
   const TraceRecorder::SpanId request_id = request_scope.id();
 
+  // Every exit path — shed, queued-deadline, cache hit, batch delivery,
+  // completion — closes the root and hands the (fully closed) span tree
+  // back through ExecStats.
+  auto finish_trace = [&] {
+    request_scope.Close();
+    if (req.exec.trace != nullptr) out->trace_spans = req.exec.trace->spans();
+  };
+
+  const BatchKey key{query.prepared_version(), query.spec_fingerprint()};
+
+  // ---- Result cache probe -----------------------------------------------
+  // Before paying for admission: a hit replays the complete cached payload
+  // into the caller's sink (its limit/page semantics apply as usual) and
+  // never executes. Version-keyed probes cannot return stale data; the
+  // sweep below just releases memory held by entries from older catalog
+  // versions.
+  if (cache_ != nullptr && !(token != nullptr && token->Fired())) {
+    TraceRecorder::SpanId probe_span =
+        TraceBegin(req.exec.trace, "cache-probe", request_id);
+    cache_->InvalidateStale(engine_->catalog().version());
+    const bool hit =
+        cache_->Replay(key, sink, out, req.exec.trace, probe_span);
+    TraceEnd(req.exec.trace, probe_span, hit ? "hit" : "miss");
+    if (hit) {
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      ServiceMetrics::Get().admitted.Add();
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      completed_.fetch_add(1, std::memory_order_release);
+      ServiceMetrics::Get().completed.Add();
+      finish_trace();
+      return QueryStatus::Ok();
+    }
+  }
+
+  // ---- Batching ---------------------------------------------------------
+  // A star query into a pair-only sink fails validation in the engine; keep
+  // such requests out of groups so one incapable sink cannot fail a whole
+  // group (FanoutSink::supports_tuples is the conjunction over members).
+  const bool batchable = batcher_ != nullptr &&
+                         (query.spec().kind != QueryKind::kStar ||
+                          sink.supports_tuples());
+  // The cache tap records the complete post-filter stream of a leader/solo
+  // run for insertion (bounded; an overflow just skips the insert).
+  std::unique_ptr<RecordingSink> tap;
+  if (cache_ != nullptr) {
+    tap = std::make_unique<RecordingSink>(options_.result_cache_max_entry_bytes);
+  }
+
+  QueryStatus st;
+  if (batchable) {
+    const QueryBatcher::RunFn run = [&](ResultSink& run_sink,
+                                        ExecStats* run_stats) {
+      return RunAdmitted(query, run_sink, req, token, request_id, run_stats);
+    };
+    const QueryBatcher::Result r = batcher_->Execute(
+        key, &sink, tap.get(), token, run, out, req.exec.trace, request_id);
+    if (r.role == QueryBatcher::Role::kFollower) {
+      batch_followers_.fetch_add(1, std::memory_order_relaxed);
+      CountFollowerOutcome(r.status);
+      finish_trace();
+      return r.status;
+    }
+    if (r.role == QueryBatcher::Role::kDetached) {
+      queue_timeouts_.fetch_add(1, std::memory_order_release);
+      ServiceMetrics::Get().queue_timeouts.Add();
+      finish_trace();
+      return TokenStatus(token,
+                         "while waiting in the batch window (nothing "
+                         "executed)");
+    }
+    if (r.group_size > 1) {
+      batch_leaders_.fetch_add(1, std::memory_order_relaxed);
+    }
+    st = r.status;
+  } else if (tap != nullptr) {
+    FanoutSink fan;
+    fan.AddTarget(&sink);
+    fan.AddTap(tap.get());
+    st = RunAdmitted(query, fan, req, token, request_id, out);
+  } else {
+    st = RunAdmitted(query, sink, req, token, request_id, out);
+  }
+  MaybeCacheResult(key, query.spec().kind, tap.get(), st, *out);
+  finish_trace();
+  return st;
+}
+
+QueryStatus QueryService::RunAdmitted(PreparedQuery& query, ResultSink& sink,
+                                      const ServiceRequest& req,
+                                      const CancelToken* token,
+                                      int32_t request_id, ExecStats* out) {
   size_t waiters_at_admit = 0;
   WallTimer queue_timer;
   QueryStatus admit;
@@ -206,16 +309,7 @@ QueryStatus QueryService::Execute(PreparedQuery& query, ResultSink& sink,
   if (MetricsEnabled()) {
     ServiceMetrics::Get().queue_wait_ms.Record(queue_timer.Seconds() * 1e3);
   }
-  // Every exit path — shed, queued-deadline, completion — closes the root
-  // and hands the (fully closed) span tree back through ExecStats.
-  auto finish_trace = [&] {
-    request_scope.Close();
-    if (req.exec.trace != nullptr) out->trace_spans = req.exec.trace->spans();
-  };
-  if (!admit.ok()) {
-    finish_trace();
-    return admit;
-  }
+  if (!admit.ok()) return admit;
   struct SlotGuard {
     QueryService* s;
     ~SlotGuard() { s->ReleaseSlot(); }
@@ -233,7 +327,6 @@ QueryStatus QueryService::Execute(PreparedQuery& query, ResultSink& sink,
       cancelled_.fetch_add(1, std::memory_order_release);
       ServiceMetrics::Get().cancelled.Add();
     }
-    finish_trace();
     return TokenStatus(token, "before execution started (nothing executed)");
   }
 
@@ -288,16 +381,13 @@ QueryStatus QueryService::Execute(PreparedQuery& query, ResultSink& sink,
   } catch (const std::exception& e) {
     internal_errors_.fetch_add(1, std::memory_order_release);
     ServiceMetrics::Get().internal_errors.Add();
-    finish_trace();
     return QueryStatus::Internal(std::string("execution failed: ") + e.what());
   }
-  // Execute resets *out, so the degradation record lands afterwards.
+  // Execute resets *out, so the degradation record lands afterwards. (The
+  // caller closes the request root span and re-copies the span tree, so
+  // the returned tree is fully closed — the AllClosed invariant.)
   out->degraded = degrade != DegradeReason::kNone;
   out->degrade_reason = degrade;
-  // Close the request root, then re-copy the spans: the engine copied them
-  // while this root was still open, and the returned tree should be fully
-  // closed (the AllClosed invariant).
-  finish_trace();
   if (!st.ok()) return st;
   if (out->interrupted) {
     if (out->interrupt_reason == InterruptReason::kDeadline) {
@@ -316,6 +406,69 @@ QueryStatus QueryService::Execute(PreparedQuery& query, ResultSink& sink,
   completed_.fetch_add(1, std::memory_order_release);
   ServiceMetrics::Get().completed.Add();
   return QueryStatus::Ok();
+}
+
+void QueryService::CountFollowerOutcome(const QueryStatus& st) {
+  // A follower shares its leader's execution but is still one served
+  // request; mirror the per-request counters so stats() stays meaningful
+  // under batching. Ordering matches the leader path — admitted (relaxed)
+  // strictly before the outcome (release) — so the documented snapshot
+  // invariant holds for followers too. A shed group (leader hit a full
+  // queue) counts only shed: nothing was admitted for anyone.
+  if (st.code() == StatusCode::kOverloaded) {
+    shed_.fetch_add(1, std::memory_order_release);
+    ServiceMetrics::Get().shed.Add();
+    return;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  ServiceMetrics::Get().admitted.Add();
+  switch (st.code()) {
+    case StatusCode::kOk:
+      completed_.fetch_add(1, std::memory_order_release);
+      ServiceMetrics::Get().completed.Add();
+      break;
+    case StatusCode::kDeadlineExceeded:
+      deadline_exceeded_.fetch_add(1, std::memory_order_release);
+      ServiceMetrics::Get().deadline_exceeded.Add();
+      break;
+    case StatusCode::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_release);
+      ServiceMetrics::Get().cancelled.Add();
+      break;
+    case StatusCode::kInternal:
+      internal_errors_.fetch_add(1, std::memory_order_release);
+      ServiceMetrics::Get().internal_errors.Add();
+      break;
+    default:
+      // Validation errors surface per-request without an outcome counter,
+      // exactly as on the unbatched path.
+      break;
+  }
+}
+
+void QueryService::MaybeCacheResult(const BatchKey& key, QueryKind kind,
+                                    RecordingSink* tap, const QueryStatus& st,
+                                    const ExecStats& stats) {
+  if (cache_ == nullptr || tap == nullptr) return;
+  // Only COMPLETE runs are cacheable: nothing truncated the execution
+  // (deadline/cancel), no work was short-circuited by an early-exiting
+  // sink (a limit-driven run records only a prefix), and the tap captured
+  // the whole stream.
+  if (!st.ok() || stats.interrupted || stats.heavy_blocks_skipped != 0 ||
+      stats.light_chunks_skipped != 0 || stats.light_steps_skipped != 0 ||
+      tap->overflowed()) {
+    return;
+  }
+  ResultCache::Entry entry;
+  entry.pairs = std::move(tap->pairs());
+  entry.counted = std::move(tap->counted());
+  entry.tuple_data = std::move(tap->tuple_data());
+  entry.tuple_arity = tap->tuple_arity();
+  // Triangle queries deliver through stats (triangle_count), not the sink;
+  // a replayed hit likewise only copies stats.
+  entry.deliver_payload = kind != QueryKind::kTriangle;
+  entry.stats = stats;
+  cache_->Insert(key, std::move(entry));
 }
 
 QueryStatus QueryService::Run(const QuerySpec& spec, ResultSink& sink,
@@ -350,6 +503,9 @@ std::string ServiceStats::ToString() const {
   field("degraded", degraded);
   field("internal_errors", internal_errors);
   field("max_queue_depth", max_queue_depth);
+  field("batch_leaders", batch_leaders);
+  field("batch_followers", batch_followers);
+  field("cache_hits", cache_hits);
   return s;
 }
 
@@ -370,6 +526,9 @@ ServiceStats QueryService::stats() const {
   s.internal_errors = internal_errors_.load(std::memory_order_acquire);
   s.admitted = admitted_.load(std::memory_order_acquire);
   s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  s.batch_leaders = batch_leaders_.load(std::memory_order_relaxed);
+  s.batch_followers = batch_followers_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   return s;
 }
 

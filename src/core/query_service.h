@@ -49,10 +49,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "common/metrics.h"
+#include "core/query_batcher.h"
 #include "core/query_engine.h"
 
 namespace jpmm {
@@ -85,6 +87,28 @@ struct QueryServiceOptions {
   /// Minimum per-query memory share for which the MM strategies are still
   /// worth running; below it they degrade (DegradeReason::kMemoryCap).
   uint64_t min_mm_bytes = 64ull << 20;
+
+  /// Multi-query batching (core/query_batcher.h): coalesce concurrent
+  /// identical requests — same (catalog version at Prepare, spec
+  /// fingerprint) — onto one execution whose results fan out to every
+  /// coalesced sink. Off by default: batching holds each request for up to
+  /// batch_window_ms and shares one admission slot per group, which
+  /// changes per-request scheduling; opt in for many-identical-client
+  /// workloads (dashboards, replicated pollers).
+  bool enable_batching = false;
+  /// How long the first arrival of a group waits for coalescing joiners.
+  int64_t batch_window_ms = 2;
+
+  /// Versioned result cache: replay complete results of repeat requests
+  /// (same coalescing key) without executing. Staleness-proof by
+  /// construction — probes only match entries created at the probing
+  /// query's prepared catalog version, and Put/Drop bumps the version.
+  /// Off by default (memory for results; opt in like batching).
+  bool enable_result_cache = false;
+  /// Byte budget across cached result payloads (LRU-evicted).
+  uint64_t result_cache_bytes = 64ull << 20;
+  /// Results larger than this are never cached.
+  uint64_t result_cache_max_entry_bytes = 8ull << 20;
 };
 
 /// Cumulative service counters (one snapshot; see QueryService::stats()).
@@ -109,6 +133,9 @@ struct ServiceStats {
   uint64_t degraded = 0;           // re-planned onto a cheaper strategy
   uint64_t internal_errors = 0;    // exceptions contained as kInternal
   uint64_t max_queue_depth = 0;    // high-water mark of waiting requests
+  uint64_t batch_leaders = 0;      // ran a shared pass for a group of >= 2
+  uint64_t batch_followers = 0;    // served by another request's execution
+  uint64_t cache_hits = 0;         // replayed from the result cache
 
   /// One-line debug rendering, "admitted=5 completed=3 ..." — the
   /// StatusCodeName-style human form for logs and test failure messages.
@@ -168,9 +195,26 @@ class QueryService {
   QueryStatus Admit(const ServiceRequest& req, const CancelToken* token,
                     size_t* waiters_at_admit);
   void ReleaseSlot();
+  /// The admitted-execution path (queue wait → admission → degradation →
+  /// engine → outcome counters), shared by the unbatched fast path and the
+  /// batch leader (whose `sink` is then a FanoutSink over the group).
+  QueryStatus RunAdmitted(PreparedQuery& query, ResultSink& sink,
+                          const ServiceRequest& req, const CancelToken* token,
+                          int32_t request_id, ExecStats* out);
+  /// Mirrors the per-request counters for a request served by another
+  /// request's execution (batch follower), preserving the stats()
+  /// invariant: admitted is incremented (relaxed) before the outcome
+  /// (release), except kOverloaded which counts only shed.
+  void CountFollowerOutcome(const QueryStatus& st);
+  /// Inserts a leader/solo run's recorded payload into the result cache.
+  void MaybeCacheResult(const BatchKey& key, QueryKind kind,
+                        RecordingSink* tap, const QueryStatus& st,
+                        const ExecStats& stats);
 
   QueryEngine* const engine_;
   const QueryServiceOptions options_;
+  std::unique_ptr<QueryBatcher> batcher_;  // null unless enable_batching
+  std::unique_ptr<ResultCache> cache_;     // null unless enable_result_cache
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -189,6 +233,9 @@ class QueryService {
   std::atomic<uint64_t> degraded_{0};
   std::atomic<uint64_t> internal_errors_{0};
   std::atomic<uint64_t> max_queue_depth_{0};
+  std::atomic<uint64_t> batch_leaders_{0};
+  std::atomic<uint64_t> batch_followers_{0};
+  std::atomic<uint64_t> cache_hits_{0};
 };
 
 /// Client-side retry helper for kOverloaded. Calls `attempt` up to

@@ -428,4 +428,227 @@ void OrderedBySink::Finish() {
   shards_.clear();
 }
 
+// ---- FanoutSink ----------------------------------------------------------
+
+FanoutSink::FanoutSink() = default;
+FanoutSink::~FanoutSink() = default;
+
+struct FanoutSink::FanShard : ResultSink::Shard {
+  // (owning sink, its shard): the sink pointer is polled for done() before
+  // every forward so a satisfied target (limit/page reached) stops paying
+  // for delivery while the shared pass keeps running for the others.
+  std::vector<std::pair<ResultSink*, ResultSink::Shard*>> targets;
+  std::vector<ResultSink::Shard*> taps;
+  std::atomic<uint64_t>* forwarded = nullptr;
+
+  // Scalar emissions are buffered and forwarded as spans. Without this,
+  // a strategy that emits pair-by-pair (the mm-join emit loops do) would
+  // pay one virtual dispatch per pair PER TARGET — O(targets x results),
+  // which erases exactly the work-sharing the fan-out exists for. The
+  // done() vote consequently moves to flush granularity, the same chunk
+  // granularity at which the engine itself polls the sink.
+  static constexpr size_t kFlushAt = 1024;
+  std::vector<OutPair> pair_buf;
+  std::vector<CountedPair> counted_buf;
+
+  void ForwardPairs(std::span<const OutPair> ps) {
+    uint64_t n = 0;
+    for (const auto& [sink, sh] : targets) {
+      if (!sink->done()) {
+        sh->OnPairs(ps);
+        n += ps.size();
+      }
+    }
+    for (Shard* sh : taps) sh->OnPairs(ps);
+    forwarded->fetch_add(n, std::memory_order_relaxed);
+  }
+  void ForwardCounted(std::span<const CountedPair> ps) {
+    uint64_t n = 0;
+    for (const auto& [sink, sh] : targets) {
+      if (!sink->done()) {
+        sh->OnCountedPairs(ps);
+        n += ps.size();
+      }
+    }
+    for (Shard* sh : taps) sh->OnCountedPairs(ps);
+    forwarded->fetch_add(n, std::memory_order_relaxed);
+  }
+  void Flush() {
+    if (!pair_buf.empty()) {
+      ForwardPairs(pair_buf);
+      pair_buf.clear();
+    }
+    if (!counted_buf.empty()) {
+      ForwardCounted(counted_buf);
+      counted_buf.clear();
+    }
+  }
+
+  void OnPair(const OutPair& p) override {
+    if (!counted_buf.empty()) Flush();  // preserve cross-kind order
+    pair_buf.push_back(p);
+    if (pair_buf.size() >= kFlushAt) Flush();
+  }
+  void OnCountedPair(const CountedPair& p) override {
+    if (!pair_buf.empty()) Flush();
+    counted_buf.push_back(p);
+    if (counted_buf.size() >= kFlushAt) Flush();
+  }
+  void OnTuple(std::span<const Value> tuple) override {
+    Flush();
+    uint64_t n = 0;
+    for (const auto& [sink, sh] : targets) {
+      if (!sink->done()) {
+        sh->OnTuple(tuple);
+        ++n;
+      }
+    }
+    for (Shard* sh : taps) sh->OnTuple(tuple);
+    forwarded->fetch_add(n, std::memory_order_relaxed);
+  }
+  void OnPairs(std::span<const OutPair> ps) override {
+    Flush();
+    ForwardPairs(ps);
+  }
+  void OnCountedPairs(std::span<const CountedPair> ps) override {
+    Flush();
+    ForwardCounted(ps);
+  }
+};
+
+void FanoutSink::AddTarget(ResultSink* sink) { targets_.push_back(sink); }
+void FanoutSink::AddTap(ResultSink* sink) { taps_.push_back(sink); }
+
+void FanoutSink::Open(int num_shards) {
+  forwarded_.store(0, std::memory_order_relaxed);
+  for (ResultSink* t : targets_) t->Open(num_shards);
+  for (ResultSink* t : taps_) t->Open(num_shards);
+  shards_.clear();
+  for (int w = 0; w < num_shards; ++w) {
+    auto sh = std::make_unique<FanShard>();
+    sh->forwarded = &forwarded_;
+    for (ResultSink* t : targets_) sh->targets.emplace_back(t, &t->shard(w));
+    for (ResultSink* t : taps_) sh->taps.push_back(&t->shard(w));
+    shards_.push_back(std::move(sh));
+  }
+}
+
+ResultSink::Shard& FanoutSink::shard(int w) {
+  return *shards_[static_cast<size_t>(w)];
+}
+
+bool FanoutSink::done() const {
+  if (targets_.empty()) return false;
+  for (const ResultSink* t : targets_) {
+    if (!t->done()) return false;
+  }
+  return true;
+}
+
+bool FanoutSink::may_finish_early() const {
+  for (const ResultSink* t : targets_) {
+    if (!t->may_finish_early()) return false;
+  }
+  return !targets_.empty();
+}
+
+bool FanoutSink::supports_tuples() const {
+  for (const ResultSink* t : targets_) {
+    if (!t->supports_tuples()) return false;
+  }
+  for (const ResultSink* t : taps_) {
+    if (!t->supports_tuples()) return false;
+  }
+  return true;
+}
+
+void FanoutSink::Finish() {
+  for (auto& sh : shards_) sh->Flush();  // drain the scalar buffers first
+  for (ResultSink* t : targets_) t->Finish();
+  for (ResultSink* t : taps_) t->Finish();
+  shards_.clear();
+}
+
+// ---- RecordingSink -------------------------------------------------------
+
+RecordingSink::RecordingSink(uint64_t max_bytes) : max_bytes_(max_bytes) {}
+RecordingSink::~RecordingSink() = default;
+
+struct RecordingSink::RecordShard : ResultSink::Shard {
+  std::vector<OutPair> pairs;
+  std::vector<CountedPair> counted;
+  std::vector<Value> tuple_data;
+  uint32_t tuple_arity = 0;
+  uint64_t max_bytes = 0;
+  std::atomic<uint64_t>* bytes = nullptr;
+  std::atomic<bool>* overflowed = nullptr;
+
+  // One shared budget across shards: charge first, store only if the
+  // whole charge fit. Once over, the sink is permanently overflowed and
+  // further results are dropped (the capture is discarded anyway).
+  bool Charge(uint64_t sz) {
+    if (overflowed->load(std::memory_order_relaxed)) return false;
+    if (bytes->fetch_add(sz, std::memory_order_relaxed) + sz > max_bytes) {
+      overflowed->store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  void OnPair(const OutPair& p) override {
+    if (Charge(sizeof(OutPair))) pairs.push_back(p);
+  }
+  void OnCountedPair(const CountedPair& p) override {
+    if (Charge(sizeof(CountedPair))) counted.push_back(p);
+  }
+  void OnTuple(std::span<const Value> tuple) override {
+    if (Charge(tuple.size() * sizeof(Value))) {
+      tuple_arity = static_cast<uint32_t>(tuple.size());
+      tuple_data.insert(tuple_data.end(), tuple.begin(), tuple.end());
+    }
+  }
+  void OnPairs(std::span<const OutPair> ps) override {
+    if (Charge(ps.size() * sizeof(OutPair))) {
+      pairs.insert(pairs.end(), ps.begin(), ps.end());
+    }
+  }
+  void OnCountedPairs(std::span<const CountedPair> ps) override {
+    if (Charge(ps.size() * sizeof(CountedPair))) {
+      counted.insert(counted.end(), ps.begin(), ps.end());
+    }
+  }
+};
+
+void RecordingSink::Open(int num_shards) {
+  shards_.clear();
+  pairs_.clear();
+  counted_.clear();
+  tuple_data_.clear();
+  tuple_arity_ = 0;
+  bytes_.store(0, std::memory_order_relaxed);
+  overflowed_.store(false, std::memory_order_relaxed);
+  for (int i = 0; i < num_shards; ++i) {
+    auto sh = std::make_unique<RecordShard>();
+    sh->max_bytes = max_bytes_;
+    sh->bytes = &bytes_;
+    sh->overflowed = &overflowed_;
+    shards_.push_back(std::move(sh));
+  }
+}
+
+ResultSink::Shard& RecordingSink::shard(int w) {
+  return *shards_[static_cast<size_t>(w)];
+}
+
+void RecordingSink::Finish() {
+  for (auto& s : shards_) {
+    pairs_.insert(pairs_.end(), s->pairs.begin(), s->pairs.end());
+    counted_.insert(counted_.end(), s->counted.begin(), s->counted.end());
+    tuple_data_.insert(tuple_data_.end(), s->tuple_data.begin(),
+                       s->tuple_data.end());
+    if (s->tuple_arity != 0) tuple_arity_ = s->tuple_arity;
+  }
+  shards_.clear();
+}
+
 }  // namespace jpmm

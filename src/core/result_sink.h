@@ -309,6 +309,99 @@ class OrderedBySink : public ResultSink {
   std::vector<CountedPair> ranked_;
 };
 
+/// Fans one execution's result stream out to N independent client sinks —
+/// the delivery half of QueryService's multi-query batching: a batch leader
+/// runs the single product pass into a FanoutSink and every coalesced
+/// client's sink receives the same stream with its own done()/limit/page
+/// semantics intact.
+///
+///   - Targets vote: each On* call forwards to every target whose done() is
+///     still false (one relaxed load per target, checked per call — the
+///     same granularity the executors poll at), so a LimitSink target stops
+///     receiving after its k results while the others keep streaming.
+///   - done() is the conjunction over targets: the shared execution
+///     early-exits only when EVERY client is satisfied — a single follower
+///     finishing early never cancels the leader's pass.
+///   - Taps are non-voting observers (the result-cache RecordingSink):
+///     they receive every result unconditionally and are ignored by done().
+///
+/// Add targets/taps before Open(); the pointers must outlive the execution
+/// (the batcher guarantees this by holding followers until delivery ends).
+class FanoutSink : public ResultSink {
+ public:
+  FanoutSink();
+  ~FanoutSink() override;
+
+  /// A voting client sink (one per coalesced request).
+  void AddTarget(ResultSink* sink);
+  /// A non-voting observer; receives everything, never blocks early exit.
+  void AddTap(ResultSink* sink);
+
+  void Open(int num_shards) override;
+  Shard& shard(int w) override;
+  /// True iff ALL targets report done() (vacuously false with no targets).
+  bool done() const override;
+  /// The shared pass may finish early only if every target allows it.
+  bool may_finish_early() const override;
+  /// Tuples are deliverable only if every target AND tap consumes them.
+  bool supports_tuples() const override;
+  void Finish() override;
+
+  size_t num_targets() const { return targets_.size(); }
+  /// Total results delivered across all targets (bulk spans count each
+  /// element once per receiving target). Feeds jpmm_batch_fanout_*.
+  uint64_t results_forwarded() const {
+    return forwarded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct FanShard;
+  std::vector<ResultSink*> targets_;
+  std::vector<ResultSink*> taps_;
+  std::vector<std::unique_ptr<FanShard>> shards_;
+  std::atomic<uint64_t> forwarded_{0};
+};
+
+/// Bounded materializer used as a FanoutSink tap: captures the complete
+/// result stream of one execution so QueryService can insert it into the
+/// versioned result cache. A shared byte budget (one relaxed fetch_add per
+/// result) stops capture at `max_bytes` and latches overflowed() — an
+/// oversized result is simply not cached, it never fails the query.
+class RecordingSink : public ResultSink {
+ public:
+  explicit RecordingSink(uint64_t max_bytes);
+  ~RecordingSink() override;
+
+  void Open(int num_shards) override;
+  Shard& shard(int w) override;
+  void Finish() override;
+
+  /// True once the stream exceeded max_bytes; the capture is incomplete
+  /// and must not be cached.
+  bool overflowed() const {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+
+  /// Captured payload, merged in shard order. Valid after Finish();
+  /// movable out by the cache-insert path.
+  std::vector<OutPair>& pairs() { return pairs_; }
+  std::vector<CountedPair>& counted() { return counted_; }
+  std::vector<Value>& tuple_data() { return tuple_data_; }
+  uint32_t tuple_arity() const { return tuple_arity_; }
+
+ private:
+  struct RecordShard;
+  const uint64_t max_bytes_;
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<bool> overflowed_{false};
+  std::vector<std::unique_ptr<RecordShard>> shards_;
+  std::vector<OutPair> pairs_;
+  std::vector<CountedPair> counted_;
+  std::vector<Value> tuple_data_;
+  uint32_t tuple_arity_ = 0;
+};
+
 }  // namespace jpmm
 
 #endif  // JPMM_CORE_RESULT_SINK_H_

@@ -587,10 +587,37 @@ StarJoinResult MmStarJoin(const std::vector<const IndexedRelation*>& rels,
       go.rates = options.sparse_rates;
       go.allow_dense = allow_dense;
       go.allow_csr_dense = allow_csr_dense;
+      // Cross-execution memo, as in mm_join.cpp: a PreparedQuery re-running
+      // against its immutable snapshots rebuilds the identical grid, so the
+      // caller's DensityGridCache (keyed on adjusted thresholds + every
+      // option the build reads) skips the remap entirely.
       const TraceRecorder::SpanId remap_span =
           TraceBegin(trace, "degree-remap", heavy_id);
-      grid = BuildDensityGrid(csr_v, csr_wt, go);
-      TraceEnd(trace, remap_span);
+      std::shared_ptr<const DensityGrid> memo =
+          options.grid_cache == nullptr
+              ? nullptr
+              : options.grid_cache->Lookup(t, row_block, options.heavy_path,
+                                           allow_dense, allow_csr_dense,
+                                           options.sparse_rates);
+      if (memo != nullptr) {
+        grid = *memo;
+        result.partition_cache_hit = true;
+        if (MetricsEnabled()) {
+          static Counter& grid_cache_hits = MetricsRegistry::Global().GetCounter(
+              "jpmm_partition_grid_cache_hits_total");
+          grid_cache_hits.Add();
+        }
+      } else {
+        grid = BuildDensityGrid(csr_v, csr_wt, go);
+        if (options.grid_cache != nullptr) {
+          options.grid_cache->Store(t, row_block, options.heavy_path,
+                                    allow_dense, allow_csr_dense,
+                                    options.sparse_rates,
+                                    std::make_shared<DensityGrid>(grid));
+        }
+      }
+      TraceEnd(trace, remap_span,
+               result.partition_cache_hit ? "cache-hit" : "cache-miss");
       density =
           options.partition == PartitionMode::kForce || grid.beneficial;
       if (density) {

@@ -60,6 +60,8 @@ struct StarJoinOptions {
   /// kForce whenever a heavy product exists, kOff never. Tuples are
   /// identical either way (the remap is inverted at emit time).
   PartitionMode partition = PartitionMode::kAuto;
+  /// Optional cross-execution grid memo, as in MmJoinOptions::grid_cache.
+  DensityGridCache* grid_cache = nullptr;
   /// Push-based tuple delivery (core/result_sink.h, OnTuple). The star
   /// decomposition needs a global tuple dedup, so delivery is incremental
   /// only for sinks with may_finish_early(): new (never-seen) tuples are
@@ -99,6 +101,8 @@ struct StarJoinResult {
   uint64_t partition_blocks_pruned = 0;
   /// "off", "uniform", or DensityGrid::Signature() — see MmJoinResult.
   std::string partition_signature = "off";
+  /// Grid reused from StarJoinOptions::grid_cache — see MmJoinResult.
+  bool partition_cache_hit = false;
 
   // --- early-exit instrumentation (sink-driven runs) ---
   uint64_t light_steps_total = 0;      // planned light decomposition steps

@@ -129,6 +129,39 @@ std::shared_ptr<const IndexedRelation> Catalog::IndexSnapshot(
   return std::shared_ptr<const IndexedRelation>(std::move(e), &idx);
 }
 
+bool Catalog::SnapshotAll(
+    const std::vector<std::string>& names,
+    std::vector<std::shared_ptr<const IndexedRelation>>* out,
+    uint64_t* version_at_snapshot, std::string* missing) const {
+  // Phase 1 — one shared lock hold pins every entry and reads the version.
+  // Writers bump version_ inside their exclusive lock, so the (entries,
+  // version) pair read here is a consistent cut.
+  std::vector<std::shared_ptr<const Entry>> pinned;
+  pinned.reserve(names.size());
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const std::string& name : names) {
+      auto it = entries_.find(name);
+      if (it == entries_.end()) {
+        if (missing != nullptr) *missing = name;
+        return false;
+      }
+      pinned.push_back(it->second);
+    }
+    if (version_at_snapshot != nullptr) {
+      *version_at_snapshot = version_.load(std::memory_order_acquire);
+    }
+  }
+  // Phase 2 — index builds outside the lock (expensive; call_once dedups
+  // duplicate names, which share an entry).
+  for (std::shared_ptr<const Entry>& e : pinned) {
+    const IndexedRelation& idx = e->BuildIndex();
+    PinsCounter().Add();
+    out->push_back(std::shared_ptr<const IndexedRelation>(std::move(e), &idx));
+  }
+  return true;
+}
+
 std::vector<std::string> Catalog::Names() const {
   std::vector<std::string> names;
   {

@@ -73,6 +73,19 @@ class Catalog {
   std::shared_ptr<const IndexedRelation> IndexSnapshot(
       const std::string& name) const;
 
+  /// MVCC-style multi-relation snapshot: pins EVERY name under one shared
+  /// lock hold, so the returned set is a consistent cut — a concurrent Put
+  /// between two names can never yield a mixed-version view (the skew that
+  /// per-name IndexSnapshot calls allow). Writers bump version_ inside
+  /// their exclusive lock, so `*version_at_snapshot` identifies the cut.
+  /// Duplicate names pin the same entry (self-joins). On a missing name,
+  /// returns false with the name in *missing and leaves *out empty; on
+  /// success appends one snapshot per input name, in order. Index builds
+  /// happen outside the lock (per-entry call_once), as in IndexSnapshot.
+  bool SnapshotAll(const std::vector<std::string>& names,
+                   std::vector<std::shared_ptr<const IndexedRelation>>* out,
+                   uint64_t* version_at_snapshot, std::string* missing) const;
+
   /// Registered names, sorted.
   std::vector<std::string> Names() const;
 

@@ -38,6 +38,7 @@
 #include "core/cancel_token.h"
 #include "core/join_project.h"
 #include "core/query_engine.h"
+#include "core/query_service.h"
 #include "core/result_sink.h"
 #include "datagen/generators.h"
 #include "tests/test_util.h"
@@ -364,6 +365,122 @@ TEST(DifferentialFuzz, RandomDeadlineTruncationIsNeverWrong) {
                                  std::to_string(limit) + " " + problem;
         RecordFailure(line);
         ADD_FAILURE() << "random-deadline page violation: " << line;
+        return;
+      }
+    }
+  }
+}
+
+// ---- Batched / cached service recipe ------------------------------------
+//
+// The batching subsystem must be invisible in the results: running every
+// recipe through a QueryService with batching + the versioned result cache
+// enabled must stay byte-identical to the solo reference at every thread
+// count. The first service run executes (and populates the cache); every
+// later run with the same spec replays from the cache — the fingerprint
+// excludes thread count by design — so this recipe covers the leader path,
+// the cache insert gate, and cache replay in one sweep. A paginated
+// consumer is then served FROM the cache and must see an exact page.
+
+TEST(DifferentialFuzz, BatchedAndCachedServiceMatchesSolo) {
+  const int iters = std::max(1, EnvInt("JPMM_FUZZ_ITERS", 50) / 2);
+  const uint64_t base = EnvU64("JPMM_FUZZ_SEED", 20260726) ^ 0xBA7Cull;
+  const std::vector<int> threads = ThreadCounts();
+
+  for (int i = 0; i < iters; ++i) {
+    const FuzzConfig cfg = MakeConfig(base + static_cast<uint64_t>(i));
+    const BinaryRelation r = MakeRelation(cfg, 1);
+    const BinaryRelation s = cfg.self_join ? r : MakeRelation(cfg, 2);
+
+    JoinProjectOptions ref_opts;
+    ref_opts.strategy = Strategy::kWcojFull;
+    ref_opts.threads = 1;
+    ref_opts.sorted = true;
+    ref_opts.count_witnesses = cfg.counted;
+    ref_opts.min_count = cfg.min_count;
+    const JoinProjectOutput ref = JoinProject::TwoPath(r, s, ref_opts);
+
+    QueryEngine engine;
+    engine.catalog().Put("R", r);
+    if (!cfg.self_join) engine.catalog().Put("S", s);
+    QueryServiceOptions so;
+    so.enable_batching = true;
+    so.batch_window_ms = 0;  // sequential requests: no coalescing partner,
+                             // but the whole leader/fan-out path still runs
+    so.enable_result_cache = true;
+    QueryService service(&engine, so);
+
+    QuerySpec spec;
+    spec.kind = QueryKind::kTwoPath;
+    spec.relations = cfg.self_join ? std::vector<std::string>{"R"}
+                                   : std::vector<std::string>{"R", "S"};
+    spec.count_witnesses = cfg.counted;
+    spec.min_count = cfg.min_count;
+    PreparedQuery q;
+    ASSERT_TRUE(engine.Prepare(spec, &q).ok());
+
+    uint64_t runs = 0;
+    for (int t : threads) {
+      ServiceRequest req;
+      req.exec.threads = t;
+      req.exec.thresholds = cfg.thresholds;
+      VectorSink sink;
+      ExecStats stats;
+      const QueryStatus st = service.Execute(q, sink, req, &stats);
+      ++runs;
+      std::string problem;
+      if (!st.ok()) {
+        problem = "status: " + st.message();
+      } else if (cfg.counted
+                     ? testutil::Sorted(sink.counted()) != ref.counted
+                     : testutil::Sorted(sink.pairs()) != ref.pairs) {
+        problem = "result mismatch";
+      } else if (runs > 1 && !stats.result_cache_hit) {
+        problem = "expected a cache hit on a repeat request";
+      }
+      if (!problem.empty()) {
+        const std::string line = cfg.ToString() + " service threads=" +
+                                 std::to_string(t) + " " + problem;
+        RecordFailure(line);
+        ADD_FAILURE() << "batched-service mismatch: " << line;
+        return;
+      }
+    }
+    ASSERT_EQ(service.stats().cache_hits, runs - 1);
+    ASSERT_EQ(service.stats().completed, runs);
+
+    // Paginated consumer served from the warm cache: replay must honour
+    // the sink's done() and deliver an exact page of real results.
+    {
+      Rng rng(cfg.seed ^ 0xCA9Eull);
+      const uint64_t offset = rng.Next() % 20;
+      const uint64_t limit = 1 + rng.Next() % 30;
+      PageSink sink(offset, limit);
+      ExecStats stats;
+      ServiceRequest req;
+      const QueryStatus st = service.Execute(q, sink, req, &stats);
+      ASSERT_TRUE(st.ok()) << st.message();
+      ASSERT_TRUE(stats.result_cache_hit);
+      const uint64_t total = ref.size();
+      const uint64_t want_page =
+          std::min<uint64_t>(limit, total > offset ? total - offset : 0);
+      std::set<std::pair<Value, Value>> oracle_set;
+      for (const OutPair& p : ref.pairs) oracle_set.insert({p.x, p.z});
+      for (const CountedPair& p : ref.counted) oracle_set.insert({p.x, p.z});
+      std::string problem;
+      if (sink.size() != want_page) problem = "wrong cached page size";
+      for (const OutPair& p : sink.pairs()) {
+        if (oracle_set.count({p.x, p.z}) == 0) problem = "phantom page entry";
+      }
+      for (const CountedPair& p : sink.counted()) {
+        if (oracle_set.count({p.x, p.z}) == 0) problem = "phantom page entry";
+      }
+      if (!problem.empty()) {
+        const std::string line = cfg.ToString() + " cached-page offset=" +
+                                 std::to_string(offset) + " limit=" +
+                                 std::to_string(limit) + " " + problem;
+        RecordFailure(line);
+        ADD_FAILURE() << "cached page violation: " << line;
         return;
       }
     }

@@ -48,6 +48,19 @@
 //   --retry           retry shed (`overloaded`) executions with jittered
 //                     exponential backoff honouring the service's
 //                     retry-after hint (requires --clients > 1) (twopath)
+//   --batch-window-ms W
+//                     enable multi-query batching: concurrent identical
+//                     requests coalescing within W ms share one execution
+//                     whose results fan out to every client (routes through
+//                     QueryService; the --clients drill reports the batch
+//                     rate) (twopath)
+//   --result-cache-mb M
+//                     enable the versioned result cache with an M MB
+//                     budget: repeat requests replay a cached complete
+//                     result without executing; 0 disables (twopath)
+//   --no-batching     route through QueryService with batching and the
+//                     result cache explicitly off — the A/B baseline for
+//                     the flags above, with which it conflicts (twopath)
 //   --k K             star arity (default 3)  (star)
 //   --algo A          mm|sizeaware|sizeaware++ (ssj)
 //                     mm|pretti|limit|pie      (scj)
@@ -150,7 +163,7 @@ std::optional<Args> Parse(int argc, char** argv) {
     // Flags without values.
     if (key == "counts" || key == "ordered" || key == "explain" ||
         key == "count-only" || key == "retry" || key == "metrics" ||
-        key == "trace") {
+        key == "trace" || key == "no-batching") {
       args.options[key] = "1";
       continue;
     }
@@ -379,6 +392,15 @@ int RunTwoPathService(const Args& args, QueryEngine& engine,
   QueryServiceOptions so;
   so.max_inflight = static_cast<int>(args.GetI("max-inflight", 4));
   so.queue_depth = static_cast<size_t>(args.GetI("queue-depth", 16));
+  // Batching + result cache stay opt-in, mirroring the library defaults:
+  // --batch-window-ms turns coalescing on, --result-cache-mb > 0 turns the
+  // cache on, and --no-batching routes through the service with both off —
+  // the A/B baseline whose output is directly comparable to a batched run.
+  so.enable_batching = args.Has("batch-window-ms");
+  so.batch_window_ms = args.GetI("batch-window-ms", 2);
+  const long cache_mb = args.GetI("result-cache-mb", 0);
+  so.enable_result_cache = cache_mb > 0;
+  so.result_cache_bytes = static_cast<uint64_t>(cache_mb) << 20;
   QueryService service(&engine, so);
 
   ServiceRequest base_req;
@@ -524,7 +546,21 @@ int RunTwoPathService(const Args& args, QueryEngine& engine,
               static_cast<unsigned long long>(total.deadline),
               static_cast<unsigned long long>(total.cancelled),
               static_cast<unsigned long long>(total.degraded));
-  std::printf("service: %s\n", service.stats().ToString().c_str());
+  const ServiceStats ss = service.stats();
+  std::printf("service: %s\n", ss.ToString().c_str());
+  if (so.enable_batching || so.enable_result_cache) {
+    // Hit rates over the requests that finished Ok: a follower shared a
+    // leader's execution, a cache hit skipped execution entirely.
+    const double done = std::max<double>(1.0, static_cast<double>(total.ok));
+    std::printf("batching: window=%lld ms leaders=%llu followers=%llu "
+                "cache-hits=%llu (batch rate %.1f%%, cache hit rate %.1f%%)\n",
+                static_cast<long long>(so.batch_window_ms),
+                static_cast<unsigned long long>(ss.batch_leaders),
+                static_cast<unsigned long long>(ss.batch_followers),
+                static_cast<unsigned long long>(ss.cache_hits),
+                100.0 * static_cast<double>(ss.batch_followers) / done,
+                100.0 * static_cast<double>(ss.cache_hits) / done);
+  }
   std::printf("latency: p50=%.2f ms p99=%.2f ms (%llu samples)\n",
               lat.Percentile(50.0), lat.Percentile(99.0),
               static_cast<unsigned long long>(lat.count));
@@ -581,9 +617,28 @@ int RunTwoPath(const Args& args, BinaryRelation rel) {
 
   const long repeat = std::max<long>(1, args.GetI("repeat", 1));
   const long clients = std::max<long>(1, args.GetI("clients", 1));
-  const bool use_service = args.Has("deadline-ms") ||
-                           args.Has("max-inflight") ||
-                           args.Has("queue-depth") || args.Has("retry");
+  const bool use_service =
+      args.Has("deadline-ms") || args.Has("max-inflight") ||
+      args.Has("queue-depth") || args.Has("retry") ||
+      args.Has("batch-window-ms") || args.Has("result-cache-mb") ||
+      args.Has("no-batching");
+  if (args.Has("no-batching") &&
+      (args.Has("batch-window-ms") || args.Has("result-cache-mb"))) {
+    std::fprintf(stderr, "error: --no-batching disables the subsystem that "
+                         "--batch-window-ms / --result-cache-mb tune; pick "
+                         "one side\n");
+    return 1;
+  }
+  if (args.Has("batch-window-ms") && args.GetI("batch-window-ms", 0) < 0) {
+    std::fprintf(stderr, "error: --batch-window-ms must be >= 0 (0 coalesces "
+                         "only requests already waiting)\n");
+    return 1;
+  }
+  if (args.Has("result-cache-mb") && args.GetI("result-cache-mb", 0) < 0) {
+    std::fprintf(stderr, "error: --result-cache-mb must be >= 0 (0 disables "
+                         "the cache)\n");
+    return 1;
+  }
   if (args.Has("deadline-ms") && args.GetI("deadline-ms", 0) <= 0) {
     std::fprintf(stderr, "error: --deadline-ms takes a positive number of "
                          "milliseconds\n");
