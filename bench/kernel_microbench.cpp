@@ -36,6 +36,7 @@
 
 #include "bench/bench_util.h"
 #include "common/check.h"
+#include "common/cpu_features.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "core/query_engine.h"
@@ -114,6 +115,43 @@ void BM_DenseNaive(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   AddGflops(state, dim);
+}
+
+// ---- Per-ISA GEMM rows ----------------------------------------------------
+//
+// BM_DenseBlocked under each forced dispatch level, same operands. The
+// acceptance bar: the explicit AVX-512 (or AVX2) micro-kernel meets or
+// beats the auto-vectorized portable kernel at n in {1024, 2048}. Levels
+// the host lacks skip with an error note instead of reporting a bogus
+// portable time under a SIMD label.
+void GemmIsaBody(benchmark::State& state, KernelIsa isa) {
+  if (!IsaSupported(isa)) {
+    state.SkipWithError("isa unsupported on this host");
+    return;
+  }
+  ScopedIsaOverride force(isa);
+  const auto dim = static_cast<size_t>(state.range(0));
+  Matrix a = RandomDense(dim, 1);
+  Matrix b = RandomDense(dim, 2);
+  JPMM_CHECK_MSG(Multiply(a, b, 1) == MultiplyScalarReference(a, b),
+                 "forced-isa kernel diverged from the seed kernel");
+  Matrix c;
+  for (auto _ : state) {
+    Multiply(a, b, &c, /*threads=*/1);
+    benchmark::DoNotOptimize(c.data());
+  }
+  AddGflops(state, dim);
+  state.counters["isa"] = static_cast<double>(isa);
+}
+
+void BM_GemmIsaPortable(benchmark::State& state) {
+  GemmIsaBody(state, KernelIsa::kPortable);
+}
+void BM_GemmIsaAvx2(benchmark::State& state) {
+  GemmIsaBody(state, KernelIsa::kAvx2);
+}
+void BM_GemmIsaAvx512(benchmark::State& state) {
+  GemmIsaBody(state, KernelIsa::kAvx512);
 }
 
 // ---- Parallel dense: shared packed-B slab vs replicated packing ----------
@@ -513,6 +551,19 @@ BENCHMARK(BM_DenseScalarSeed)
     ->Arg(2048)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DenseNaive)->Arg(512)->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_GemmIsaPortable)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GemmIsaAvx2)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GemmIsaAvx512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_DenseParallelSharedSlab)
     ->Args({2048, 1})

@@ -96,6 +96,14 @@ class StampCounter {
 
   size_t universe() const { return stamps_.size(); }
 
+  /// Raw storage for the SIMD stamp-expansion kernels
+  /// (matrix/sparse_kernels.h), which gather/scatter stamps and counts
+  /// directly. Invariant they must preserve: stamps_[v] == epoch() iff v is
+  /// live this epoch, and then counts_[v] is its count.
+  uint32_t* raw_stamps() { return stamps_.data(); }
+  uint32_t* raw_counts() { return counts_.data(); }
+  uint32_t epoch() const { return epoch_; }
+
  private:
   std::vector<uint32_t> stamps_;
   std::vector<uint32_t> counts_;

@@ -1,0 +1,51 @@
+// Internal contract between the tiled boolean products (bool_matrix.cpp)
+// and the per-ISA word-kernel TUs.
+//
+// The tile loops (blocking, early exit, write-back) stay ISA-agnostic; the
+// two word-level primitives they call per row pair are the dispatch points:
+//
+//   AndPopcountFn  sum over wn words of popcount(ra[w] & rb[w])
+//                  (CountProduct's inner loop — AVX-512 VPOPCNTDQ target)
+//   AnyAndFn       does any of the wn word pairs intersect?
+//                  (BoolProduct's witness probe)
+//
+// Both are pure reductions over integers, so any evaluation order is
+// exact; byte-identical output across levels is automatic. wn is at most
+// kWB (32) words per call. The unblocked naive oracles
+// (BoolProductNaive / CountProductNaive via RowsIntersect / RowAndCount)
+// deliberately do NOT dispatch — they stay scalar so differential tests
+// compare against an independent implementation.
+
+#ifndef JPMM_MATRIX_BOOL_KERNELS_H_
+#define JPMM_MATRIX_BOOL_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/cpu_features.h"
+
+namespace jpmm {
+namespace internal {
+
+using AndPopcountFn = uint32_t (*)(const uint64_t* ra, const uint64_t* rb,
+                                   size_t wn);
+using AnyAndFn = bool (*)(const uint64_t* ra, const uint64_t* rb, size_t wn);
+
+uint32_t AndPopcountPortable(const uint64_t* ra, const uint64_t* rb,
+                             size_t wn);
+bool AnyAndPortable(const uint64_t* ra, const uint64_t* rb, size_t wn);
+
+/// nullptr when the TU was compiled without AVX-512 support. The popcount
+/// variant additionally requires the host to report VPOPCNTDQ at runtime
+/// (checked by the selector, not here).
+AndPopcountFn Avx512AndPopcount();
+AnyAndFn Avx512AnyAnd();
+
+/// Selectors: best available primitive for `isa`, falling back to portable.
+AndPopcountFn SelectAndPopcount(KernelIsa isa);
+AnyAndFn SelectAnyAnd(KernelIsa isa);
+
+}  // namespace internal
+}  // namespace jpmm
+
+#endif  // JPMM_MATRIX_BOOL_KERNELS_H_

@@ -1,0 +1,74 @@
+// AVX-512 word kernels for the boolean products: VPOPCNTDQ counting and a
+// test-mask witness probe, 8 words (512 bits) per step. Compiled with
+// per-file -mavx512* flags (CMakeLists.txt).
+
+#include "matrix/bool_kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512VPOPCNTDQ__)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace jpmm {
+namespace internal {
+namespace {
+
+// Row words are NOT guaranteed 64-byte aligned (words_per_row is not padded
+// to 8), so loads are unaligned; the reduction is integer arithmetic —
+// exact in any order.
+uint32_t AndPopcountAvx512Impl(const uint64_t* ra, const uint64_t* rb,
+                               size_t wn) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t w = 0;
+  for (; w + 8 <= wn; w += 8) {
+    const __m512i x = _mm512_and_si512(_mm512_loadu_si512(ra + w),
+                                       _mm512_loadu_si512(rb + w));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+  }
+  if (w < wn) {
+    const __mmask8 tail = static_cast<__mmask8>((1u << (wn - w)) - 1);
+    const __m512i x =
+        _mm512_and_si512(_mm512_maskz_loadu_epi64(tail, ra + w),
+                         _mm512_maskz_loadu_epi64(tail, rb + w));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+  }
+  return static_cast<uint32_t>(_mm512_reduce_add_epi64(acc));
+}
+
+bool AnyAndAvx512Impl(const uint64_t* ra, const uint64_t* rb, size_t wn) {
+  size_t w = 0;
+  for (; w + 8 <= wn; w += 8) {
+    if (_mm512_test_epi64_mask(_mm512_loadu_si512(ra + w),
+                               _mm512_loadu_si512(rb + w)) != 0) {
+      return true;
+    }
+  }
+  if (w < wn) {
+    const __mmask8 tail = static_cast<__mmask8>((1u << (wn - w)) - 1);
+    if (_mm512_test_epi64_mask(_mm512_maskz_loadu_epi64(tail, ra + w),
+                               _mm512_maskz_loadu_epi64(tail, rb + w)) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+AndPopcountFn Avx512AndPopcount() { return &AndPopcountAvx512Impl; }
+AnyAndFn Avx512AnyAnd() { return &AnyAndAvx512Impl; }
+
+}  // namespace internal
+}  // namespace jpmm
+
+#else  // toolchain cannot emit AVX-512 VPOPCNTDQ: portable path only
+
+namespace jpmm {
+namespace internal {
+AndPopcountFn Avx512AndPopcount() { return nullptr; }
+AnyAndFn Avx512AnyAnd() { return nullptr; }
+}  // namespace internal
+}  // namespace jpmm
+
+#endif

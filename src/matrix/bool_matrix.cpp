@@ -3,9 +3,48 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/cpu_features.h"
 #include "common/thread_pool.h"
+#include "matrix/bool_kernels.h"
 
 namespace jpmm {
+
+namespace internal {
+
+uint32_t AndPopcountPortable(const uint64_t* ra, const uint64_t* rb,
+                             size_t wn) {
+  uint32_t s = 0;
+  for (size_t w = 0; w < wn; ++w) {
+    s += static_cast<uint32_t>(std::popcount(ra[w] & rb[w]));
+  }
+  return s;
+}
+
+bool AnyAndPortable(const uint64_t* ra, const uint64_t* rb, size_t wn) {
+  for (size_t w = 0; w < wn; ++w) {
+    if (ra[w] & rb[w]) return true;
+  }
+  return false;
+}
+
+AndPopcountFn SelectAndPopcount(KernelIsa isa) {
+  // The vector popcount needs VPOPCNTDQ on top of the kAvx512 baseline — a
+  // separate runtime bit (Skylake-SP has AVX-512 but not VPOPCNTDQ).
+  if (isa == KernelIsa::kAvx512 && HasAvx512Vpopcntdq()) {
+    if (AndPopcountFn fn = Avx512AndPopcount()) return fn;
+  }
+  return &AndPopcountPortable;
+}
+
+AnyAndFn SelectAnyAnd(KernelIsa isa) {
+  if (isa == KernelIsa::kAvx512) {
+    if (AnyAndFn fn = Avx512AnyAnd()) return fn;
+  }
+  return &AnyAndPortable;
+}
+
+}  // namespace internal
+
 namespace {
 
 // ---- Blocking parameters -------------------------------------------------
@@ -89,6 +128,8 @@ BoolMatrix BoolProduct(const BoolMatrix& a, const BoolMatrix& bt,
   BoolMatrix c(a.rows(), bt.rows());
   const size_t words = a.words_per_row();
   const size_t nb = bt.rows();
+  // ISA is read once per product call; the workers share the selection.
+  const internal::AnyAndFn anyand = internal::SelectAnyAnd(ActiveIsa());
   // Dynamic row-band claiming: the early exit makes witness-dense bands far
   // cheaper than sparse ones, so static chunks would load-imbalance.
   ParallelForDynamic(threads, a.rows(), /*grain=*/kIB,
@@ -112,12 +153,7 @@ BoolMatrix BoolProduct(const BoolMatrix& a, const BoolMatrix& bt,
               const int jj = std::countr_zero(pending);
               pending &= pending - 1;
               const uint64_t* rb = bt.RowWords(j0 + jj) + w0;
-              for (size_t w = 0; w < wn; ++w) {
-                if (ra[w] & rb[w]) {
-                  got |= uint64_t{1} << jj;
-                  break;
-                }
-              }
+              if (anyand(ra, rb, wn)) got |= uint64_t{1} << jj;
             }
             out[i - i0] = got;
             tile_done &= got == full;
@@ -139,6 +175,8 @@ std::vector<uint32_t> CountProduct(const BoolMatrix& a, const BoolMatrix& bt,
   std::vector<uint32_t> c(a.rows() * bt.rows(), 0);
   const size_t words = a.words_per_row();
   const size_t nb = bt.rows();
+  const internal::AndPopcountFn andpop =
+      internal::SelectAndPopcount(ActiveIsa());
   ParallelFor(threads, a.rows(), [&](size_t rr0, size_t rr1, int) {
     for (size_t i0 = rr0; i0 < rr1; i0 += kIB) {
       const size_t i1 = std::min(rr1, i0 + kIB);
@@ -153,11 +191,7 @@ std::vector<uint32_t> CountProduct(const BoolMatrix& a, const BoolMatrix& bt,
             uint32_t* crow = c.data() + i * nb + j0;
             for (size_t jj = 0; jj < jn; ++jj) {
               const uint64_t* rb = bt.RowWords(j0 + jj) + w0;
-              uint32_t s = 0;
-              for (size_t w = 0; w < wn; ++w) {
-                s += static_cast<uint32_t>(std::popcount(ra[w] & rb[w]));
-              }
-              crow[jj] += s;
+              crow[jj] += andpop(ra, rb, wn);
             }
           }
         }

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned_buffer.h"
 #include "common/check.h"
 
 namespace jpmm {
@@ -72,7 +73,9 @@ class BoolMatrix {
   size_t rows_ = 0;
   size_t cols_ = 0;
   size_t words_per_row_ = 0;
-  std::vector<uint64_t> data_;
+  // 64-byte-aligned base; rows themselves are unpadded, so the SIMD word
+  // kernels still use unaligned loads (matrix/bool_kernels.h).
+  AlignedVector<uint64_t> data_;
 };
 
 /// Boolean product over the OR/AND semiring: result[i][j] = 1 iff row i of a

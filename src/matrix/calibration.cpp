@@ -1,11 +1,13 @@
 #include "matrix/calibration.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <memory>
 #include <mutex>
 
 #include "common/check.h"
+#include "common/cpu_features.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -169,12 +171,18 @@ SparseKernelRates SparseKernelRates::FromRates(double csr_dense_ops_per_sec,
 }
 
 const SparseKernelRates& SparseKernelRates::Default() {
-  static std::once_flag flag;
-  static std::unique_ptr<SparseKernelRates> instance;
-  std::call_once(flag, [] {
-    instance = std::make_unique<SparseKernelRates>(Measure(1024));
-  });
-  return *instance;
+  // Keyed by the active dispatch level: a JPMM_ISA override (or a test's
+  // ScopedIsaOverride) must re-measure rather than reuse rates measured
+  // under a different instruction set. Measurement happens under the lock,
+  // once per level; returned references stay valid for the process.
+  static std::mutex mu;
+  static std::array<std::unique_ptr<SparseKernelRates>, 3> per_isa;
+  const auto key = static_cast<size_t>(ActiveIsa());
+  std::lock_guard<std::mutex> lock(mu);
+  if (!per_isa[key]) {
+    per_isa[key] = std::make_unique<SparseKernelRates>(Measure(1024));
+  }
+  return *per_isa[key];
 }
 
 double SparseKernelRates::CsrDenseRate(double density) const {
@@ -186,12 +194,15 @@ double SparseKernelRates::CsrCsrRate(double density) const {
 }
 
 const BoolKernelRates& BoolKernelRates::Default() {
-  static std::once_flag flag;
-  static std::unique_ptr<BoolKernelRates> instance;
-  std::call_once(flag, [] {
-    instance = std::make_unique<BoolKernelRates>(Measure(512));
-  });
-  return *instance;
+  // Per-ISA cache; see SparseKernelRates::Default().
+  static std::mutex mu;
+  static std::array<std::unique_ptr<BoolKernelRates>, 3> per_isa;
+  const auto key = static_cast<size_t>(ActiveIsa());
+  std::lock_guard<std::mutex> lock(mu);
+  if (!per_isa[key]) {
+    per_isa[key] = std::make_unique<BoolKernelRates>(Measure(512));
+  }
+  return *per_isa[key];
 }
 
 MatMulCalibration MatMulCalibration::Measure(
@@ -325,9 +336,14 @@ double MatMulCalibration::single_core_flops() const {
 }
 
 const MatMulCalibration& MatMulCalibration::Default() {
-  static std::once_flag flag;
-  static std::unique_ptr<MatMulCalibration> instance;
-  std::call_once(flag, [] {
+  // Per-ISA cache; see SparseKernelRates::Default(). Before the kernels
+  // dispatched on KernelIsa this was a single call_once singleton, which
+  // silently served avx512-measured rates to a portable-forced run.
+  static std::mutex mu;
+  static std::array<std::unique_ptr<MatMulCalibration>, 3> per_isa;
+  const auto key = static_cast<size_t>(ActiveIsa());
+  std::lock_guard<std::mutex> lock(mu);
+  if (!per_isa[key]) {
     // Anchor the parallel efficiency with real measurements at 2 cores and
     // the full machine (the shared-slab MultiplyParallel path), so
     // EstimateSeconds stops assuming linear scaling it can't deliver. On a
@@ -336,10 +352,10 @@ const MatMulCalibration& MatMulCalibration::Default() {
     const int hw = HardwareThreads();
     if (hw >= 2) cores.push_back(2);
     if (hw > 2) cores.push_back(hw);
-    instance = std::make_unique<MatMulCalibration>(
+    per_isa[key] = std::make_unique<MatMulCalibration>(
         Measure({128, 256, 512, 1024}, cores));
-  });
-  return *instance;
+  }
+  return *per_isa[key];
 }
 
 }  // namespace jpmm

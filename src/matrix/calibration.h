@@ -46,7 +46,9 @@ struct BoolKernelRates {
   /// Times the blocked kernels on dim x dim random operands.
   static BoolKernelRates Measure(uint32_t dim = 1024, double density = 0.02);
 
-  /// Process-wide instance, measured once on first use.
+  /// Process-wide instance, measured once per active KernelIsa on first use
+  /// under that level (a JPMM_ISA override re-measures; see
+  /// common/cpu_features.h).
   static const BoolKernelRates& Default();
 };
 
@@ -82,7 +84,8 @@ struct SparseKernelRates {
                                      double csr_csr_ops_per_sec,
                                      double dense_flops_per_sec);
 
-  /// Process-wide instance, measured once on first use.
+  /// Process-wide instance, measured once per active KernelIsa on first
+  /// use under that level.
   static const SparseKernelRates& Default();
 
   /// Rates at an arbitrary density: log-density linear interpolation
@@ -112,7 +115,8 @@ class MatMulCalibration {
   /// linear-scaling assumption).
   double EstimateSeconds(uint64_t u, uint64_t v, uint64_t w, int co) const;
 
-  /// Process-wide instance, measured once on first use. The dim grid tops
+  /// Process-wide instance, measured once per active KernelIsa on first
+  /// use under that level. The dim grid tops
   /// out at 1024: the blocked kernel's throughput keeps climbing past the
   /// small dims as packing amortizes, so the largest anchor (which cubic
   /// extrapolation grows from) must see the sustained rate, not the

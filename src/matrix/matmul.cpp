@@ -4,9 +4,12 @@
 #include <cstring>
 #include <vector>
 
+#include "common/aligned_buffer.h"
 #include "common/check.h"
+#include "common/cpu_features.h"
 #include "common/failpoint.h"
 #include "common/thread_pool.h"
+#include "matrix/matmul_kernels.h"
 
 namespace jpmm {
 namespace {
@@ -22,19 +25,21 @@ namespace {
 //      L2 across the register-tile sweep;
 //   MC rows of A are packed once and reused across the whole NC-wide panel;
 //   MR x NR is the register tile: the accumulator lives in vector registers
-//      (8 x 32 floats = 16 AVX-512 zmm) and the k-loop compiles to
-//      broadcast + FMA under -O3 -march=native. NR spanning two full
-//      vectors is what lets GCC 12 vectorize the accumulator cleanly;
-//      narrower tiles (8x16, 4x16) fall off a 20x cliff — see
-//      docs/kernels.md for the measured sweep and how to re-tune.
-constexpr size_t kMR = 8;
-constexpr size_t kNR = 32;
-constexpr size_t kMC = 128;
-constexpr size_t kKC = 512;
-constexpr size_t kNC = 2048;
-
-static_assert(kMC % kMR == 0, "A panels must divide evenly into row tiles");
-static_assert(kNC % kNR == 0, "B panels must divide evenly into column tiles");
+//      (8 x 32 floats = 16 AVX-512 zmm). NR spanning two full vectors is
+//      what keeps both the hand-intrinsics micro-kernels and the
+//      auto-vectorized portable one on the fast side of the 20x tile-shape
+//      cliff — see docs/kernels.md for the measured sweep and how to
+//      re-tune.
+//
+// The constants live in matrix/matmul_kernels.h, shared with the per-ISA
+// micro-kernel TUs; the micro-kernel itself is selected per call on
+// ActiveIsa() (common/cpu_features.h).
+using internal::kKC;
+using internal::kMC;
+using internal::kMR;
+using internal::kNC;
+using internal::kNR;
+using internal::MicroKernelFn;
 
 // Packs A[ic..ic+mc) x [pc..pc+kc) into kMR-row panels: panel p (rows
 // p*kMR..) holds ap[p*kMR*kc + k*kMR + r] = A[ic + p*kMR + r][pc + k].
@@ -80,35 +85,15 @@ void PackB(const Matrix& b, size_t pc, size_t kc, size_t jc, size_t nc,
   }
 }
 
-// C[0..rows) x [0..cols) += Ap panel * Bp panel over kc inner steps. The
-// kMR x kNR accumulator is a local array the compiler keeps in vector
-// registers; rows/cols only bound the final write-back, so edge tiles pay
-// nothing in the hot loop.
-void MicroKernel(const float* ap, const float* bp, size_t kc, float* c,
-                 size_t ldc, size_t rows, size_t cols) {
-  float acc[kMR * kNR] = {};
-  for (size_t k = 0; k < kc; ++k) {
-    const float* arow = ap + k * kMR;
-    const float* brow = bp + k * kNR;
-    for (size_t r = 0; r < kMR; ++r) {
-      const float av = arow[r];
-      for (size_t j = 0; j < kNR; ++j) acc[r * kNR + j] += av * brow[j];
-    }
-  }
-  for (size_t r = 0; r < rows; ++r) {
-    float* crow = c + r * ldc;
-    const float* arow = acc + r * kNR;
-    for (size_t j = 0; j < cols; ++j) crow[j] += arow[j];
-  }
-}
-
 // Per-thread packing scratch, sized for the largest panels. thread_local so
 // repeated block-streamed calls (mm_join's row blocks) reuse the
 // allocation — and, now that ParallelFor runs on the persistent pool, the
 // scratch survives across queries instead of dying with per-call threads.
+// 64-byte slabs: the B scratch is read by the aligned vector loads of the
+// intrinsic micro-kernels.
 struct PackScratch {
-  std::vector<float> a = std::vector<float>(kMC * kKC);
-  std::vector<float> b = std::vector<float>(kKC * kNC);
+  AlignedVector<float> a = AlignedVector<float>(kMC * kKC);
+  AlignedVector<float> b = AlignedVector<float>(kKC * kNC);
 };
 
 PackScratch& Scratch() {
@@ -118,10 +103,11 @@ PackScratch& Scratch() {
 
 // Sweeps the register tiles of one packed (jc-panel, pc-slice) pair over
 // row range [r0, r1): packs A per MC block, consumes an already-packed B
-// panel (shared or thread-local — the kernel cannot tell).
+// panel (shared or thread-local — the kernel cannot tell). `mk` is the
+// ISA-selected micro-kernel, chosen once per row-range call.
 void SweepPanel(const Matrix& a, const float* bp, size_t r0, size_t r1,
                 size_t pc, size_t kc, size_t jc, size_t nc, float* out,
-                size_t ldc) {
+                size_t ldc, MicroKernelFn mk) {
   PackScratch& scratch = Scratch();
   float* ap = scratch.a.data();
   for (size_t ic = r0; ic < r1; ic += kMC) {
@@ -131,8 +117,8 @@ void SweepPanel(const Matrix& a, const float* bp, size_t r0, size_t r1,
       const size_t cols = std::min(kNR, nc - jr);
       for (size_t ir = 0; ir < mc; ir += kMR) {
         const size_t rows = std::min(kMR, mc - ir);
-        MicroKernel(ap + ir * kc, bp + jr * kc, kc,
-                    out + (ic - r0 + ir) * ldc + jc + jr, ldc, rows, cols);
+        mk(ap + ir * kc, bp + jr * kc, kc,
+           out + (ic - r0 + ir) * ldc + jc + jr, ldc, rows, cols);
       }
     }
   }
@@ -145,13 +131,14 @@ void KernelRowRange(const Matrix& a, const Matrix& b, size_t r0, size_t r1,
                     float* out, size_t ldc) {
   const size_t v = a.cols();
   const size_t w = b.cols();
+  const MicroKernelFn mk = internal::SelectMicroKernel(ActiveIsa());
   float* bp = Scratch().b.data();
   for (size_t jc = 0; jc < w; jc += kNC) {
     const size_t nc = std::min(kNC, w - jc);
     for (size_t pc = 0; pc < v; pc += kKC) {
       const size_t kc = std::min(kKC, v - pc);
       PackB(b, pc, kc, jc, nc, bp);
-      SweepPanel(a, bp, r0, r1, pc, kc, jc, nc, out, ldc);
+      SweepPanel(a, bp, r0, r1, pc, kc, jc, nc, out, ldc, mk);
     }
   }
 }
@@ -162,6 +149,7 @@ void KernelRowRangePacked(const Matrix& a, const PackedB& b, size_t r0,
                           size_t r1, float* out, size_t ldc) {
   const size_t v = a.cols();
   const size_t w = b.cols();
+  const MicroKernelFn mk = internal::SelectMicroKernel(ActiveIsa());
   size_t jc_idx = 0;
   for (size_t jc = 0; jc < w; jc += kNC, ++jc_idx) {
     const size_t nc = std::min(kNC, w - jc);
@@ -169,7 +157,7 @@ void KernelRowRangePacked(const Matrix& a, const PackedB& b, size_t r0,
     for (size_t pc = 0; pc < v; pc += kKC, ++pc_idx) {
       const size_t kc = std::min(kKC, v - pc);
       SweepPanel(a, b.Panel(jc_idx, pc_idx), r0, r1, pc, kc, jc, nc, out,
-                 ldc);
+                 ldc, mk);
     }
   }
 }
@@ -197,6 +185,44 @@ void ScalarKernelRowRange(const Matrix& a, const Matrix& b, size_t r0,
 }
 
 }  // namespace
+
+namespace internal {
+
+// C[0..rows) x [0..cols) += Ap panel * Bp panel over kc inner steps. The
+// kMR x kNR accumulator is a local array the compiler keeps in vector
+// registers; rows/cols only bound the final write-back, so edge tiles pay
+// nothing in the hot loop. This is the reference implementation every
+// intrinsic variant must match element-for-element.
+void MicroKernelPortable(const float* ap, const float* bp, size_t kc,
+                         float* c, size_t ldc, size_t rows, size_t cols) {
+  float acc[kMR * kNR] = {};
+  for (size_t k = 0; k < kc; ++k) {
+    const float* arow = ap + k * kMR;
+    const float* brow = bp + k * kNR;
+    for (size_t r = 0; r < kMR; ++r) {
+      const float av = arow[r];
+      for (size_t j = 0; j < kNR; ++j) acc[r * kNR + j] += av * brow[j];
+    }
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    float* crow = c + r * ldc;
+    const float* arow = acc + r * kNR;
+    for (size_t j = 0; j < cols; ++j) crow[j] += arow[j];
+  }
+}
+
+MicroKernelFn SelectMicroKernel(KernelIsa isa) {
+  if (isa == KernelIsa::kAvx512) {
+    if (MicroKernelFn fn = Avx512MicroKernel()) return fn;
+    isa = KernelIsa::kAvx2;
+  }
+  if (isa == KernelIsa::kAvx2) {
+    if (MicroKernelFn fn = Avx2MicroKernel()) return fn;
+  }
+  return &MicroKernelPortable;
+}
+
+}  // namespace internal
 
 PackedB::PackedB(const Matrix& b, int threads) {
   JPMM_FAIL_POINT("matmul.pack");

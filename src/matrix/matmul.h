@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned_buffer.h"
 #include "matrix/dense_matrix.h"
 
 namespace jpmm {
@@ -59,7 +60,9 @@ class PackedB {
   size_t cols_ = 0;
   size_t num_pc_ = 0;             // inner-dimension slice count
   std::vector<size_t> offsets_;   // panel offsets, jc-major
-  std::vector<float> data_;
+  // 64-byte base + kNR-float-multiple panel offsets = every panel row is
+  // 64-byte aligned, which the AVX-512 micro-kernel's aligned loads assume.
+  AlignedVector<float> data_;
 };
 
 /// Bytes a PackedB of a v x w matrix occupies (columns padded to the

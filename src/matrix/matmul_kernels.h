@@ -1,0 +1,67 @@
+// Internal contract between the blocked GEMM driver (matmul.cpp) and the
+// per-ISA micro-kernel translation units.
+//
+// The driver owns packing and cache blocking; the micro-kernel is the only
+// ISA-specific piece. Each variant lives in its own TU compiled with
+// per-file -m flags (CMakeLists.txt), so one binary carries portable, AVX2,
+// and AVX-512 code paths and dispatches at runtime on ActiveIsa(). A TU
+// whose target ISA the compiler cannot emit returns nullptr from its
+// accessor and the dispatch falls through to the next lower level.
+//
+// Micro-kernel contract (every variant MUST obey all of it — the
+// differential fuzzer enforces byte-identical outputs across levels):
+//   - computes C[0..rows) x [0..cols) += Ap * Bp over kc inner steps;
+//   - ap is a kMR-row packed panel: ap[k * kMR + r] = A element (r, k);
+//   - bp is a kNR-column packed panel: bp[k * kNR + c] = B element (k, c),
+//     64-byte aligned with every k-row 64-byte aligned (kNR floats = 128
+//     bytes; the packing buffers are AlignedVector slabs) — vector loads
+//     of bp may be aligned loads;
+//   - each accumulator element (r, c) is accumulated in ascending-k order,
+//     one product per k (FMA or mul+add both allowed: operands are small
+//     integers, exact in float, so contraction cannot change the value);
+//   - rows/cols only bound the write-back; the hot loop always runs the
+//     full kMR x kNR tile (the packing zero-pads).
+
+#ifndef JPMM_MATRIX_MATMUL_KERNELS_H_
+#define JPMM_MATRIX_MATMUL_KERNELS_H_
+
+#include <cstddef>
+
+#include "common/cpu_features.h"
+
+namespace jpmm {
+namespace internal {
+
+// Blocking parameters shared by the driver and every micro-kernel. See
+// matmul.cpp for the cache-level rationale and docs/kernels.md for the
+// measured tile-shape sweep.
+inline constexpr size_t kMR = 8;
+inline constexpr size_t kNR = 32;
+inline constexpr size_t kMC = 128;
+inline constexpr size_t kKC = 512;
+inline constexpr size_t kNC = 2048;
+
+static_assert(kMC % kMR == 0, "A panels must divide evenly into row tiles");
+static_assert(kNC % kNR == 0, "B panels must divide evenly into column tiles");
+
+using MicroKernelFn = void (*)(const float* ap, const float* bp, size_t kc,
+                               float* c, size_t ldc, size_t rows, size_t cols);
+
+/// The auto-vectorized C++ tile (always available; compiled with the
+/// build's global flags, so it IS the old kernel when JPMM_NATIVE is on).
+void MicroKernelPortable(const float* ap, const float* bp, size_t kc,
+                         float* c, size_t ldc, size_t rows, size_t cols);
+
+/// Hand-intrinsics variants, or nullptr when their TU was compiled without
+/// ISA support (non-x86 target or a compiler lacking the -m flags).
+MicroKernelFn Avx2MicroKernel();
+MicroKernelFn Avx512MicroKernel();
+
+/// Best micro-kernel for `isa`, falling through to lower levels when a
+/// variant is unavailable. Never returns nullptr.
+MicroKernelFn SelectMicroKernel(KernelIsa isa);
+
+}  // namespace internal
+}  // namespace jpmm
+
+#endif  // JPMM_MATRIX_MATMUL_KERNELS_H_

@@ -1,0 +1,83 @@
+// AVX2+FMA GEMM micro-kernel over the same 8x32 packed tile. Compiled with
+// per-file -mavx2 -mfma flags (CMakeLists.txt); selected at runtime on
+// AVX2-only hosts or under a forced --isa avx2.
+
+#include "matrix/matmul_kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace jpmm {
+namespace internal {
+namespace {
+
+// With 16 ymm registers the full 8x32 accumulator (16 vectors of 8) cannot
+// stay resident alongside the B operands, so the tile is computed as two
+// sequential 8x16 column halves — each half's 8x2 ymm accumulator block
+// fits, and every output element still sees its k-products in ascending
+// order (the halves split columns, not the k loop).
+void MicroKernelAvx2Impl(const float* ap, const float* bp, size_t kc,
+                         float* c, size_t ldc, size_t rows, size_t cols) {
+  for (size_t half = 0; half < 2; ++half) {
+    const size_t j0 = half * 16;
+    if (j0 >= cols) break;
+    const float* bph = bp + j0;
+    __m256 acc0[kMR];
+    __m256 acc1[kMR];
+    for (size_t r = 0; r < kMR; ++r) {
+      acc0[r] = _mm256_setzero_ps();
+      acc1[r] = _mm256_setzero_ps();
+    }
+    for (size_t k = 0; k < kc; ++k) {
+      const float* arow = ap + k * kMR;
+      // 32-byte aligned: packed rows are 64-byte aligned and j0 is a
+      // 16-float (64-byte) multiple.
+      const __m256 b0 = _mm256_load_ps(bph + k * kNR);
+      const __m256 b1 = _mm256_load_ps(bph + k * kNR + 8);
+      for (size_t r = 0; r < kMR; ++r) {
+        const __m256 av = _mm256_set1_ps(arow[r]);
+        acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+        acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+      }
+    }
+    const size_t hcols = cols - j0 >= 16 ? 16 : cols - j0;
+    if (rows == kMR && hcols == 16) {
+      for (size_t r = 0; r < kMR; ++r) {
+        float* crow = c + r * ldc + j0;
+        _mm256_storeu_ps(crow,
+                         _mm256_add_ps(_mm256_loadu_ps(crow), acc0[r]));
+        _mm256_storeu_ps(crow + 8,
+                         _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc1[r]));
+      }
+      continue;
+    }
+    // Edge tile: spill the half accumulator and write back bounded.
+    alignas(32) float tmp[kMR * 16];
+    for (size_t r = 0; r < kMR; ++r) {
+      _mm256_store_ps(tmp + r * 16, acc0[r]);
+      _mm256_store_ps(tmp + r * 16 + 8, acc1[r]);
+    }
+    for (size_t r = 0; r < rows; ++r) {
+      float* crow = c + r * ldc + j0;
+      for (size_t j = 0; j < hcols; ++j) crow[j] += tmp[r * 16 + j];
+    }
+  }
+}
+
+}  // namespace
+
+MicroKernelFn Avx2MicroKernel() { return &MicroKernelAvx2Impl; }
+
+}  // namespace internal
+}  // namespace jpmm
+
+#else  // toolchain cannot emit AVX2: dispatch falls through to portable
+
+namespace jpmm {
+namespace internal {
+MicroKernelFn Avx2MicroKernel() { return nullptr; }
+}  // namespace internal
+}  // namespace jpmm
+
+#endif

@@ -1,0 +1,83 @@
+// AVX-512 8x32 GEMM micro-kernel. Compiled with per-file -mavx512* flags
+// (CMakeLists.txt) so it exists in every binary; selected at runtime only
+// when CPUID reports the host can run it.
+
+#include "matrix/matmul_kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+namespace jpmm {
+namespace internal {
+namespace {
+
+// The 8x32 accumulator is 16 zmm registers (8 rows x 2 vectors of 16
+// floats); two B vectors and one broadcast leave 13 of the 32 zmm free.
+// Per-element accumulation order matches MicroKernelPortable exactly:
+// ascending k, one fused multiply-add per k (exact for the small-integer
+// operands the system guarantees).
+void MicroKernelAvx512Impl(const float* ap, const float* bp, size_t kc,
+                           float* c, size_t ldc, size_t rows, size_t cols) {
+  __m512 acc0[kMR];
+  __m512 acc1[kMR];
+  for (size_t r = 0; r < kMR; ++r) {
+    acc0[r] = _mm512_setzero_ps();
+    acc1[r] = _mm512_setzero_ps();
+  }
+  for (size_t k = 0; k < kc; ++k) {
+    const float* arow = ap + k * kMR;
+    // Packed B rows are 64-byte aligned by contract (matmul_kernels.h):
+    // aligned loads double as a hard assertion of the packing layout.
+    const __m512 b0 = _mm512_load_ps(bp + k * kNR);
+    const __m512 b1 = _mm512_load_ps(bp + k * kNR + 16);
+    for (size_t r = 0; r < kMR; ++r) {
+      const __m512 av = _mm512_set1_ps(arow[r]);
+      acc0[r] = _mm512_fmadd_ps(av, b0, acc0[r]);
+      acc1[r] = _mm512_fmadd_ps(av, b1, acc1[r]);
+    }
+  }
+  if (rows == kMR && cols == kNR) {
+    for (size_t r = 0; r < kMR; ++r) {
+      float* crow = c + r * ldc;
+      _mm512_storeu_ps(crow,
+                       _mm512_add_ps(_mm512_loadu_ps(crow), acc0[r]));
+      _mm512_storeu_ps(crow + 16,
+                       _mm512_add_ps(_mm512_loadu_ps(crow + 16), acc1[r]));
+    }
+    return;
+  }
+  // Edge tile: masked write-back bounded by rows/cols, like the portable
+  // kernel's scalar loop. cols < 32 always here.
+  const uint32_t cmask = cols >= kNR ? 0xFFFFFFFFu : ((1u << cols) - 1);
+  const __mmask16 m0 = static_cast<__mmask16>(cmask & 0xFFFF);
+  const __mmask16 m1 = static_cast<__mmask16>(cmask >> 16);
+  for (size_t r = 0; r < rows; ++r) {
+    float* crow = c + r * ldc;
+    if (m0) {
+      const __m512 cur = _mm512_maskz_loadu_ps(m0, crow);
+      _mm512_mask_storeu_ps(crow, m0, _mm512_add_ps(cur, acc0[r]));
+    }
+    if (m1) {
+      const __m512 cur = _mm512_maskz_loadu_ps(m1, crow + 16);
+      _mm512_mask_storeu_ps(crow + 16, m1, _mm512_add_ps(cur, acc1[r]));
+    }
+  }
+}
+
+}  // namespace
+
+MicroKernelFn Avx512MicroKernel() { return &MicroKernelAvx512Impl; }
+
+}  // namespace internal
+}  // namespace jpmm
+
+#else  // toolchain cannot emit AVX-512: dispatch falls through to AVX2
+
+namespace jpmm {
+namespace internal {
+MicroKernelFn Avx512MicroKernel() { return nullptr; }
+}  // namespace internal
+}  // namespace jpmm
+
+#endif

@@ -1,0 +1,84 @@
+// AVX-512 stamp expansion for the CSR x CSR counting product: 16 columns
+// per step with conflict-detected gather/scatter into the StampCounter and
+// a compress-store of fresh columns into the touched list. Compiled with
+// per-file -mavx512* flags (CMakeLists.txt).
+
+#include "matrix/sparse_kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512CD__)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace jpmm {
+namespace internal {
+namespace {
+
+void ExpandRowAvx512Impl(const uint32_t* js, size_t n, StampCounter* counter,
+                         AlignedVector<uint32_t>* touched) {
+  uint32_t* stamps = counter->raw_stamps();
+  uint32_t* counts = counter->raw_counts();
+  const __m512i epoch =
+      _mm512_set1_epi32(static_cast<int>(counter->epoch()));
+  const __m512i one = _mm512_set1_epi32(1);
+  for (size_t p = 0; p < n; p += 16) {
+    const size_t rem = n - p;
+    const __mmask16 lanes =
+        rem >= 16 ? static_cast<__mmask16>(0xFFFF)
+                  : static_cast<__mmask16>((1u << rem) - 1);
+    // Dead tail lanes load as 0; they sit ABOVE every live lane, so they
+    // cannot appear as an "earlier duplicate" in a live lane's conflict set.
+    const __m512i idx = _mm512_maskz_loadu_epi32(lanes, js + p);
+    const __m512i conf = _mm512_conflict_epi32(idx);
+    const __mmask16 dup =
+        _mm512_test_epi32_mask(conf, conf) & lanes;  // earlier lane == mine
+    const __mmask16 mfirst = lanes & ~dup;  // distinct values: scatter-safe
+
+    const __m512i st = _mm512_mask_i32gather_epi32(_mm512_setzero_si512(),
+                                                   mfirst, idx, stamps, 4);
+    const __mmask16 fresh = _mm512_mask_cmpneq_epi32_mask(mfirst, st, epoch);
+    const __mmask16 present = mfirst & ~fresh;
+    // Counts gather only for already-live lanes; fresh lanes start from the
+    // zero src, so the shared +1 yields their correct first count.
+    const __m512i ct = _mm512_mask_i32gather_epi32(_mm512_setzero_si512(),
+                                                   present, idx, counts, 4);
+    const __m512i newct = _mm512_add_epi32(ct, one);
+    _mm512_mask_i32scatter_epi32(stamps, mfirst, idx, epoch, 4);
+    _mm512_mask_i32scatter_epi32(counts, mfirst, idx, newct, 4);
+
+    if (fresh != 0) {
+      // resize BEFORE taking data(): it may reallocate.
+      const size_t base = touched->size();
+      touched->resize(base + std::popcount(static_cast<unsigned>(fresh)));
+      _mm512_mask_compressstoreu_epi32(touched->data() + base, fresh, idx);
+    }
+
+    // Duplicate lanes replay scalar AFTER the scatter: their column's first
+    // occurrence in this block already stamped it, so they only bump the
+    // (now up-to-date) count and are never fresh.
+    unsigned rest = dup;
+    while (rest != 0) {
+      const int lane = std::countr_zero(rest);
+      rest &= rest - 1;
+      counts[js[p + static_cast<size_t>(lane)]] += 1;
+    }
+  }
+}
+
+}  // namespace
+
+ExpandRowFn Avx512ExpandRow() { return &ExpandRowAvx512Impl; }
+
+}  // namespace internal
+}  // namespace jpmm
+
+#else  // toolchain cannot emit AVX-512 F+CD: portable path only
+
+namespace jpmm {
+namespace internal {
+ExpandRowFn Avx512ExpandRow() { return nullptr; }
+}  // namespace internal
+}  // namespace jpmm
+
+#endif

@@ -3,10 +3,33 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/cpu_features.h"
 #include "common/failpoint.h"
 #include "common/thread_pool.h"
+#include "matrix/sparse_kernels.h"
 
 namespace jpmm {
+
+namespace internal {
+
+void ExpandRowPortable(const uint32_t* js, size_t n, StampCounter* counter,
+                       AlignedVector<uint32_t>* touched) {
+  for (size_t p = 0; p < n; ++p) {
+    const uint32_t j = js[p];
+    if (counter->Add(j, 1) == 0) touched->push_back(j);
+  }
+}
+
+ExpandRowFn SelectExpandRow(KernelIsa isa) {
+  if (isa == KernelIsa::kAvx512) {
+    if (ExpandRowFn fn = Avx512ExpandRow()) return fn;
+  }
+  // No AVX2 variant: without conflict detection the gather/scatter update
+  // is not expressible, so kAvx2 shares the portable expansion.
+  return &ExpandRowPortable;
+}
+
+}  // namespace internal
 
 CsrMatrix CsrMatrix::FromRows(
     size_t rows, size_t cols, int threads,
@@ -136,13 +159,15 @@ void CsrCsrRowRange(const CsrMatrix& a, const CsrMatrix& b, size_t r0,
   }
   out->Clear();
   out->offsets.push_back(0);
+  // ISA is read once per row range, not per expansion call.
+  const internal::ExpandRowFn expand =
+      internal::SelectExpandRow(ActiveIsa());
   for (size_t i = r0; i < r1; ++i) {
     scratch->counter.NewEpoch();
     scratch->touched.clear();
     for (uint32_t k : a.Row(i)) {
-      for (uint32_t j : b.Row(k)) {
-        if (scratch->counter.Add(j, 1) == 0) scratch->touched.push_back(j);
-      }
+      const auto brow = b.Row(k);
+      expand(brow.data(), brow.size(), &scratch->counter, &scratch->touched);
     }
     // Ascending columns: the sort-merge emit path and the triangle trace
     // intersection both rely on it.

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/aligned_buffer.h"
 #include "common/check.h"
 #include "common/stamp_set.h"
 #include "common/types.h"
@@ -115,8 +116,10 @@ class CsrMatrix {
 
  private:
   size_t cols_ = 0;
-  std::vector<uint64_t> offsets_;    // size rows + 1
-  std::vector<uint32_t> cols_idx_;   // nnz column indices
+  // 64-byte-aligned so the SIMD row-expansion and gather kernels get
+  // cache-line-aligned bases (common/aligned_buffer.h).
+  AlignedVector<uint64_t> offsets_;    // size rows + 1
+  AlignedVector<uint32_t> cols_idx_;   // nnz column indices
 };
 
 /// Bytes a CsrMatrix with the given shape and nnz occupies — exposed so the
@@ -130,7 +133,7 @@ uint64_t CsrBytes(uint64_t rows, uint64_t nnz);
 /// blocks; ResizeUniverse happens lazily inside the kernel.
 struct CsrScratch {
   StampCounter counter;
-  std::vector<uint32_t> touched;
+  AlignedVector<uint32_t> touched;
 };
 
 /// Sparse output rows of one product block: row r0 + i owns

@@ -12,6 +12,10 @@
 //             grid) and Non-MM must match at threads {1, 3, hw}.
 //   star:     WCOJ reference vs MM (uniform + forced density grid) and
 //             Non-MM star joins (every 4th iteration; k in {2, 3}).
+//   isa:      the same recipes re-run under every host-supported kernel
+//             dispatch level (ScopedIsaOverride; common/cpu_features.h) —
+//             the explicit AVX2/AVX-512 kernels must stay byte-identical
+//             to the scalar oracle, end-to-end and at the kernel level.
 //
 // Knobs (see docs/testing.md for the seed policy):
 //   JPMM_FUZZ_ITERS     iterations (default 50 — the fixed tier-1 budget;
@@ -27,15 +31,21 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/cancel_token.h"
+#include "matrix/bool_matrix.h"
+#include "matrix/matmul.h"
+#include "matrix/random.h"
+#include "matrix/sparse_matrix.h"
 #include "core/join_project.h"
 #include "core/query_engine.h"
 #include "core/query_service.h"
@@ -482,6 +492,156 @@ TEST(DifferentialFuzz, BatchedAndCachedServiceMatchesSolo) {
         RecordFailure(line);
         ADD_FAILURE() << "cached page violation: " << line;
         return;
+      }
+    }
+  }
+}
+
+// ---- Forced-ISA recipes ---------------------------------------------------
+//
+// The two-path sweep above runs under the ambient dispatch level. These
+// recipes force each level the host supports and require byte-identical
+// output: first end-to-end (every MM heavy-path variant vs the WCOJ
+// reference, which never dispatches), then at the kernel level (blocked
+// GEMM / bool / count / CSR products vs their scalar naive oracles on
+// randomized shapes). A failing seed reruns under one level with
+// JPMM_ISA=<level> JPMM_FUZZ_SEED=<seed>.
+
+std::vector<KernelIsa> HostIsas() {
+  std::vector<KernelIsa> v{KernelIsa::kPortable};
+  if (IsaSupported(KernelIsa::kAvx2)) v.push_back(KernelIsa::kAvx2);
+  if (IsaSupported(KernelIsa::kAvx512)) v.push_back(KernelIsa::kAvx512);
+  return v;
+}
+
+TEST(DifferentialFuzz, TwoPathForcedIsaAgreement) {
+  // Half the two-path budget per level: the variant surface is the four MM
+  // rows (the kernels under dispatch), not the full strategy cross.
+  const int iters = std::max(1, EnvInt("JPMM_FUZZ_ITERS", 50) / 2);
+  const uint64_t base = EnvU64("JPMM_FUZZ_SEED", 20260726) ^ 0x15Aull;
+  const std::vector<int> threads = ThreadCounts();
+  const Variant kMmVariants[] = {
+      {"mm-auto", Strategy::kMmJoin, HeavyPathMode::kAuto},
+      {"mm-dense", Strategy::kMmJoin, HeavyPathMode::kForceDense},
+      {"mm-csr-dense", Strategy::kMmJoin, HeavyPathMode::kForceCsrDense},
+      {"mm-csr-csr", Strategy::kMmJoin, HeavyPathMode::kForceCsrCsr},
+  };
+
+  for (int i = 0; i < iters; ++i) {
+    FuzzConfig cfg = MakeConfig(base + static_cast<uint64_t>(i));
+    // Pin tiny thresholds: the heavy part (where the SIMD kernels run) must
+    // exist on these small instances for the sweep to test anything.
+    cfg.thresholds = Thresholds{1, 1};
+    const BinaryRelation r = MakeRelation(cfg, 1);
+    const BinaryRelation s = cfg.self_join ? r : MakeRelation(cfg, 2);
+
+    JoinProjectOptions ref_opts;
+    ref_opts.strategy = Strategy::kWcojFull;
+    ref_opts.threads = 1;
+    ref_opts.sorted = true;
+    ref_opts.count_witnesses = cfg.counted;
+    ref_opts.min_count = cfg.min_count;
+    const JoinProjectOutput ref = JoinProject::TwoPath(r, s, ref_opts);
+
+    for (KernelIsa isa : HostIsas()) {
+      ScopedIsaOverride force(isa);
+      for (const Variant& v : kMmVariants) {
+        for (int t : threads) {
+          JoinProjectOptions opts = ref_opts;
+          opts.strategy = v.strategy;
+          opts.heavy_path = v.heavy_path;
+          opts.threads = t;
+          opts.thresholds = cfg.thresholds;
+          const JoinProjectOutput got = JoinProject::TwoPath(r, s, opts);
+          const bool match = cfg.counted ? got.counted == ref.counted
+                                         : got.pairs == ref.pairs;
+          if (!match) {
+            const std::string line = cfg.ToString() +
+                                     " isa=" + KernelIsaName(isa) +
+                                     " variant=" + v.name +
+                                     " threads=" + std::to_string(t) +
+                                     " got=" + std::to_string(got.size()) +
+                                     " want=" + std::to_string(ref.size());
+            RecordFailure(line);
+            ADD_FAILURE() << "forced-ISA mismatch: " << line
+                          << "\nrepro: JPMM_ISA=" << KernelIsaName(isa)
+                          << " JPMM_FUZZ_SEED="
+                          << (base + static_cast<uint64_t>(i))
+                          << " JPMM_FUZZ_ITERS=1 ./differential_fuzz_test";
+            return;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DifferentialFuzz, KernelLevelForcedIsaAgreement) {
+  const int iters = EnvInt("JPMM_FUZZ_ITERS", 50);
+  const uint64_t base = EnvU64("JPMM_FUZZ_SEED", 20260726) ^ 0x51Dull;
+  const std::vector<int> threads = ThreadCounts();
+
+  for (int i = 0; i < iters; ++i) {
+    const uint64_t seed = base + static_cast<uint64_t>(i);
+    Rng rng(seed);
+    // Random shapes deliberately NOT tile-aligned; small enough that the
+    // naive oracles stay cheap across 50 (tier-1) / 500 (nightly) iters.
+    const size_t u = 1 + rng.NextBounded(96);
+    const size_t v = 1 + rng.NextBounded(160);
+    const size_t w = 1 + rng.NextBounded(96);
+    const double density = 0.02 + 0.3 * (static_cast<double>(rng.Next() % 100) / 100.0);
+
+    const Matrix a = RandomDenseMatrix(u, v, density, seed ^ 0xA);
+    const Matrix b = RandomDenseMatrix(v, w, density, seed ^ 0xB);
+    const Matrix dense_want = MultiplyNaive(a, b);
+    const BoolMatrix ba = RandomBoolMatrix(u, v, density, seed ^ 0xC);
+    const BoolMatrix bbt = RandomBoolMatrix(w, v, density, seed ^ 0xD);
+    const BoolMatrix bool_want = BoolProductNaive(ba, bbt);
+    const std::vector<uint32_t> count_want = CountProductNaive(ba, bbt);
+    // CSR oracles need 0/1 operands: fresh random dense pair, thresholded.
+    const CsrMatrix sa = CsrMatrix::FromDense(
+        RandomDenseMatrix(u, v, density, seed ^ 0xE));
+    const Matrix sbd = RandomDenseMatrix(v, w, density, seed ^ 0xF);
+    const CsrMatrix sb = CsrMatrix::FromDense(sbd);
+    const Matrix csr_want = CsrProductReference(sa, sbd);
+
+    for (KernelIsa isa : HostIsas()) {
+      ScopedIsaOverride force(isa);
+      for (int t : threads) {
+        std::string problem;
+        if (Multiply(a, b, t) != dense_want) problem = "dense gemm";
+        if (problem.empty() &&
+            CountProduct(ba, bbt, t) != count_want) {
+          problem = "count product";
+        }
+        if (problem.empty()) {
+          const BoolMatrix got = BoolProduct(ba, bbt, t);
+          for (size_t row = 0; row < got.rows() && problem.empty(); ++row) {
+            if (std::memcmp(got.RowWords(row), bool_want.RowWords(row),
+                            got.words_per_row() * sizeof(uint64_t)) != 0) {
+              problem = "bool product";
+            }
+          }
+        }
+        if (problem.empty() && CsrDenseProduct(sa, sbd, t) != csr_want) {
+          problem = "csr-dense product";
+        }
+        if (problem.empty() && CsrCsrProduct(sa, sb, t) != csr_want) {
+          problem = "csr-csr product";
+        }
+        if (!problem.empty()) {
+          const std::string line =
+              "seed=" + std::to_string(seed) + " isa=" + KernelIsaName(isa) +
+              " threads=" + std::to_string(t) + " u=" + std::to_string(u) +
+              " v=" + std::to_string(v) + " w=" + std::to_string(w) +
+              " kernel=" + problem;
+          RecordFailure(line);
+          ADD_FAILURE() << "kernel-level forced-ISA mismatch: " << line
+                        << "\nrepro: JPMM_ISA=" << KernelIsaName(isa)
+                        << " JPMM_FUZZ_SEED=" << seed
+                        << " JPMM_FUZZ_ITERS=1 ./differential_fuzz_test";
+          return;
+        }
       }
     }
   }

@@ -86,6 +86,11 @@
 //   --metrics[=FILE]  after the command, dump the process-wide metrics
 //                     registry in Prometheus text format to stdout (or
 //                     FILE) (every command)
+//   --isa I           portable|avx2|avx512: force the SIMD kernel dispatch
+//                     level (common/cpu_features.h). Rejected when the host
+//                     does not support I; without the flag the JPMM_ISA env
+//                     var, then CPUID detection, decide. --explain reports
+//                     the active level (every command)
 
 #include <algorithm>
 #include <cstdio>
@@ -102,6 +107,7 @@
 #include "bsi/bsi.h"
 #include "bsi/latency_sim.h"
 #include "bsi/workload.h"
+#include "common/cpu_features.h"
 #include "common/metrics.h"
 #include "common/timer.h"
 #include "core/trace.h"
@@ -216,6 +222,34 @@ PartitionMode ParsePartitionMode(const std::string& s) {
   if (s == "off") return PartitionMode::kOff;
   if (s == "force") return PartitionMode::kForce;
   return PartitionMode::kAuto;
+}
+
+// --isa: install the kernel-dispatch override before any kernel (or
+// calibration) runs. Unlike the JPMM_ISA env var — which clamps silently so
+// a fleet-wide setting degrades safely — a bad CLI value is loud.
+int ApplyIsaFlag(const Args& args) {
+  if (!args.Has("isa")) return 0;
+  const std::string v = args.Get("isa");
+  KernelIsa isa;
+  if (!ParseKernelIsa(v, &isa)) {
+    std::fprintf(stderr,
+                 "unknown --isa '%s' (expected portable|avx2|avx512)\n",
+                 v.c_str());
+    return 2;
+  }
+  if (!IsaSupported(isa)) {
+    std::fprintf(stderr, "error: --isa %s unsupported on this host (best: %s)\n",
+                 v.c_str(), KernelIsaName(DetectBestIsa()));
+    return 2;
+  }
+  SetKernelIsaOverride(isa);
+  return 0;
+}
+
+// --explain: the dispatch level every SIMD kernel call selects on.
+void PrintIsaLine() {
+  std::printf("jpmm_isa: %s (detected %s)\n", KernelIsaName(ActiveIsa()),
+              KernelIsaName(DetectBestIsa()));
 }
 
 // --explain: the density-adaptive partitioning decision for the heavy
@@ -774,6 +808,7 @@ int RunTwoPath(const Args& args, BinaryRelation rel) {
     }
   }
   if (args.Has("explain")) {
+    PrintIsaLine();
     PrintPartitionRecord(stats.partition_used, stats.partition_row_bands,
                          stats.partition_col_bands,
                          stats.partition_blocks_scheduled,
@@ -816,6 +851,7 @@ int RunStar(const Args& args, const BinaryRelation& rel) {
               static_cast<unsigned long long>(res.heavy_y),
               static_cast<unsigned long long>(res.w_rows));
   if (args.Has("explain")) {
+    PrintIsaLine();
     std::printf("heavy part: V nnz=%llu density=%.3g blocks: dense=%llu "
                 "csr-dense=%llu csr-csr=%llu\n",
                 static_cast<unsigned long long>(res.v_nnz),
@@ -962,6 +998,7 @@ int main(int argc, char** argv) {
   // Execution failures — including FailPoints armed via JPMM_FAILPOINTS —
   // come back as a structured error line, not an abort.
   try {
+    if (const int irc = ApplyIsaFlag(*args); irc != 0) return irc;
     auto rel = LoadDataset(*args);
     if (!rel.has_value()) return 1;
 
